@@ -1,0 +1,120 @@
+"""E1 — Fig. 1: numerical validation of every ZX rewrite rule.
+
+Regenerates the content of the paper's Fig. 1 as a table: each rule applied
+to randomized diagrams, checked against tensor semantics (up to scalar).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.linalg import proportionality_factor
+from repro.sim import Circuit
+from repro.zx import Diagram, EdgeType, VertexType, circuit_to_diagram, diagram_matrix
+from repro.zx.rules import (
+    bialgebra,
+    color_change,
+    copy_state,
+    fuse,
+    pi_push,
+    remove_identity,
+    remove_parallel_pair,
+)
+
+
+def _check(diagram, transform):
+    before = diagram_matrix(diagram)
+    d = diagram.copy()
+    transform(d)
+    after = diagram_matrix(d)
+    return proportionality_factor(after, before, atol=1e-8) is not None
+
+
+def _rule_trials(rng):
+    """(rule label, trial outcome) pairs across randomized inputs."""
+    results = []
+    for trial in range(10):
+        p1, p2 = rng.uniform(-math.pi, math.pi, 2)
+        # (f) fusion
+        d = Diagram()
+        i = d.add_boundary("input")
+        a = d.add_z(p1)
+        b = d.add_z(p2)
+        o = d.add_boundary("output")
+        d.add_edge(i, a)
+        d.add_edge(a, b)
+        d.add_edge(b, o)
+        e = d.edges_between(a, b)[0]
+        results.append(("(f) fusion", _check(d, lambda dd: fuse(dd, e))))
+        # (h) color change
+        d2 = d.copy()
+        results.append(("(h) color", _check(d2, lambda dd: color_change(dd, a))))
+        # (id) identity
+        d3 = Diagram()
+        i3 = d3.add_boundary("input")
+        m = d3.add_x(0.0)
+        o3 = d3.add_boundary("output")
+        d3.add_edge(i3, m, EdgeType.HADAMARD)
+        d3.add_edge(m, o3, EdgeType.HADAMARD)
+        results.append(("(id)+(hh)", _check(d3, lambda dd: remove_identity(dd, m))))
+        # (π) commutation
+        d4 = Diagram()
+        i4 = d4.add_boundary("input")
+        pi_v = d4.add_x(math.pi)
+        z = d4.add_z(p1)
+        o4 = d4.add_boundary("output")
+        d4.add_edge(i4, pi_v)
+        d4.add_edge(pi_v, z)
+        d4.add_edge(z, o4)
+        results.append(("(π) push", _check(d4, lambda dd: pi_push(dd, pi_v))))
+        # (c) copy
+        d5 = Diagram()
+        s = d5.add_x(math.pi * int(rng.integers(2)))
+        z5 = d5.add_z(0.0)
+        o5a = d5.add_boundary("output")
+        o5b = d5.add_boundary("output")
+        d5.add_edge(s, z5)
+        d5.add_edge(z5, o5a)
+        d5.add_edge(z5, o5b)
+        results.append(("(c) copy", _check(d5, lambda dd: copy_state(dd, s))))
+        # (b) bialgebra
+        d6 = Diagram()
+        i6a = d6.add_boundary("input")
+        i6b = d6.add_boundary("input")
+        z6 = d6.add_z(0.0)
+        x6 = d6.add_x(0.0)
+        o6a = d6.add_boundary("output")
+        o6b = d6.add_boundary("output")
+        d6.add_edge(i6a, z6)
+        d6.add_edge(i6b, z6)
+        d6.add_edge(z6, x6)
+        d6.add_edge(x6, o6a)
+        d6.add_edge(x6, o6b)
+        e6 = d6.edges_between(z6, x6)[0]
+        results.append(("(b) bialgebra", _check(d6, lambda dd: bialgebra(dd, e6))))
+        # (hopf)
+        d7 = Diagram()
+        i7 = d7.add_boundary("input")
+        z7 = d7.add_z(0.0)
+        x7 = d7.add_x(0.0)
+        o7 = d7.add_boundary("output")
+        d7.add_edge(i7, z7)
+        d7.add_edge(z7, x7)
+        d7.add_edge(z7, x7)
+        d7.add_edge(x7, o7)
+        results.append(("(hopf)", _check(d7, lambda dd: remove_parallel_pair(dd, z7, x7))))
+    return results
+
+
+def test_e01_fig1_rules(benchmark):
+    rng = np.random.default_rng(42)
+    results = benchmark(_rule_trials, rng)
+    by_rule = {}
+    for label, ok in results:
+        by_rule.setdefault(label, []).append(ok)
+    print("\nE1 — Fig. 1 rewrite rules, randomized validation")
+    print(f"{'rule':>15}  trials  all-sound")
+    for label, oks in sorted(by_rule.items()):
+        print(f"{label:>15}  {len(oks):>6}  {all(oks)}")
+        assert all(oks), f"rule {label} broke semantics"

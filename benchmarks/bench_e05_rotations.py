@@ -1,0 +1,66 @@
+"""E5 — Eqs. (9)-(10): single-qubit rotation gadgets.
+
+RX via two ancillas with the ``(−1)^m β`` adaptive angle (Eq. 9, input
+qubit consumed), RZ via one hanging ancilla (Eq. 10).  Swept over angles,
+verified on every branch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gadgets import WireTracker
+from repro.core.verify import check_pattern_determinism, pattern_equals_unitary
+from repro.linalg import rx, rz
+
+
+@pytest.mark.parametrize("beta", [0.0, 0.41, -1.7, np.pi])
+def test_e05_eq9_rx_gadget(beta, benchmark):
+    def build_and_verify():
+        tracker = WireTracker.begin(1, open_inputs=True)
+        tracker.rx(0, beta)
+        p = tracker.finish()
+        return p, pattern_equals_unitary(p, rx(beta)) and check_pattern_determinism(p)
+
+    p, ok = benchmark(build_and_verify)
+    m1 = p.measurement_of(1)
+    print(
+        f"\nE5 — Eq. (9) RX({beta:+.3f}): 2 ancillas, input measured in X basis, "
+        f"second angle {-m1.angle:+.3f} adaptive on {set(m1.s_domain)}: correct={ok}"
+    )
+    assert ok
+    assert m1.s_domain == frozenset({0})  # the (−1)^m adaptivity
+
+
+@pytest.mark.parametrize("gamma", [0.0, 0.93, -2.4, np.pi / 3])
+def test_e05_eq10_rz_gadget(gamma, benchmark):
+    def build_and_verify():
+        tracker = WireTracker.begin(1, open_inputs=True)
+        tracker.hanging_rz_gadget(0, -gamma)  # gadget(θ) = RZ(−θ)
+        p = tracker.finish()
+        return p, pattern_equals_unitary(p, rz(gamma)) and check_pattern_determinism(p)
+
+    p, ok = benchmark(build_and_verify)
+    print(
+        f"\nE5 — Eq. (10) RZ({gamma:+.3f}): 1 ancilla, wire stationary, "
+        f"nodes={p.num_nodes()}: correct={ok}"
+    )
+    assert ok
+    assert p.num_nodes() == 2
+
+
+def test_e05_rotation_composition(benchmark):
+    """RX(β)·RZ(γ) with the Eq. 10 + Eq. 9 chain — the per-vertex QUBO
+    layer of Eq. (12)."""
+    gamma, beta = 0.8, -0.55
+
+    def build_and_verify():
+        tracker = WireTracker.begin(1, open_inputs=True)
+        tracker.hanging_rz_gadget(0, -gamma)
+        tracker.rx(0, beta)
+        p = tracker.finish()
+        return p, pattern_equals_unitary(p, rx(beta) @ rz(gamma))
+
+    p, ok = benchmark(build_and_verify)
+    print(f"\nE5 — per-vertex Eq. (12) chain RX·RZ: nodes={p.num_nodes()}: correct={ok}")
+    assert ok
+    assert p.num_nodes() == 4  # wire + 1 hanging + 2 mixer

@@ -1,0 +1,86 @@
+"""E13 — Section III.A / ref. [51]: qubit reuse.
+
+"The number of qubits required can be significantly reduced in some cases
+by reusing qubits after measurement": under the eager schedule the live
+register is depth-independent (~|V|+1), while the graph-first resource
+state grows as |V| + p(|E|+2|V|).  Regenerates the live-qubit profile and
+the reuse-factor table.
+"""
+
+import pytest
+
+from repro.core import compile_qaoa_pattern, live_qubit_profile, peak_live_qubits
+from repro.core.reuse import reuse_summary
+from repro.problems import MaxCut
+
+
+def reuse_rows():
+    rows = []
+    for name, qubo, v in [
+        ("ring-6", MaxCut.ring(6).to_qubo(), 6),
+        ("3reg-8", MaxCut.random_regular(3, 8, seed=2).to_qubo(), 8),
+        ("K-5", MaxCut.complete(5).to_qubo(), 5),
+    ]:
+        for p in (1, 2, 4):
+            eager = compile_qaoa_pattern(qubo, [0.1] * p, [0.1] * p, schedule="eager")
+            total, peak, factor = reuse_summary(eager.pattern)
+            rows.append(
+                {
+                    "instance": name,
+                    "V": v,
+                    "p": p,
+                    "total_nodes": total,
+                    "peak_live": peak,
+                    "reuse_factor": factor,
+                }
+            )
+    return rows
+
+
+def test_e13_reuse_table(benchmark):
+    rows = benchmark(reuse_rows)
+    print("\nE13 — qubit reuse under eager measurement order")
+    print(f"{'instance':>8} {'V':>3} {'p':>2} {'total':>6} {'peak_live':>9} {'reuse':>6}")
+    for r in rows:
+        print(
+            f"{r['instance']:>8} {r['V']:>3} {r['p']:>2} {r['total_nodes']:>6} "
+            f"{r['peak_live']:>9} {r['reuse_factor']:>6.2f}"
+        )
+    # Peak live is V+1 and independent of p on every instance.
+    for r in rows:
+        assert r["peak_live"] <= r["V"] + 2
+    by_instance = {}
+    for r in rows:
+        by_instance.setdefault(r["instance"], set()).add(r["peak_live"])
+    for peaks in by_instance.values():
+        assert len(peaks) == 1  # depth-independent
+
+
+def test_e13_profile_shape(benchmark):
+    qubo = MaxCut.ring(5).to_qubo()
+    compiled = compile_qaoa_pattern(qubo, [0.1] * 3, [0.1] * 3)
+    prof = benchmark(live_qubit_profile, compiled.pattern)
+    peak = max(prof)
+    print(
+        f"\nE13 — ring-5 p=3 live profile: length={len(prof)}, peak={peak}, "
+        f"final={prof[-1]} (outputs)"
+    )
+    # Sawtooth between V and V+1 after warmup:
+    assert peak == 6
+    assert prof[-1] == 5
+
+
+def test_e13_graph_first_contrast(benchmark):
+    qubo = MaxCut.ring(5).to_qubo()
+
+    def peaks():
+        out = []
+        for p in (1, 2, 4):
+            gf = compile_qaoa_pattern(qubo, [0.1] * p, [0.1] * p, schedule="graph-first")
+            out.append(peak_live_qubits(gf.pattern))
+        return out
+
+    gf_peaks = benchmark(peaks)
+    print("\nE13 — graph-first peak live qubits vs p:", gf_peaks)
+    v, e = 5, 5
+    assert gf_peaks == [v + p * (e + 2 * v) for p in (1, 2, 4)]

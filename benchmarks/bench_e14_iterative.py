@@ -1,0 +1,64 @@
+"""E14 — Section V (refs [56],[60],[61]): iterative quantum optimization.
+
+The quantum device estimates correlations; the strongest one is frozen,
+the problem shrinks, repeat.  Regenerates a quality table: iterative
+QAOA-guided greedy vs one-shot QAOA_1 expectation vs optimum.
+"""
+
+import pytest
+
+from repro.problems import MaxCut
+from repro.qaoa import grid_search_p1
+from repro.qaoa.iterative import iterative_quantum_optimize
+
+
+def quality_rows():
+    rows = []
+    for name, mc in [
+        ("ring-8", MaxCut.ring(8)),
+        ("3reg-8a", MaxCut.random_regular(3, 8, seed=0)),
+        ("3reg-8b", MaxCut.random_regular(3, 8, seed=5)),
+        ("3reg-10", MaxCut.random_regular(3, 10, seed=2)),
+    ]:
+        ising = mc.to_qubo().to_ising()
+        best = mc.max_cut_value()
+        one_shot = -grid_search_p1(mc.to_qubo().cost_vector(), resolution=16).expectation
+        res = iterative_quantum_optimize(ising, stop_at=3)
+        rows.append(
+            {
+                "instance": name,
+                "optimum": best,
+                "qaoa1_expectation": one_shot,
+                "iterative_cut": mc.cut_value(res.bits()),
+                "rounds": len(res.steps),
+            }
+        )
+    return rows
+
+
+def test_e14_iterative_table(benchmark):
+    rows = benchmark(quality_rows)
+    print("\nE14 — iterative quantum optimization vs one-shot QAOA_1")
+    print(f"{'instance':>9} {'optimum':>8} {'QAOA1 <cut>':>11} {'iterative':>9} {'rounds':>6}")
+    for r in rows:
+        print(
+            f"{r['instance']:>9} {r['optimum']:>8.0f} {r['qaoa1_expectation']:>11.3f} "
+            f"{r['iterative_cut']:>9.0f} {r['rounds']:>6}"
+        )
+        # Shape: iteration beats the one-shot expectation and lands near
+        # (usually at) the optimum.
+        assert r["iterative_cut"] >= r["qaoa1_expectation"] - 1e-9
+        assert r["iterative_cut"] >= 0.89 * r["optimum"]
+
+
+def test_e14_rounds_scale_with_size(benchmark):
+    mc = MaxCut.ring(10)
+
+    def run():
+        return iterative_quantum_optimize(mc.to_qubo().to_ising(), stop_at=3)
+
+    res = benchmark(run)
+    print(f"\nE14 — ring-10: {len(res.steps)} elimination rounds, "
+          f"final cut {mc.cut_value(res.bits()):.0f}/10")
+    assert len(res.steps) == 10 - 3
+    assert mc.cut_value(res.bits()) == pytest.approx(10.0)

@@ -1,0 +1,89 @@
+"""E15 — the paper's Section I motivation: MBQC noise enters through
+resource-state preparation and measurement rather than gates.
+
+Ablation: output fidelity of compiled MBQC-QAOA patterns versus the
+per-operation error rate and the pattern size — the "limited by the size
+of the entangled resource state" trade-off made quantitative on the
+simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_qaoa_pattern
+from repro.mbqc.noise import NoiseModel, average_fidelity
+from repro.problems import MaxCut
+
+
+def fidelity_vs_rate():
+    compiled = compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.4], [0.7])
+    rows = []
+    for rate in (0.0, 0.002, 0.01, 0.05):
+        f = average_fidelity(
+            compiled.pattern,
+            NoiseModel(p_prep=rate, p_ent=rate, p_meas=rate),
+            trajectories=60,
+            seed=0,
+        )
+        rows.append((rate, f))
+    return rows
+
+
+def test_e15_fidelity_vs_rate(benchmark):
+    rows = benchmark(fidelity_vs_rate)
+    print("\nE15 — fidelity vs per-operation error rate (ring-3, p=1)")
+    print("  rate     <F>")
+    for rate, f in rows:
+        print(f"  {rate:<7.3f}  {f:.4f}")
+    fids = [f for _, f in rows]
+    assert fids[0] == pytest.approx(1.0, abs=1e-9)
+    assert all(a >= b - 0.02 for a, b in zip(fids, fids[1:]))  # monotone ↓
+    assert fids[-1] < 0.8
+
+
+def test_e15_fidelity_vs_pattern_size(benchmark):
+    """At fixed error rate, deeper protocols (bigger resource states)
+    lose more fidelity — the size-limited regime the paper describes."""
+    rate = 0.01
+    qubo = MaxCut.ring(3).to_qubo()
+
+    def sweep():
+        rows = []
+        for p in (1, 2, 3):
+            compiled = compile_qaoa_pattern(qubo, [0.3] * p, [0.5] * p)
+            f = average_fidelity(
+                compiled.pattern,
+                NoiseModel(p_prep=rate, p_ent=rate, p_meas=rate),
+                trajectories=50,
+                seed=p,
+            )
+            rows.append((p, compiled.num_nodes(), f))
+        return rows
+
+    rows = benchmark(sweep)
+    print("\nE15 — fidelity vs depth at 1% per-operation error (ring-3)")
+    print("  p  nodes   <F>")
+    for p, nodes, f in rows:
+        print(f"  {p}  {nodes:>5}  {f:.4f}")
+    assert rows[0][2] > rows[-1][2]  # bigger resource state, lower fidelity
+
+
+def test_e15_measurement_flips_vs_state_noise(benchmark):
+    """Readout flips corrupt the classical signal chain; compare channels
+    at equal rate."""
+    compiled = compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.4], [0.7])
+    rate = 0.03
+
+    def compare():
+        f_meas = average_fidelity(
+            compiled.pattern, NoiseModel(p_meas=rate), trajectories=60, seed=0
+        )
+        f_ent = average_fidelity(
+            compiled.pattern, NoiseModel(p_ent=rate), trajectories=60, seed=0
+        )
+        return f_meas, f_ent
+
+    f_meas, f_ent = benchmark(compare)
+    print(f"\nE15 — channel comparison at rate {rate}: readout-flip <F>={f_meas:.4f}, "
+          f"entangler-depolarizing <F>={f_ent:.4f}")
+    assert f_meas < 1.0 and f_ent < 1.0

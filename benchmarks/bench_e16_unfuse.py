@@ -1,0 +1,81 @@
+"""E16 — Section III / ref. [49]: planarization by un-fusing nodes.
+
+"The resource graph state ... is not a planar graph in general. However,
+it can be compiled in a straight-forward way into planar graphs of the
+target hardware via un-fusing nodes [49]."  Regenerates the degree-capping
+table: max spider degree before/after, extra nodes paid, semantics intact.
+"""
+
+import pytest
+
+from repro.linalg import proportionality_factor
+from repro.utils import complete_graph, star_graph
+from repro.zx import diagram_matrix, graph_state_diagram
+from repro.zx.unfuse import cap_degree, max_spider_degree
+
+
+def capping_rows(cap=3):
+    rows = []
+    for name, (n, edges) in [
+        ("star-6", star_graph(6)),
+        ("star-8", star_graph(8)),
+        ("K-4", complete_graph(4)),
+        ("K-5", complete_graph(5)),
+    ]:
+        d = graph_state_diagram(n, edges)
+        before_deg = max_spider_degree(d)
+        before_nodes = d.num_spiders()
+        before_tensor = diagram_matrix(d) if n <= 6 else None
+        splits = cap_degree(d, cap)
+        row = {
+            "graph": name,
+            "deg_before": before_deg,
+            "deg_after": max_spider_degree(d),
+            "extra_nodes": d.num_spiders() - before_nodes,
+            "splits": splits,
+            "semantics_ok": True,
+        }
+        if before_tensor is not None:
+            after = diagram_matrix(d)
+            row["semantics_ok"] = (
+                proportionality_factor(after, before_tensor, atol=1e-8) is not None
+            )
+        rows.append(row)
+    return rows
+
+
+def test_e16_degree_capping(benchmark):
+    rows = benchmark(capping_rows, 3)
+    print("\nE16 — un-fusing to degree ≤ 3 (ref. [49] planarization step)")
+    print(f"{'graph':>7} {'deg before':>10} {'deg after':>9} {'extra nodes':>11} {'semantics':>9}")
+    for r in rows:
+        print(
+            f"{r['graph']:>7} {r['deg_before']:>10} {r['deg_after']:>9} "
+            f"{r['extra_nodes']:>11} {str(r['semantics_ok']):>9}"
+        )
+        assert r["deg_after"] <= 3
+        assert r["semantics_ok"]
+        assert r["extra_nodes"] == r["splits"]
+
+
+def test_e16_cost_scales_with_excess_degree(benchmark):
+    """Each split removes (cap−2) excess legs: extra nodes ≈
+    excess/(cap−2) — linear overhead, as 'straight-forward' promises."""
+    cap = 4
+
+    def run():
+        out = []
+        for hub in (6, 10, 14):
+            n, edges = star_graph(hub)
+            d = graph_state_diagram(n, edges)
+            out.append((hub, cap_degree(d, cap)))
+        return out
+
+    rows = benchmark(run)
+    print("\nE16 — splits vs hub degree (cap=4)")
+    for hub, splits in rows:
+        # hub spider degree = (hub-1 edges) + 1 output = hub.
+        excess = hub - cap
+        expected = -(-excess // (cap - 2))  # ceil
+        print(f"  star-{hub}: splits={splits}, ceil(excess/(cap-2))={expected}")
+        assert splits == expected

@@ -1,0 +1,70 @@
+"""E18 — refs [6],[24]: the circuit ↔ pattern loop ("there and back again").
+
+Circuits translate to patterns (generic compiler) and patterns with causal
+flow extract back to circuits; the round trip preserves the unitary and
+the J+CZ census — closing the correspondence the paper's Section II
+machinery rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.generic import circuit_to_pattern
+from repro.linalg import allclose_up_to_global_phase
+from repro.mbqc.extract import extract_circuit
+from repro.problems import MaxCut
+from repro.qaoa import qaoa_circuit
+
+
+def test_e18_round_trip_table(benchmark):
+    instances = [
+        ("ring-3 p=1", MaxCut(3, [(0, 1), (1, 2), (0, 2)]), 1),
+        ("path-4 p=1", MaxCut(4, [(0, 1), (1, 2), (2, 3)]), 1),
+        ("path-3 p=2", MaxCut(3, [(0, 1), (1, 2)]), 2),
+    ]
+
+    def round_trip_all():
+        rows = []
+        for name, mc, p in instances:
+            circ = qaoa_circuit(
+                mc.to_qubo().to_ising(), [0.4] * p, [0.7] * p, include_initial_layer=False
+            )
+            pattern = circuit_to_pattern(circ)
+            extracted = extract_circuit(pattern)
+            same = allclose_up_to_global_phase(
+                extracted.unitary(), circ.unitary(), atol=1e-8
+            )
+            rows.append(
+                (
+                    name,
+                    len(circ),
+                    pattern.num_nodes(),
+                    len(extracted),
+                    extracted.count_by_name().get("j", 0),
+                    same,
+                )
+            )
+        return rows
+
+    rows = benchmark(round_trip_all)
+    print("\nE18 — circuit → pattern → circuit round trip")
+    print(f"{'instance':>12} {'gates in':>8} {'pattern nodes':>13} {'gates out':>9} {'J gates':>7} {'equal':>5}")
+    for name, gin, nodes, gout, js, same in rows:
+        print(f"{name:>12} {gin:>8} {nodes:>13} {gout:>9} {js:>7} {str(same):>5}")
+        assert same
+        assert js > 0
+
+
+def test_e18_j_count_equals_measurements(benchmark):
+    mc = MaxCut(3, [(0, 1), (1, 2)])
+    circ = qaoa_circuit(mc.to_qubo().to_ising(), [0.3], [0.6], include_initial_layer=False)
+    pattern = circuit_to_pattern(circ)
+
+    def extract():
+        return extract_circuit(pattern)
+
+    extracted = benchmark(extract)
+    js = extracted.count_by_name().get("j", 0)
+    measured = len(pattern.measured_nodes())
+    print(f"\nE18 — J gates in extracted circuit: {js} == measured nodes: {measured}")
+    assert js == measured

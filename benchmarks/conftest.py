@@ -1,0 +1,14 @@
+"""Shared fixtures for the experiment-regeneration harness.
+
+Each ``bench_eXX_*.py`` module regenerates one paper artefact (figure,
+equation, worked example, or resource table — see EXPERIMENTS.md) and
+asserts its qualitative shape; the ``benchmark`` fixture additionally
+times the central computation so regressions stay visible.
+"""
+
+import pytest
+
+
+def print_header(title: str) -> None:
+    bar = "=" * len(title)
+    print(f"\n{bar}\n{title}\n{bar}")

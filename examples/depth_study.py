@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Depth study: QAOA quality vs p, and what it costs in MBQC resources.
+
+Couples the Section II.C performance claim ("performance generally improves
+with increasing number of layers p") with the Section III.A resource bill:
+for each depth, the optimized approximation ratio, the measurement-pattern
+size, and the live-register size with qubit reuse.
+
+Run:  python examples/depth_study.py
+"""
+
+import numpy as np
+
+from repro.core import compile_qaoa_pattern
+from repro.core.reuse import peak_live_qubits
+from repro.problems import MaxCut
+from repro.qaoa import optimize_qaoa
+
+
+def main() -> None:
+    problem = MaxCut.random_regular(3, 8, seed=21)
+    qubo = problem.to_qubo()
+    cost = qubo.cost_vector()
+    best_cut = problem.max_cut_value()
+    print(f"MaxCut, 3-regular graph on 8 vertices, optimum = {best_cut:.0f}\n")
+    print(f"{'p':>2} {'ratio':>7} {'<cut>':>7} {'nodes':>6} {'CZs':>5} {'peak live':>9} {'nfev':>6}")
+
+    warm = None
+    for p in (1, 2, 3, 4):
+        res = optimize_qaoa(cost, p=p, restarts=6, seed=p, warm_start=warm, maxiter=600)
+        warm = (res.gammas, res.betas)
+        compiled = compile_qaoa_pattern(qubo, res.gammas, res.betas)
+        ratio = -res.expectation / best_cut
+        print(
+            f"{p:>2} {ratio:>7.4f} {-res.expectation:>7.3f} "
+            f"{compiled.num_nodes():>6} {compiled.num_entanglers():>5} "
+            f"{peak_live_qubits(compiled.pattern):>9} {res.nfev:>6}"
+        )
+
+    print(
+        "\nReading: the approximation ratio climbs with p while the live\n"
+        "register (with measurement-and-reuse, ref. [51]) stays at |V|+1 —\n"
+        "depth costs pattern *length*, not register width."
+    )
+
+
+if __name__ == "__main__":
+    main()

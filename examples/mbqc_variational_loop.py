@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The paper's full hybrid workflow, run entirely through measurement
+patterns.
+
+Section II.C: "After preparing on the quantum computer, the QAOA state is
+measured in the computational basis ... Repeated state preparation and
+measurement gives further samples which may be used to estimate the cost
+expectation ⟨C⟩ ... these quantities could be used to update or
+variationally search for better circuit parameters."  Here the "quantum
+computer" is the MBQC runtime: every sample comes from executing the
+Section III measurement pattern, optionally with Pauli noise — the
+gate-model simulator is used only for the final cross-check.
+
+Run:  python examples/mbqc_variational_loop.py
+"""
+
+import numpy as np
+
+from repro.core.solver import MBQCQAOASolver
+from repro.mbqc.noise import NoiseModel
+from repro.problems import MaxCut
+from repro.qaoa import qaoa_expectation
+
+
+def main() -> None:
+    problem = MaxCut.random_regular(3, 6, seed=13)
+    qubo = problem.to_qubo()
+    opt = problem.max_cut_value()
+    print(f"MaxCut, 3-regular on 6 vertices, optimum cut = {opt:.0f}\n")
+
+    print("— noiseless MBQC variational loop (p=2) —")
+    solver = MBQCQAOASolver(qubo, p=2, shots=192, runs_per_batch=3, seed=0)
+    res = solver.solve(restarts=2, maxiter=30)
+    print(f"parameter evaluations : {res.evaluations}")
+    print(f"final <cost> (sampled): {res.expectation:+.3f}")
+    exact = qaoa_expectation(qubo.cost_vector(), res.gammas, res.betas)
+    print(f"exact <cost> at params: {exact:+.3f}  (sampling error "
+          f"{abs(exact - res.expectation):.3f})")
+    print(f"best sampled solution : {''.join(map(str, res.best_bitstring))} "
+          f"with cut {problem.cut_value(res.best_bitstring):.0f}/{opt:.0f}\n")
+
+    print("— the same loop on noisy hardware (0.5% per-operation Pauli noise) —")
+    noisy = MBQCQAOASolver(
+        qubo, p=1, shots=192, runs_per_batch=12,
+        noise=NoiseModel(p_prep=0.005, p_ent=0.005, p_meas=0.005), seed=1,
+    )
+    nres = noisy.solve(restarts=2, maxiter=25)
+    print(f"final <cost> (sampled): {nres.expectation:+.3f}")
+    print(f"best sampled solution : {''.join(map(str, nres.best_bitstring))} "
+          f"with cut {problem.cut_value(nres.best_bitstring):.0f}/{opt:.0f}")
+    print("\nReading: at this instance size, mild noise leaves the "
+          "best-of-samples solution quality intact — the returned answer is "
+          "robust even when the expectation landscape gets noisy, which is "
+          "the paper's Section I motivation for measurement-based NISQ "
+          "protocols.")
+
+
+if __name__ == "__main__":
+    main()

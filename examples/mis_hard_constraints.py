@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Section IV walkthrough: Maximum Independent Set with hard constraints.
+
+Shows the three layers of the paper's Section IV story:
+
+1. the ZH-calculus partial mixer diagram equals the controlled unitary
+   Λ_{N(v)}(e^{iβX_v}),
+2. the constrained alternating ansatz *never* leaves the feasible
+   (independent-set) subspace — no penalties needed,
+3. the complete MBQC formulation: the MIS-QAOA circuit compiled to a
+   measurement pattern, sampled, with every sample an independent set.
+
+Run:  python examples/mis_hard_constraints.py
+"""
+
+import numpy as np
+
+from repro.core.mis import mis_mixer_circuit, mis_qaoa_pattern
+from repro.linalg import proportionality_factor
+from repro.mbqc import run_pattern
+from repro.problems import MaximumIndependentSet
+from repro.qaoa import qaoa_state_constrained_mis
+from repro.qaoa.simulator import basis_state
+from repro.utils import int_to_bitstring
+from repro.zx import diagram_matrix
+from repro.zx.zh import mis_partial_mixer_diagram
+
+
+def main() -> None:
+    mis = MaximumIndependentSet(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+    print(f"MIS on C_5: optimum independent set size = "
+          f"{mis.maximum_independent_set_size()}")
+
+    # 1. The ZH partial mixer (Section IV's diagram) vs its circuit form.
+    beta = 0.55
+    zh = diagram_matrix(mis_partial_mixer_diagram(2, beta))
+    circ = mis_mixer_circuit(3, 2, [0, 1], beta)
+    match = proportionality_factor(zh, circ.unitary(), atol=1e-8) is not None
+    print(f"\nZH H-box diagram == exact circuit decomposition: {match}")
+    print(f"  circuit cost for one degree-2 partial mixer: {len(circ)} gates, "
+          f"{circ.count_entangling()} entangling")
+
+    # 2. Feasibility is preserved for any parameters.
+    warm = mis.greedy_independent_set(seed=3)
+    print(f"\nClassical warm start (greedy): {warm} "
+          f"(size {sum(warm)}, independent: {mis.is_independent(warm)})")
+    rng = np.random.default_rng(1)
+    mask = mis.feasibility_mask()
+    sizes = mis.size_vector()
+    for trial in range(3):
+        gammas = rng.uniform(-np.pi, np.pi, 2)
+        betas = rng.uniform(-np.pi, np.pi, 2)
+        psi = qaoa_state_constrained_mis(mis, gammas, betas, basis_state(warm))
+        leak = float(np.sum(np.abs(psi[~mask]) ** 2))
+        exp_size = float(np.abs(psi) ** 2 @ sizes)
+        print(f"  random params #{trial}: infeasible mass = {leak:.2e}, "
+              f"<|IS|> = {exp_size:.3f}")
+
+    # 3. The complete MBQC pipeline on a smaller instance.
+    small = MaximumIndependentSet(3, [(0, 1), (1, 2)])
+    pattern = mis_qaoa_pattern(small, [0.7], [0.5], warm_start=[1, 0, 1])
+    print(f"\nMBQC MIS-QAOA pattern (path P_3, p=1): "
+          f"{pattern.num_nodes()} nodes, {len(pattern.measured_nodes())} measurements")
+    feasible_samples = 0
+    shots = 64
+    for shot in range(shots):
+        res = run_pattern(pattern, seed=shot)
+        probs = np.abs(res.state_array()) ** 2
+        x = int(np.random.default_rng(shot).choice(probs.size, p=probs / probs.sum()))
+        if small.is_independent(int_to_bitstring(x, 3)):
+            feasible_samples += 1
+    print(f"Samples that are independent sets: {feasible_samples}/{shots} "
+          f"(hard constraints: always feasible)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network and no ``wheel`` package, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel.  This shim
+lets ``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+with a wheel-capable setuptools) install the package; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``compile``    compile MBQC-QAOA for a problem and print the protocol summary
+``run``        compile, execute, and sample solutions
+``resources``  print the Section III.A resource table for a problem at
+               several depths
+``solve``      run the iterative (Section V) solver to a concrete assignment
+
+Problems are specified as ``kind:args``:
+
+- ``ring:N``            MaxCut on the N-cycle
+- ``regular:D,N[,SEED]``  MaxCut on a random D-regular graph
+- ``complete:N``        MaxCut on K_N
+- ``mis-ring:N``        maximum independent set on the N-cycle (penalty QUBO)
+- ``partition:N[,SEED]`` random number partitioning
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import compile_qaoa_pattern, estimate_resources
+from repro.core.resources import format_table, resource_table
+from repro.core.reuse import reuse_summary
+from repro.mbqc import run_pattern
+from repro.problems import MaxCut, MaximumIndependentSet, NumberPartitioning
+from repro.problems.qubo import QUBO
+from repro.qaoa import grid_search_p1, optimize_qaoa
+from repro.qaoa.iterative import iterative_quantum_optimize
+from repro.utils import int_to_bitstring
+
+
+def parse_problem(spec: str) -> Tuple[str, QUBO, object]:
+    """Parse a ``kind:args`` spec into ``(name, qubo, problem_object)``."""
+    if ":" not in spec:
+        raise ValueError(f"problem spec {spec!r} must look like kind:args")
+    kind, _, args = spec.partition(":")
+    parts = [p for p in args.split(",") if p]
+    try:
+        nums = [int(p) for p in parts]
+    except ValueError:
+        raise ValueError(f"non-integer arguments in {spec!r}") from None
+    if kind == "ring":
+        (n,) = nums
+        mc = MaxCut.ring(n)
+        return f"maxcut-ring-{n}", mc.to_qubo(), mc
+    if kind == "regular":
+        if len(nums) == 2:
+            d, n = nums
+            seed = 0
+        else:
+            d, n, seed = nums
+        mc = MaxCut.random_regular(d, n, seed=seed)
+        return f"maxcut-{d}regular-{n}", mc.to_qubo(), mc
+    if kind == "complete":
+        (n,) = nums
+        mc = MaxCut.complete(n)
+        return f"maxcut-K{n}", mc.to_qubo(), mc
+    if kind == "mis-ring":
+        (n,) = nums
+        from repro.utils import cycle_graph
+
+        mis = MaximumIndependentSet(*cycle_graph(n))
+        return f"mis-ring-{n}", mis.to_penalty_qubo(), mis
+    if kind == "partition":
+        if len(nums) == 1:
+            n, seed = nums[0], 0
+        else:
+            n, seed = nums
+        npart = NumberPartitioning.random(n, seed=seed)
+        return f"partition-{n}", npart.to_qubo(), npart
+    raise ValueError(f"unknown problem kind {kind!r}")
+
+
+def _resolve_params(
+    qubo: QUBO, p: int, gammas: Optional[List[float]], betas: Optional[List[float]],
+    optimize: bool, seed: int,
+) -> Tuple[List[float], List[float]]:
+    if gammas and betas:
+        if len(gammas) != p or len(betas) != p:
+            raise ValueError("need p gammas and p betas")
+        return gammas, betas
+    if qubo.num_variables > 20:
+        raise ValueError("parameter optimization needs <= 20 variables; pass --gamma/--beta")
+    cost = qubo.cost_vector()
+    if p == 1 and not optimize:
+        res = grid_search_p1(cost, resolution=20)
+    else:
+        res = optimize_qaoa(cost, p=p, restarts=4, seed=seed)
+    return list(res.gammas), list(res.betas)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    name, qubo, _ = parse_problem(args.problem)
+    gammas, betas = _resolve_params(qubo, args.p, args.gamma, args.beta, args.optimize, args.seed)
+    compiled = compile_qaoa_pattern(qubo, gammas, betas, schedule=args.schedule)
+    rep = estimate_resources(compiled)
+    total, peak, factor = reuse_summary(compiled.pattern)
+    print(f"problem           {name}")
+    print(f"depth p           {compiled.p}")
+    print(f"gammas            {[round(g, 4) for g in gammas]}")
+    print(f"betas             {[round(b, 4) for b in betas]}")
+    print(f"schedule          {compiled.schedule}")
+    print(f"graph-state nodes {compiled.num_nodes()}")
+    print(f"entangling CZs    {compiled.num_entanglers()}")
+    print(f"measurements      {len(compiled.pattern.measured_nodes())}")
+    print(f"peak live qubits  {peak}  (reuse factor {factor:.2f})")
+    print(f"paper bounds      N_Q<={rep.bound_ancilla_qubits} ancillas, N_E<={rep.bound_entanglers}")
+    print(f"gate model        {rep.gate_model_qubits} qubits, {rep.gate_model_entanglers} entanglers")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    name, qubo, problem = parse_problem(args.problem)
+    gammas, betas = _resolve_params(qubo, args.p, args.gamma, args.beta, args.optimize, args.seed)
+    compiled = compile_qaoa_pattern(qubo, gammas, betas)
+    result = run_pattern(compiled.pattern, seed=args.seed)
+    probs = np.abs(result.state_array()) ** 2
+    probs = probs / probs.sum()
+    rng = np.random.default_rng(args.seed)
+    samples = rng.choice(probs.size, size=args.shots, p=probs)
+    cost = qubo.cost_vector()
+    costs = cost[samples]
+    best_idx = int(samples[np.argmin(costs)])
+    n = qubo.num_variables
+    print(f"problem        {name}")
+    print(f"pattern        {compiled.num_nodes()} nodes, "
+          f"{len(result.outcomes)} measurement outcomes consumed")
+    print(f"shots          {args.shots}")
+    print(f"<cost>         {costs.mean():.4f}")
+    print(f"best cost      {costs.min():.4f}")
+    print(f"best solution  {''.join(map(str, int_to_bitstring(best_idx, n)))}")
+    if isinstance(problem, MaxCut):
+        print(f"best cut       {problem.cut_value(int_to_bitstring(best_idx, n)):.0f} "
+              f"(optimum {problem.max_cut_value():.0f})")
+    return 0
+
+
+def cmd_resources(args: argparse.Namespace) -> int:
+    name, qubo, _ = parse_problem(args.problem)
+    rows = resource_table([(name, qubo)], depths=args.depths)
+    print(format_table(rows))
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    name, qubo, problem = parse_problem(args.problem)
+    res = iterative_quantum_optimize(qubo.to_ising(), stop_at=args.stop_at)
+    bits = res.bits()
+    print(f"problem      {name}")
+    print(f"rounds       {len(res.steps)}")
+    print(f"assignment   {''.join(map(str, bits))}")
+    print(f"cost         {qubo.cost(bits):.4f}")
+    if isinstance(problem, MaxCut):
+        print(f"cut          {problem.cut_value(bits):.0f} "
+              f"(optimum {problem.max_cut_value():.0f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Measurement-based QAOA (Stollenwerk & Hadfield, 2024) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("problem", help="problem spec, e.g. ring:6 or regular:3,8")
+        p.add_argument("--p", type=int, default=1, help="QAOA depth")
+        p.add_argument("--gamma", type=float, nargs="*", default=None)
+        p.add_argument("--beta", type=float, nargs="*", default=None)
+        p.add_argument("--optimize", action="store_true",
+                       help="local-optimize parameters instead of grid search")
+        p.add_argument("--seed", type=int, default=0)
+
+    pc = sub.add_parser("compile", help="compile and summarize the MBQC protocol")
+    add_common(pc)
+    pc.add_argument("--schedule", choices=["eager", "graph-first"], default="eager")
+    pc.set_defaults(func=cmd_compile)
+
+    pr = sub.add_parser("run", help="compile, execute, and sample")
+    add_common(pr)
+    pr.add_argument("--shots", type=int, default=256)
+    pr.set_defaults(func=cmd_run)
+
+    ps = sub.add_parser("resources", help="Section III.A resource table")
+    ps.add_argument("problem")
+    ps.add_argument("--depths", type=int, nargs="+", default=[1, 2, 4])
+    ps.set_defaults(func=cmd_resources)
+
+    pv = sub.add_parser("solve", help="iterative quantum optimization (Sec. V)")
+    pv.add_argument("problem")
+    pv.add_argument("--stop-at", type=int, default=3, dest="stop_at")
+    pv.set_defaults(func=cmd_solve)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

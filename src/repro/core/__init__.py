@@ -1,0 +1,60 @@
+"""The paper's contribution: QAOA as a measurement-based protocol.
+
+``repro.core`` turns QAOA on an arbitrary QUBO (Section III), on MIS with
+hard constraints (Section IV), and on XY-mixer problems (Section V) into
+deterministic measurement patterns:
+
+- :mod:`~repro.core.gadgets` — the measurement gadgets of Eqs. (8)-(10)
+  with classical byproduct tracking (the n→m signal propagation of
+  Eqs. (11)-(12));
+- :mod:`~repro.core.compiler` — :func:`compile_qaoa_pattern`, the
+  arbitrary-depth MBQC-QAOA protocol;
+- :mod:`~repro.core.generic` — the baseline circuit→pattern translation
+  (J(α)+CZ decomposition) the paper contrasts with ("general methods ...
+  typically come with significant resource overhead");
+- :mod:`~repro.core.mis` / :mod:`~repro.core.xy` — Sections IV and V:
+  constrained-mixer and XY-mixer patterns;
+- :mod:`~repro.core.resources` — Section III.A resource estimates (bounds,
+  exact counts, gate-model comparison);
+- :mod:`~repro.core.reuse` — live-qubit profiles under eager measurement
+  (the qubit-reuse discussion around ref. [51]);
+- :mod:`~repro.core.verify` — branch-exhaustive determinism and
+  equivalence checking.
+"""
+
+from repro.core.compiler import CompiledQAOA, compile_qaoa_pattern
+from repro.core.gadgets import WireTracker
+from repro.core.generic import circuit_to_pattern
+from repro.core.mis import mis_mixer_circuit, mis_qaoa_pattern
+from repro.core.resources import ResourceReport, estimate_resources, resource_table
+from repro.core.reuse import live_qubit_profile, peak_live_qubits
+from repro.core.verify import (
+    check_pattern_determinism,
+    pattern_equals_unitary,
+    pattern_state_equals,
+)
+from repro.core.xy import xy_interaction_pattern
+from repro.core.hyper import compile_pubo_qaoa_pattern, pubo_resource_counts
+from repro.core.solver import MBQCQAOASolver, SolveResult
+
+__all__ = [
+    "compile_pubo_qaoa_pattern",
+    "pubo_resource_counts",
+    "MBQCQAOASolver",
+    "SolveResult",
+    "CompiledQAOA",
+    "compile_qaoa_pattern",
+    "WireTracker",
+    "circuit_to_pattern",
+    "mis_mixer_circuit",
+    "mis_qaoa_pattern",
+    "ResourceReport",
+    "estimate_resources",
+    "resource_table",
+    "live_qubit_profile",
+    "peak_live_qubits",
+    "check_pattern_determinism",
+    "pattern_equals_unitary",
+    "pattern_state_equals",
+    "xy_interaction_pattern",
+]

@@ -1,0 +1,190 @@
+"""MBQC-QAOA: the paper's main result (Section III, Eqs. 11-12).
+
+:func:`compile_qaoa_pattern` emits, for an arbitrary QUBO/Ising cost and
+arbitrary depth ``p``, a deterministic measurement pattern preparing the
+QAOA state
+
+    ``|γβ> = U_M(β_p) U_P(γ_p) … U_M(β_1) U_P(γ_1) |+>^n``
+
+Per layer and per Ising coupling ``J_uv``: one edge ancilla (Eq. 8,
+measured in the YZ plane at ``−2γJ_uv``, adaptively).  Per vertex: one
+hanging ancilla for the linear field ``h_u`` when present (Eq. 10), then
+the two-ancilla transverse mixer (Eq. 9, ``RX(2β) = J(2β)∘J(0)``).  All
+byproducts propagate classically into later measurement domains, realizing
+the deterministic measurement order
+
+    ``…, n'_uv, n_u, n'_u, … | m'_uv, m_u, m'_u, …``
+
+of Section III.  Scheduling options:
+
+- ``schedule="eager"`` (default): each ancilla is prepared and entangled
+  just before it's needed, so the live register stays near ``|V|`` qubits
+  (the qubit-reuse regime of ref. [51], experiment E13);
+- ``schedule="graph-first"``: all preparations and entanglers first — the
+  literal one-way model where the *algorithm-independent resource state*
+  is built upfront and then consumed by single-qubit measurements.
+
+Both orders produce identical branch maps (standardization theorem); tests
+check this explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.gadgets import WireTracker
+from repro.mbqc.pattern import Pattern, standardize
+from repro.problems.qubo import QUBO, IsingModel
+
+NodeRole = Tuple[str, int, Tuple[int, ...]]  # (kind, layer, qubits)
+
+
+@dataclass
+class CompiledQAOA:
+    """A compiled MBQC-QAOA protocol with provenance metadata.
+
+    ``roles`` maps each node id to ``(kind, layer, qubits)`` with kind in
+    ``{"wire-init", "edge-ancilla", "field-ancilla", "mixer-ancilla",
+    "wire"}`` — the bookkeeping used by the resource and reuse analyses.
+    """
+
+    pattern: Pattern
+    ising: IsingModel
+    gammas: Tuple[float, ...]
+    betas: Tuple[float, ...]
+    roles: Dict[int, NodeRole]
+    schedule: str
+
+    @property
+    def p(self) -> int:
+        return len(self.gammas)
+
+    def num_nodes(self) -> int:
+        return self.pattern.num_nodes()
+
+    def num_entanglers(self) -> int:
+        return len(self.pattern.entangling_edges())
+
+    def count_role(self, kind: str) -> int:
+        return sum(1 for r in self.roles.values() if r[0] == kind)
+
+
+def _as_ising(problem: Union[QUBO, IsingModel]) -> IsingModel:
+    if isinstance(problem, QUBO):
+        return problem.to_ising()
+    if isinstance(problem, IsingModel):
+        return problem
+    raise TypeError(f"expected QUBO or IsingModel, got {type(problem).__name__}")
+
+
+def compile_qaoa_pattern(
+    problem: Union[QUBO, IsingModel],
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    schedule: str = "eager",
+    open_inputs: bool = False,
+    include_fields: bool = True,
+    linear_mode: str = "hanging",
+) -> CompiledQAOA:
+    """Compile QAOA_p on ``problem`` into a measurement pattern.
+
+    Parameters
+    ----------
+    problem:
+        QUBO (converted via :meth:`QUBO.to_ising`) or Ising cost model.
+        The pattern implements ``e^{-iγ_k C}`` phase layers for
+        ``C = Σ J_uv Z_u Z_v + Σ h_u Z_u`` (the Ising offset is a global
+        phase) alternated with ``e^{-iβ_k Σ X}`` mixers.
+    gammas, betas:
+        The 2p QAOA parameters (arbitrary — the paper's arbitrary-depth,
+        arbitrary-parameter claim).
+    schedule:
+        ``"eager"`` or ``"graph-first"`` (see module docstring).
+    open_inputs:
+        With ``True`` the wires are pattern inputs (the pattern then
+        implements the QAOA *unitary*, used by the equivalence tests);
+        default prepares ``|+>^n`` so the pattern prepares the QAOA state.
+    include_fields:
+        With ``False``, linear Ising terms are dropped (the paper's
+        "neglecting single-qubit Z terms" MaxCut-style presentation).
+    linear_mode:
+        How linear terms are realized:
+
+        - ``"hanging"`` (paper, Eq. 10/12): one extra ancilla per nonzero
+          field per layer, matching the Section III.A "+1 qubit and
+          entangler per vertex" accounting;
+        - ``"fused"`` (this library's ablation): fold ``RZ(2γh_u)`` into
+          the first mixer measurement — ``RX(2β)·RZ(2γh) = J(2β)∘J(2γh)``
+          — costing *zero* extra qubits.  Undercuts the paper's
+          general-QUBO bound by ``p·#fields`` qubits and entanglers
+          (see ``benchmarks/bench_a01_ablations.py``).
+    """
+    if len(gammas) != len(betas):
+        raise ValueError("need equally many gammas and betas")
+    if schedule not in ("eager", "graph-first"):
+        raise ValueError(f"unknown schedule {schedule!r}")
+    if linear_mode not in ("hanging", "fused"):
+        raise ValueError(f"unknown linear_mode {linear_mode!r}")
+    ising = _as_ising(problem)
+    n = ising.num_spins
+    if n < 1:
+        raise ValueError("need at least one spin")
+
+    tracker = WireTracker.begin(n, initial="plus", open_inputs=open_inputs)
+    roles: Dict[int, NodeRole] = {
+        w: ("wire-init", 0, (w,)) for w in range(n)
+    }
+
+    edges = sorted(ising.couplings)
+    fields = sorted(ising.fields) if include_fields else []
+
+    for k, (gamma, beta) in enumerate(zip(gammas, betas), start=1):
+        # Phase-separation layer: Eq. (8) gadget per coupling.
+        for (u, v) in edges:
+            j = ising.couplings[(u, v)]
+            a = tracker.edge_gadget(u, v, -2.0 * gamma * j)
+            roles[a] = ("edge-ancilla", k, (u, v))
+        # Linear terms: Eq. (10) hanging gadget per field ("hanging"), or
+        # deferred into the mixer's first J ("fused").
+        if linear_mode == "hanging":
+            for u in fields:
+                h = ising.fields[u]
+                a = tracker.hanging_rz_gadget(u, -2.0 * gamma * h)
+                roles[a] = ("field-ancilla", k, (u,))
+        # Mixer: Eq. (9), RX(2β) = J(2β)∘J(0) per vertex.  The two fresh
+        # nodes per vertex are the paper's u', u'' ancillas.  In fused mode
+        # the first J carries the field rotation: J(2β)∘J(2γh) = RX·RZ.
+        for u in range(n):
+            first_angle = 0.0
+            if linear_mode == "fused" and u in ising.fields:
+                first_angle = 2.0 * gamma * ising.fields[u]
+            tracker.j_gadget(u, first_angle)
+            roles[tracker.wires[u].node] = ("mixer-ancilla", k, (u,))
+            tracker.j_gadget(u, 2.0 * beta)
+            roles[tracker.wires[u].node] = ("mixer-ancilla", k, (u,))
+
+    pattern = tracker.finish(output_wires=range(n))
+    for w in range(n):
+        out_node = pattern.output_nodes[w]
+        roles.setdefault(out_node, ("wire", len(gammas), (w,)))
+
+    if schedule == "graph-first":
+        pattern = standardize(pattern)
+
+    return CompiledQAOA(
+        pattern=pattern,
+        ising=ising,
+        gammas=tuple(float(g) for g in gammas),
+        betas=tuple(float(b) for b in betas),
+        roles=roles,
+        schedule=schedule,
+    )
+
+
+def measurement_order(compiled: CompiledQAOA) -> List[int]:
+    """The deterministic measurement order of the compiled protocol —
+    the paper's ``…, n'_uv, n_u, n'_u | m'_uv, m_u, m'_u, …`` sequence."""
+    return compiled.pattern.measured_nodes()

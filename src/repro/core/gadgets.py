@@ -1,0 +1,227 @@
+"""Measurement gadgets with classical byproduct tracking.
+
+This module is the operational core of the paper's Section III: each QAOA
+primitive becomes a small measurement fragment, and the Pauli byproducts the
+measurements leave behind are tracked *classically* per logical wire and
+folded into later measurement angles — which is exactly the content of
+Eqs. (11)-(12): byproducts of layer ``k−1`` (the paper's ``n`` variables)
+appear in the adaptive angles and corrections of layer ``k`` (the ``m``
+variables), and the neighborhood parities ``P_u = Σ_{w∈N(u)\\v} n'_w``
+arise automatically from the symmetric-difference updates below.
+
+Gadget semantics (verified exhaustively in ``tests/test_core_gadgets.py``):
+
+``j_gadget(w, α)`` — Eq. (9) building block
+    New node ``a``; ``E(w,a)``; measure ``w`` in ``XY`` at ``−α``.
+    Implements ``J(α) = H·RZ(α)``; the wire moves to ``a`` with byproduct
+    ``X^{m_w}`` (and the old X byproduct turns into a Z on ``a`` through
+    the entangler).  ``RX(β)=J(β)∘J(0)`` gives the paper's two-ancilla
+    mixer with the ``(−1)^{m}β`` adaptive angle.
+
+``edge_gadget(u, v, θ)`` — Eq. (8)
+    One ancilla ``a``: ``E(u,a)``, ``E(v,a)``, measure ``a`` in the **YZ
+    plane** at ``θ``.  After the CZs the ancilla holds ``H|x_u⊕x_v>``, and
+    the YZ(θ) basis ``{H·RZ(θ)|±>}`` imprints the parity phase: the gadget
+    implements ``exp(+i(θ/2) Z_u Z_v)`` (= ``RZZ(−θ)``) with byproduct
+    ``(Z_u Z_v)^{m_a}`` — the paper's ``mπ`` spiders on *both* wires.  For
+    Pauli θ the basis degenerates to ``{|0>,|1>}`` as the paper notes.
+
+``hanging_rz_gadget(w, θ)`` — Eq. (10)
+    The single-wire version of the edge gadget: one ancilla, wire does not
+    move; implements ``RZ(−θ) = exp(+i(θ/2) Z)`` with byproduct
+    ``Z_w^{m_a}`` — the "one additional qubit and entangling gate per
+    vertex" of the general QUBO case (Section III.A).
+
+All angle adaptivity is expressed through measurement signal domains, so
+compiled patterns are runnable deterministically in a single pass — no
+mid-pattern corrections required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.mbqc.pattern import Pattern
+
+
+@dataclass
+class Wire:
+    """One logical qubit: current node plus tracked Pauli frame.
+
+    The physical state of the node is ``X^{x} Z^{z} |ψ_ideal>`` with ``x``
+    (``z``) the parity of recorded outcomes over ``x_domain``
+    (``z_domain``).
+    """
+
+    node: int
+    x_domain: FrozenSet[int] = frozenset()
+    z_domain: FrozenSet[int] = frozenset()
+
+
+class WireTracker:
+    """Builds a pattern gadget-by-gadget, tracking byproducts per wire."""
+
+    def __init__(self, pattern: Pattern, wires: Dict[int, Wire], next_node: int):
+        self.pattern = pattern
+        self.wires = wires
+        self._next = next_node
+
+    @staticmethod
+    def begin(
+        num_wires: int, initial: str = "plus", open_inputs: bool = False
+    ) -> "WireTracker":
+        """Start a tracker over ``num_wires`` logical qubits.
+
+        ``open_inputs=True`` declares the wires as pattern *inputs* (the
+        pattern then implements a linear map); otherwise each wire is
+        prepared via ``N`` in ``initial`` — the paper's ``|+>^n`` QAOA
+        start state is the default.
+        """
+        pattern = Pattern(input_nodes=[], output_nodes=[])
+        wires: Dict[int, Wire] = {}
+        for w in range(num_wires):
+            if open_inputs:
+                pattern.input_nodes.append(w)
+            else:
+                pattern.n(w, initial)
+            wires[w] = Wire(node=w)
+        return WireTracker(pattern, wires, num_wires)
+
+    def fresh_node(self) -> int:
+        node = self._next
+        self._next += 1
+        return node
+
+    # -- gadgets ---------------------------------------------------------------
+    def j_gadget(self, wire: int, alpha: float) -> int:
+        """Apply ``J(alpha) = H RZ(alpha)`` to ``wire``; returns the measured
+        node (whose outcome becomes the new X byproduct)."""
+        w = self.wires[wire]
+        a = self.fresh_node()
+        self.pattern.n(a)
+        self.pattern.e(w.node, a)
+        # Old X byproduct: sign-flips the measured angle (XY s-domain) and
+        # propagates a Z onto the new node through the CZ.
+        # Old Z byproduct: adds π (XY t-domain).
+        self.pattern.m(w.node, "XY", -alpha, s_domain=w.x_domain, t_domain=w.z_domain)
+        measured = w.node
+        self.wires[wire] = Wire(
+            node=a,
+            x_domain=frozenset({measured}),
+            z_domain=w.x_domain,
+        )
+        return measured
+
+    def rx(self, wire: int, theta: float) -> Tuple[int, int]:
+        """``RX(theta) = J(theta)∘J(0)`` — the paper's Eq. (9) mixer gadget
+        (two ancillas; the second measurement angle carries ``(−1)^m``
+        adaptivity through its s-domain)."""
+        m1 = self.j_gadget(wire, 0.0)
+        m2 = self.j_gadget(wire, theta)
+        return m1, m2
+
+    def rz_chain(self, wire: int, theta: float) -> Tuple[int, int]:
+        """``RZ(theta) = J(0)∘J(theta)`` — two-ancilla Z rotation (used by
+        the generic compiler; the QAOA compiler prefers the one-ancilla
+        :meth:`hanging_rz_gadget`)."""
+        m1 = self.j_gadget(wire, theta)
+        m2 = self.j_gadget(wire, 0.0)
+        return m1, m2
+
+    def hanging_rz_gadget(self, wire: int, theta: float) -> int:
+        """Eq. (10): ``RZ(−theta) = exp(+i(theta/2) Z)`` via one ancilla
+        hanging off the wire."""
+        w = self.wires[wire]
+        a = self.fresh_node()
+        self.pattern.n(a)
+        self.pattern.e(w.node, a)
+        # The wire's X byproduct crosses the CZ as a Z on the ancilla,
+        # which in the YZ plane is a *sign* flip (s-domain).  Wire Z
+        # byproducts commute with the diagonal gadget.
+        self.pattern.m(a, "YZ", theta, s_domain=w.x_domain)
+        self.wires[wire] = Wire(
+            node=w.node,
+            x_domain=w.x_domain,
+            z_domain=w.z_domain ^ frozenset({a}),
+        )
+        return a
+
+    def edge_gadget(self, wire_u: int, wire_v: int, theta: float) -> int:
+        """Eq. (8): ``exp(i(θ/2) Z_u Z_v)`` via one ancilla per edge."""
+        if wire_u == wire_v:
+            raise ValueError("edge gadget needs two distinct wires")
+        wu = self.wires[wire_u]
+        wv = self.wires[wire_v]
+        a = self.fresh_node()
+        self.pattern.n(a)
+        self.pattern.e(wu.node, a)
+        self.pattern.e(wv.node, a)
+        # X byproducts of *both* wires land on the ancilla as Z's: the
+        # sign domain is their symmetric difference — the parity bookkeeping
+        # that becomes P_u in Eq. (11) when gadgets stack.
+        self.pattern.m(a, "YZ", theta, s_domain=wu.x_domain ^ wv.x_domain)
+        self.wires[wire_u] = Wire(wu.node, wu.x_domain, wu.z_domain ^ frozenset({a}))
+        self.wires[wire_v] = Wire(wv.node, wv.x_domain, wv.z_domain ^ frozenset({a}))
+        return a
+
+    def hyperedge_gadget(self, wires: Sequence[int], theta: float) -> int:
+        """Higher-order phase gadget: ``exp(i(θ/2)·Z_{w1}···Z_{wk})``-style
+        parity phase via a single ancilla CZ'd to ``k`` wires.
+
+        The paper (Section III): "it is straightforward to extend our
+        constructions here to QAOA for higher-order problems beyond
+        quadratic" — this is that extension.  After the CZs the ancilla
+        holds ``H|x1⊕…⊕xk>``; the YZ(θ) measurement imprints
+        ``exp(−iθ·parity)`` (∝ ``exp(+i(θ/2)·ΠZ)``) with byproduct
+        ``(Z_{w1}···Z_{wk})^m``.  For k=1 this is the hanging-RZ gadget,
+        for k=2 the Eq. (8) edge gadget.
+        """
+        ws = list(wires)
+        if len(set(ws)) != len(ws) or not ws:
+            raise ValueError("hyperedge needs a nonempty set of distinct wires")
+        recs = [self.wires[w] for w in ws]
+        a = self.fresh_node()
+        self.pattern.n(a)
+        for rec in recs:
+            self.pattern.e(rec.node, a)
+        s_dom: FrozenSet[int] = frozenset()
+        for rec in recs:
+            s_dom = s_dom ^ rec.x_domain
+        self.pattern.m(a, "YZ", theta, s_domain=s_dom)
+        for w, rec in zip(ws, recs):
+            self.wires[w] = Wire(rec.node, rec.x_domain, rec.z_domain ^ frozenset({a}))
+        return a
+
+    def cz(self, wire_u: int, wire_v: int) -> None:
+        """Native CZ between two wires (generic compiler): byproduct
+        bookkeeping ``CZ·X_u = X_u Z_v·CZ``."""
+        wu = self.wires[wire_u]
+        wv = self.wires[wire_v]
+        self.pattern.e(wu.node, wv.node)
+        self.wires[wire_u] = Wire(wu.node, wu.x_domain, wu.z_domain ^ wv.x_domain)
+        self.wires[wire_v] = Wire(wv.node, wv.x_domain, wv.z_domain ^ wu.x_domain)
+
+    def pauli_x(self, wire: int) -> None:
+        """Track an unconditional X (flip the frame with an always-on
+        virtual signal is not expressible; instead emit a real X at
+        finish).  We keep a parity toggle via a reserved pseudo-domain."""
+        raise NotImplementedError(
+            "unconditional Paulis should be folded into rotation angles"
+        )
+
+    # -- finishing ---------------------------------------------------------------
+    def finish(self, output_wires: Optional[Iterable[int]] = None) -> Pattern:
+        """Emit corrections for the residual byproducts and close the
+        pattern with the given wires (default: all, in index order) as
+        outputs."""
+        wires = list(output_wires) if output_wires is not None else sorted(self.wires)
+        for w in wires:
+            rec = self.wires[w]
+            if rec.z_domain:
+                self.pattern.z(rec.node, rec.z_domain)
+            if rec.x_domain:
+                self.pattern.x(rec.node, rec.x_domain)
+        self.pattern.output_nodes = [self.wires[w].node for w in wires]
+        self.pattern.validate()
+        return self.pattern

@@ -1,0 +1,141 @@
+"""MIS in the MBQC paradigm (Section IV).
+
+The paper derives the partial mixer ``U_v(β) = Λ_{N(v)}(e^{iβX_v})`` in
+ZH-calculus (see :mod:`repro.zx.zh` for that diagram) and notes it is "the
+most important step toward the formulation of a quantum alternating
+operator ansatz for MIS in the MBQC paradigm".  We complete the programme:
+
+1. ``mis_mixer_circuit`` decomposes ``U_v(β)`` exactly into
+   {X, H, RZ, CNOT} via the phase-polynomial expansion
+   ``e^{iφ x_1…x_k} = Π_{∅≠T⊆S} exp(i φ (−1)^{|T|} Z_T / 2^k)``,
+2. ``mis_qaoa_pattern`` compiles the full Section IV ansatz — classical
+   warm-start (an independent set), single-qubit phase layers, ordered
+   partial mixers — into a runnable measurement pattern via the generic
+   J+CZ compiler.
+
+Feasibility preservation (samples are always independent sets) is checked
+in experiment E9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.generic import circuit_to_pattern
+from repro.mbqc.pattern import Pattern
+from repro.problems.mis import MaximumIndependentSet
+from repro.sim.circuit import Circuit
+
+
+def multi_z_rotation(circuit: Circuit, qubits: Sequence[int], theta: float) -> Circuit:
+    """Append ``exp(i theta Z_{q1}…Z_{qk})`` (CNOT ladder + RZ(−2θ))."""
+    qs = list(qubits)
+    if not qs:
+        raise ValueError("need at least one qubit")
+    for a, b in zip(qs, qs[1:]):
+        circuit.cnot(a, b)
+    circuit.rz(qs[-1], -2.0 * theta)
+    for a, b in reversed(list(zip(qs, qs[1:]))):
+        circuit.cnot(a, b)
+    return circuit
+
+
+def phase_on_all_ones(circuit: Circuit, qubits: Sequence[int], phi: float) -> Circuit:
+    """Append ``|x> -> e^{i phi · x_1 x_2 … x_k} |x>`` on ``qubits``.
+
+    Uses the exact Z-monomial expansion ``Π x_i = 2^{-k} Σ_T (−1)^{|T|}
+    Z_T`` (the ``T=∅`` global-phase term is dropped).  ``2^k − 1``
+    multi-Z rotations — exponential in the neighborhood degree, which is
+    the expected price of classical non-linearity in a circuit/MBQC model
+    (cf. the ZH H-box arity in Section IV).
+    """
+    qs = sorted(set(qubits))
+    if len(qs) != len(list(qubits)):
+        raise ValueError("duplicate qubits")
+    k = len(qs)
+    if k == 0:
+        return circuit  # pure global phase
+    scale = phi / (1 << k)
+    # Iterate nonempty subsets T of qs.
+    for mask in range(1, 1 << k):
+        subset = [qs[i] for i in range(k) if (mask >> i) & 1]
+        sign = -1.0 if len(subset) % 2 else 1.0
+        multi_z_rotation(circuit, subset, sign * scale)
+    return circuit
+
+
+def mis_mixer_circuit(
+    num_qubits: int, vertex: int, neighbors: Sequence[int], beta: float
+) -> Circuit:
+    """Exact circuit for the paper's partial mixer ``Λ_{N(v)}(e^{iβX_v})``
+    (X-rotation on ``vertex`` controlled on all ``neighbors`` being 0).
+
+    Construction: negate controls with X; ``e^{iβX} = H e^{iβZ} H`` and
+    ``e^{iβZ} = e^{iβ}·diag(1, e^{−2iβ})`` splits into two all-ones phase
+    polynomials (on ``C`` and on ``C∪{v}``); un-negate.
+    """
+    nbrs = sorted(set(neighbors))
+    if vertex in nbrs:
+        raise ValueError("vertex cannot neighbor itself")
+    c = Circuit(num_qubits)
+    for w in nbrs:
+        c.x(w)
+    c.h(vertex)
+    if nbrs:
+        phase_on_all_ones(c, nbrs, beta)
+    phase_on_all_ones(c, nbrs + [vertex], -2.0 * beta)
+    if not nbrs:
+        # Degenerate Λ_∅(e^{iβX}) = e^{iβX}: the C-only term above was a
+        # global phase e^{iβ} we skipped; nothing further needed.
+        pass
+    c.h(vertex)
+    for w in nbrs:
+        c.x(w)
+    return c
+
+
+def mis_qaoa_circuit(
+    problem: MaximumIndependentSet,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    warm_start: Optional[Sequence[int]] = None,
+    sweeps: int = 1,
+) -> Circuit:
+    """Gate-model Section IV ansatz: warm-start X layer, then per layer the
+    phase separator ``Π_v P(γ)_v`` (C = −Σ x_v) and ordered partial mixers."""
+    if len(gammas) != len(betas):
+        raise ValueError("need equally many gammas and betas")
+    n = problem.num_vertices
+    c = Circuit(n)
+    if warm_start is not None:
+        if len(warm_start) != n:
+            raise ValueError("warm start length mismatch")
+        if not problem.is_independent(warm_start):
+            raise ValueError("warm start must be an independent set")
+        for v, bit in enumerate(warm_start):
+            if bit:
+                c.x(v)
+    for gamma, beta in zip(gammas, betas):
+        # e^{-iγC} with C = -Σ x_v: phase e^{iγ} on each set vertex.
+        for v in range(n):
+            c.append("p", (v,), gamma)
+        for _ in range(sweeps):
+            for v in range(n):
+                sub = mis_mixer_circuit(n, v, problem.neighborhood(v), beta)
+                for g in sub:
+                    c.gates.append(g)
+    return c
+
+
+def mis_qaoa_pattern(
+    problem: MaximumIndependentSet,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    warm_start: Optional[Sequence[int]] = None,
+    sweeps: int = 1,
+) -> Pattern:
+    """The complete MBQC formulation of Section IV: the full MIS-QAOA
+    circuit translated to a measurement pattern (wires start in ``|0>``,
+    warm start applied as compiled X gates)."""
+    circ = mis_qaoa_circuit(problem, gammas, betas, warm_start, sweeps)
+    return circuit_to_pattern(circ, open_inputs=False, initial="zero")

@@ -1,0 +1,108 @@
+"""Branch-exhaustive verification of measurement patterns.
+
+The paper's determinism requirement (Section II.B) is checked *semantically*
+here: a pattern is deterministic iff every outcome branch implements the
+same map up to global phase.  These helpers power the E3-E6 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.compare import allclose_up_to_global_phase, proportionality_factor
+from repro.mbqc.pattern import Pattern
+from repro.mbqc.runner import enumerate_branches, pattern_to_matrix, run_pattern
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def branch_unitaries(
+    pattern: Pattern, max_branches: Optional[int] = None, seed: SeedLike = None
+) -> List[Tuple[Dict[int, int], np.ndarray]]:
+    """Branch maps for all (or a random subset of) outcome branches."""
+    measured = pattern.measured_nodes()
+    total = 1 << len(measured)
+    if max_branches is None or total <= max_branches:
+        branches = list(enumerate_branches(pattern))
+    else:
+        rng = ensure_rng(seed)
+        picks = set(int(x) for x in rng.choice(total, size=max_branches, replace=False))
+        picks.add(0)
+        branches = [
+            {node: (bits >> i) & 1 for i, node in enumerate(measured)}
+            for bits in sorted(picks)
+        ]
+    return [(b, pattern_to_matrix(pattern, b)) for b in branches]
+
+
+def check_pattern_determinism(
+    pattern: Pattern,
+    max_branches: Optional[int] = None,
+    seed: SeedLike = None,
+    atol: float = 1e-8,
+) -> bool:
+    """True iff all (sampled) branches give the same map up to phase.
+
+    Branch maps of a deterministic pattern also have equal norms (uniform
+    outcome probabilities); both are checked.
+    """
+    maps = branch_unitaries(pattern, max_branches=max_branches, seed=seed)
+    _, ref = maps[0]
+    ref_norm = np.linalg.norm(ref)
+    if ref_norm < 1e-12:
+        return False
+    for _, m in maps[1:]:
+        if abs(np.linalg.norm(m) - ref_norm) > atol * max(1.0, ref_norm):
+            return False
+        if not allclose_up_to_global_phase(m, ref, atol=atol):
+            return False
+    return True
+
+
+def pattern_equals_unitary(
+    pattern: Pattern,
+    unitary: np.ndarray,
+    all_branches: bool = True,
+    max_branches: Optional[int] = None,
+    seed: SeedLike = None,
+    atol: float = 1e-8,
+) -> bool:
+    """True iff every (sampled) branch map ∝ ``unitary``."""
+    if not all_branches:
+        max_branches = max_branches or 1
+    maps = branch_unitaries(pattern, max_branches=max_branches, seed=seed)
+    for _, m in maps:
+        if proportionality_factor(m, np.asarray(unitary, dtype=complex), atol=atol) is None:
+            return False
+    return True
+
+
+def pattern_state_equals(
+    pattern: Pattern,
+    state: np.ndarray,
+    max_branches: Optional[int] = None,
+    seed: SeedLike = None,
+    atol: float = 1e-8,
+) -> bool:
+    """For state-preparation patterns (no inputs): every branch output
+    equals ``state`` up to global phase."""
+    if pattern.input_nodes:
+        raise ValueError("pattern has inputs; use pattern_equals_unitary")
+    measured = pattern.measured_nodes()
+    total = 1 << len(measured)
+    if max_branches is None or total <= max_branches:
+        branches = list(enumerate_branches(pattern))
+    else:
+        rng = ensure_rng(seed)
+        picks = set(int(x) for x in rng.choice(total, size=max_branches, replace=False))
+        branches = [
+            {node: (bits >> i) & 1 for i, node in enumerate(measured)}
+            for bits in sorted(picks)
+        ]
+    target = np.asarray(state, dtype=complex)
+    for b in branches:
+        out = run_pattern(pattern, forced_outcomes=b).state_array()
+        if not allclose_up_to_global_phase(out, target, atol=atol):
+            return False
+    return True

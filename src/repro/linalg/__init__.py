@@ -1,0 +1,58 @@
+"""Dense linear-algebra substrate: gates, Pauli algebra, comparisons.
+
+Everything in the ZX/MBQC verification chain bottoms out here: diagram
+tensors, pattern branch unitaries and circuit unitaries are compared with the
+global-phase-insensitive helpers in :mod:`repro.linalg.compare`.
+"""
+
+from repro.linalg.compare import (
+    allclose_up_to_global_phase,
+    global_phase_between,
+    proportionality_factor,
+)
+from repro.linalg.gates import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    SWAP,
+    S_GATE,
+    T_GATE,
+    controlled,
+    j_gate,
+    phase_gate,
+    rx,
+    ry,
+    rz,
+)
+from repro.linalg.kron import kron_all, operator_on_qubits
+from repro.linalg.paulis import PauliString, pauli_matrix
+
+__all__ = [
+    "allclose_up_to_global_phase",
+    "global_phase_between",
+    "proportionality_factor",
+    "CNOT",
+    "CZ",
+    "HADAMARD",
+    "IDENTITY",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "SWAP",
+    "S_GATE",
+    "T_GATE",
+    "controlled",
+    "j_gate",
+    "phase_gate",
+    "rx",
+    "ry",
+    "rz",
+    "kron_all",
+    "operator_on_qubits",
+    "PauliString",
+    "pauli_matrix",
+]

@@ -1,0 +1,57 @@
+"""Global-phase-insensitive comparisons.
+
+ZX-diagram semantics and MBQC branch outputs are defined up to a nonzero
+scalar; every equivalence claim in the paper ("∝" in Eqs. 6-12) is checked
+through these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def proportionality_factor(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-9
+) -> Optional[complex]:
+    """Return scalar ``c`` with ``a ≈ c * b``, or ``None`` if no such scalar.
+
+    Handles zero arrays: two (near-)zero arrays are proportional with c=1,
+    a zero vs nonzero pair is not.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return None
+    na = np.abs(a).max() if a.size else 0.0
+    nb = np.abs(b).max() if b.size else 0.0
+    if na < atol and nb < atol:
+        return 1.0 + 0.0j
+    if na < atol or nb < atol:
+        return None
+    # Pick the largest entry of b as the anchor to minimize error blowup.
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    c = a[idx] / b[idx]
+    if np.allclose(a, c * b, atol=atol * max(na, nb), rtol=0):
+        return complex(c)
+    return None
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-9
+) -> bool:
+    """True iff ``a = e^{i phi} b`` for some phase (unit-modulus scalar)."""
+    c = proportionality_factor(a, b, atol=atol)
+    if c is None:
+        return False
+    return abs(abs(c) - 1.0) < 1e-6
+
+
+def global_phase_between(a: np.ndarray, b: np.ndarray, atol: float = 1e-9) -> complex:
+    """The phase ``e^{i phi}`` with ``a = e^{i phi} b``; raises if not equal
+    up to a unit scalar."""
+    c = proportionality_factor(a, b, atol=atol)
+    if c is None or abs(abs(c) - 1.0) > 1e-6:
+        raise ValueError("arrays are not equal up to a global phase")
+    return c / abs(c)

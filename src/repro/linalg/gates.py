@@ -1,0 +1,97 @@
+"""Standard gate matrices with the conventions fixed in DESIGN.md.
+
+``RZ(t) = diag(e^{-it/2}, e^{it/2})`` and analogously for RX/RY; the paper's
+``e^{i a Z}`` operators correspond to ``rz(-2a)`` up to global phase.  The
+``J(a) = H RZ(a)`` gate is the native MBQC primitive (one gate per measured
+qubit in a cluster-state computation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+IDENTITY = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
+T_GATE = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+
+# Two-qubit gates in little-endian ordering: for a matrix acting on qubits
+# (q0, q1), the 4-dim basis index is x_q0 + 2*x_q1.  CNOT below has q0 as
+# control, q1 as target.
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+    ],
+    dtype=complex,
+)
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+
+def rx(theta: float) -> np.ndarray:
+    """``exp(-i theta X / 2)``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """``exp(-i theta Y / 2)``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """``exp(-i theta Z / 2)``."""
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def phase_gate(theta: float) -> np.ndarray:
+    """``diag(1, e^{i theta})`` — RZ up to global phase."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def j_gate(alpha: float) -> np.ndarray:
+    """The MBQC-native ``J(alpha) = H RZ(alpha)`` gate.
+
+    A single cluster-state measurement implements J; any single-qubit
+    unitary factors into at most three J's, and ``J(a)J(0) = RX(a)``,
+    ``J(0)J(a) = RZ(a)`` up to global phase.
+    """
+    return HADAMARD @ rz(alpha)
+
+
+def controlled(unitary: np.ndarray, num_controls: int = 1) -> np.ndarray:
+    """Embed ``unitary`` as a multi-controlled gate.
+
+    Little-endian: controls occupy the *low* qubit slots, the target block
+    sits at indices where all control bits are 1.  Used for the MIS partial
+    mixer ``Lambda_{N(v)}(e^{i beta X_v})`` reference unitary.
+    """
+    if num_controls < 0:
+        raise ValueError("num_controls must be non-negative")
+    dim = unitary.shape[0]
+    if unitary.shape != (dim, dim):
+        raise ValueError("unitary must be square")
+    full = np.eye(dim << num_controls, dtype=complex)
+    # Basis index = c + (2**k) * t with c the control bits, t the target part:
+    # select rows/cols where c == all-ones.
+    mask = (1 << num_controls) - 1
+    idx = [c + (t << num_controls) for t in range(dim) for c in [mask]]
+    full[np.ix_(idx, idx)] = unitary
+    return full

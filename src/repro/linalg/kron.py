@@ -1,0 +1,62 @@
+"""Kronecker-product helpers for embedding small operators in n-qubit space.
+
+These build *dense* operators and are meant for verification at small n
+(the simulators in :mod:`repro.sim` never materialize full operators).
+Little-endian convention throughout: qubit ``i`` is tensor factor ``i``
+counted from the *right* of the Kronecker product, so that basis index
+``x = sum_i x_i 2**i``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def kron_all(factors: Sequence[np.ndarray]) -> np.ndarray:
+    """Kronecker product with factor 0 acting on qubit 0 (little-endian).
+
+    ``kron_all([A, B])`` acts as A on qubit 0 and B on qubit 1, i.e. equals
+    ``np.kron(B, A)`` in numpy's big-endian kron ordering.
+    """
+    out = np.eye(1, dtype=complex)
+    for f in factors:
+        out = np.kron(f, out)
+    return out
+
+
+def operator_on_qubits(
+    op: np.ndarray, qubits: Sequence[int], n: int
+) -> np.ndarray:
+    """Embed ``op`` (acting on ``len(qubits)`` qubits, little-endian among
+    themselves) into an ``n``-qubit dense operator.
+
+    Implemented by permuting tensor axes rather than building permutation
+    matrices: reshape to ``(2,)*2n``, move the target axes into place.
+    """
+    k = len(qubits)
+    if op.shape != (1 << k, 1 << k):
+        raise ValueError(f"operator shape {op.shape} does not match {k} qubits")
+    if len(set(qubits)) != k:
+        raise ValueError("duplicate qubits")
+    if any(q < 0 or q >= n for q in qubits):
+        raise ValueError("qubit index out of range")
+
+    full = np.kron(np.eye(1 << (n - k), dtype=complex), op)
+    # ``full`` acts on qubits (0..k-1) = op targets, (k..n-1) = identity.
+    # Permute so target j goes to qubits[j].  Tensor axes: row axes are
+    # (n-1..0) big-endian after reshape, so convert carefully: reshape with
+    # little-endian axis order by reversing.
+    tensor = full.reshape((2,) * (2 * n))
+    # Axis layout after reshape: row bits big-endian (qubit n-1 first) then
+    # column bits big-endian.  Map: row axis for qubit q is (n-1-q), column
+    # axis for qubit q is n + (n-1-q).
+    perm = list(range(2 * n))
+    placement = list(qubits) + [q for q in range(n) if q not in qubits]
+    # qubit placement[j] in the output corresponds to qubit j of ``full``.
+    for j, q in enumerate(placement):
+        perm[n - 1 - q] = n - 1 - j
+        perm[2 * n - 1 - q] = 2 * n - 1 - j
+    tensor = tensor.transpose(perm)
+    return tensor.reshape(1 << n, 1 << n)

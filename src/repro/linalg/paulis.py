@@ -1,0 +1,105 @@
+"""Pauli strings with phase tracking.
+
+A :class:`PauliString` is an element of the n-qubit Pauli group up to the
+phases ``{+1, -1, +i, -i}``.  Multiplication, commutation checks and dense
+realization are provided; the stabilizer simulator uses its own packed
+representation, so this class optimizes for clarity over speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import IDENTITY, PAULI_X, PAULI_Y, PAULI_Z
+from repro.linalg.kron import kron_all
+
+_MATS = {"I": IDENTITY, "X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+# Single-qubit multiplication table: (a, b) -> (phase, c) with a.b = phase*c.
+_MUL: Dict[Tuple[str, str], Tuple[complex, str]] = {
+    ("I", "I"): (1, "I"), ("I", "X"): (1, "X"), ("I", "Y"): (1, "Y"), ("I", "Z"): (1, "Z"),
+    ("X", "I"): (1, "X"), ("Y", "I"): (1, "Y"), ("Z", "I"): (1, "Z"),
+    ("X", "X"): (1, "I"), ("Y", "Y"): (1, "I"), ("Z", "Z"): (1, "I"),
+    ("X", "Y"): (1j, "Z"), ("Y", "X"): (-1j, "Z"),
+    ("Y", "Z"): (1j, "X"), ("Z", "Y"): (-1j, "X"),
+    ("Z", "X"): (1j, "Y"), ("X", "Z"): (-1j, "Y"),
+}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """Phase times a tensor product of single-qubit Paulis.
+
+    ``ops`` maps qubit index -> one of 'X', 'Y', 'Z' (identity positions are
+    simply absent); ``phase`` is one of ``+1, -1, +1j, -1j``.
+    """
+
+    ops: Mapping[int, str]
+    phase: complex = 1.0
+
+    def __post_init__(self) -> None:
+        for q, p in self.ops.items():
+            if p not in ("X", "Y", "Z"):
+                raise ValueError(f"invalid Pauli {p!r} on qubit {q}")
+        if self.phase not in (1, -1, 1j, -1j):
+            raise ValueError(f"invalid phase {self.phase!r}")
+        object.__setattr__(self, "ops", dict(self.ops))
+
+    @staticmethod
+    def identity() -> "PauliString":
+        return PauliString({}, 1)
+
+    @staticmethod
+    def single(qubit: int, pauli: str, phase: complex = 1.0) -> "PauliString":
+        return PauliString({qubit: pauli}, phase)
+
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        ops: Dict[int, str] = dict(self.ops)
+        phase = self.phase * other.phase
+        for q, p in other.ops.items():
+            a = ops.get(q, "I")
+            ph, c = _MUL[(a, p)]
+            phase *= ph
+            if c == "I":
+                ops.pop(q, None)
+            else:
+                ops[q] = c
+        # Normalize phase representation to exact unit values.
+        phase = {1: 1, -1: -1, 1j: 1j, -1j: -1j}[complex(np.round(phase.real), np.round(phase.imag))]
+        return PauliString(ops, phase)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True iff the strings commute (anticommute on an even number of sites)."""
+        anti = 0
+        for q, p in self.ops.items():
+            o = other.ops.get(q)
+            if o is not None and o != p:
+                anti += 1
+        return anti % 2 == 0
+
+    def weight(self) -> int:
+        """Number of non-identity sites."""
+        return len(self.ops)
+
+    def to_matrix(self, n: int) -> np.ndarray:
+        """Dense ``2**n x 2**n`` realization (little-endian)."""
+        if self.ops and max(self.ops) >= n:
+            raise ValueError("qubit index out of range")
+        factors = [_MATS[self.ops.get(q, "I")] for q in range(n)]
+        return self.phase * kron_all(factors)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = " ".join(f"{p}{q}" for q, p in sorted(self.ops.items())) or "I"
+        sign = {1: "+", -1: "-", 1j: "+i", -1j: "-i"}[self.phase]
+        return f"{sign}{body}"
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """Single-qubit Pauli matrix by label ('I', 'X', 'Y', 'Z')."""
+    try:
+        return _MATS[label]
+    except KeyError:
+        raise ValueError(f"unknown Pauli label {label!r}") from None

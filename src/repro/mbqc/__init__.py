@@ -1,0 +1,71 @@
+"""Measurement-based quantum computing substrate (Section II.B).
+
+Implements the *measurement calculus* (Danos–Kashefi–Panangaden): patterns
+are sequences of commands
+
+- ``N(i)``      prepare node ``i`` (default ``|+>``),
+- ``E(i, j)``   entangle with CZ,
+- ``M(i, plane, angle, s_domain, t_domain)``  adaptive single-qubit
+  measurement — the actual angle is ``(-1)^s * angle + t*π`` with ``s, t``
+  the parities of earlier outcomes in the two domains,
+- ``X(i, domain)`` / ``Z(i, domain)``  conditional Pauli corrections,
+
+with the paper's notation ``M_i^P -> n`` and ``Λ_i^n(U)`` mapping onto
+``M``/``X``/``Z`` commands.  The runner executes patterns on the dynamic
+statevector simulator, supporting exhaustive outcome-branch enumeration —
+the determinism checks of Sections II.B/III are run over *all* branches.
+
+:mod:`repro.mbqc.flow` implements causal flow and (extended, three-plane)
+generalized flow, the graph-theoretic determinism criterion the paper cites
+([32], [33]).
+"""
+
+from repro.mbqc.pattern import (
+    CommandC,
+    CommandE,
+    CommandM,
+    CommandN,
+    CommandX,
+    CommandZ,
+    Pattern,
+    PatternError,
+    standardize,
+)
+from repro.mbqc.runner import PatternResult, pattern_to_matrix, run_pattern
+from repro.mbqc.flow import OpenGraph, find_causal_flow, find_gflow
+from repro.mbqc.noise import NoiseModel, average_fidelity, run_pattern_noisy
+from repro.mbqc.extract import ExtractionError, extract_circuit, extractable
+from repro.mbqc.serialize import (
+    pattern_from_dict,
+    pattern_from_json,
+    pattern_to_dict,
+    pattern_to_json,
+)
+
+__all__ = [
+    "CommandC",
+    "CommandE",
+    "CommandM",
+    "CommandN",
+    "CommandX",
+    "CommandZ",
+    "Pattern",
+    "PatternError",
+    "standardize",
+    "PatternResult",
+    "pattern_to_matrix",
+    "run_pattern",
+    "OpenGraph",
+    "find_causal_flow",
+    "find_gflow",
+    "NoiseModel",
+    "average_fidelity",
+    "run_pattern_noisy",
+    "ExtractionError",
+    "extract_circuit",
+    "extractable",
+    "pattern_from_dict",
+    "pattern_from_json",
+    "pattern_to_dict",
+    "pattern_to_json",
+]

@@ -1,0 +1,153 @@
+"""Monte-Carlo Pauli noise for measurement patterns.
+
+The paper's opening motivation: gate-model algorithms are limited by the
+number of high-fidelity *gates*, while "MBQC algorithms are primarily
+limited by the size of the entangled resource state one can prepare", with
+potentially "much less demanding" coherence requirements on platforms that
+prepare resource states probabilistically.  This module provides the
+simulation substrate to study that trade-off (experiment E15): pattern
+execution with independent Pauli errors injected at
+
+- qubit preparation (``p_prep`` — depolarizing on the fresh ``|+>``),
+- entangling CZs (``p_ent`` — two-qubit depolarizing),
+- measurements (``p_meas`` — classical outcome flip, equivalent to a Pauli
+  error in the measured basis).
+
+Noise is trajectory-sampled: each run draws one Pauli fault pattern, so
+fidelity estimates come from averaging over trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import PAULI_X, PAULI_Y, PAULI_Z
+from repro.mbqc.pattern import (
+    CommandC,
+    CommandE,
+    CommandM,
+    CommandN,
+    CommandX,
+    CommandZ,
+    Pattern,
+)
+from repro.mbqc.runner import PatternResult, run_pattern, _PREP, _CLIFFORD, _PLANE_BASIS, _Register, _signal
+from repro.sim.statevector import StateVector
+from repro.utils.rng import SeedLike, ensure_rng
+
+_PAULIS = (PAULI_X, PAULI_Y, PAULI_Z)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Independent error probabilities per operation type."""
+
+    p_prep: float = 0.0
+    p_ent: float = 0.0
+    p_meas: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_prep", "p_ent", "p_meas"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {v}")
+
+    def is_trivial(self) -> bool:
+        return self.p_prep == self.p_ent == self.p_meas == 0.0
+
+
+def _maybe_depolarize(sv: StateVector, slot: int, prob: float, rng) -> None:
+    if prob > 0.0 and rng.random() < prob:
+        sv.apply_1q(_PAULIS[int(rng.integers(3))], slot)
+
+
+def run_pattern_noisy(
+    pattern: Pattern,
+    noise: NoiseModel,
+    input_state: Optional[StateVector] = None,
+    seed: SeedLike = None,
+) -> PatternResult:
+    """One noisy trajectory of ``pattern`` under ``noise``.
+
+    Mirrors :func:`repro.mbqc.runner.run_pattern` with fault injection; with
+    a trivial noise model the two agree trajectory-for-trajectory given the
+    same seed stream structure is not guaranteed — compare *states*, not
+    outcomes.
+    """
+    pattern.validate()
+    rng = ensure_rng(seed)
+
+    k = len(pattern.input_nodes)
+    sv = StateVector.plus(k) if input_state is None else input_state.copy()
+    if sv.num_qubits != k:
+        raise ValueError("input state size mismatch")
+    reg = _Register()
+    for i, node in enumerate(pattern.input_nodes):
+        reg.add(node, i)
+
+    outcomes: Dict[int, int] = {}
+    for cmd in pattern.commands:
+        if isinstance(cmd, CommandN):
+            slot = sv.add_qubit(_PREP[cmd.state])
+            reg.add(cmd.node, slot)
+            _maybe_depolarize(sv, slot, noise.p_prep, rng)
+        elif isinstance(cmd, CommandE):
+            sv.apply_cz(reg[cmd.nodes[0]], reg[cmd.nodes[1]])
+            _maybe_depolarize(sv, reg[cmd.nodes[0]], noise.p_ent, rng)
+            _maybe_depolarize(sv, reg[cmd.nodes[1]], noise.p_ent, rng)
+        elif isinstance(cmd, CommandM):
+            s = _signal(outcomes, cmd.s_domain)
+            t = _signal(outcomes, cmd.t_domain)
+            angle = ((-1) ** s) * cmd.angle + t * np.pi
+            basis = _PLANE_BASIS[cmd.plane](angle)
+            out, _ = sv.measure(reg[cmd.node], basis, rng=rng, remove=True)
+            reg.remove(cmd.node)
+            if noise.p_meas > 0.0 and rng.random() < noise.p_meas:
+                out ^= 1  # readout flip: corrupts downstream adaptivity too
+            outcomes[cmd.node] = out
+        elif isinstance(cmd, CommandX):
+            if _signal(outcomes, cmd.domain):
+                sv.apply_1q(PAULI_X, reg[cmd.node])
+        elif isinstance(cmd, CommandZ):
+            if _signal(outcomes, cmd.domain):
+                sv.apply_1q(PAULI_Z, reg[cmd.node])
+        elif isinstance(cmd, CommandC):
+            sv.apply_1q(_CLIFFORD[cmd.gate], reg[cmd.node])
+
+    order = [reg[node] for node in pattern.output_nodes]
+    arr = sv.to_array()
+    n = sv.num_qubits
+    if n:
+        tensor = arr.reshape((2,) * n).transpose(tuple(reversed(range(n))))
+        tensor = tensor.transpose(order)
+        arr = tensor.transpose(tuple(reversed(range(n)))).reshape(-1)
+    out_state = StateVector.from_array(arr) if n else StateVector(0)
+    return PatternResult(outcomes, out_state, list(pattern.output_nodes))
+
+
+def average_fidelity(
+    pattern: Pattern,
+    noise: NoiseModel,
+    trajectories: int = 50,
+    seed: SeedLike = 0,
+    reference: Optional[np.ndarray] = None,
+) -> float:
+    """Mean ``|<ideal|noisy>|^2`` over noise trajectories.
+
+    ``reference`` defaults to one (noise-free) run of the pattern — valid
+    for deterministic patterns, which all compiled protocols are.
+    """
+    rng = ensure_rng(seed)
+    if reference is None:
+        reference = run_pattern(pattern, seed=rng).state_array()
+    ref = np.asarray(reference, dtype=complex)
+    ref = ref / np.linalg.norm(ref)
+    total = 0.0
+    for _ in range(trajectories):
+        noisy = run_pattern_noisy(pattern, noise, seed=rng).state_array()
+        nrm = np.linalg.norm(noisy)
+        total += abs(np.vdot(ref, noisy / nrm)) ** 2
+    return total / trajectories

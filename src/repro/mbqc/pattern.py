@@ -1,0 +1,369 @@
+"""Measurement patterns and their standardization.
+
+A :class:`Pattern` is an ordered command list over integer node ids, with
+designated input and output nodes.  Validation enforces the well-formedness
+rules of the measurement calculus — in particular *causality*: a
+measurement's signal domains may only reference nodes measured strictly
+earlier, which is exactly the paper's requirement that "each measurement can
+only depend on measurement outcomes from earlier in the sequence".
+
+:func:`standardize` rewrites a pattern into NEMC normal form (all
+preparations, then entanglers, then measurements, then corrections on
+outputs) using the command commutation relations; corrections passing
+through entanglers generate byproducts (``CZ·X_i = X_i Z_j·CZ``) and
+corrections hitting their node's measurement are absorbed into its signal
+domains via the plane-dependent table:
+
+=====  ====================  ====================
+plane  X-correction          Z-correction
+=====  ====================  ====================
+XY     s-domain (sign)       t-domain (+π)
+YZ     t-domain (+π)         s-domain (sign)
+XZ     s- and t-domain       s-domain (sign)
+=====  ====================  ====================
+
+These entries are verified against the simulator in
+``tests/test_mbqc_pattern.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+PLANES = ("XY", "YZ", "XZ")
+
+STATE_LABELS = ("plus", "minus", "zero", "one")
+
+
+class PatternError(ValueError):
+    """Raised for malformed or non-causal patterns."""
+
+
+def _dom(nodes: Iterable[int] = ()) -> FrozenSet[int]:
+    return frozenset(nodes)
+
+
+@dataclass(frozen=True)
+class CommandN:
+    """Prepare ``node`` in a product state (default ``|+>``)."""
+
+    node: int
+    state: str = "plus"
+
+    def __post_init__(self) -> None:
+        if self.state not in STATE_LABELS:
+            raise PatternError(f"unknown preparation state {self.state!r}")
+
+
+@dataclass(frozen=True)
+class CommandE:
+    """Entangle two nodes with CZ."""
+
+    nodes: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        u, v = self.nodes
+        if u == v:
+            raise PatternError("cannot entangle a node with itself")
+        if u > v:
+            object.__setattr__(self, "nodes", (v, u))
+
+
+@dataclass(frozen=True)
+class CommandM:
+    """Adaptive measurement of ``node``.
+
+    Effective angle is ``(-1)^s * angle + t*π`` where ``s``/``t`` are the
+    parities of the recorded outcomes over ``s_domain``/``t_domain``.
+    """
+
+    node: int
+    plane: str = "XY"
+    angle: float = 0.0
+    s_domain: FrozenSet[int] = field(default_factory=frozenset)
+    t_domain: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.plane not in PLANES:
+            raise PatternError(f"unknown measurement plane {self.plane!r}")
+        object.__setattr__(self, "s_domain", frozenset(self.s_domain))
+        object.__setattr__(self, "t_domain", frozenset(self.t_domain))
+
+
+@dataclass(frozen=True)
+class CommandX:
+    """Apply Pauli X to ``node`` iff the parity over ``domain`` is odd."""
+
+    node: int
+    domain: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "domain", frozenset(self.domain))
+
+
+@dataclass(frozen=True)
+class CommandZ:
+    """Apply Pauli Z to ``node`` iff the parity over ``domain`` is odd."""
+
+    node: int
+    domain: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "domain", frozenset(self.domain))
+
+
+@dataclass(frozen=True)
+class CommandC:
+    """Apply an unconditional single-qubit Clifford (by gate name) to
+    ``node``; used for fixed basis changes on outputs."""
+
+    node: int
+    gate: str = "h"
+
+    def __post_init__(self) -> None:
+        if self.gate not in ("h", "s", "sdg", "x", "y", "z"):
+            raise PatternError(f"unsupported Clifford {self.gate!r}")
+
+
+Command = Union[CommandN, CommandE, CommandM, CommandX, CommandZ, CommandC]
+
+
+@dataclass
+class Pattern:
+    """An MBQC pattern: ordered commands plus input/output node lists."""
+
+    input_nodes: List[int] = field(default_factory=list)
+    output_nodes: List[int] = field(default_factory=list)
+    commands: List[Command] = field(default_factory=list)
+
+    # -- builders ------------------------------------------------------------
+    def add(self, cmd: Command) -> "Pattern":
+        self.commands.append(cmd)
+        return self
+
+    def n(self, node: int, state: str = "plus") -> "Pattern":
+        return self.add(CommandN(node, state))
+
+    def e(self, u: int, v: int) -> "Pattern":
+        return self.add(CommandE((u, v)))
+
+    def m(
+        self,
+        node: int,
+        plane: str = "XY",
+        angle: float = 0.0,
+        s_domain: Iterable[int] = (),
+        t_domain: Iterable[int] = (),
+    ) -> "Pattern":
+        return self.add(CommandM(node, plane, angle, _dom(s_domain), _dom(t_domain)))
+
+    def x(self, node: int, domain: Iterable[int]) -> "Pattern":
+        return self.add(CommandX(node, _dom(domain)))
+
+    def z(self, node: int, domain: Iterable[int]) -> "Pattern":
+        return self.add(CommandZ(node, _dom(domain)))
+
+    def c(self, node: int, gate: str) -> "Pattern":
+        return self.add(CommandC(node, gate))
+
+    # -- inspection ------------------------------------------------------------
+    def nodes(self) -> Set[int]:
+        out: Set[int] = set(self.input_nodes) | set(self.output_nodes)
+        for cmd in self.commands:
+            if isinstance(cmd, CommandE):
+                out.update(cmd.nodes)
+            else:
+                out.add(cmd.node)
+        return out
+
+    def measured_nodes(self) -> List[int]:
+        """Nodes in measurement order."""
+        return [c.node for c in self.commands if isinstance(c, CommandM)]
+
+    def measurement_of(self, node: int) -> CommandM:
+        for c in self.commands:
+            if isinstance(c, CommandM) and c.node == node:
+                return c
+        raise KeyError(f"node {node} is not measured")
+
+    def entangling_edges(self) -> List[Tuple[int, int]]:
+        return [c.nodes for c in self.commands if isinstance(c, CommandE)]
+
+    def num_nodes(self) -> int:
+        return len(self.nodes())
+
+    def max_live_nodes(self) -> int:
+        """Peak number of simultaneously-alive qubits under this command
+        order — the actual register size needed with qubit reuse (the
+        paper's Section III.A discussion of [51])."""
+        live = len(self.input_nodes)
+        peak = live
+        for cmd in self.commands:
+            if isinstance(cmd, CommandN):
+                live += 1
+                peak = max(peak, live)
+            elif isinstance(cmd, CommandM):
+                live -= 1
+        return peak
+
+    # -- validation ------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`PatternError` on any well-formedness violation."""
+        prepared: Set[int] = set(self.input_nodes)
+        measured: Set[int] = set()
+        if len(set(self.input_nodes)) != len(self.input_nodes):
+            raise PatternError("duplicate input nodes")
+        if len(set(self.output_nodes)) != len(self.output_nodes):
+            raise PatternError("duplicate output nodes")
+        for cmd in self.commands:
+            if isinstance(cmd, CommandN):
+                if cmd.node in prepared:
+                    raise PatternError(f"node {cmd.node} prepared twice (or is an input)")
+                prepared.add(cmd.node)
+            elif isinstance(cmd, CommandE):
+                for v in cmd.nodes:
+                    if v not in prepared:
+                        raise PatternError(f"entangling unprepared node {v}")
+                    if v in measured:
+                        raise PatternError(f"entangling already-measured node {v}")
+            elif isinstance(cmd, CommandM):
+                if cmd.node not in prepared:
+                    raise PatternError(f"measuring unprepared node {cmd.node}")
+                if cmd.node in measured:
+                    raise PatternError(f"node {cmd.node} measured twice")
+                for dom in (cmd.s_domain, cmd.t_domain):
+                    bad = dom - measured
+                    if bad:
+                        raise PatternError(
+                            f"measurement of {cmd.node} depends on unmeasured nodes {sorted(bad)}"
+                        )
+                measured.add(cmd.node)
+            elif isinstance(cmd, (CommandX, CommandZ, CommandC)):
+                if cmd.node not in prepared or cmd.node in measured:
+                    raise PatternError(
+                        f"correction on node {cmd.node} which is not alive"
+                    )
+                if isinstance(cmd, (CommandX, CommandZ)):
+                    bad = cmd.domain - measured
+                    if bad:
+                        raise PatternError(
+                            f"correction on {cmd.node} depends on unmeasured nodes {sorted(bad)}"
+                        )
+            else:  # pragma: no cover - defensive
+                raise PatternError(f"unknown command {cmd!r}")
+        missing_out = set(self.output_nodes) - prepared
+        if missing_out:
+            raise PatternError(f"output nodes never prepared: {sorted(missing_out)}")
+        out_measured = set(self.output_nodes) & measured
+        if out_measured:
+            raise PatternError(f"output nodes measured: {sorted(out_measured)}")
+        unmeasured = prepared - measured - set(self.output_nodes)
+        if unmeasured:
+            raise PatternError(
+                f"non-output nodes left unmeasured: {sorted(unmeasured)}"
+            )
+
+    def copy(self) -> "Pattern":
+        return Pattern(list(self.input_nodes), list(self.output_nodes), list(self.commands))
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+def _absorb_correction(m: CommandM, correction: Union[CommandX, CommandZ]) -> CommandM:
+    """Absorb a correction immediately preceding its node's measurement."""
+    dom = correction.domain
+    is_x = isinstance(correction, CommandX)
+    s, t = m.s_domain, m.t_domain
+    if m.plane == "XY":
+        if is_x:
+            s = s ^ dom
+        else:
+            t = t ^ dom
+    elif m.plane == "YZ":
+        if is_x:
+            t = t ^ dom
+        else:
+            s = s ^ dom
+    elif m.plane == "XZ":
+        if is_x:
+            s = s ^ dom
+            t = t ^ dom
+        else:
+            s = s ^ dom
+    return replace(m, s_domain=s, t_domain=t)
+
+
+def standardize(pattern: Pattern) -> Pattern:
+    """Rewrite ``pattern`` into NEMC normal form.
+
+    The result is semantically identical (same branch maps and outcome
+    statistics) with commands ordered: all N, all E, all M (original
+    relative order), then merged corrections on output nodes.
+    """
+    pattern.validate()
+    cmds = list(pattern.commands)
+
+    # Pass 1: push corrections rightward until absorbed or at the end.
+    changed = True
+    while changed:
+        changed = False
+        i = 0
+        while i < len(cmds) - 1:
+            a, b = cmds[i], cmds[i + 1]
+            if isinstance(a, (CommandX, CommandZ)):
+                if isinstance(b, CommandE):
+                    if isinstance(a, CommandX) and a.node in b.nodes:
+                        other = b.nodes[0] if b.nodes[1] == a.node else b.nodes[1]
+                        cmds[i : i + 2] = [b, a, CommandZ(other, a.domain)]
+                    else:
+                        cmds[i : i + 2] = [b, a]
+                    changed = True
+                elif isinstance(b, CommandM):
+                    if b.node == a.node:
+                        cmds[i : i + 2] = [_absorb_correction(b, a)]
+                    else:
+                        cmds[i : i + 2] = [b, a]
+                    changed = True
+                elif isinstance(b, CommandN):
+                    cmds[i : i + 2] = [b, a]
+                    changed = True
+                elif isinstance(b, CommandC):
+                    # Unconditional Cliffords on other nodes commute; on the
+                    # same node we do not reorder (C is used only on outputs
+                    # after corrections in compiled patterns).
+                    if b.node != a.node:
+                        cmds[i : i + 2] = [b, a]
+                        changed = True
+            i += 1
+
+    # Pass 2: stable partition N / E / M / rest.
+    ns = [c for c in cmds if isinstance(c, CommandN)]
+    es = [c for c in cmds if isinstance(c, CommandE)]
+    ms = [c for c in cmds if isinstance(c, CommandM)]
+    rest = [c for c in cmds if isinstance(c, (CommandX, CommandZ, CommandC))]
+
+    # Pass 3: merge per-node corrections (X with X, Z with Z) preserving the
+    # relative order of any C commands.
+    merged: List[Command] = []
+    xdom: Dict[int, FrozenSet[int]] = {}
+    zdom: Dict[int, FrozenSet[int]] = {}
+    has_c = any(isinstance(c, CommandC) for c in rest)
+    if has_c:
+        merged = rest  # don't merge across unconditional Cliffords
+    else:
+        for c in rest:
+            if isinstance(c, CommandX):
+                xdom[c.node] = xdom.get(c.node, frozenset()) ^ c.domain
+            else:
+                zdom[c.node] = zdom.get(c.node, frozenset()) ^ c.domain
+        for node in sorted(set(xdom) | set(zdom)):
+            if zdom.get(node):
+                merged.append(CommandZ(node, zdom[node]))
+            if xdom.get(node):
+                merged.append(CommandX(node, xdom[node]))
+
+    out = Pattern(list(pattern.input_nodes), list(pattern.output_nodes), ns + es + ms + merged)
+    out.validate()
+    return out

@@ -1,0 +1,230 @@
+"""Pattern execution on the dynamic statevector simulator.
+
+``run_pattern`` walks the command list, allocating a qubit per ``N``,
+entangling on ``E``, measuring adaptively on ``M`` (the measured qubit is
+*removed*, so memory tracks the live set, cf. ``Pattern.max_live_nodes``),
+and applying conditional corrections.  Outcomes can be forced per node,
+which gives exhaustive branch enumeration: the determinism claims of the
+paper (Sections II.B and III) are tested over every outcome branch.
+
+``pattern_to_matrix`` extracts the linear map a pattern implements on its
+input nodes for a fixed outcome branch, by running the pattern on each
+computational basis state without renormalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import HADAMARD, PAULI_X, PAULI_Y, PAULI_Z, S_GATE
+from repro.mbqc.pattern import (
+    CommandC,
+    CommandE,
+    CommandM,
+    CommandN,
+    CommandX,
+    CommandZ,
+    Pattern,
+    PatternError,
+)
+from repro.sim.statevector import (
+    KET_0,
+    KET_1,
+    KET_MINUS,
+    KET_PLUS,
+    MeasurementBasis,
+    StateVector,
+)
+from repro.utils.rng import SeedLike, ensure_rng
+
+_PREP = {"plus": KET_PLUS, "minus": KET_MINUS, "zero": KET_0, "one": KET_1}
+_CLIFFORD = {
+    "h": HADAMARD,
+    "s": S_GATE,
+    "sdg": S_GATE.conj().T,
+    "x": PAULI_X,
+    "y": PAULI_Y,
+    "z": PAULI_Z,
+}
+_PLANE_BASIS = {
+    "XY": MeasurementBasis.xy,
+    "YZ": MeasurementBasis.yz,
+    "XZ": MeasurementBasis.xz,
+}
+
+
+@dataclass
+class PatternResult:
+    """Execution record: measurement outcomes and the output state.
+
+    ``state`` holds the output nodes in ``output_order`` (little-endian:
+    ``output_order[i]`` is qubit ``i`` of :meth:`state_array`).
+    """
+
+    outcomes: Dict[int, int]
+    state: StateVector
+    output_order: List[int]
+
+    def state_array(self) -> np.ndarray:
+        return self.state.to_array()
+
+
+class _Register:
+    """node id <-> simulator slot bookkeeping with removal compaction."""
+
+    def __init__(self) -> None:
+        self.slot: Dict[int, int] = {}
+
+    def add(self, node: int, slot: int) -> None:
+        self.slot[node] = slot
+
+    def remove(self, node: int) -> int:
+        s = self.slot.pop(node)
+        for k in self.slot:
+            if self.slot[k] > s:
+                self.slot[k] -= 1
+        return s
+
+    def __getitem__(self, node: int) -> int:
+        return self.slot[node]
+
+
+def _signal(outcomes: Dict[int, int], domain) -> int:
+    parity = 0
+    for node in domain:
+        try:
+            parity ^= outcomes[node]
+        except KeyError:
+            raise PatternError(f"signal references unmeasured node {node}") from None
+    return parity
+
+
+def run_pattern(
+    pattern: Pattern,
+    input_state: Optional[StateVector] = None,
+    seed: SeedLike = None,
+    forced_outcomes: Optional[Dict[int, int]] = None,
+    renormalize: bool = True,
+    validate: bool = True,
+) -> PatternResult:
+    """Execute ``pattern`` and return outcomes plus the output state.
+
+    Parameters
+    ----------
+    input_state:
+        State of the input nodes (little-endian over ``pattern.input_nodes``);
+        defaults to ``|+>^k`` as in the paper's QAOA protocol.
+    forced_outcomes:
+        Map node -> bit pinning measurement outcomes (branch enumeration).
+        Forcing a zero-probability branch raises.
+    renormalize:
+        With ``False`` the state keeps the branch amplitude — used by
+        :func:`pattern_to_matrix` to extract linear maps.
+    """
+    if validate:
+        pattern.validate()
+    rng = ensure_rng(seed)
+    forced = forced_outcomes or {}
+
+    k = len(pattern.input_nodes)
+    if input_state is None:
+        sv = StateVector.plus(k)
+    else:
+        if input_state.num_qubits != k:
+            raise PatternError(
+                f"input state has {input_state.num_qubits} qubits, pattern has {k} inputs"
+            )
+        sv = input_state.copy()
+    reg = _Register()
+    for i, node in enumerate(pattern.input_nodes):
+        reg.add(node, i)
+
+    outcomes: Dict[int, int] = {}
+    for cmd in pattern.commands:
+        if isinstance(cmd, CommandN):
+            slot = sv.add_qubit(_PREP[cmd.state])
+            reg.add(cmd.node, slot)
+        elif isinstance(cmd, CommandE):
+            sv.apply_cz(reg[cmd.nodes[0]], reg[cmd.nodes[1]])
+        elif isinstance(cmd, CommandM):
+            s = _signal(outcomes, cmd.s_domain)
+            t = _signal(outcomes, cmd.t_domain)
+            angle = ((-1) ** s) * cmd.angle + t * np.pi
+            basis = _PLANE_BASIS[cmd.plane](angle)
+            out, _prob = sv.measure(
+                reg[cmd.node],
+                basis,
+                rng=rng,
+                force=forced.get(cmd.node),
+                remove=True,
+                renormalize=renormalize,
+            )
+            reg.remove(cmd.node)
+            outcomes[cmd.node] = out
+        elif isinstance(cmd, CommandX):
+            if _signal(outcomes, cmd.domain):
+                sv.apply_1q(PAULI_X, reg[cmd.node])
+        elif isinstance(cmd, CommandZ):
+            if _signal(outcomes, cmd.domain):
+                sv.apply_1q(PAULI_Z, reg[cmd.node])
+        elif isinstance(cmd, CommandC):
+            sv.apply_1q(_CLIFFORD[cmd.gate], reg[cmd.node])
+        else:  # pragma: no cover - defensive
+            raise PatternError(f"unknown command {cmd!r}")
+
+    # Reorder remaining qubits into output_nodes order.
+    order = [reg[node] for node in pattern.output_nodes]
+    arr = sv.to_array()
+    n = sv.num_qubits
+    if n:
+        tensor = arr.reshape((2,) * n).transpose(tuple(reversed(range(n))))
+        # tensor axis i = slot i; want axis j = slot of output_nodes[j].
+        tensor = tensor.transpose(order)
+        arr = tensor.transpose(tuple(reversed(range(n)))).reshape(-1)
+    out_state = StateVector.from_array(arr) if n else StateVector(0)
+    return PatternResult(outcomes, out_state, list(pattern.output_nodes))
+
+
+def enumerate_branches(pattern: Pattern) -> Iterator[Dict[int, int]]:
+    """Yield every outcome assignment for the measured nodes (2^m branches)."""
+    measured = pattern.measured_nodes()
+    m = len(measured)
+    for bits in range(1 << m):
+        yield {node: (bits >> i) & 1 for i, node in enumerate(measured)}
+
+
+def pattern_to_matrix(
+    pattern: Pattern,
+    forced_outcomes: Optional[Dict[int, int]] = None,
+) -> np.ndarray:
+    """The linear map implemented on a fixed outcome branch (default all-0).
+
+    For a deterministic pattern, this is proportional to the same unitary on
+    every branch; :func:`repro.core.verify.check_pattern_determinism` makes
+    that claim precise by enumerating branches.
+    """
+    pattern.validate()
+    k = len(pattern.input_nodes)
+    n_out = len(pattern.output_nodes)
+    forced = forced_outcomes
+    if forced is None:
+        forced = {node: 0 for node in pattern.measured_nodes()}
+    missing = set(pattern.measured_nodes()) - set(forced)
+    if missing:
+        raise PatternError(f"branch must force all outcomes; missing {sorted(missing)}")
+    cols = []
+    for j in range(1 << k):
+        basis = np.zeros(1 << k, dtype=complex)
+        basis[j] = 1.0
+        res = run_pattern(
+            pattern,
+            input_state=StateVector.from_array(basis),
+            forced_outcomes=forced,
+            renormalize=False,
+            validate=False,
+        )
+        cols.append(res.state_array())
+    return np.stack(cols, axis=1).reshape(1 << n_out, 1 << k)

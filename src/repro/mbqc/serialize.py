@@ -1,0 +1,101 @@
+"""Pattern (de)serialization.
+
+Compiled MBQC protocols are artefacts a lab would archive and replay; this
+module round-trips :class:`~repro.mbqc.pattern.Pattern` objects through
+plain JSON-compatible dictionaries (and strings), preserving command order,
+planes, angles, and signal domains exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.mbqc.pattern import (
+    CommandC,
+    CommandE,
+    CommandM,
+    CommandN,
+    CommandX,
+    CommandZ,
+    Pattern,
+    PatternError,
+)
+
+
+def pattern_to_dict(pattern: Pattern) -> Dict[str, Any]:
+    """Plain-data representation (JSON-compatible)."""
+    commands: List[Dict[str, Any]] = []
+    for cmd in pattern.commands:
+        if isinstance(cmd, CommandN):
+            commands.append({"op": "N", "node": cmd.node, "state": cmd.state})
+        elif isinstance(cmd, CommandE):
+            commands.append({"op": "E", "nodes": list(cmd.nodes)})
+        elif isinstance(cmd, CommandM):
+            commands.append(
+                {
+                    "op": "M",
+                    "node": cmd.node,
+                    "plane": cmd.plane,
+                    "angle": cmd.angle,
+                    "s_domain": sorted(cmd.s_domain),
+                    "t_domain": sorted(cmd.t_domain),
+                }
+            )
+        elif isinstance(cmd, CommandX):
+            commands.append({"op": "X", "node": cmd.node, "domain": sorted(cmd.domain)})
+        elif isinstance(cmd, CommandZ):
+            commands.append({"op": "Z", "node": cmd.node, "domain": sorted(cmd.domain)})
+        elif isinstance(cmd, CommandC):
+            commands.append({"op": "C", "node": cmd.node, "gate": cmd.gate})
+        else:  # pragma: no cover - defensive
+            raise PatternError(f"unknown command {cmd!r}")
+    return {
+        "version": 1,
+        "input_nodes": list(pattern.input_nodes),
+        "output_nodes": list(pattern.output_nodes),
+        "commands": commands,
+    }
+
+
+def pattern_from_dict(data: Dict[str, Any]) -> Pattern:
+    """Inverse of :func:`pattern_to_dict`; validates the result."""
+    if data.get("version") != 1:
+        raise PatternError(f"unsupported pattern format version {data.get('version')!r}")
+    pattern = Pattern(
+        input_nodes=list(data["input_nodes"]),
+        output_nodes=list(data["output_nodes"]),
+    )
+    for rec in data["commands"]:
+        op = rec["op"]
+        if op == "N":
+            pattern.n(int(rec["node"]), rec.get("state", "plus"))
+        elif op == "E":
+            u, v = rec["nodes"]
+            pattern.e(int(u), int(v))
+        elif op == "M":
+            pattern.m(
+                int(rec["node"]),
+                rec.get("plane", "XY"),
+                float(rec.get("angle", 0.0)),
+                s_domain={int(x) for x in rec.get("s_domain", [])},
+                t_domain={int(x) for x in rec.get("t_domain", [])},
+            )
+        elif op == "X":
+            pattern.x(int(rec["node"]), {int(x) for x in rec.get("domain", [])})
+        elif op == "Z":
+            pattern.z(int(rec["node"]), {int(x) for x in rec.get("domain", [])})
+        elif op == "C":
+            pattern.c(int(rec["node"]), rec["gate"])
+        else:
+            raise PatternError(f"unknown command op {op!r}")
+    pattern.validate()
+    return pattern
+
+
+def pattern_to_json(pattern: Pattern, indent: int = 0) -> str:
+    return json.dumps(pattern_to_dict(pattern), indent=indent or None)
+
+
+def pattern_from_json(text: str) -> Pattern:
+    return pattern_from_dict(json.loads(text))

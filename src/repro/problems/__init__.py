@@ -1,0 +1,30 @@
+"""Combinatorial optimization problems.
+
+The paper targets the QUBO class (Section III) — "a wide variety of
+optimization problems can be mapped to QUBO problems [39], [48]" — plus
+constrained problems handled natively by alternating-operator mixers
+(Sections IV-V).  This package provides the QUBO/Ising core and the concrete
+problems used across the experiments: MaxCut (the paper's running example),
+maximum independent set (Section IV), graph coloring / Max-k-Cut for the XY
+mixers of Section V, and two further Lucas-style encodings (number
+partitioning, minimum vertex cover) exercising general QUBOs with linear
+terms.
+"""
+
+from repro.problems.qubo import QUBO, IsingModel
+from repro.problems.maxcut import MaxCut, MaxKCut
+from repro.problems.mis import MaximumIndependentSet
+from repro.problems.coloring import GraphColoring
+from repro.problems.partition import NumberPartitioning
+from repro.problems.vertex_cover import MinVertexCover
+
+__all__ = [
+    "QUBO",
+    "IsingModel",
+    "MaxCut",
+    "MaxKCut",
+    "MaximumIndependentSet",
+    "GraphColoring",
+    "NumberPartitioning",
+    "MinVertexCover",
+]

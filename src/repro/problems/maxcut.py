@@ -1,0 +1,176 @@
+"""MaxCut — the paper's running example (Section III).
+
+Cost Hamiltonian ``C = |E|/2 · I − 1/2 Σ_{(ij)∈E} Z_i Z_j`` counts crossing
+edges; QAOA *maximizes* the cut, so the minimization-form QUBO used by the
+compiler is the negated cut.  Weighted graphs are supported (each edge term
+scaled by its weight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.problems.qubo import QUBO, IsingModel, _bits_matrix
+from repro.utils.graphs import (
+    Edge,
+    complete_graph,
+    cycle_graph,
+    normalize_edges,
+    random_regular_graph,
+)
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class MaxCut:
+    """A (weighted) MaxCut instance on ``num_vertices`` vertices."""
+
+    num_vertices: int
+    edges: List[Edge]
+    weights: Optional[Dict[Edge, float]] = None
+
+    def __post_init__(self) -> None:
+        self.edges = normalize_edges(self.edges)
+        for u, v in self.edges:
+            if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+                raise ValueError("edge endpoint out of range")
+        if self.weights is not None:
+            self.weights = {
+                ((u, v) if u < v else (v, u)): float(w)
+                for (u, v), w in self.weights.items()
+            }
+            missing = set(self.edges) - set(self.weights)
+            if missing:
+                raise ValueError(f"missing weights for edges {sorted(missing)}")
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def ring(n: int) -> "MaxCut":
+        return MaxCut(*cycle_graph(n))
+
+    @staticmethod
+    def complete(n: int) -> "MaxCut":
+        return MaxCut(*complete_graph(n))
+
+    @staticmethod
+    def random_regular(degree: int, n: int, seed: SeedLike = None) -> "MaxCut":
+        return MaxCut(*random_regular_graph(degree, n, seed))
+
+    # -- semantics -----------------------------------------------------------
+    def weight(self, e: Edge) -> float:
+        return 1.0 if self.weights is None else self.weights[e]
+
+    def cut_value(self, x: Sequence[int]) -> float:
+        if len(x) != self.num_vertices:
+            raise ValueError("assignment length mismatch")
+        return float(sum(self.weight(e) for e in self.edges if x[e[0]] != x[e[1]]))
+
+    def cut_vector(self) -> np.ndarray:
+        """Cut sizes of all ``2^n`` assignments (vectorized)."""
+        n = self.num_vertices
+        bits = _bits_matrix(n)
+        out = np.zeros(1 << n, dtype=np.float64)
+        for u, v in self.edges:
+            out += self.weight((u, v)) * (bits[:, u] ^ bits[:, v])
+        return out
+
+    def max_cut_value(self) -> float:
+        return float(self.cut_vector().max())
+
+    def to_qubo(self) -> QUBO:
+        """Minimization form: ``cost(x) = -cut(x)``.
+
+        ``-cut = Σ_e w_e (2 x_u x_v - x_u - x_v)``.
+        """
+        quad: Dict[Edge, float] = {}
+        lin = np.zeros(self.num_vertices)
+        for e in self.edges:
+            w = self.weight(e)
+            quad[e] = quad.get(e, 0.0) + 2.0 * w
+            lin[e[0]] -= w
+            lin[e[1]] -= w
+        return QUBO.from_terms(self.num_vertices, quad, lin, 0.0)
+
+    def cost_hamiltonian(self) -> IsingModel:
+        """The paper's ``C = |E|/2 − 1/2 Σ Z_i Z_j`` (maximization form,
+        eigenvalue = cut size), for direct comparison with Section III."""
+        couplings = {e: -self.weight(e) / 2.0 for e in self.edges}
+        offset = sum(self.weight(e) for e in self.edges) / 2.0
+        return IsingModel(self.num_vertices, couplings, {}, offset)
+
+    def approximation_ratio(self, expected_cut: float) -> float:
+        best = self.max_cut_value()
+        if best == 0:
+            return 1.0
+        return expected_cut / best
+
+
+@dataclass
+class MaxKCut:
+    """Max-k-Cut in one-hot encoding (ref [19] considered the MBQC-native
+    version of this problem; we include it for the Section V experiments).
+
+    Vertex ``v`` gets qubits ``v*k .. v*k+k-1``; feasible states are one-hot
+    per vertex; the objective counts edges whose endpoints take different
+    colors.
+    """
+
+    num_vertices: int
+    edges: List[Edge]
+    k: int = 3
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError("need at least 2 colors")
+        self.edges = normalize_edges(self.edges)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.num_vertices * self.k
+
+    def qubit(self, vertex: int, color: int) -> int:
+        if not (0 <= vertex < self.num_vertices and 0 <= color < self.k):
+            raise ValueError("vertex/color out of range")
+        return vertex * self.k + color
+
+    def is_feasible(self, x: Sequence[int]) -> bool:
+        """One-hot constraint per vertex."""
+        if len(x) != self.num_qubits:
+            raise ValueError("assignment length mismatch")
+        for v in range(self.num_vertices):
+            if sum(x[self.qubit(v, c)] for c in range(self.k)) != 1:
+                return False
+        return True
+
+    def coloring_of(self, x: Sequence[int]) -> List[int]:
+        if not self.is_feasible(x):
+            raise ValueError("assignment is not one-hot feasible")
+        return [
+            next(c for c in range(self.k) if x[self.qubit(v, c)])
+            for v in range(self.num_vertices)
+        ]
+
+    def cut_of_coloring(self, colors: Sequence[int]) -> int:
+        return sum(1 for u, v in self.edges if colors[u] != colors[v])
+
+    def cost_vector(self) -> np.ndarray:
+        """Minimization cost over all assignments: −(cut) on feasible
+        states; infeasible states get +num_edges+1 (never optimal) so that
+        penalty-free constrained mixers can be validated against it."""
+        n = self.num_qubits
+        bits = _bits_matrix(n)
+        cost = np.zeros(1 << n, dtype=np.float64)
+        feas = np.ones(1 << n, dtype=bool)
+        for v in range(self.num_vertices):
+            cols = [self.qubit(v, c) for c in range(self.k)]
+            feas &= bits[:, cols].sum(axis=1) == 1
+        for u, v in self.edges:
+            same = np.zeros(1 << n, dtype=bool)
+            for c in range(self.k):
+                same |= (bits[:, self.qubit(u, c)] == 1) & (bits[:, self.qubit(v, c)] == 1)
+            cost -= (~same).astype(np.float64)
+        cost[~feas] = len(self.edges) + 1.0
+        return cost

@@ -1,0 +1,66 @@
+"""Number partitioning (Lucas 2014, §2.1) — a fully-connected Ising model.
+
+Split numbers ``a_1..a_n`` into two sets with minimal difference:
+``c(s) = (Σ_i a_i s_i)^2 = Σ_i a_i^2 + 2 Σ_{i<j} a_i a_j s_i s_j``.
+A dense-interaction workload for the resource experiments (E7): its MBQC
+resource graph is the complete graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.problems.qubo import QUBO, IsingModel
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class NumberPartitioning:
+    """Partition instance over positive numbers."""
+
+    numbers: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.numbers:
+            raise ValueError("need at least one number")
+        if any(a <= 0 for a in self.numbers):
+            raise ValueError("numbers must be positive")
+        self.numbers = [float(a) for a in self.numbers]
+
+    @staticmethod
+    def random(n: int, seed: SeedLike = None, high: int = 20) -> "NumberPartitioning":
+        rng = ensure_rng(seed)
+        return NumberPartitioning(list(rng.integers(1, high, size=n).astype(float)))
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.numbers)
+
+    def difference(self, x: Sequence[int]) -> float:
+        """|sum(set 0) − sum(set 1)| for the bipartition encoded by x."""
+        if len(x) != self.num_variables:
+            raise ValueError("assignment length mismatch")
+        s0 = sum(a for a, b in zip(self.numbers, x) if b == 0)
+        s1 = sum(a for a, b in zip(self.numbers, x) if b == 1)
+        return abs(s0 - s1)
+
+    def to_ising(self) -> IsingModel:
+        n = self.num_variables
+        a = np.asarray(self.numbers)
+        couplings = {
+            (i, j): 2.0 * a[i] * a[j] for i in range(n) for j in range(i + 1, n)
+        }
+        return IsingModel(n, couplings, {}, float((a**2).sum()))
+
+    def to_qubo(self) -> QUBO:
+        return self.to_ising().to_qubo()
+
+    def best_difference(self) -> float:
+        """Brute-force optimum: min over assignments of the difference."""
+        q = self.to_qubo()
+        best, _ = q.brute_force_minimum()
+        # cost = (difference)^2
+        return float(np.sqrt(max(best, 0.0)))

@@ -1,0 +1,176 @@
+"""Polynomial (higher-order) unconstrained binary optimization.
+
+Section III of the paper: "it is straightforward to extend our
+constructions here to QAOA for higher-order problems beyond quadratic."
+This module provides the problem side of that extension: cost functions
+that are polynomials over ±1 spins (multi-linear in Z operators), e.g.
+Max-3-SAT or hypergraph cuts, with the same vectorized cost-vector
+interface the QAOA stack consumes.  The compiler side is
+:meth:`repro.core.gadgets.WireTracker.hyperedge_gadget` /
+:func:`repro.core.hyper.compile_pubo_qaoa_pattern`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.problems.qubo import _bits_matrix
+from repro.utils.rng import SeedLike, ensure_rng
+
+Term = FrozenSet[int]
+
+
+@dataclass
+class PUBO:
+    """``c(s) = Σ_T w_T Π_{i∈T} s_i`` over spins ``s ∈ {±1}^n``.
+
+    ``terms`` maps frozensets of spin indices to weights; the empty set is
+    the constant offset.  This is the spin (Ising-like) form — each term is
+    a single ``e^{iγ w Z_T}`` factor in the QAOA phase separator, realized
+    by one hyperedge gadget.
+    """
+
+    num_spins: int
+    terms: Dict[Term, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        fixed: Dict[Term, float] = {}
+        for t, w in self.terms.items():
+            key = frozenset(t)
+            if any(i < 0 or i >= self.num_spins for i in key):
+                raise ValueError("spin index out of range")
+            fixed[key] = fixed.get(key, 0.0) + float(w)
+        self.terms = {t: w for t, w in fixed.items() if w != 0.0 or t == frozenset()}
+
+    @property
+    def max_order(self) -> int:
+        return max((len(t) for t in self.terms), default=0)
+
+    def interaction_terms(self) -> List[Tuple[Term, float]]:
+        """Non-constant terms sorted by (order, indices)."""
+        return sorted(
+            ((t, w) for t, w in self.terms.items() if t),
+            key=lambda tw: (len(tw[0]), sorted(tw[0])),
+        )
+
+    def energy(self, spins: Sequence[int]) -> float:
+        if len(spins) != self.num_spins:
+            raise ValueError("spin vector length mismatch")
+        if any(s not in (-1, 1) for s in spins):
+            raise ValueError("spins must be ±1")
+        e = 0.0
+        for t, w in self.terms.items():
+            prod = 1
+            for i in t:
+                prod *= spins[i]
+            e += w * prod
+        return e
+
+    def energy_vector(self) -> np.ndarray:
+        """Vectorized energies over all assignments (little-endian bits,
+        ``s = 1 − 2x``)."""
+        n = self.num_spins
+        bits = _bits_matrix(n)
+        spins = 1.0 - 2.0 * bits
+        e = np.zeros(1 << n, dtype=np.float64)
+        for t, w in self.terms.items():
+            if not t:
+                e += w
+                continue
+            prod = np.ones(1 << n)
+            for i in t:
+                prod = prod * spins[:, i]
+            e += w * prod
+        return e
+
+    def brute_force_minimum(self) -> Tuple[float, int]:
+        ev = self.energy_vector()
+        i = int(np.argmin(ev))
+        return float(ev[i]), i
+
+
+@dataclass
+class MaxThreeSat:
+    """Max-3-SAT: clauses of three literals; maximize satisfied clauses.
+
+    ``clauses`` hold (variable, negated) triples.  Spin encoding with
+    ``σ = 1 − 2x`` (x=1 ⇒ σ=−1): a clause is *unsatisfied* iff every
+    literal is false, i.e. ``unsat = Π_i (1 + a_i σ_i)/2`` with ``a_i = +1``
+    for a positive literal (false ⇔ σ=+1) and ``a_i = −1`` for a negated
+    one — a cubic spin polynomial, 8 monomials per clause.
+    """
+
+    num_variables: int
+    clauses: List[Tuple[Tuple[int, bool], Tuple[int, bool], Tuple[int, bool]]]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            vars_ = [v for v, _ in clause]
+            if len(set(vars_)) != 3:
+                raise ValueError("clauses need three distinct variables")
+            if any(v < 0 or v >= self.num_variables for v in vars_):
+                raise ValueError("variable index out of range")
+
+    @staticmethod
+    def random(
+        num_variables: int, num_clauses: int, seed: SeedLike = None
+    ) -> "MaxThreeSat":
+        rng = ensure_rng(seed)
+        clauses = []
+        for _ in range(num_clauses):
+            vars_ = rng.choice(num_variables, size=3, replace=False)
+            negs = rng.integers(2, size=3).astype(bool)
+            clauses.append(tuple((int(v), bool(ng)) for v, ng in zip(vars_, negs)))
+        return MaxThreeSat(num_variables, clauses)
+
+    def num_satisfied(self, x: Sequence[int]) -> int:
+        if len(x) != self.num_variables:
+            raise ValueError("assignment length mismatch")
+        count = 0
+        for clause in self.clauses:
+            ok = False
+            for v, negated in clause:
+                lit = (not x[v]) if negated else bool(x[v])
+                if lit:
+                    ok = True
+                    break
+            count += ok
+        return count
+
+    def max_satisfiable(self) -> int:
+        n = self.num_variables
+        bits = _bits_matrix(n)
+        best = 0
+        # Vectorized clause evaluation.
+        sat = np.zeros(1 << n, dtype=np.int64)
+        for clause in self.clauses:
+            clause_sat = np.zeros(1 << n, dtype=bool)
+            for v, negated in clause:
+                lit = bits[:, v] == (0 if negated else 1)
+                clause_sat |= lit
+            sat += clause_sat
+        return int(sat.max())
+
+    def to_pubo(self) -> PUBO:
+        """Minimization form: number of *unsatisfied* clauses as a cubic
+        spin polynomial (each clause contributes 8 monomials / 2^3)."""
+        terms: Dict[Term, float] = {}
+
+        def add(t: Term, w: float) -> None:
+            terms[t] = terms.get(t, 0.0) + w
+
+        for clause in self.clauses:
+            # unsat = Π_i (1 + a_i σ_i)/2, a_i = +1 for a positive literal.
+            signs = [(v, -1.0 if negated else 1.0) for v, negated in clause]
+            for mask in range(8):
+                subset = [signs[i] for i in range(3) if (mask >> i) & 1]
+                w = 1.0 / 8.0
+                idxs = []
+                for v, a in subset:
+                    w *= a
+                    idxs.append(v)
+                add(frozenset(idxs), w)
+        return PUBO(self.num_variables, terms)

@@ -1,0 +1,216 @@
+"""QUBO and Ising cost models.
+
+A QUBO instance is ``min_x  x^T Q x`` over ``x ∈ {0,1}^n`` with ``Q`` upper
+triangular (diagonal = linear terms).  The equivalent Ising form
+``c(s) = Σ_{i<j} J_ij s_i s_j + Σ_i h_i s_i + offset`` with ``s = 1 - 2x``
+is what the QAOA phase operator consumes: quadratic Ising terms become the
+paper's ``e^{iγ Z_u Z_v}`` factors and linear terms the ``e^{iγ Z_v}``
+factors (Eq. 6), so :meth:`QUBO.to_ising` is the entry point of the
+MBQC-QAOA compiler.
+
+Cost-vector evaluation is fully vectorized (bit-matrix contraction) per the
+hpc guides; it is the hot path of every expectation computed in the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+def _bits_matrix(n: int) -> np.ndarray:
+    """``(2^n, n)`` little-endian bit matrix of all assignments."""
+    if n > 26:
+        raise ValueError("refusing to enumerate more than 2^26 assignments")
+    idx = np.arange(1 << n, dtype=np.int64)
+    return ((idx[:, None] >> np.arange(n)) & 1).astype(np.int8)
+
+
+@dataclass
+class IsingModel:
+    """``c(s) = Σ_{i<j} J_ij s_i s_j + Σ_i h_i s_i + offset``, s ∈ {±1}^n."""
+
+    num_spins: int
+    couplings: Dict[Edge, float] = field(default_factory=dict)
+    fields: Dict[int, float] = field(default_factory=dict)
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        fixed: Dict[Edge, float] = {}
+        for (u, v), w in self.couplings.items():
+            if u == v:
+                raise ValueError("Ising couplings must be off-diagonal")
+            if not (0 <= u < self.num_spins and 0 <= v < self.num_spins):
+                raise ValueError("spin index out of range")
+            key = (u, v) if u < v else (v, u)
+            fixed[key] = fixed.get(key, 0.0) + float(w)
+        self.couplings = {k: w for k, w in fixed.items() if w != 0.0}
+        for i in self.fields:
+            if not 0 <= i < self.num_spins:
+                raise ValueError("field index out of range")
+        self.fields = {i: float(h) for i, h in self.fields.items() if h != 0.0}
+
+    def interaction_graph(self) -> List[Edge]:
+        """Edges with nonzero coupling — the resource-graph generator of
+        the MBQC protocol (Section III)."""
+        return sorted(self.couplings)
+
+    def energy(self, spins: Sequence[int]) -> float:
+        if len(spins) != self.num_spins:
+            raise ValueError("spin vector length mismatch")
+        if any(s not in (-1, 1) for s in spins):
+            raise ValueError("spins must be ±1")
+        e = self.offset
+        for (u, v), w in self.couplings.items():
+            e += w * spins[u] * spins[v]
+        for i, h in self.fields.items():
+            e += h * spins[i]
+        return e
+
+    def energy_vector(self) -> np.ndarray:
+        """Energies of all ``2^n`` assignments, little-endian over bits
+        ``x`` with ``s = 1 - 2x`` (so bit 0 ↦ spin +1)."""
+        n = self.num_spins
+        bits = _bits_matrix(n)
+        spins = 1.0 - 2.0 * bits  # (2^n, n)
+        e = np.full(1 << n, self.offset, dtype=np.float64)
+        for (u, v), w in self.couplings.items():
+            e += w * spins[:, u] * spins[:, v]
+        for i, h in self.fields.items():
+            e += h * spins[:, i]
+        return e
+
+    def to_qubo(self) -> "QUBO":
+        """Inverse of :meth:`QUBO.to_ising` (exact round trip)."""
+        n = self.num_spins
+        quad: Dict[Edge, float] = {}
+        lin = np.zeros(n)
+        const = self.offset
+        # s_i = 1 - 2 x_i:
+        # J s_u s_v = J (1 - 2x_u)(1 - 2x_v) = J(1 - 2x_u - 2x_v + 4x_u x_v)
+        for (u, v), w in self.couplings.items():
+            quad[(u, v)] = quad.get((u, v), 0.0) + 4.0 * w
+            lin[u] -= 2.0 * w
+            lin[v] -= 2.0 * w
+            const += w
+        for i, h in self.fields.items():
+            lin[i] -= 2.0 * h
+            const += h
+        return QUBO.from_terms(n, quad, lin, const)
+
+
+@dataclass
+class QUBO:
+    """Quadratic unconstrained binary optimization instance.
+
+    ``matrix`` is square upper-triangular; diagonal entries are linear
+    coefficients.  ``constant`` is an additive offset carried through the
+    Ising conversion (the paper absorbs constants into γ; we track them so
+    objective values match the original problem exactly).
+    """
+
+    matrix: np.ndarray
+    constant: float = 0.0
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix, dtype=np.float64)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError("QUBO matrix must be square")
+        if np.any(np.tril(m, -1) != 0):
+            # Fold lower triangle up rather than reject: Q and Q^T encode
+            # the same form.
+            upper = np.triu(m, 0) + np.tril(m, -1).T
+            m = upper
+        self.matrix = m
+
+    @staticmethod
+    def from_terms(
+        n: int,
+        quadratic: Optional[Mapping[Edge, float]] = None,
+        linear: Optional[Sequence[float]] = None,
+        constant: float = 0.0,
+    ) -> "QUBO":
+        m = np.zeros((n, n))
+        for (u, v), w in (quadratic or {}).items():
+            if u == v:
+                m[u, u] += w  # x^2 = x on binaries: fold into linear
+                continue
+            a, b = (u, v) if u < v else (v, u)
+            m[a, b] += w
+        if linear is not None:
+            if len(linear) != n:
+                raise ValueError("linear term length mismatch")
+            m[np.diag_indices(n)] += np.asarray(linear, dtype=np.float64)
+        return QUBO(m, constant)
+
+    @property
+    def num_variables(self) -> int:
+        return self.matrix.shape[0]
+
+    def quadratic_terms(self) -> Dict[Edge, float]:
+        n = self.num_variables
+        iu = np.triu_indices(n, 1)
+        return {
+            (int(i), int(j)): float(self.matrix[i, j])
+            for i, j in zip(*iu)
+            if self.matrix[i, j] != 0.0
+        }
+
+    def linear_terms(self) -> np.ndarray:
+        return np.diag(self.matrix).copy()
+
+    def interaction_graph(self) -> List[Edge]:
+        return sorted(self.quadratic_terms())
+
+    def cost(self, x: Sequence[int]) -> float:
+        xv = np.asarray(x, dtype=np.float64)
+        if xv.shape != (self.num_variables,):
+            raise ValueError("assignment length mismatch")
+        if np.any((xv != 0) & (xv != 1)):
+            raise ValueError("assignment must be binary")
+        return float(xv @ self.matrix @ xv + self.constant)
+
+    def cost_vector(self) -> np.ndarray:
+        """Costs of all assignments, little-endian index order (vectorized)."""
+        n = self.num_variables
+        bits = _bits_matrix(n).astype(np.float64)
+        # x Q x^T row-wise: (B Q) ⊙ B summed over columns.
+        return np.einsum("ij,ij->i", bits @ self.matrix, bits) + self.constant
+
+    def brute_force_minimum(self) -> Tuple[float, int]:
+        """(min cost, argmin index) by exhaustive evaluation."""
+        c = self.cost_vector()
+        i = int(np.argmin(c))
+        return float(c[i]), i
+
+    def to_ising(self) -> IsingModel:
+        """Substitute ``x = (1 - s)/2``; exact (round-trips with
+        :meth:`IsingModel.to_qubo`)."""
+        n = self.num_variables
+        couplings: Dict[Edge, float] = {}
+        fields: Dict[int, float] = {}
+        offset = self.constant
+        for (u, v), w in self.quadratic_terms().items():
+            # w x_u x_v = w/4 (1 - s_u)(1 - s_v)
+            couplings[(u, v)] = couplings.get((u, v), 0.0) + w / 4.0
+            fields[u] = fields.get(u, 0.0) - w / 4.0
+            fields[v] = fields.get(v, 0.0) - w / 4.0
+            offset += w / 4.0
+        for i, h in enumerate(self.linear_terms()):
+            if h != 0.0:
+                fields[i] = fields.get(i, 0.0) - h / 2.0
+                offset += h / 2.0
+        return IsingModel(n, couplings, fields, offset)
+
+    def __add__(self, other: "QUBO") -> "QUBO":
+        if other.num_variables != self.num_variables:
+            raise ValueError("size mismatch")
+        return QUBO(self.matrix + other.matrix, self.constant + other.constant)
+
+    def scaled(self, factor: float) -> "QUBO":
+        return QUBO(self.matrix * factor, self.constant * factor)

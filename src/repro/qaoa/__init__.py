@@ -1,0 +1,56 @@
+"""Gate-model QAOA (Section II.C of the paper).
+
+Two execution paths:
+
+- :mod:`repro.qaoa.simulator` — fast vectorized evolution
+  ``O(p · n · 2^n)``: diagonal phase separator as an elementwise complex
+  exponential over the cost vector, mixers as axis-wise rotations.  This is
+  the reference QAOA used to verify the MBQC compilation and to run the
+  optimization experiments (E6, E9, E10, E11);
+- :mod:`repro.qaoa.circuits` — explicit gate circuits (Fig. 2 of the
+  paper), the resource baseline of Section III.A (``|V|`` qubits,
+  ``2p|E|``+ entangling gates) and the input to the generic circuit→pattern
+  compiler.
+
+:mod:`repro.qaoa.optimize` provides grid search and multistart local
+optimization of the 2p parameters.
+"""
+
+from repro.qaoa.simulator import (
+    apply_constrained_mis_mixer,
+    apply_x_mixer,
+    apply_xy_mixer_pair,
+    qaoa_expectation,
+    qaoa_state,
+    qaoa_state_constrained_mis,
+    qaoa_state_xy_ring,
+)
+from repro.qaoa.circuits import qaoa_circuit, qaoa_gate_counts
+from repro.qaoa.optimize import (
+    OptimizationResult,
+    grid_search_p1,
+    optimize_qaoa,
+    sample_cost,
+)
+from repro.qaoa.analytic import maxcut_p1_expectation, maxcut_p1_grid_optimum
+from repro.qaoa.iterative import iterative_quantum_optimize, qaoa_correlation_oracle
+
+__all__ = [
+    "apply_constrained_mis_mixer",
+    "apply_x_mixer",
+    "apply_xy_mixer_pair",
+    "qaoa_expectation",
+    "qaoa_state",
+    "qaoa_state_constrained_mis",
+    "qaoa_state_xy_ring",
+    "qaoa_circuit",
+    "qaoa_gate_counts",
+    "OptimizationResult",
+    "grid_search_p1",
+    "optimize_qaoa",
+    "sample_cost",
+    "maxcut_p1_expectation",
+    "maxcut_p1_grid_optimum",
+    "iterative_quantum_optimize",
+    "qaoa_correlation_oracle",
+]

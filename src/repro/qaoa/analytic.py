@@ -1,0 +1,84 @@
+"""Analytic QAOA_1 expectation values for MaxCut (ref. [40] of the paper:
+Wang, Hadfield, Jiang, Rieffel, PRA 97, 022304 (2018)).
+
+For an unweighted graph and the standard QAOA_1 state with our conventions
+(``U_P = e^{-iγC_min}`` on the minimization cost ``C_min = -cut``, mixer
+``e^{-iβΣX}``), the expected *cut* contribution of edge ``(u,v)`` is
+
+    ``<C_uv> = 1/2 + (1/4) sin(4β) sin(γ) (cos^{d_u}γ + cos^{d_v}γ)
+               − (1/4) sin^2(2β) cos^{d_u+d_v−2λ}γ (1 − cos^λ(2γ))``
+
+with ``d_u = deg(u)−1``, ``d_v = deg(v)−1`` and ``λ`` the number of
+triangles containing the edge.  The sign conventions are pinned against the
+simulator in ``tests/test_qaoa_analytic.py`` — the formula's γ matches the
+γ passed to :func:`repro.qaoa.simulator.qaoa_state` on
+``MaxCut.to_qubo().cost_vector()`` directly.
+
+This gives the paper's "analytic [40]" parameter-setting route: closed-form
+p=1 landscapes, gradient-free optima for rings, and a fast surrogate for
+large graphs (evaluation is O(|E|), no 2^n vectors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.problems.maxcut import MaxCut
+
+
+def _edge_stats(problem: MaxCut) -> List[Tuple[int, int, int, int, int]]:
+    """(u, v, d_u, d_v, triangles) per edge, with d = degree − 1."""
+    nbrs: Dict[int, set] = {v: set() for v in range(problem.num_vertices)}
+    for u, v in problem.edges:
+        nbrs[u].add(v)
+        nbrs[v].add(u)
+    out = []
+    for u, v in problem.edges:
+        tri = len(nbrs[u] & nbrs[v])
+        out.append((u, v, len(nbrs[u]) - 1, len(nbrs[v]) - 1, tri))
+    return out
+
+
+def maxcut_p1_expectation(problem: MaxCut, gamma: float, beta: float) -> float:
+    """Closed-form ``<cut>`` of the QAOA_1 state (unweighted graphs only)."""
+    if problem.weights is not None:
+        raise ValueError("the closed form covers unweighted MaxCut only")
+    # Convention bridge: ref. [40] phases with e^{-iγ·cut}; our simulator
+    # minimizes cost = -cut, i.e. applies e^{+iγ·cut}, so flip γ here (only
+    # the sin γ cross-term is odd in γ — verified against the simulator).
+    gamma = -gamma
+    total = 0.0
+    s4b = np.sin(4.0 * beta)
+    s2b2 = np.sin(2.0 * beta) ** 2
+    sg, cg = np.sin(gamma), np.cos(gamma)
+    c2g = np.cos(2.0 * gamma)
+    for _, _, du, dv, lam in _edge_stats(problem):
+        term1 = 0.25 * s4b * sg * (cg**du + cg**dv)
+        term2 = 0.25 * s2b2 * (cg ** (du + dv - 2 * lam)) * (1.0 - c2g**lam)
+        total += 0.5 + term1 - term2
+    return float(total)
+
+
+def maxcut_p1_grid_optimum(
+    problem: MaxCut, resolution: int = 64
+) -> Tuple[float, float, float]:
+    """Dense grid maximization of the closed form; returns
+    ``(best_cut_expectation, gamma, beta)`` — O(|E|·resolution²), usable at
+    graph sizes far beyond statevector reach."""
+    best = (-np.inf, 0.0, 0.0)
+    for gamma in np.linspace(-np.pi, np.pi, resolution):
+        for beta in np.linspace(-np.pi / 2, np.pi / 2, resolution):
+            val = maxcut_p1_expectation(problem, gamma, beta)
+            if val > best[0]:
+                best = (val, float(gamma), float(beta))
+    return best
+
+
+def ring_p1_optimum(n: int) -> float:
+    """The known analytic optimum for even rings at p=1: ``3|E|/4``
+    (approximation ratio 3/4); odd rings approach it from below."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 vertices")
+    return 0.75 * n

@@ -1,0 +1,141 @@
+"""Parameter optimization and sampling for QAOA.
+
+The paper notes (Section II.C) that parameters may come from analytic,
+numeric or average-case techniques; here we provide the standard numeric
+toolbox: dense grid search at p=1 and multistart local optimization
+(Nelder–Mead / COBYLA via scipy) at general p, plus sampling utilities for
+approximation ratios and best-solution extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize as spopt
+
+from repro.qaoa.simulator import qaoa_expectation, qaoa_state
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class OptimizationResult:
+    """Best parameters found and their expectation value (minimization)."""
+
+    gammas: np.ndarray
+    betas: np.ndarray
+    expectation: float
+    nfev: int
+
+    @property
+    def p(self) -> int:
+        return len(self.gammas)
+
+
+def grid_search_p1(
+    cost: np.ndarray,
+    gamma_range: Tuple[float, float] = (-np.pi, np.pi),
+    beta_range: Tuple[float, float] = (-np.pi / 2, np.pi / 2),
+    resolution: int = 24,
+    initial: Optional[np.ndarray] = None,
+) -> OptimizationResult:
+    """Dense 2-D grid search for QAOA_1 (minimizes ``<C>``)."""
+    gammas = np.linspace(*gamma_range, resolution)
+    betas = np.linspace(*beta_range, resolution)
+    best = (np.inf, 0.0, 0.0)
+    nfev = 0
+    for g in gammas:
+        for b in betas:
+            val = qaoa_expectation(cost, [g], [b], initial)
+            nfev += 1
+            if val < best[0]:
+                best = (val, g, b)
+    return OptimizationResult(
+        np.array([best[1]]), np.array([best[2]]), best[0], nfev
+    )
+
+
+def optimize_qaoa(
+    cost: np.ndarray,
+    p: int,
+    restarts: int = 8,
+    seed: SeedLike = None,
+    method: str = "Nelder-Mead",
+    maxiter: int = 400,
+    initial: Optional[np.ndarray] = None,
+    warm_start: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+) -> OptimizationResult:
+    """Multistart local optimization of the 2p QAOA parameters.
+
+    Minimizes the cost expectation.  With ``warm_start`` the previous-depth
+    optimum is extended by one interpolated layer (the standard layerwise
+    heuristic), which keeps the E10 depth-scaling experiment monotone
+    without huge restart counts.
+    """
+    if p < 1:
+        raise ValueError("p must be at least 1")
+    rng = ensure_rng(seed)
+
+    def objective(theta: np.ndarray) -> float:
+        return qaoa_expectation(cost, theta[:p], theta[p:], initial)
+
+    starts: List[np.ndarray] = []
+    if warm_start is not None:
+        g0, b0 = np.asarray(warm_start[0]), np.asarray(warm_start[1])
+        if len(g0) == p - 1:
+            g0 = np.concatenate([g0, g0[-1:] if len(g0) else [0.1]])
+            b0 = np.concatenate([b0, b0[-1:] if len(b0) else [0.1]])
+        if len(g0) == p:
+            starts.append(np.concatenate([g0, b0]))
+    for _ in range(restarts):
+        starts.append(
+            np.concatenate(
+                [rng.uniform(-np.pi, np.pi, p), rng.uniform(-np.pi / 2, np.pi / 2, p)]
+            )
+        )
+
+    best: Optional[spopt.OptimizeResult] = None
+    nfev = 0
+    for x0 in starts:
+        res = spopt.minimize(objective, x0, method=method, options={"maxiter": maxiter})
+        nfev += int(res.nfev)
+        if best is None or res.fun < best.fun:
+            best = res
+    assert best is not None
+    theta = best.x
+    return OptimizationResult(theta[:p].copy(), theta[p:].copy(), float(best.fun), nfev)
+
+
+def sample_cost(
+    cost: np.ndarray,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    shots: int = 1024,
+    seed: SeedLike = None,
+    initial: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample computational-basis outcomes from the QAOA state.
+
+    Returns ``(samples, costs)``: sampled basis indices and their costs —
+    the paper's repeated state preparation + measurement loop.
+    """
+    psi = qaoa_state(cost, gammas, betas, initial)
+    probs = np.abs(psi) ** 2
+    probs = probs / probs.sum()
+    rng = ensure_rng(seed)
+    samples = rng.choice(probs.size, size=shots, p=probs)
+    return samples, cost[samples]
+
+
+def best_sampled_solution(
+    cost: np.ndarray,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    shots: int = 1024,
+    seed: SeedLike = None,
+) -> Tuple[int, float]:
+    """Best (lowest-cost) sample — the value QAOA actually returns."""
+    samples, costs = sample_cost(cost, gammas, betas, shots=shots, seed=seed)
+    i = int(np.argmin(costs))
+    return int(samples[i]), float(costs[i])

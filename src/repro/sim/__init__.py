@@ -1,0 +1,15 @@
+"""Quantum-state simulation substrate.
+
+:class:`~repro.sim.statevector.StateVector` is a dense simulator whose qubit
+register can *grow and shrink at runtime* — the property that makes MBQC
+simulation tractable: a measurement pattern on ``p(|E|+3|V|)`` total nodes
+only ever holds the live subset in memory when ancillas are measured eagerly
+(see ``repro.core.reuse``).  :class:`~repro.sim.circuit.Circuit` is a minimal
+gate-model IR used by the QAOA builders and the generic circuit→pattern
+compiler.
+"""
+
+from repro.sim.circuit import Circuit, Gate
+from repro.sim.statevector import MeasurementBasis, StateVector
+
+__all__ = ["Circuit", "Gate", "StateVector", "MeasurementBasis"]

@@ -1,0 +1,266 @@
+"""Minimal gate-model circuit IR.
+
+Only what the reproduction needs: the gates QAOA compiles to (Fig. 2 of the
+paper), the Clifford+rotation set the generic circuit→pattern compiler
+consumes, and multi-controlled rotations for the MIS partial mixer
+(Section IV).  Circuits are lists of :class:`Gate` records; simulation
+delegates to :class:`~repro.sim.statevector.StateVector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    SWAP,
+    S_GATE,
+    T_GATE,
+    controlled,
+    j_gate,
+    phase_gate,
+    rx,
+    ry,
+    rz,
+)
+from repro.linalg.kron import operator_on_qubits
+from repro.sim.statevector import StateVector
+
+# name -> (arity or None for variadic, param count, matrix factory)
+_FixedFactory = Callable[..., np.ndarray]
+
+_GATES: Dict[str, Tuple[Optional[int], int, _FixedFactory]] = {
+    "i": (1, 0, lambda: IDENTITY),
+    "x": (1, 0, lambda: PAULI_X),
+    "y": (1, 0, lambda: PAULI_Y),
+    "z": (1, 0, lambda: PAULI_Z),
+    "h": (1, 0, lambda: HADAMARD),
+    "s": (1, 0, lambda: S_GATE),
+    "sdg": (1, 0, lambda: S_GATE.conj().T),
+    "t": (1, 0, lambda: T_GATE),
+    "tdg": (1, 0, lambda: T_GATE.conj().T),
+    "rx": (1, 1, rx),
+    "ry": (1, 1, ry),
+    "rz": (1, 1, rz),
+    "p": (1, 1, phase_gate),
+    "j": (1, 1, j_gate),
+    "cz": (2, 0, lambda: CZ),
+    "cnot": (2, 0, lambda: CNOT),
+    "swap": (2, 0, lambda: SWAP),
+    "crz": (2, 1, lambda t: controlled(rz(t))),
+    "crx": (2, 1, lambda t: controlled(rx(t))),
+    "cp": (2, 1, lambda t: controlled(phase_gate(t))),
+    "ccz": (3, 0, lambda: controlled(PAULI_Z, 2)),
+    "ccx": (3, 0, lambda: controlled(PAULI_X, 2)),
+    # Variadic multi-controlled gates: qubits = (*controls, target).
+    "mcx": (None, 0, lambda k: controlled(PAULI_X, k)),
+    "mcrx": (None, 1, lambda t, k: controlled(rx(t), k)),
+    "mcrz": (None, 1, lambda t, k: controlled(rz(t), k)),
+    "mcp": (None, 1, lambda t, k: controlled(phase_gate(t), k)),
+}
+
+ENTANGLING = {"cz", "cnot", "swap", "crz", "crx", "cp", "ccz", "ccx", "mcx", "mcrx", "mcrz", "mcp"}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A named gate applied to ``qubits`` with real ``params``."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in _GATES:
+            raise ValueError(f"unknown gate {self.name!r}")
+        arity, nparams, _ = _GATES[self.name]
+        if arity is not None and len(self.qubits) != arity:
+            raise ValueError(f"{self.name} expects {arity} qubits, got {len(self.qubits)}")
+        if arity is None and len(self.qubits) < 2:
+            raise ValueError(f"{self.name} needs at least one control and a target")
+        if len(nparams * (1,)) != len(self.params):
+            raise ValueError(f"{self.name} expects {nparams} params, got {len(self.params)}")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError("duplicate qubits in gate")
+
+    def matrix(self) -> np.ndarray:
+        """Dense little-endian matrix on ``len(qubits)`` qubits.
+
+        For variadic gates the control count is derived from the qubit list
+        (controls first, target last).
+        """
+        arity, _, factory = _GATES[self.name]
+        if arity is None:
+            k = len(self.qubits) - 1
+            mat = factory(*self.params, k) if self.params else factory(k)
+            # ``controlled`` places controls in the low slots and the target
+            # high, matching qubits=(controls..., target) little-endian.
+            return mat
+        return factory(*self.params)
+
+    def is_entangling(self) -> bool:
+        return self.name in ENTANGLING
+
+    def dagger(self) -> "Gate":
+        """Inverse gate (parametrized gates negate, s/t swap with daggers)."""
+        self_inverse = {"i", "x", "y", "z", "h", "cz", "cnot", "swap", "ccz", "ccx", "mcx"}
+        if self.name in self_inverse:
+            return self
+        swaps = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        if self.name in swaps:
+            return Gate(swaps[self.name], self.qubits)
+        if self.name == "j":
+            raise ValueError("j gate inverse is not a single named gate")
+        return Gate(self.name, self.qubits, tuple(-p for p in self.params))
+
+
+@dataclass
+class Circuit:
+    """An ordered gate list on ``num_qubits`` qubits."""
+
+    num_qubits: int
+    gates: List[Gate] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        for g in self.gates:
+            self._check_gate(g)
+
+    def _check_gate(self, gate: Gate) -> None:
+        if any(q < 0 or q >= self.num_qubits for q in gate.qubits):
+            raise ValueError(f"gate {gate} outside register of size {self.num_qubits}")
+
+    def append(self, name: str, qubits: Sequence[int], *params: float) -> "Circuit":
+        g = Gate(name, tuple(qubits), tuple(float(p) for p in params))
+        self._check_gate(g)
+        self.gates.append(g)
+        return self
+
+    # Fluent helpers for the common gates.
+    def h(self, q: int) -> "Circuit":
+        return self.append("h", (q,))
+
+    def x(self, q: int) -> "Circuit":
+        return self.append("x", (q,))
+
+    def z(self, q: int) -> "Circuit":
+        return self.append("z", (q,))
+
+    def s(self, q: int) -> "Circuit":
+        return self.append("s", (q,))
+
+    def rx(self, q: int, theta: float) -> "Circuit":
+        return self.append("rx", (q,), theta)
+
+    def ry(self, q: int, theta: float) -> "Circuit":
+        return self.append("ry", (q,), theta)
+
+    def rz(self, q: int, theta: float) -> "Circuit":
+        return self.append("rz", (q,), theta)
+
+    def j(self, q: int, alpha: float) -> "Circuit":
+        return self.append("j", (q,), alpha)
+
+    def cz(self, q0: int, q1: int) -> "Circuit":
+        return self.append("cz", (q0, q1))
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        return self.append("cnot", (control, target))
+
+    def rzz(self, q0: int, q1: int, theta: float) -> "Circuit":
+        """``exp(-i theta/2 Z Z)`` via the standard CNOT conjugation."""
+        return self.cnot(q0, q1).rz(q1, theta).cnot(q0, q1)
+
+    def rxx(self, q0: int, q1: int, theta: float) -> "Circuit":
+        """``exp(-i theta/2 X X)`` by basis change to ZZ."""
+        self.h(q0).h(q1)
+        self.rzz(q0, q1, theta)
+        return self.h(q0).h(q1)
+
+    def ryy(self, q0: int, q1: int, theta: float) -> "Circuit":
+        """``exp(-i theta/2 Y Y)`` by basis change to ZZ (Y = S X S†)."""
+        for q in (q0, q1):
+            self.append("sdg", (q,))
+            self.h(q)
+        self.rzz(q0, q1, theta)
+        for q in (q0, q1):
+            self.h(q)
+            self.s(q)
+        return self
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Concatenate ``other`` after ``self`` (same register size)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("register size mismatch")
+        return Circuit(self.num_qubits, self.gates + other.gates)
+
+    def inverse(self) -> "Circuit":
+        return Circuit(self.num_qubits, [g.dagger() for g in reversed(self.gates)])
+
+    # -- execution ---------------------------------------------------------
+    def apply_to(self, sv: StateVector) -> StateVector:
+        """Apply all gates to ``sv`` in place (and return it)."""
+        if sv.num_qubits != self.num_qubits:
+            raise ValueError("state register size mismatch")
+        for g in self.gates:
+            mat = g.matrix()
+            if len(g.qubits) == 1:
+                sv.apply_1q(mat, g.qubits[0])
+            elif len(g.qubits) == 2:
+                if g.name == "cz":
+                    sv.apply_cz(*g.qubits)
+                else:
+                    sv.apply_2q(mat, *g.qubits)
+            else:
+                sv.apply_kq(mat, g.qubits)
+        return sv
+
+    def run(self, initial: Optional[StateVector] = None) -> StateVector:
+        """Run on ``initial`` (default ``|0...0>``) and return the state."""
+        sv = initial.copy() if initial is not None else StateVector.zeros(self.num_qubits)
+        return self.apply_to(sv)
+
+    def unitary(self) -> np.ndarray:
+        """Dense unitary of the whole circuit (verification-scale only)."""
+        u = np.eye(1 << self.num_qubits, dtype=complex)
+        for g in self.gates:
+            u = operator_on_qubits(g.matrix(), g.qubits, self.num_qubits) @ u
+        return u
+
+    # -- accounting --------------------------------------------------------
+    def count_entangling(self) -> int:
+        """Number of multi-qubit gates (the paper's gate-model resource)."""
+        return sum(1 for g in self.gates if g.is_entangling())
+
+    def count_by_name(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for g in self.gates:
+            out[g.name] = out.get(g.name, 0) + 1
+        return out
+
+    def depth(self) -> int:
+        """Standard circuit depth (greedy layering by qubit availability)."""
+        level: Dict[int, int] = {}
+        depth = 0
+        for g in self.gates:
+            start = max((level.get(q, 0) for q in g.qubits), default=0)
+            for q in g.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth

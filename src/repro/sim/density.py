@@ -1,0 +1,243 @@
+"""Dense density-matrix simulator with Kraus channels.
+
+Complements the trajectory-sampled Pauli noise of :mod:`repro.mbqc.noise`
+with *exact* open-system evolution: channels are applied as Kraus maps, so
+noisy expectation values need no Monte-Carlo averaging.  The cross-check
+between the two (exact channel vs trajectory average) is part of the test
+suite — it validates the E15 noise experiment's sampling.
+
+The state is an ndarray of shape ``(2,)*2n``: axes ``0..n-1`` are row
+(ket) qubit indices, ``n..2n-1`` column (bra) indices, little-endian
+flattening as everywhere else in the library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import IDENTITY, PAULI_X, PAULI_Y, PAULI_Z
+from repro.sim.statevector import MeasurementBasis, StateVector
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def depolarizing_kraus(p: float) -> List[np.ndarray]:
+    """Single-qubit depolarizing channel: identity w.p. 1−p, else a
+    uniformly random Pauli."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    return [
+        np.sqrt(1.0 - p) * IDENTITY,
+        np.sqrt(p / 3.0) * PAULI_X,
+        np.sqrt(p / 3.0) * PAULI_Y,
+        np.sqrt(p / 3.0) * PAULI_Z,
+    ]
+
+
+def dephasing_kraus(p: float) -> List[np.ndarray]:
+    """Phase-flip channel: Z w.p. p."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    return [np.sqrt(1.0 - p) * IDENTITY, np.sqrt(p) * PAULI_Z]
+
+
+def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
+    """Amplitude damping with decay probability ``gamma``."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must be a probability")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, np.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return [k0, k1]
+
+
+class DensityMatrix:
+    """Mutable n-qubit density operator."""
+
+    def __init__(self, num_qubits: int = 0, tensor: Optional[np.ndarray] = None):
+        if tensor is not None:
+            tensor = np.asarray(tensor, dtype=complex)
+            if tensor.shape == (1, 1):
+                self._t = tensor
+                self._n = 0
+                return
+            n = tensor.ndim // 2
+            if tensor.shape != (2,) * (2 * n):
+                raise ValueError("tensor must have shape (2,)*2n")
+            self._t = tensor
+            self._n = n
+        else:
+            if num_qubits < 0:
+                raise ValueError("num_qubits must be non-negative")
+            self._n = num_qubits
+            if num_qubits == 0:
+                self._t = np.ones((1, 1), dtype=complex)
+            else:
+                t = np.zeros((2,) * (2 * num_qubits), dtype=complex)
+                t[(0,) * (2 * num_qubits)] = 1.0
+                self._t = t
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def from_statevector(sv: StateVector) -> "DensityMatrix":
+        vec = sv.to_array()
+        n = sv.num_qubits
+        rho = np.outer(vec, vec.conj())
+        return DensityMatrix.from_matrix(rho, n)
+
+    @staticmethod
+    def from_matrix(rho: np.ndarray, num_qubits: int) -> "DensityMatrix":
+        """From a little-endian ``2^n x 2^n`` matrix."""
+        n = num_qubits
+        if rho.shape != (1 << n, 1 << n):
+            raise ValueError("matrix size mismatch")
+        if n == 0:
+            return DensityMatrix(tensor=rho.reshape(1, 1))
+        t = rho.reshape((2,) * (2 * n))
+        # Little-endian: reverse each index group.
+        perm = list(reversed(range(n))) + [n + i for i in reversed(range(n))]
+        return DensityMatrix(tensor=np.ascontiguousarray(t.transpose(perm)))
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._n
+
+    def to_matrix(self) -> np.ndarray:
+        """Little-endian dense matrix (copy)."""
+        n = self._n
+        if n == 0:
+            return self._t.copy()
+        perm = list(reversed(range(n))) + [n + i for i in reversed(range(n))]
+        return self._t.transpose(perm).reshape(1 << n, 1 << n).copy()
+
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.to_matrix())))
+
+    def purity(self) -> float:
+        m = self.to_matrix()
+        return float(np.real(np.trace(m @ m)))
+
+    def fidelity_with_pure(self, vec: np.ndarray) -> float:
+        """``<ψ|ρ|ψ>`` for a (normalized) pure reference."""
+        v = np.asarray(vec, dtype=complex)
+        v = v / np.linalg.norm(v)
+        m = self.to_matrix()
+        return float(np.real(v.conj() @ m @ v))
+
+    def copy(self) -> "DensityMatrix":
+        return DensityMatrix(tensor=self._t.copy())
+
+    # -- dynamics ------------------------------------------------------------
+    def _check(self, *qs: int) -> None:
+        for q in qs:
+            if not 0 <= q < self._n:
+                raise ValueError(f"qubit {q} out of range")
+
+    def apply_1q(self, u: np.ndarray, q: int) -> None:
+        """``ρ ← U ρ U†`` on one qubit."""
+        self._check(q)
+        n = self._n
+        t = np.tensordot(u, self._t, axes=([1], [q]))
+        t = np.moveaxis(t, 0, q)
+        t = np.tensordot(u.conj(), t, axes=([1], [n + q]))
+        self._t = np.moveaxis(t, 0, n + q)
+
+    def apply_2q(self, u: np.ndarray, q0: int, q1: int) -> None:
+        self._check(q0, q1)
+        n = self._n
+        op = np.asarray(u, dtype=complex).reshape(2, 2, 2, 2)
+        t = np.tensordot(op, self._t, axes=([2, 3], [q1, q0]))
+        t = np.moveaxis(t, [0, 1], [q1, q0])
+        t = np.tensordot(op.conj(), t, axes=([2, 3], [n + q1, n + q0]))
+        self._t = np.moveaxis(t, [0, 1], [n + q1, n + q0])
+
+    def apply_kraus(self, kraus: Sequence[np.ndarray], q: int) -> None:
+        """``ρ ← Σ_k K ρ K†`` on one qubit."""
+        self._check(q)
+        n = self._n
+        total = None
+        for k in kraus:
+            t = np.tensordot(k, self._t, axes=([1], [q]))
+            t = np.moveaxis(t, 0, q)
+            t = np.tensordot(k.conj(), t, axes=([1], [n + q]))
+            t = np.moveaxis(t, 0, n + q)
+            total = t if total is None else total + t
+        if total is None:
+            raise ValueError("need at least one Kraus operator")
+        self._t = total
+
+    def add_qubit(self, state: np.ndarray) -> int:
+        """Append a fresh qubit in pure ``state``."""
+        state = np.asarray(state, dtype=complex)
+        if state.shape != (2,):
+            raise ValueError("single-qubit state must have shape (2,)")
+        pure = np.outer(state, state.conj())  # (ket, bra)
+        n = self._n
+        if n == 0:
+            self._t = self._t[0, 0] * pure
+            self._n = 1
+            return 0
+        t = np.multiply.outer(self._t, pure)  # axes: rows, cols, ket, bra
+        # Desired layout: rows(0..n-1), new ket, cols, new bra.
+        t = np.moveaxis(t, 2 * n, n)          # ket to position n
+        # bra currently at 2n+1: should be last — already is.
+        self._t = t
+        self._n = n + 1
+        return n
+
+    def measure(
+        self,
+        q: int,
+        basis: MeasurementBasis,
+        rng: SeedLike = None,
+        force: Optional[int] = None,
+        remove: bool = True,
+    ) -> Tuple[int, float]:
+        """Projective measurement; returns ``(outcome, probability)``."""
+        self._check(q)
+        n = self._n
+        b0, b1 = basis.vectors()
+        probs = []
+        reduced = []
+        for b in (b0, b1):
+            t = np.tensordot(b.conj(), self._t, axes=([0], [q]))
+            t = np.tensordot(b, t, axes=([0], [n + q - 1]))
+            # After removing both axes, remaining layout: rows minus q then
+            # cols minus q — tensordot ordering: first contraction removed
+            # axis q (rows shift), second removed old axis n+q (now n+q-1).
+            reduced.append(t)
+            probs.append(float(np.real(_trace_tensor(t, n - 1))))
+        total = probs[0] + probs[1]
+        if total <= 1e-300:
+            raise ValueError("zero-trace state")
+        p0 = probs[0] / total
+        if force is None:
+            outcome = 0 if ensure_rng(rng).random() < p0 else 1
+        else:
+            outcome = int(force)
+            if (p0 if outcome == 0 else 1 - p0) < 1e-12:
+                raise ValueError("forced outcome has probability ~0")
+        prob = p0 if outcome == 0 else 1.0 - p0
+        t = reduced[outcome]
+        if not remove:
+            vec = (b0, b1)[outcome]
+            pure = np.outer(vec, vec.conj())
+            t = np.multiply.outer(t, pure)
+            t = np.moveaxis(t, 2 * (n - 1), q)
+            t = np.moveaxis(t, -1, n + q)
+            self._t = t / max(probs[outcome], 1e-300)
+            return outcome, prob
+        self._n = n - 1
+        self._t = t / max(probs[outcome], 1e-300) if self._n else np.array(
+            [[t / max(probs[outcome], 1e-300)]], dtype=complex
+        ).reshape(1, 1)
+        return outcome, prob
+
+
+def _trace_tensor(t: np.ndarray, n: int) -> complex:
+    """Trace of an ``(2,)*2n`` density tensor."""
+    if n == 0:
+        return complex(np.asarray(t).reshape(-1)[0])
+    m = t.reshape(1 << n, 1 << n)
+    return complex(np.trace(m))

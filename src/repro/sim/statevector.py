@@ -1,0 +1,321 @@
+"""Dense statevector simulator with dynamic qubit allocation.
+
+The state is stored as an ndarray of shape ``(2,)*n`` with tensor axis ``i``
+holding qubit slot ``i``.  Gate application uses ``tensordot`` on views
+(never materializing full ``2^n x 2^n`` operators), per the vectorization
+guidance for hot numerical paths.  Measurements can *remove* the measured
+qubit by contracting its axis with the conjugated basis vector, which is what
+keeps MBQC pattern simulation at max-live-qubit memory cost.
+
+Flattening convention is little-endian: :meth:`StateVector.to_array` returns
+amplitudes indexed by ``x = sum_i x_i 2**i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import rx as _rx, ry as _ry, rz as _rz
+from repro.utils.rng import SeedLike, ensure_rng
+
+KET_0 = np.array([1, 0], dtype=complex)
+KET_1 = np.array([0, 1], dtype=complex)
+KET_PLUS = np.array([1, 1], dtype=complex) / np.sqrt(2)
+KET_MINUS = np.array([1, -1], dtype=complex) / np.sqrt(2)
+
+
+@dataclass(frozen=True)
+class MeasurementBasis:
+    """An orthonormal single-qubit measurement basis ``{b0, b1}``.
+
+    Outcome ``m`` corresponds to projecting onto ``b_m``.  Constructors for
+    the three measurement planes used in MBQC follow DESIGN.md:
+
+    - ``xy(t)``: ``{RZ(t)|+>, RZ(t)|->}`` — X measurement rotated about Z,
+    - ``yz(t)``: ``{RX(t)|0>, RX(t)|1>}`` — Z measurement rotated about X,
+    - ``xz(t)``: ``{RY(t)|0>, RY(t)|1>}`` — Z measurement rotated about Y.
+
+    ``xy(0)`` is the X basis, ``yz(0)`` and ``xz(0)`` the Z basis, and
+    ``xy(pi/2)`` the Y basis.
+    """
+
+    b0: Tuple[complex, complex]
+    b1: Tuple[complex, complex]
+
+    @staticmethod
+    def from_vectors(b0: np.ndarray, b1: np.ndarray) -> "MeasurementBasis":
+        b0 = np.asarray(b0, dtype=complex)
+        b1 = np.asarray(b1, dtype=complex)
+        if not np.isclose(np.linalg.norm(b0), 1) or not np.isclose(np.linalg.norm(b1), 1):
+            raise ValueError("basis vectors must be normalized")
+        if not np.isclose(np.vdot(b0, b1), 0):
+            raise ValueError("basis vectors must be orthogonal")
+        return MeasurementBasis(tuple(b0), tuple(b1))
+
+    @staticmethod
+    def xy(angle: float) -> "MeasurementBasis":
+        return MeasurementBasis.from_vectors(_rz(angle) @ KET_PLUS, _rz(angle) @ KET_MINUS)
+
+    @staticmethod
+    def yz(angle: float) -> "MeasurementBasis":
+        return MeasurementBasis.from_vectors(_rx(angle) @ KET_0, _rx(angle) @ KET_1)
+
+    @staticmethod
+    def xz(angle: float) -> "MeasurementBasis":
+        return MeasurementBasis.from_vectors(_ry(angle) @ KET_0, _ry(angle) @ KET_1)
+
+    @staticmethod
+    def pauli(label: str) -> "MeasurementBasis":
+        if label == "Z":
+            return MeasurementBasis.from_vectors(KET_0, KET_1)
+        if label == "X":
+            return MeasurementBasis.from_vectors(KET_PLUS, KET_MINUS)
+        if label == "Y":
+            return MeasurementBasis.from_vectors(
+                np.array([1, 1j], dtype=complex) / np.sqrt(2),
+                np.array([1, -1j], dtype=complex) / np.sqrt(2),
+            )
+        raise ValueError(f"unknown Pauli basis {label!r}")
+
+    def vectors(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.array(self.b0, dtype=complex), np.array(self.b1, dtype=complex)
+
+
+class StateVector:
+    """Mutable dense n-qubit pure state with dynamic register size."""
+
+    def __init__(self, num_qubits: int = 0, tensor: Optional[np.ndarray] = None):
+        if tensor is not None:
+            tensor = np.asarray(tensor, dtype=complex)
+            n = tensor.ndim if tensor.shape != (1,) else 0
+            if tensor.shape not in [(2,) * n, (1,)]:
+                raise ValueError("tensor must have shape (2,)*n")
+            self._t = tensor
+        else:
+            if num_qubits < 0:
+                raise ValueError("num_qubits must be non-negative")
+            t = np.zeros((2,) * num_qubits if num_qubits else (1,), dtype=complex)
+            t.flat[0] = 1.0
+            self._t = t
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def zeros(n: int) -> "StateVector":
+        """``|0...0>`` on ``n`` qubits."""
+        return StateVector(n)
+
+    @staticmethod
+    def plus(n: int) -> "StateVector":
+        """``|+>^n`` — the QAOA initial state."""
+        sv = StateVector(0)
+        for _ in range(n):
+            sv.add_qubit(KET_PLUS)
+        return sv
+
+    @staticmethod
+    def from_array(vec: np.ndarray) -> "StateVector":
+        """Build from a little-endian flat amplitude vector of length 2**n."""
+        vec = np.asarray(vec, dtype=complex)
+        n = int(np.round(np.log2(vec.size)))
+        if vec.size != 1 << n:
+            raise ValueError("length must be a power of two")
+        if n == 0:
+            return StateVector(tensor=vec.reshape((1,)))
+        # Little-endian flat index has qubit 0 in the lowest bit; C-order
+        # reshape puts the first axis at the highest bit, so reverse axes.
+        t = vec.reshape((2,) * n).transpose(tuple(reversed(range(n))))
+        return StateVector(tensor=t.copy())
+
+    # -- basic properties --------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return 0 if self._t.shape == (1,) else self._t.ndim
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._t))
+
+    def normalize(self) -> "StateVector":
+        n = self.norm()
+        if n < 1e-300:
+            raise ValueError("cannot normalize zero state")
+        self._t /= n
+        return self
+
+    def to_array(self) -> np.ndarray:
+        """Little-endian flat amplitude vector (copy)."""
+        n = self.num_qubits
+        if n == 0:
+            return self._t.copy()
+        return self._t.transpose(tuple(reversed(range(n)))).reshape(-1).copy()
+
+    def copy(self) -> "StateVector":
+        return StateVector(tensor=self._t.copy())
+
+    def probabilities(self) -> np.ndarray:
+        """Little-endian probability vector."""
+        a = self.to_array()
+        return (a.conj() * a).real
+
+    # -- register management ----------------------------------------------
+    def add_qubit(self, state: np.ndarray = KET_PLUS) -> int:
+        """Append a fresh qubit in single-qubit ``state``; returns its slot."""
+        state = np.asarray(state, dtype=complex)
+        if state.shape != (2,):
+            raise ValueError("single-qubit state must have shape (2,)")
+        if self.num_qubits == 0:
+            self._t = self._t.flat[0] * state
+            # A 1-qubit tensor already has the right shape.
+            if self._t.shape != (2,):
+                self._t = self._t.reshape((2,))
+            return 0
+        self._t = np.multiply.outer(self._t, state)
+        return self.num_qubits - 1
+
+    def _check(self, *qubits: int) -> None:
+        n = self.num_qubits
+        for q in qubits:
+            if not 0 <= q < n:
+                raise ValueError(f"qubit {q} out of range for {n}-qubit state")
+        if len(set(qubits)) != len(qubits):
+            raise ValueError("duplicate qubit indices")
+
+    # -- unitaries ---------------------------------------------------------
+    def apply_1q(self, matrix: np.ndarray, q: int) -> None:
+        """Apply a 2x2 unitary to qubit ``q`` in place."""
+        self._check(q)
+        t = np.tensordot(matrix, self._t, axes=([1], [q]))
+        self._t = np.moveaxis(t, 0, q)
+
+    def apply_2q(self, matrix: np.ndarray, q0: int, q1: int) -> None:
+        """Apply a 4x4 unitary (little-endian on (q0, q1)) in place."""
+        self._check(q0, q1)
+        # Little-endian 4-dim index is x_q0 + 2 x_q1 -> reshape axes (q1,q0).
+        op = np.asarray(matrix, dtype=complex).reshape(2, 2, 2, 2)
+        t = np.tensordot(op, self._t, axes=([2, 3], [q1, q0]))
+        self._t = np.moveaxis(t, [0, 1], [q1, q0])
+
+    def apply_kq(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a ``2^k x 2^k`` unitary on ``qubits`` (little-endian)."""
+        k = len(qubits)
+        self._check(*qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError("operator size does not match qubit count")
+        axes = list(reversed(qubits))  # high bit first for C-order reshape
+        op = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+        t = np.tensordot(op, self._t, axes=(list(range(k, 2 * k)), axes))
+        self._t = np.moveaxis(t, list(range(k)), axes)
+
+    def apply_cz(self, q0: int, q1: int) -> None:
+        """Controlled-Z via sign flip on the ``|11>`` slice (no tensordot)."""
+        self._check(q0, q1)
+        idx = [slice(None)] * self.num_qubits
+        idx[q0] = 1
+        idx[q1] = 1
+        self._t[tuple(idx)] *= -1.0
+
+    def apply_diagonal(self, diag: np.ndarray) -> None:
+        """Multiply by a full-register diagonal given little-endian."""
+        n = self.num_qubits
+        if diag.shape != (1 << n,):
+            raise ValueError("diagonal length mismatch")
+        d = diag.reshape((2,) * n).transpose(tuple(reversed(range(n)))) if n else diag
+        self._t = self._t * d
+
+    # -- measurement -------------------------------------------------------
+    def measure_probability(self, q: int, basis: MeasurementBasis, outcome: int) -> float:
+        """Probability of ``outcome`` when measuring ``q`` in ``basis``."""
+        self._check(q)
+        b = basis.vectors()[outcome]
+        amp = np.tensordot(b.conj(), self._t, axes=([0], [q]))
+        return float(np.vdot(amp, amp).real)
+
+    def measure(
+        self,
+        q: int,
+        basis: MeasurementBasis,
+        rng: SeedLike = None,
+        force: Optional[int] = None,
+        remove: bool = True,
+        renormalize: bool = True,
+    ) -> Tuple[int, float]:
+        """Measure qubit ``q``; returns ``(outcome, probability)``.
+
+        ``force`` pins the outcome (used for branch enumeration); forcing a
+        zero-probability branch raises.  With ``remove=True`` the measured
+        qubit is deleted from the register (slots above shift down by one);
+        with ``remove=False`` it collapses in place to the basis vector.
+        """
+        self._check(q)
+        b0, b1 = basis.vectors()
+        amp0 = np.tensordot(b0.conj(), self._t, axes=([0], [q]))
+        p0 = float(np.vdot(amp0, amp0).real)
+        total = float(np.vdot(self._t, self._t).real)
+        if total < 1e-300:
+            raise ValueError("cannot measure a zero-norm state")
+        p0 /= total
+
+        if force is None:
+            outcome = 0 if ensure_rng(rng).random() < p0 else 1
+        else:
+            if force not in (0, 1):
+                raise ValueError("forced outcome must be 0 or 1")
+            outcome = force
+        prob = p0 if outcome == 0 else 1.0 - p0
+        if force is not None and prob < 1e-12:
+            raise ZeroProbabilityBranch(
+                f"forced outcome {force} on qubit {q} has probability ~0"
+            )
+
+        if outcome == 0:
+            reduced = amp0
+        else:
+            reduced = np.tensordot(b1.conj(), self._t, axes=([0], [q]))
+
+        if remove:
+            self._t = reduced if reduced.shape else reduced.reshape((1,))
+            if self.num_qubits == 0 and self._t.shape != (1,):
+                self._t = self._t.reshape((1,))
+        else:
+            vec = basis.vectors()[outcome]
+            t = np.multiply.outer(reduced, vec)
+            self._t = np.moveaxis(t, -1, q)
+        if renormalize:
+            self.normalize()
+        return outcome, prob
+
+    def measure_pauli(
+        self, q: int, label: str, rng: SeedLike = None,
+        force: Optional[int] = None, remove: bool = False,
+    ) -> Tuple[int, float]:
+        """Convenience projective Pauli measurement (collapse in place)."""
+        return self.measure(q, MeasurementBasis.pauli(label), rng=rng, force=force, remove=remove)
+
+    # -- derived quantities --------------------------------------------------
+    def expectation_diagonal(self, diag: np.ndarray) -> float:
+        """``<psi| D |psi>`` for a real little-endian diagonal ``D``."""
+        p = self.probabilities()
+        if diag.shape != p.shape:
+            raise ValueError("diagonal length mismatch")
+        return float(np.dot(p, diag))
+
+    def sample(self, shots: int, rng: SeedLike = None) -> np.ndarray:
+        """Sample computational-basis outcomes; returns ``shots`` ints."""
+        p = self.probabilities()
+        p = p / p.sum()
+        return ensure_rng(rng).choice(p.size, size=shots, p=p)
+
+    def fidelity(self, other: "StateVector") -> float:
+        """``|<self|other>|^2`` for normalized states."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        a = self.to_array()
+        b = other.to_array()
+        na, nb = np.linalg.norm(a), np.linalg.norm(b)
+        return float(abs(np.vdot(a, b)) ** 2 / (na * nb) ** 2)
+
+
+class ZeroProbabilityBranch(ValueError):
+    """Raised when branch enumeration forces an impossible outcome."""

@@ -1,0 +1,12 @@
+"""Stabilizer (Clifford) simulation substrate.
+
+Graph states — the MBQC resource states of Section II.B — are stabilizer
+states, and the Pauli-measurement patterns (e.g. the Appendix A Bell-state
+example) are entirely Clifford.  The Aaronson–Gottesman tableau simulator
+here verifies those at sizes far beyond statevector reach and cross-checks
+the dense simulator on random Clifford circuits.
+"""
+
+from repro.stab.tableau import StabilizerState, graph_state_stabilizers
+
+__all__ = ["StabilizerState", "graph_state_stabilizers"]

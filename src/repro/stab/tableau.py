@@ -1,0 +1,319 @@
+"""Aaronson–Gottesman CHP tableau simulator.
+
+State of ``n`` qubits is tracked by ``2n`` Pauli rows: rows ``0..n-1`` are
+destabilizers, rows ``n..2n-1`` stabilizers.  Row ``i`` stores X/Z bits in
+packed boolean numpy arrays; phases in ``r`` (0 -> +1, 1 -> -1).  All row
+operations are vectorized across the ``n`` columns per the hpc guides.
+
+Reference: S. Aaronson, D. Gottesman, "Improved simulation of stabilizer
+circuits", PRA 70, 052328 (2004).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.paulis import PauliString
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _g_vec(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> int:
+    """Summed exponent-of-i contribution when multiplying Pauli rows.
+
+    Vectorized version of the CHP ``g`` function: for each column, g in
+    {-1, 0, +1} is the power of i picked up multiplying (x1 z1) by (x2 z2).
+    """
+    # Cases: (x1,z1) = I: 0 ; X: z2*(2*x2-1) ; Y: z2-x2 ; Z: x2*(1-2*z2)
+    x1i, z1i = x1.astype(np.int64), z1.astype(np.int64)
+    x2i, z2i = x2.astype(np.int64), z2.astype(np.int64)
+    gx = x1i * (1 - z1i) * (z2i * (2 * x2i - 1))     # row1 = X
+    gy = x1i * z1i * (z2i - x2i)                     # row1 = Y
+    gz = (1 - x1i) * z1i * (x2i * (1 - 2 * z2i))     # row1 = Z
+    return int((gx + gy + gz).sum())
+
+
+class StabilizerState:
+    """An n-qubit stabilizer state, initialized to ``|0...0>``."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        n = num_qubits
+        self.n = n
+        self.x = np.zeros((2 * n, n), dtype=bool)
+        self.z = np.zeros((2 * n, n), dtype=bool)
+        self.r = np.zeros(2 * n, dtype=np.int8)
+        idx = np.arange(n)
+        self.x[idx, idx] = True          # destabilizers X_i
+        self.z[n + idx, idx] = True      # stabilizers Z_i
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def plus_state(n: int) -> "StabilizerState":
+        st = StabilizerState(n)
+        for q in range(n):
+            st.h(q)
+        return st
+
+    @staticmethod
+    def graph_state(n: int, edges: Sequence[Tuple[int, int]]) -> "StabilizerState":
+        """``prod CZ_{uv} |+>^n`` — Eq. (5) of the paper."""
+        st = StabilizerState.plus_state(n)
+        for u, v in edges:
+            st.cz(u, v)
+        return st
+
+    # -- Clifford gates --------------------------------------------------------
+    def h(self, q: int) -> None:
+        """Hadamard: swap X/Z columns, phase picks up x&z."""
+        self._chk(q)
+        xq = self.x[:, q].copy()
+        zq = self.z[:, q].copy()
+        self.r ^= (xq & zq).astype(np.int8)
+        self.x[:, q], self.z[:, q] = zq, xq
+
+    def s(self, q: int) -> None:
+        """Phase gate S."""
+        self._chk(q)
+        xq, zq = self.x[:, q], self.z[:, q]
+        self.r ^= (xq & zq).astype(np.int8)
+        self.z[:, q] = zq ^ xq
+
+    def sdg(self, q: int) -> None:
+        self.s(q)
+        self.z_gate(q)
+        # S† = Z S  (S† = S Z also works since Z commutes with S)
+
+    def x_gate(self, q: int) -> None:
+        """Pauli X (as Clifford conjugation): flips phase of rows with Z_q."""
+        self._chk(q)
+        self.r ^= self.z[:, q].astype(np.int8)
+
+    def z_gate(self, q: int) -> None:
+        """Pauli Z: flips phase of rows with X_q."""
+        self._chk(q)
+        self.r ^= self.x[:, q].astype(np.int8)
+
+    def y_gate(self, q: int) -> None:
+        self.z_gate(q)
+        self.x_gate(q)
+
+    def cnot(self, control: int, target: int) -> None:
+        self._chk(control, target)
+        if control == target:
+            raise ValueError("control equals target")
+        xc, zc = self.x[:, control], self.z[:, control]
+        xt, zt = self.x[:, target], self.z[:, target]
+        self.r ^= (xc & zt & (xt ^ zc ^ True)).astype(np.int8)
+        self.x[:, target] = xt ^ xc
+        self.z[:, control] = zc ^ zt
+
+    def cz(self, q0: int, q1: int) -> None:
+        """CZ = (I⊗H) CNOT (I⊗H)."""
+        self.h(q1)
+        self.cnot(q0, q1)
+        self.h(q1)
+
+    def apply_named(self, name: str, qubits: Sequence[int]) -> None:
+        """Apply a Clifford gate by circuit-IR name."""
+        table = {
+            "h": self.h, "s": self.s, "sdg": self.sdg,
+            "x": self.x_gate, "y": self.y_gate, "z": self.z_gate,
+            "cnot": self.cnot, "cz": self.cz,
+        }
+        if name == "i":
+            return
+        if name not in table:
+            raise ValueError(f"gate {name!r} is not Clifford-supported")
+        table[name](*qubits)
+
+    # -- internals ---------------------------------------------------------
+    def _chk(self, *qs: int) -> None:
+        for q in qs:
+            if not 0 <= q < self.n:
+                raise ValueError(f"qubit {q} out of range")
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h <- row h * row i with correct phase (vectorized)."""
+        two_r = 2 * int(self.r[h]) + 2 * int(self.r[i])
+        two_r += _g_vec(self.x[i], self.z[i], self.x[h], self.z[h])
+        self.r[h] = (two_r % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    # -- measurement ---------------------------------------------------------
+    def measure_z(self, q: int, rng: SeedLike = None, force: Optional[int] = None) -> int:
+        """Measure Z on qubit ``q``; returns the outcome bit.
+
+        Deterministic outcomes ignore ``force`` mismatches by raising, so
+        branch enumeration stays honest.
+        """
+        self._chk(q)
+        n = self.n
+        rows_p = np.nonzero(self.x[n:, q])[0]
+        if rows_p.size:
+            # Random outcome.
+            p = int(rows_p[0]) + n
+            for i in list(np.nonzero(self.x[:, q])[0]):
+                if i != p:
+                    self._rowsum(int(i), p)
+            self.x[p - n] = self.x[p].copy()
+            self.z[p - n] = self.z[p].copy()
+            self.r[p - n] = self.r[p]
+            self.x[p] = False
+            self.z[p] = False
+            self.z[p, q] = True
+            outcome = int(ensure_rng(rng).integers(2)) if force is None else int(force)
+            self.r[p] = outcome
+            return outcome
+        # Deterministic outcome: accumulate into scratch row.
+        sx = np.zeros(self.n, dtype=bool)
+        sz = np.zeros(self.n, dtype=bool)
+        two_r = 0
+        for i in np.nonzero(self.x[:n, q])[0]:
+            s = int(i) + n
+            two_r += 2 * int(self.r[s]) + _g_vec(self.x[s], self.z[s], sx, sz)
+            sx ^= self.x[s]
+            sz ^= self.z[s]
+        outcome = (two_r % 4) // 2
+        if force is not None and force != outcome:
+            raise ValueError("forced outcome contradicts deterministic measurement")
+        return outcome
+
+    def measure_x(self, q: int, rng: SeedLike = None, force: Optional[int] = None) -> int:
+        self.h(q)
+        out = self.measure_z(q, rng=rng, force=force)
+        self.h(q)
+        return out
+
+    def measure_y(self, q: int, rng: SeedLike = None, force: Optional[int] = None) -> int:
+        self.sdg(q)
+        out = self.measure_x(q, rng=rng, force=force)
+        self.s(q)
+        return out
+
+    def measure_pauli(self, q: int, label: str, rng: SeedLike = None, force: Optional[int] = None) -> int:
+        return {"X": self.measure_x, "Y": self.measure_y, "Z": self.measure_z}[label](q, rng=rng, force=force)
+
+    # -- inspection ---------------------------------------------------------
+    def stabilizer_rows(self) -> List[PauliString]:
+        """The n stabilizer generators as :class:`PauliString` objects."""
+        out = []
+        for i in range(self.n, 2 * self.n):
+            ops: Dict[int, str] = {}
+            for q in range(self.n):
+                xb, zb = bool(self.x[i, q]), bool(self.z[i, q])
+                if xb and zb:
+                    ops[q] = "Y"
+                elif xb:
+                    ops[q] = "X"
+                elif zb:
+                    ops[q] = "Z"
+            out.append(PauliString(ops, -1 if self.r[i] else 1))
+        return out
+
+    def stabilizes(self, pauli: PauliString) -> bool:
+        """True iff ``pauli`` is in the stabilizer group (with its phase).
+
+        Works by Gaussian elimination over GF(2) on the generator tableau.
+        """
+        # Build target bits.
+        tx = np.zeros(self.n, dtype=bool)
+        tz = np.zeros(self.n, dtype=bool)
+        for q, p in pauli.ops.items():
+            if q >= self.n:
+                raise ValueError("qubit out of range")
+            if p in ("X", "Y"):
+                tx[q] = True
+            if p in ("Z", "Y"):
+                tz[q] = True
+        # Accumulate a product of generators matching the X/Z bit pattern.
+        gx = self.x[self.n:].copy()
+        gz = self.z[self.n:].copy()
+        gr = self.r[self.n:].copy().astype(np.int64)
+        used = np.zeros(self.n, dtype=bool)
+        sx = np.zeros(self.n, dtype=bool)
+        sz = np.zeros(self.n, dtype=bool)
+        two_r = 0
+        # Eliminate column by column (X part then Z part).
+        row_of_pivot: Dict[Tuple[str, int], int] = {}
+        rows = list(range(self.n))
+        # Forward elimination to row-echelon over the symplectic bits.
+        pivots: List[Tuple[int, Tuple[str, int]]] = []
+        taken = np.zeros(self.n, dtype=bool)
+        for kind, mat in (("x", gx), ("z", gz)):
+            for col in range(self.n):
+                cand = [r for r in rows if not taken[r] and mat[r, col]]
+                if not cand:
+                    continue
+                piv = cand[0]
+                taken[piv] = True
+                pivots.append((piv, (kind, col)))
+                for r in rows:
+                    if r != piv and mat[r, col]:
+                        # row r *= row piv, phases tracked mod 4
+                        two = 2 * gr[r] + 2 * gr[piv] + _g_vec(gx[piv], gz[piv], gx[r], gz[r])
+                        gr[r] = (two % 4) // 2
+                        gx[r] ^= gx[piv]
+                        gz[r] ^= gz[piv]
+        # Now express target in terms of pivot rows greedily.
+        for piv, (kind, col) in pivots:
+            bit = tx[col] if kind == "x" else tz[col]
+            # Current accumulated value at that pivot position:
+            cur = sx[col] if kind == "x" else sz[col]
+            if bit != cur:
+                two_r += 2 * int(gr[piv]) + _g_vec(gx[piv], gz[piv], sx, sz)
+                sx ^= gx[piv]
+                sz ^= gz[piv]
+        if not (np.array_equal(sx, tx) and np.array_equal(sz, tz)):
+            return False
+        sign = -1 if (two_r % 4) // 2 else 1
+        want = 1 if pauli.phase == 1 else (-1 if pauli.phase == -1 else None)
+        if want is None:
+            return False  # Hermitian stabilizers have real phase
+        return sign == want
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense statevector (little-endian), for cross-checks at small n.
+
+        Projects ``|0...0>``-seeded maximally mixed basis onto the stabilizer
+        group by averaging projectors; implemented as repeated projector
+        application ``(I + g)/2`` on a random state to stay simple.
+        """
+        n = self.n
+        if n > 12:
+            raise ValueError("to_statevector is for small n only")
+        vec = np.zeros(1 << n, dtype=complex)
+        rng = np.random.default_rng(12345)
+        vec = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        for g in self.stabilizer_rows():
+            mat = g.to_matrix(n)
+            vec = (vec + mat @ vec) / 2.0
+        nrm = np.linalg.norm(vec)
+        if nrm < 1e-9:
+            # Unlucky random seed component; retry deterministically.
+            vec = np.ones(1 << n, dtype=complex)
+            for g in self.stabilizer_rows():
+                mat = g.to_matrix(n)
+                vec = (vec + mat @ vec) / 2.0
+            nrm = np.linalg.norm(vec)
+            if nrm < 1e-9:
+                raise RuntimeError("failed to extract statevector")
+        return vec / nrm
+
+
+def graph_state_stabilizers(n: int, edges: Sequence[Tuple[int, int]]) -> List[PauliString]:
+    """Canonical graph-state generators ``K_v = X_v prod_{w~v} Z_w``."""
+    adj: Dict[int, List[int]] = {v: [] for v in range(n)}
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    gens = []
+    for v in range(n):
+        ops = {v: "X"}
+        for w in adj[v]:
+            ops[w] = "Z"
+        gens.append(PauliString(ops, 1))
+    return gens

@@ -1,0 +1,47 @@
+"""General utilities: seeded RNG helpers, graph workload generators, bit tricks.
+
+These are the workload-generation substrate for every experiment in
+``EXPERIMENTS.md``: the paper's protocols are parameterized by an interaction
+graph, so reproducible graph families (rings, grids, random regular,
+Erdos--Renyi, complete) are provided here with explicit seeding.
+"""
+
+from repro.utils.bits import (
+    bit_parity,
+    bitstring_to_int,
+    hamming_weight,
+    int_to_bitstring,
+    iter_bitstrings,
+    popcount_vector,
+)
+from repro.utils.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    normalize_edges,
+    path_graph,
+    random_regular_graph,
+    random_weighted_graph,
+    star_graph,
+)
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "bit_parity",
+    "bitstring_to_int",
+    "hamming_weight",
+    "int_to_bitstring",
+    "iter_bitstrings",
+    "popcount_vector",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "normalize_edges",
+    "path_graph",
+    "random_regular_graph",
+    "random_weighted_graph",
+    "star_graph",
+    "ensure_rng",
+]

@@ -1,0 +1,72 @@
+"""Bit-level helpers shared by simulators, cost functions and samplers.
+
+Conventions
+-----------
+The library is *little-endian*: a basis state index ``x`` encodes qubit ``i``
+in bit ``i``, i.e. ``x = sum_i x_i * 2**i``.  Bitstrings as Python tuples are
+ordered ``(x_0, x_1, ..., x_{n-1})``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+
+def int_to_bitstring(x: int, n: int) -> Tuple[int, ...]:
+    """Expand integer ``x`` into an ``n``-tuple of bits, little-endian.
+
+    >>> int_to_bitstring(6, 4)
+    (0, 1, 1, 0)
+    """
+    if x < 0 or x >= (1 << n):
+        raise ValueError(f"index {x} out of range for {n} bits")
+    return tuple((x >> i) & 1 for i in range(n))
+
+
+def bitstring_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bitstring`.
+
+    >>> bitstring_to_int((0, 1, 1, 0))
+    6
+    """
+    x = 0
+    for i, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError(f"bit {i} is {b!r}, expected 0 or 1")
+        x |= b << i
+    return x
+
+
+def iter_bitstrings(n: int) -> Iterator[Tuple[int, ...]]:
+    """Iterate all ``2**n`` little-endian bitstrings in index order."""
+    for x in range(1 << n):
+        yield int_to_bitstring(x, n)
+
+
+def hamming_weight(x: int) -> int:
+    """Population count of a non-negative integer."""
+    if x < 0:
+        raise ValueError("hamming_weight expects a non-negative integer")
+    return bin(x).count("1")
+
+
+def bit_parity(x: int) -> int:
+    """Parity (mod-2 popcount) of a non-negative integer."""
+    return hamming_weight(x) & 1
+
+
+def popcount_vector(n: int) -> np.ndarray:
+    """Vector of Hamming weights of ``0..2**n-1``.
+
+    Computed by doubling: ``w[2k] = w[k]``, ``w[2k+1] = w[k]+1``.  Used to
+    vectorize diagonal Hamiltonians such as the transverse-field mixer
+    spectrum and one-hot penalty counts.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    w = np.zeros(1, dtype=np.int64)
+    for _ in range(n):
+        w = np.concatenate([w, w + 1])
+    return w

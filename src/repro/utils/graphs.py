@@ -1,0 +1,125 @@
+"""Graph workload generators.
+
+The paper's protocols are parameterized by the *interaction graph* of the
+cost Hamiltonian; these generators provide the graph families used across
+the experiment harness (EXPERIMENTS.md, E6/E7/E9-E13).  All functions return
+``(n, edges)`` where edges are canonicalized ``(u, v)`` with ``u < v``, plus
+optionally a weight map, instead of a networkx object: the simulators and
+compilers only ever need the edge list, and a plain representation keeps the
+hot paths allocation-free.  networkx is still used internally where its
+algorithms help (random regular graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+Edge = Tuple[int, int]
+
+
+def normalize_edges(edges: Sequence[Tuple[int, int]]) -> List[Edge]:
+    """Canonicalize an edge list: sorted endpoints, no self-loops, no dups.
+
+    Raises ``ValueError`` on self-loops since none of the Hamiltonians here
+    admit them (``Z_u Z_u = I`` would silently change the cost otherwise).
+    """
+    seen = set()
+    out: List[Edge] = []
+    for u, v in edges:
+        if u == v:
+            raise ValueError(f"self-loop ({u},{v}) not allowed")
+        e = (u, v) if u < v else (v, u)
+        if e not in seen:
+            seen.add(e)
+            out.append(e)
+    return out
+
+
+def path_graph(n: int) -> Tuple[int, List[Edge]]:
+    """Path on ``n`` vertices: 0-1-2-...-(n-1)."""
+    if n < 1:
+        raise ValueError("need at least one vertex")
+    return n, [(i, i + 1) for i in range(n - 1)]
+
+
+def cycle_graph(n: int) -> Tuple[int, List[Edge]]:
+    """Ring on ``n >= 3`` vertices; the standard QAOA benchmark graph."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    return n, normalize_edges([(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> Tuple[int, List[Edge]]:
+    """Complete graph K_n (dense QUBO / SK-model style workloads)."""
+    if n < 1:
+        raise ValueError("need at least one vertex")
+    return n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+def star_graph(n: int) -> Tuple[int, List[Edge]]:
+    """Star with center 0 and ``n-1`` leaves (max-degree stress case)."""
+    if n < 2:
+        raise ValueError("star needs at least 2 vertices")
+    return n, [(0, i) for i in range(1, n)]
+
+
+def grid_graph(rows: int, cols: int) -> Tuple[int, List[Edge]]:
+    """``rows x cols`` square lattice; vertex (r,c) -> r*cols + c.
+
+    Planar, matching the hardware-motivated cluster-state geometries
+    discussed in Section II.B of the paper.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return rows * cols, edges
+
+
+def erdos_renyi_graph(n: int, prob: float, seed: SeedLike = None) -> Tuple[int, List[Edge]]:
+    """G(n, p) random graph with explicit seeding."""
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError("prob must be in [0, 1]")
+    rng = ensure_rng(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < prob
+    ]
+    return n, edges
+
+
+def random_regular_graph(degree: int, n: int, seed: SeedLike = None) -> Tuple[int, List[Edge]]:
+    """Random ``degree``-regular graph on ``n`` vertices (3-regular MaxCut
+    instances are the canonical QAOA evaluation family)."""
+    rng = ensure_rng(seed)
+    g = nx.random_regular_graph(degree, n, seed=int(rng.integers(2**31 - 1)))
+    return n, normalize_edges(list(g.edges()))
+
+
+def random_weighted_graph(
+    n: int,
+    prob: float,
+    seed: SeedLike = None,
+    low: float = -1.0,
+    high: float = 1.0,
+) -> Tuple[int, List[Edge], Dict[Edge, float]]:
+    """Random graph with uniform edge weights in ``[low, high)``.
+
+    Used to generate generic QUBO instances (weighted quadratic terms).
+    """
+    rng = ensure_rng(seed)
+    _, edges = erdos_renyi_graph(n, prob, rng)
+    weights = {e: float(rng.uniform(low, high)) for e in edges}
+    return n, edges, weights

@@ -1,0 +1,30 @@
+"""Seeded random number generation helpers.
+
+Every stochastic routine in the library accepts a ``seed`` argument that may
+be ``None`` (fresh entropy), an integer, or an existing
+:class:`numpy.random.Generator`.  Centralizing the coercion keeps experiment
+scripts reproducible with a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or an
+        existing generator which is returned unchanged (so callers can thread
+        one generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,43 @@
+"""ZX-calculus engine.
+
+ZX-diagrams are the derivation language of the paper (Section II.A): every
+measurement pattern in Sections III-IV is obtained by rewriting a circuit
+diagram with the Fig. 1 rules.  This package provides:
+
+- :class:`~repro.zx.diagram.Diagram` — string diagrams with Z/X spiders,
+  H-boxes (the ZH extension used for the MIS mixer), plain and Hadamard
+  edges, and ordered boundaries;
+- :mod:`~repro.zx.tensor` — numerical evaluation of a diagram to its linear
+  map, the semantic ground truth every rewrite is checked against;
+- :mod:`~repro.zx.rules` — the Fig. 1 rewrite rules (f, h, id, hh, pi, c, b,
+  hopf) as executable diagram transformations;
+- :mod:`~repro.zx.circuits` — circuit ↔ diagram translation;
+- :mod:`~repro.zx.graphstate` — graph-state diagrams (Eq. 5) and phase
+  gadgets (Eq. 7);
+- :mod:`~repro.zx.zh` — ZH-calculus constructions for the Section IV
+  controlled mixer.
+
+Semantics are tracked up to a nonzero scalar, matching the paper's "∝"
+convention; comparisons go through
+:func:`repro.linalg.compare.proportionality_factor`.
+"""
+
+from repro.zx.diagram import Diagram, EdgeType, VertexType
+from repro.zx.tensor import diagram_matrix, diagram_tensor
+from repro.zx.circuits import circuit_to_diagram
+from repro.zx.graphstate import graph_state_diagram, phase_gadget_diagram
+from repro.zx.unfuse import cap_degree, max_spider_degree, unfuse
+
+__all__ = [
+    "cap_degree",
+    "max_spider_degree",
+    "unfuse",
+    "Diagram",
+    "EdgeType",
+    "VertexType",
+    "diagram_matrix",
+    "diagram_tensor",
+    "circuit_to_diagram",
+    "graph_state_diagram",
+    "phase_gadget_diagram",
+]

@@ -1,0 +1,138 @@
+"""Quantum circuit → ZX-diagram translation.
+
+Every circuit translates efficiently to a ZX-diagram (Section II.A); the
+converse is false in general, which is exactly why the paper's
+measurement-pattern extraction needs care.  Gate translations:
+
+- ``rz(t)`` → phase-t Z-spider on the wire (Eq. 6 up to sign convention),
+- ``rx(t)`` → phase-t X-spider,
+- ``h``    → Hadamard edge (pending-flag on the wire),
+- ``cz``   → Z-spiders on both wires joined by an H edge (Eq. 4),
+- ``cnot`` → Z-spider (control) joined to X-spider (target) by a plain wire,
+- ``s/sdg/t/tdg/z`` → Z-spiders with Clifford(+T) phases, ``x`` → π X-spider,
+- ``ry``  → decomposed as ``rz(π/2)·rx(t)·rz(-π/2)`` (S X S† = Y).
+
+All semantics up to global scalar.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.sim.circuit import Circuit, Gate
+from repro.zx.diagram import Diagram, EdgeType, VertexType
+
+
+class _Wire:
+    """Tracks the frontier vertex of one qubit wire during translation."""
+
+    __slots__ = ("vertex", "pending_h")
+
+    def __init__(self, vertex: int):
+        self.vertex = vertex
+        self.pending_h = False
+
+
+def _advance(d: Diagram, w: _Wire, vtype: VertexType, phase: float) -> int:
+    """Append a spider to wire ``w``, consuming any pending Hadamard."""
+    v = d.add_vertex(vtype, phase)
+    etype = EdgeType.HADAMARD if w.pending_h else EdgeType.SIMPLE
+    d.add_edge(w.vertex, v, etype)
+    w.vertex = v
+    w.pending_h = False
+    return v
+
+
+def circuit_to_diagram(circuit: Circuit) -> Diagram:
+    """Translate ``circuit`` into a ZX-diagram (equal up to global scalar)."""
+    d = Diagram()
+    wires: List[_Wire] = []
+    for _ in range(circuit.num_qubits):
+        b = d.add_boundary("input")
+        wires.append(_Wire(b))
+
+    for gate in circuit:
+        _translate_gate(d, wires, gate)
+
+    for w in wires:
+        out = d.add_boundary("output")
+        etype = EdgeType.HADAMARD if w.pending_h else EdgeType.SIMPLE
+        d.add_edge(w.vertex, out, etype)
+    return d
+
+
+def _translate_gate(d: Diagram, wires: List[_Wire], gate: Gate) -> None:
+    name = gate.name
+    qs = gate.qubits
+    if name == "i":
+        return
+    if name == "h":
+        wires[qs[0]].pending_h = not wires[qs[0]].pending_h
+        return
+    if name in ("rz", "p"):
+        _advance(d, wires[qs[0]], VertexType.Z, gate.params[0])
+        return
+    if name == "rx":
+        _advance(d, wires[qs[0]], VertexType.X, gate.params[0])
+        return
+    if name == "ry":
+        # RY(t) = S RX(t) S† up to phase; rz(π/2) rx(t) rz(-π/2) on the wire.
+        _advance(d, wires[qs[0]], VertexType.Z, -math.pi / 2)
+        _advance(d, wires[qs[0]], VertexType.X, gate.params[0])
+        _advance(d, wires[qs[0]], VertexType.Z, math.pi / 2)
+        return
+    if name == "j":
+        # J(a) = H RZ(a): Z spider then a pending Hadamard.
+        _advance(d, wires[qs[0]], VertexType.Z, gate.params[0])
+        wires[qs[0]].pending_h = True
+        return
+    if name == "z":
+        _advance(d, wires[qs[0]], VertexType.Z, math.pi)
+        return
+    if name == "x":
+        _advance(d, wires[qs[0]], VertexType.X, math.pi)
+        return
+    if name == "y":
+        _advance(d, wires[qs[0]], VertexType.Z, math.pi)
+        _advance(d, wires[qs[0]], VertexType.X, math.pi)
+        return
+    if name == "s":
+        _advance(d, wires[qs[0]], VertexType.Z, math.pi / 2)
+        return
+    if name == "sdg":
+        _advance(d, wires[qs[0]], VertexType.Z, -math.pi / 2)
+        return
+    if name == "t":
+        _advance(d, wires[qs[0]], VertexType.Z, math.pi / 4)
+        return
+    if name == "tdg":
+        _advance(d, wires[qs[0]], VertexType.Z, -math.pi / 4)
+        return
+    if name == "cz":
+        a = _advance(d, wires[qs[0]], VertexType.Z, 0.0)
+        b = _advance(d, wires[qs[1]], VertexType.Z, 0.0)
+        d.add_edge(a, b, EdgeType.HADAMARD)
+        return
+    if name == "cnot":
+        c = _advance(d, wires[qs[0]], VertexType.Z, 0.0)
+        t = _advance(d, wires[qs[1]], VertexType.X, 0.0)
+        d.add_edge(c, t, EdgeType.SIMPLE)
+        return
+    if name == "swap":
+        wires[qs[0]], wires[qs[1]] = wires[qs[1]], wires[qs[0]]
+        return
+    if name == "crz":
+        # CRZ(t) = RZ(t/2) on target, CNOT, RZ(-t/2) on target, CNOT.
+        _translate_gate(d, wires, Gate("rz", (qs[1],), (gate.params[0] / 2,)))
+        _translate_gate(d, wires, Gate("cnot", qs))
+        _translate_gate(d, wires, Gate("rz", (qs[1],), (-gate.params[0] / 2,)))
+        _translate_gate(d, wires, Gate("cnot", qs))
+        return
+    if name == "cp":
+        # CP(t) = diag(1,1,1,e^{it}) = RZ(t/2)⊗RZ(t/2) · CRZ... standard:
+        t = gate.params[0]
+        _translate_gate(d, wires, Gate("rz", (qs[0],), (t / 2,)))
+        _translate_gate(d, wires, Gate("crz", qs, (t,)))
+        return
+    raise ValueError(f"gate {name!r} has no direct ZX translation here")

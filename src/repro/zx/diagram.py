@@ -1,0 +1,283 @@
+"""ZX(H)-diagram data structure.
+
+A diagram is an undirected multigraph whose vertices are Z-spiders, X-spiders,
+H-boxes, or boundary points, and whose edges are plain wires or Hadamard
+wires.  Boundary vertices are degree-1 and appear in the ordered ``inputs`` /
+``outputs`` lists; everything else is internal and may be rearranged freely
+(only the topology matters, Section II.A of the paper).
+
+Phases are radians stored mod 2π.  H-boxes carry a complex ``param`` instead
+of a phase (ZH convention: the arity-n H-box has tensor entries
+``param`` when all legs are 1, else 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_phase(phase: float) -> float:
+    """Reduce a phase to ``[0, 2π)`` with tolerance snapping at the ends."""
+    p = math.fmod(float(phase), TWO_PI)
+    if p < 0:
+        p += TWO_PI
+    if abs(p - TWO_PI) < 1e-12:
+        p = 0.0
+    return p
+
+
+def phases_equal(a: float, b: float, atol: float = 1e-9) -> bool:
+    """Phase equality mod 2π."""
+    d = normalize_phase(a - b)
+    return d < atol or TWO_PI - d < atol
+
+
+class VertexType(enum.Enum):
+    """Kinds of diagram vertices."""
+
+    Z = "Z"
+    X = "X"
+    H_BOX = "H"
+    BOUNDARY = "B"
+
+
+class EdgeType(enum.Enum):
+    """Plain wire or Hadamard wire."""
+
+    SIMPLE = "-"
+    HADAMARD = "h"
+
+
+@dataclass
+class Vertex:
+    """Internal vertex record; ``phase`` for spiders, ``param`` for H-boxes."""
+
+    vtype: VertexType
+    phase: float = 0.0
+    param: complex = -1.0  # ZH default: H-box with param -1 is ~ Hadamard
+
+
+class Diagram:
+    """Mutable ZX(H) multigraph with ordered boundaries."""
+
+    def __init__(self) -> None:
+        self._vertices: Dict[int, Vertex] = {}
+        self._edges: Dict[int, Tuple[int, int, EdgeType]] = {}
+        self._incident: Dict[int, List[int]] = {}
+        self._next_v = 0
+        self._next_e = 0
+        self.inputs: List[int] = []
+        self.outputs: List[int] = []
+
+    # -- construction --------------------------------------------------------
+    def add_vertex(
+        self,
+        vtype: VertexType,
+        phase: float = 0.0,
+        param: complex = -1.0,
+    ) -> int:
+        v = self._next_v
+        self._next_v += 1
+        self._vertices[v] = Vertex(vtype, normalize_phase(phase), complex(param))
+        self._incident[v] = []
+        return v
+
+    def add_z(self, phase: float = 0.0) -> int:
+        return self.add_vertex(VertexType.Z, phase)
+
+    def add_x(self, phase: float = 0.0) -> int:
+        return self.add_vertex(VertexType.X, phase)
+
+    def add_hbox(self, param: complex = -1.0) -> int:
+        return self.add_vertex(VertexType.H_BOX, 0.0, param)
+
+    def add_boundary(self, kind: str) -> int:
+        """Add a boundary vertex and register it as 'input' or 'output'."""
+        v = self.add_vertex(VertexType.BOUNDARY)
+        if kind == "input":
+            self.inputs.append(v)
+        elif kind == "output":
+            self.outputs.append(v)
+        else:
+            raise ValueError("kind must be 'input' or 'output'")
+        return v
+
+    def add_edge(self, u: int, v: int, etype: EdgeType = EdgeType.SIMPLE) -> int:
+        if u not in self._vertices or v not in self._vertices:
+            raise ValueError("edge endpoint does not exist")
+        for w in (u, v):
+            if self._vertices[w].vtype is VertexType.BOUNDARY and self.degree(w) >= 1:
+                raise ValueError(f"boundary vertex {w} already has an edge")
+        e = self._next_e
+        self._next_e += 1
+        self._edges[e] = (u, v, etype)
+        self._incident[u].append(e)
+        if u != v:
+            self._incident[v].append(e)
+        else:
+            self._incident[u].append(e)  # self-loop counts twice
+        return e
+
+    # -- removal -------------------------------------------------------------
+    def remove_edge(self, e: int) -> None:
+        u, v, _ = self._edges.pop(e)
+        self._incident[u] = [x for x in self._incident[u] if x != e]
+        if v != u:
+            self._incident[v] = [x for x in self._incident[v] if x != e]
+
+    def remove_vertex(self, v: int) -> None:
+        """Remove ``v`` and all incident edges (boundary lists updated)."""
+        for e in list(self._incident.get(v, [])):
+            if e in self._edges:
+                self.remove_edge(e)
+        self._vertices.pop(v)
+        self._incident.pop(v, None)
+        self.inputs = [b for b in self.inputs if b != v]
+        self.outputs = [b for b in self.outputs if b != v]
+
+    # -- inspection ----------------------------------------------------------
+    def vertices(self) -> Iterator[int]:
+        return iter(list(self._vertices))
+
+    def edges(self) -> Iterator[int]:
+        return iter(list(self._edges))
+
+    def vertex(self, v: int) -> Vertex:
+        return self._vertices[v]
+
+    def vtype(self, v: int) -> VertexType:
+        return self._vertices[v].vtype
+
+    def phase(self, v: int) -> float:
+        return self._vertices[v].phase
+
+    def set_phase(self, v: int, phase: float) -> None:
+        self._vertices[v].phase = normalize_phase(phase)
+
+    def add_phase(self, v: int, phase: float) -> None:
+        self.set_phase(v, self._vertices[v].phase + phase)
+
+    def param(self, v: int) -> complex:
+        return self._vertices[v].param
+
+    def edge_info(self, e: int) -> Tuple[int, int, EdgeType]:
+        return self._edges[e]
+
+    def incident_edges(self, v: int) -> List[int]:
+        """Edge ids at ``v`` (self-loops listed twice)."""
+        return list(self._incident[v])
+
+    def degree(self, v: int) -> int:
+        return len(self._incident[v])
+
+    def neighbors(self, v: int) -> List[int]:
+        """Neighbor list with multiplicity (self excluded for self-loops)."""
+        out = []
+        for e in set(self._incident[v]):
+            u, w, _ = self._edges[e]
+            other = w if u == v else u
+            if other != v:
+                out.append(other)
+        return out
+
+    def edges_between(self, u: int, v: int) -> List[int]:
+        return [
+            e
+            for e in set(self._incident[u])
+            if e in self._edges and set(self._edges[e][:2]) == ({u, v} if u != v else {u})
+        ]
+
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def num_spiders(self) -> int:
+        return sum(
+            1
+            for v in self._vertices.values()
+            if v.vtype in (VertexType.Z, VertexType.X)
+        )
+
+    # -- validation & utilities ------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        for b in self.inputs + self.outputs:
+            if b not in self._vertices:
+                raise ValueError(f"boundary {b} missing")
+            if self._vertices[b].vtype is not VertexType.BOUNDARY:
+                raise ValueError(f"boundary {b} has wrong type")
+            if self.degree(b) != 1:
+                raise ValueError(f"boundary {b} must have degree 1, has {self.degree(b)}")
+        seen = set(self.inputs) & set(self.outputs)
+        if seen:
+            raise ValueError(f"vertices {seen} are both input and output")
+        for v, rec in self._vertices.items():
+            if rec.vtype is VertexType.BOUNDARY and v not in self.inputs + self.outputs:
+                raise ValueError(f"boundary vertex {v} not registered")
+
+    def copy(self) -> "Diagram":
+        d = Diagram()
+        d._vertices = {v: Vertex(r.vtype, r.phase, r.param) for v, r in self._vertices.items()}
+        d._edges = dict(self._edges)
+        d._incident = {v: list(es) for v, es in self._incident.items()}
+        d._next_v = self._next_v
+        d._next_e = self._next_e
+        d.inputs = list(self.inputs)
+        d.outputs = list(self.outputs)
+        return d
+
+    def compose(self, other: "Diagram") -> "Diagram":
+        """Sequential composition: ``other`` after ``self``.
+
+        ``self.outputs`` are glued to ``other.inputs`` (plain wires), so the
+        resulting linear map is ``M_other @ M_self``.
+        """
+        if len(self.outputs) != len(other.inputs):
+            raise ValueError("boundary arity mismatch in composition")
+        out = self.copy()
+        vmap: Dict[int, int] = {}
+        for v in other._vertices:
+            vmap[v] = out.add_vertex(
+                other._vertices[v].vtype,
+                other._vertices[v].phase,
+                other._vertices[v].param,
+            )
+        for e, (u, v, t) in other._edges.items():
+            out._edges[out._next_e] = (vmap[u], vmap[v], t)
+            out._incident[vmap[u]].append(out._next_e)
+            if u != v:
+                out._incident[vmap[v]].append(out._next_e)
+            else:
+                out._incident[vmap[u]].append(out._next_e)
+            out._next_e += 1
+        # Glue: for each pair (my output o, their input i) replace the two
+        # boundary vertices by a direct wire between their inner neighbors.
+        new_outputs = [vmap[v] for v in other.outputs]
+        for o, i in zip(list(out.outputs), [vmap[v] for v in other.inputs]):
+            (e_o,) = out.incident_edges(o)
+            (e_i,) = out.incident_edges(i)
+            uo, vo, to = out._edges[e_o]
+            ui, vi, ti = out._edges[e_i]
+            n_o = vo if uo == o else uo
+            n_i = vi if ui == i else ui
+            etype = EdgeType.HADAMARD if (to is EdgeType.HADAMARD) != (ti is EdgeType.HADAMARD) else EdgeType.SIMPLE
+            out.remove_vertex(o)
+            out.remove_vertex(i)
+            out.add_edge(n_o, n_i, etype)
+        out.outputs = new_outputs
+        # Drop other's input boundary registrations copied via vmap.
+        out.inputs = [b for b in out.inputs if b in out._vertices]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Diagram({self.num_vertices()} vertices, {self.num_edges()} edges, "
+            f"{len(self.inputs)}->{len(self.outputs)})"
+        )

@@ -1,0 +1,220 @@
+"""Graph-like form, local complementation and pivoting.
+
+The machinery of Duncan–Kissinger–Perdrix–van de Wetering (the paper's
+ref. [31]) that powers ZX-based circuit simplification and the
+MBQC/circuit correspondence:
+
+- :func:`to_graph_like` — normalize a diagram so every spider is a
+  Z-spider and every spider-spider wire is a Hadamard edge (boundary wires
+  may stay plain).  Graph-like diagrams are exactly "graph states with
+  phases", the ZX image of MBQC resource states;
+- :func:`local_complementation` — the LC rule: on a spider with phase
+  ``±π/2``, complement the neighborhood, transfer ``∓π/2`` to each
+  neighbor, delete the spider;
+- :func:`pivot` — the pivot rule on a Pauli-phase edge pair: complement
+  across the three neighborhood classes and delete both spiders.
+
+All rules are semantics-preserving up to scalar and are verified against
+tensors in ``tests/test_zx_graph_like.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Set, Tuple
+
+from repro.zx.diagram import Diagram, EdgeType, VertexType, phases_equal
+from repro.zx.rules import color_change, fuse_all, remove_identities, remove_parallel_pair
+
+_SPIDERS = (VertexType.Z, VertexType.X)
+
+
+def to_graph_like(diagram: Diagram) -> None:
+    """Normalize in place: Z-spiders only, Hadamard edges between spiders.
+
+    Steps: recolor every X spider (h rule), fuse same-color plain-connected
+    spiders, cancel parallel H-edge pairs, drop phase-0 arity-2 identities.
+    H-boxes are not supported here (ZH diagrams have no graph-like form).
+    """
+    for v in list(diagram.vertices()):
+        if diagram.vtype(v) is VertexType.H_BOX:
+            raise ValueError("graph-like form is defined for ZX (no H-boxes)")
+    for v in list(diagram.vertices()):
+        if v in set(diagram.vertices()) and diagram.vtype(v) is VertexType.X:
+            color_change(diagram, v)
+    progress = True
+    while progress:
+        progress = False
+        if fuse_all(diagram):
+            progress = True
+        for e in list(diagram.edges()):
+            try:
+                u, w, t = diagram.edge_info(e)
+            except KeyError:
+                continue
+            if (
+                u != w
+                and diagram.vtype(u) is VertexType.Z
+                and diagram.vtype(w) is VertexType.Z
+                and remove_parallel_pair(diagram, u, w)
+            ):
+                progress = True
+    # Plain spider-spider edges can only remain between same-color spiders
+    # (fused already) — so all remaining internal edges are Hadamard.
+
+
+def is_graph_like(diagram: Diagram) -> bool:
+    """True iff all spiders are Z and spider-spider edges are Hadamard,
+    with no parallel spider-spider edges or self-loops."""
+    for v in diagram.vertices():
+        if diagram.vtype(v) is VertexType.X or diagram.vtype(v) is VertexType.H_BOX:
+            return False
+    seen: Set[Tuple[int, int]] = set()
+    for e in diagram.edges():
+        u, w, t = diagram.edge_info(e)
+        if u == w:
+            return False
+        both_spiders = (
+            diagram.vtype(u) is VertexType.Z and diagram.vtype(w) is VertexType.Z
+        )
+        if both_spiders:
+            if t is not EdgeType.HADAMARD:
+                return False
+            key = (min(u, w), max(u, w))
+            if key in seen:
+                return False
+            seen.add(key)
+    return True
+
+
+def _spider_neighbors_h(diagram: Diagram, v: int) -> List[int]:
+    """Spider neighbors of ``v`` over Hadamard edges."""
+    out = []
+    for e in set(diagram.incident_edges(v)):
+        u, w, t = diagram.edge_info(e)
+        other = w if u == v else u
+        if t is EdgeType.HADAMARD and diagram.vtype(other) is VertexType.Z:
+            out.append(other)
+    return out
+
+
+def _toggle_h_edge(diagram: Diagram, a: int, b: int) -> None:
+    existing = [
+        e for e in diagram.edges_between(a, b)
+        if diagram.edge_info(e)[2] is EdgeType.HADAMARD
+    ]
+    if existing:
+        diagram.remove_edge(existing[0])
+    else:
+        diagram.add_edge(a, b, EdgeType.HADAMARD)
+
+
+def local_complementation(diagram: Diagram, v: int) -> None:
+    """LC rule: remove a ``±π/2`` Z-spider whose wires are all Hadamard
+    edges to other Z-spiders, complementing its neighborhood and adding
+    ``∓π/2`` to each neighbor."""
+    if diagram.vtype(v) is not VertexType.Z:
+        raise ValueError("local complementation needs a Z spider")
+    ph = diagram.phase(v)
+    if phases_equal(ph, math.pi / 2):
+        sign = 1.0
+    elif phases_equal(ph, 3 * math.pi / 2):
+        sign = -1.0
+    else:
+        raise ValueError("local complementation needs phase ±π/2")
+    nbrs = _spider_neighbors_h(diagram, v)
+    if len(nbrs) != diagram.degree(v) or len(set(nbrs)) != len(nbrs):
+        raise ValueError("all wires must be single Hadamard edges to Z spiders")
+    diagram.remove_vertex(v)
+    for i in range(len(nbrs)):
+        diagram.add_phase(nbrs[i], -sign * math.pi / 2)
+        for j in range(i + 1, len(nbrs)):
+            _toggle_h_edge(diagram, nbrs[i], nbrs[j])
+
+
+def pivot(diagram: Diagram, u: int, v: int) -> None:
+    """Pivot rule: delete an H-connected pair of Pauli-phase (0 or π)
+    Z-spiders, complementing edges between the three neighborhood classes
+    (N(u)-only, N(v)-only, common) and adding the partners' phases.
+
+    Requires all wires of ``u`` and ``v`` to be Hadamard edges to Z
+    spiders.
+    """
+    for w in (u, v):
+        if diagram.vtype(w) is not VertexType.Z:
+            raise ValueError("pivot needs Z spiders")
+        ph = diagram.phase(w)
+        if not (phases_equal(ph, 0.0) or phases_equal(ph, math.pi)):
+            raise ValueError("pivot needs Pauli phases (0 or π)")
+    conn = [
+        e for e in diagram.edges_between(u, v)
+        if diagram.edge_info(e)[2] is EdgeType.HADAMARD
+    ]
+    if len(conn) != 1:
+        raise ValueError("pivot needs exactly one Hadamard edge between the pair")
+    nu = set(_spider_neighbors_h(diagram, u)) - {v}
+    nv = set(_spider_neighbors_h(diagram, v)) - {u}
+    if len(nu) + 1 != diagram.degree(u) or len(nv) + 1 != diagram.degree(v):
+        raise ValueError("all wires must be single Hadamard edges to Z spiders")
+    common = nu & nv
+    only_u = nu - common
+    only_v = nv - common
+    pu, pv = diagram.phase(u), diagram.phase(v)
+    diagram.remove_vertex(u)
+    diagram.remove_vertex(v)
+    # Complement between each pair of classes.
+    for a_set, b_set in ((only_u, only_v), (only_u, common), (only_v, common)):
+        for a in a_set:
+            for b in b_set:
+                _toggle_h_edge(diagram, a, b)
+    # Phase updates: N(u)-only gains phase(v), N(v)-only gains phase(u),
+    # common gains phase(u)+phase(v)+π.
+    for a in only_u:
+        diagram.add_phase(a, pv)
+    for b in only_v:
+        diagram.add_phase(b, pu)
+    for c in common:
+        diagram.add_phase(c, pu + pv + math.pi)
+
+
+def clifford_simplify(diagram: Diagram) -> int:
+    """Greedy interior Clifford simplification: repeatedly apply LC on
+    ``±π/2`` interior spiders and pivots on Pauli pairs.  Returns the
+    number of rule applications.  (The full [31] algorithm also extracts
+    circuits; here we only reduce spider counts, which is what the
+    resource discussion needs.)"""
+    count = 0
+    progress = True
+    while progress:
+        progress = False
+        for v in list(diagram.vertices()):
+            if v not in set(diagram.vertices()):
+                continue
+            if diagram.vtype(v) is not VertexType.Z:
+                continue
+            ph = diagram.phase(v)
+            if phases_equal(ph, math.pi / 2) or phases_equal(ph, 3 * math.pi / 2):
+                try:
+                    local_complementation(diagram, v)
+                    count += 1
+                    progress = True
+                    break
+                except ValueError:
+                    continue
+        if progress:
+            continue
+        for e in list(diagram.edges()):
+            try:
+                u, w, t = diagram.edge_info(e)
+            except KeyError:
+                continue
+            if t is not EdgeType.HADAMARD or u == w:
+                continue
+            try:
+                pivot(diagram, u, w)
+                count += 1
+                progress = True
+                break
+            except ValueError:
+                continue
+    return count

@@ -1,0 +1,66 @@
+"""Graph-state and phase-gadget diagram constructors.
+
+Eq. (5): the graph state ``|G> = prod_{(u,v) in E} CZ_{uv} |+>^n`` has a
+ZX-diagram with *the same structure as G*: one phase-0 Z-spider per vertex
+carrying the output wire, one Hadamard edge per graph edge.
+
+Eq. (7): the phase-separation factor ``e^{i γ Z_u Z_v}`` is a *phase gadget*:
+a phase-0 X-spider hub on wires u,v with an arity-1 Z(±2γ) spider attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.zx.diagram import Diagram, EdgeType, VertexType
+
+
+def graph_state_diagram(n: int, edges: Sequence[Tuple[int, int]]) -> Diagram:
+    """ZX-diagram of the graph state on ``n`` vertices (Eq. 5).
+
+    Outputs are ordered by vertex index; there are no inputs (state diagram).
+    """
+    d = Diagram()
+    spiders = [d.add_z(0.0) for _ in range(n)]
+    for v in range(n):
+        out = d.add_boundary("output")
+        d.add_edge(spiders[v], out, EdgeType.SIMPLE)
+    # Keep outputs ordered by vertex (add_boundary appended in order).
+    for u, v in edges:
+        if u == v:
+            raise ValueError("graph states have no self-loops")
+        d.add_edge(spiders[u], spiders[v], EdgeType.HADAMARD)
+    return d
+
+
+def phase_gadget_diagram(
+    n: int, pairs: Sequence[Tuple[int, int]], gamma: float
+) -> Diagram:
+    """Diagram of ``prod_{(u,v)} e^{-i (gamma/2) Z_u Z_v}`` on ``n`` wires.
+
+    One gadget per pair: X-hub connected by plain wires to Z-spiders on the
+    two qubit wires, with a dangling Z(gamma) phase leaf (Eq. 7, where the
+    paper's ``e^{iγZZ}`` is ``gamma -> -2γ`` in our rotation convention).
+    """
+    d = Diagram()
+    ins = [d.add_boundary("input") for _ in range(n)]
+    frontier: List[int] = list(ins)
+
+    def put_z(q: int) -> int:
+        z = d.add_z(0.0)
+        d.add_edge(frontier[q], z, EdgeType.SIMPLE)
+        frontier[q] = z
+        return z
+
+    for u, v in pairs:
+        zu = put_z(u)
+        zv = put_z(v)
+        hub = d.add_x(0.0)
+        leaf = d.add_z(gamma)
+        d.add_edge(hub, zu, EdgeType.SIMPLE)
+        d.add_edge(hub, zv, EdgeType.SIMPLE)
+        d.add_edge(hub, leaf, EdgeType.SIMPLE)
+    for q in range(n):
+        out = d.add_boundary("output")
+        d.add_edge(frontier[q], out, EdgeType.SIMPLE)
+    return d

@@ -1,0 +1,143 @@
+"""Numerical evaluation of ZX(H)-diagrams.
+
+``diagram_tensor`` contracts a diagram to the ndarray it denotes, with open
+indices ordered ``[outputs..., inputs...]`` (little-endian within each
+group); ``diagram_matrix`` reshapes that to the ``2^|out| x 2^|in|`` linear
+map.  This is the semantic ground truth that every rewrite rule and every
+measurement-pattern derivation is verified against (up to scalar — the
+library does not track global scalars, matching the paper's "∝").
+
+Spider tensors follow Eq. (1)-(2) of the paper; Hadamard *edges* contract the
+unitary H matrix; H-*boxes* use the ZH convention (entry ``param`` at
+all-ones, else 1), so an arity-2 H-box with param -1 equals ``sqrt(2) H``.
+
+The contraction is a simple greedy pairwise ``tensordot`` over shared edge
+labels — diagrams in this library are verification-scale, so clarity beats
+contraction-order optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import HADAMARD
+from repro.zx.diagram import Diagram, EdgeType, VertexType
+
+
+def _spider_tensor(vtype: VertexType, phase: float, param: complex, degree: int) -> np.ndarray:
+    """Tensor of a single vertex with ``degree`` legs."""
+    if vtype is VertexType.Z:
+        t = np.zeros((2,) * degree, dtype=complex) if degree else np.zeros((), dtype=complex)
+        if degree == 0:
+            return np.asarray(1.0 + np.exp(1j * phase), dtype=complex)
+        t[(0,) * degree] = 1.0
+        t[(1,) * degree] = np.exp(1j * phase)
+        return t
+    if vtype is VertexType.X:
+        # X spider = Z spider with H on every leg (|+>/|-> basis), Eq. (2).
+        t = _spider_tensor(VertexType.Z, phase, param, degree)
+        for axis in range(degree):
+            t = np.tensordot(HADAMARD, t, axes=([1], [axis]))
+            t = np.moveaxis(t, 0, axis)
+        return t
+    if vtype is VertexType.H_BOX:
+        # ZH: all entries 1 except ``param`` at the all-ones position.
+        if degree == 0:
+            return np.asarray(param, dtype=complex)
+        t = np.ones((2,) * degree, dtype=complex)
+        t[(1,) * degree] = param
+        return t
+    raise ValueError(f"no tensor for vertex type {vtype}")
+
+
+def _contract_pair(
+    a: np.ndarray, la: List[str], b: np.ndarray, lb: List[str]
+) -> Tuple[np.ndarray, List[str]]:
+    """tensordot over all shared labels; outer product when none shared."""
+    shared = [x for x in la if x in lb]
+    if not shared:
+        out = np.tensordot(a, b, axes=0)
+        return out, la + lb
+    ax_a = [la.index(x) for x in shared]
+    ax_b = [lb.index(x) for x in shared]
+    out = np.tensordot(a, b, axes=(ax_a, ax_b))
+    rem_a = [x for i, x in enumerate(la) if i not in ax_a]
+    rem_b = [x for i, x in enumerate(lb) if i not in ax_b]
+    return out, rem_a + rem_b
+
+
+def diagram_tensor(diagram: Diagram) -> np.ndarray:
+    """Contract ``diagram`` to its tensor, axes ``[outputs..., inputs...]``."""
+    diagram.validate()
+    tensors: List[Tuple[np.ndarray, List[str]]] = []
+    open_labels: Dict[int, str] = {}  # boundary vertex -> label
+
+    # Each edge incidence gets a unique label; edge tensors join the two ends.
+    for e in diagram.edges():
+        u, v, etype = diagram.edge_info(e)
+        la, lb = f"e{e}a", f"e{e}b"
+        if etype is EdgeType.HADAMARD:
+            tensors.append((HADAMARD.astype(complex), [la, lb]))
+        else:
+            tensors.append((np.eye(2, dtype=complex), [la, lb]))
+
+    # Vertex tensors; boundaries contribute open labels instead.
+    for v in diagram.vertices():
+        rec = diagram.vertex(v)
+        labels: List[str] = []
+        for e in diagram.incident_edges(v):
+            u, w, _ = diagram.edge_info(e)
+            if u == w:  # self-loop: both ends belong to v
+                if f"e{e}a" not in labels:
+                    labels.extend([f"e{e}a", f"e{e}b"])
+            else:
+                labels.append(f"e{e}a" if u == v else f"e{e}b")
+        if rec.vtype is VertexType.BOUNDARY:
+            if len(labels) != 1:
+                raise ValueError(f"boundary vertex {v} must have exactly one edge")
+            open_labels[v] = labels[0]
+            continue
+        tensors.append((_spider_tensor(rec.vtype, rec.phase, rec.param, len(labels)), labels))
+
+    if not tensors:
+        return np.asarray(1.0, dtype=complex)
+
+    # Greedy contraction: fold tensors into an accumulator, preferring ones
+    # that share labels so intermediate rank stays bounded.
+    acc, lacc = tensors[0]
+    rest = tensors[1:]
+    while rest:
+        pick = next((i for i, (_, lb) in enumerate(rest) if set(lb) & set(lacc)), 0)
+        b, lb = rest.pop(pick)
+        acc, lacc = _contract_pair(acc, lacc, b, lb)
+
+    # Order open axes: outputs little-endian first, then inputs.
+    want = [open_labels[v] for v in diagram.outputs] + [
+        open_labels[v] for v in diagram.inputs
+    ]
+    if sorted(want) != sorted(lacc):
+        raise RuntimeError(
+            f"contraction left labels {lacc}, expected boundary labels {want}"
+        )
+    perm = [lacc.index(x) for x in want]
+    return np.transpose(acc, perm) if perm else acc
+
+
+def diagram_matrix(diagram: Diagram) -> np.ndarray:
+    """The diagram's linear map as a ``2^|out| x 2^|in|`` matrix.
+
+    Row index is little-endian over outputs, column index little-endian over
+    inputs, matching :meth:`repro.sim.StateVector.to_array`.
+    """
+    t = diagram_tensor(diagram)
+    n_out = len(diagram.outputs)
+    n_in = len(diagram.inputs)
+    if t.ndim != n_out + n_in:
+        raise RuntimeError("tensor rank mismatch")
+    # Axes are [out_0..out_{k-1}, in_0..]; little-endian flattening needs the
+    # *last* axis to vary fastest with bit 0, i.e. reverse each group.
+    perm = list(reversed(range(n_out))) + [n_out + i for i in reversed(range(n_in))]
+    t = np.transpose(t, perm) if perm else t
+    return t.reshape(1 << n_out, 1 << n_in)

@@ -1,0 +1,89 @@
+"""Spider un-fusing and degree capping (Section III / ref. [49]).
+
+The paper: the MBQC-QAOA resource graph "is not a planar graph in general.
+However, it can be compiled in a straight-forward way into planar graphs of
+the target hardware via un-fusing nodes [49]".  Un-fusing is the inverse of
+the (f) rule: split a spider into two same-color spiders joined by a plain
+wire, partitioning its legs.  Iterating it caps the maximum spider degree —
+the first step of compiling onto degree-limited (e.g. photonic cluster)
+hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.zx.diagram import Diagram, EdgeType, VertexType
+
+_SPIDERS = (VertexType.Z, VertexType.X)
+
+
+def unfuse(diagram: Diagram, vertex: int, moved_edges: Sequence[int]) -> int:
+    """Split ``vertex``: a fresh same-color phase-0 spider takes over the
+    edges in ``moved_edges`` and connects back by a plain wire.
+
+    Inverse of :func:`repro.zx.rules.fuse`; semantics preserved exactly (up
+    to the global-scalar convention).  Returns the new spider's id.
+    """
+    if diagram.vtype(vertex) not in _SPIDERS:
+        raise ValueError("can only unfuse spiders")
+    moved = list(moved_edges)
+    incident = set(diagram.incident_edges(vertex))
+    if not set(moved) <= incident:
+        raise ValueError("moved edges must be incident to the vertex")
+    if len(set(moved)) != len(moved):
+        raise ValueError("duplicate edges in moved set")
+    new = diagram.add_vertex(diagram.vtype(vertex), 0.0)
+    for e in moved:
+        u, v, t = diagram.edge_info(e)
+        if u == v:
+            raise ValueError("cannot move a self-loop")
+        other = v if u == vertex else u
+        diagram.remove_edge(e)
+        diagram.add_edge(new, other, t)
+    diagram.add_edge(vertex, new, EdgeType.SIMPLE)
+    return new
+
+
+def cap_degree(diagram: Diagram, max_degree: int) -> int:
+    """Unfuse until every spider has degree ≤ ``max_degree``.
+
+    Splits the worst spider's legs into a chain (each split moves
+    ``max_degree − 1`` legs onto a fresh spider, keeping one slot for the
+    connecting wire).  Returns the number of splits performed.  Requires
+    ``max_degree ≥ 3`` (a chain link needs 1 connector + ≥2 payload legs to
+    make progress).
+    """
+    if max_degree < 3:
+        raise ValueError("max_degree must be at least 3")
+    splits = 0
+    progress = True
+    while progress:
+        progress = False
+        for v in diagram.vertices():
+            if diagram.vtype(v) not in _SPIDERS:
+                continue
+            deg = diagram.degree(v)
+            if deg <= max_degree:
+                continue
+            movable = [
+                e
+                for e in diagram.incident_edges(v)
+                if diagram.edge_info(e)[0] != diagram.edge_info(e)[1]
+            ]
+            take = movable[: max_degree - 1]
+            unfuse(diagram, v, take)
+            splits += 1
+            progress = True
+            break
+    return splits
+
+
+def max_spider_degree(diagram: Diagram) -> int:
+    """Largest spider degree (0 for spider-free diagrams)."""
+    degs = [
+        diagram.degree(v)
+        for v in diagram.vertices()
+        if diagram.vtype(v) in _SPIDERS
+    ]
+    return max(degs, default=0)

@@ -1,0 +1,92 @@
+"""ZH-calculus constructions (Section IV of the paper).
+
+The ZH-calculus extends ZX with arity-n *H-boxes*: the n-legged box with
+parameter ``a`` denotes the tensor with entry ``a`` at all-ones and 1
+elsewhere, i.e. the diagonal map ``|x1..xn> -> a^{x1·x2·..·xn}|x1..xn>``
+when placed on wires.  This is precisely the "classical non-linearity"
+needed for multi-controlled gates: the paper (Sec. IV) uses it to express
+the MIS partial mixer
+
+    ``U_v(β) = Λ_{N(v)}(e^{iβ X_v})``
+
+the X-rotation on v controlled on *all neighbors being 0*.  We realize it
+as two H-boxes:
+
+- box A with param ``e^{iβ}`` on the (negated) control wires — the global
+  ``e^{iβ}`` phase branch when every control fires,
+- box B with param ``e^{-2iβ}`` on controls plus the (Hadamard-conjugated)
+  target — since ``e^{iβX} = H e^{iβZ} H`` and
+  ``e^{iβZ} = e^{iβ} diag(1, e^{-2iβ})``.
+
+Zero-controls are handled by sandwiching each control wire between X(π)
+spiders (NOT conjugation).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Tuple
+
+from repro.zx.diagram import Diagram, EdgeType, VertexType
+
+
+def controlled_phase_hbox_diagram(num_wires: int, phi: float) -> Diagram:
+    """Diagram of ``|x> -> e^{i phi * x1·x2·...·xn} |x>`` on ``num_wires``.
+
+    One Z-spider per wire, all joined to a single H-box with parameter
+    ``e^{i phi}``.  For ``num_wires == 2`` this is CP(phi) up to scalar.
+    """
+    if num_wires < 1:
+        raise ValueError("need at least one wire")
+    d = Diagram()
+    box = d.add_hbox(cmath.exp(1j * phi))
+    for _ in range(num_wires):
+        i = d.add_boundary("input")
+        z = d.add_z(0.0)
+        o = d.add_boundary("output")
+        d.add_edge(i, z, EdgeType.SIMPLE)
+        d.add_edge(z, o, EdgeType.SIMPLE)
+        d.add_edge(z, box, EdgeType.SIMPLE)
+    return d
+
+
+def mis_partial_mixer_diagram(degree: int, beta: float) -> Diagram:
+    """ZH-diagram of the MIS partial mixer ``U_v(β) = Λ_{N(v)}(e^{iβX_v})``.
+
+    Wire layout (little-endian order of boundaries): wires ``0..degree-1``
+    are the neighborhood ``N(v)`` (controls on value 0), wire ``degree`` is
+    the vertex ``v`` itself.  Matches the paper's Section IV diagram with
+    the ``e^{iβ}``-labeled H-box.
+    """
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    d = Diagram()
+    box_a = d.add_hbox(cmath.exp(1j * beta))
+    box_b = d.add_hbox(cmath.exp(-2j * beta))
+
+    # Control wires: X(π) – Z – X(π), hub Z joined to both boxes.
+    for _ in range(degree):
+        i = d.add_boundary("input")
+        x1 = d.add_x(math.pi)
+        z = d.add_z(0.0)
+        x2 = d.add_x(math.pi)
+        o = d.add_boundary("output")
+        d.add_edge(i, x1, EdgeType.SIMPLE)
+        d.add_edge(x1, z, EdgeType.SIMPLE)
+        d.add_edge(z, x2, EdgeType.SIMPLE)
+        d.add_edge(x2, o, EdgeType.SIMPLE)
+        d.add_edge(z, box_a, EdgeType.SIMPLE)
+        d.add_edge(z, box_b, EdgeType.SIMPLE)
+
+    # Target wire: H – Z – H, hub joined to box B only.
+    i = d.add_boundary("input")
+    z = d.add_z(0.0)
+    o = d.add_boundary("output")
+    d.add_edge(i, z, EdgeType.HADAMARD)
+    d.add_edge(z, o, EdgeType.HADAMARD)
+    d.add_edge(z, box_b, EdgeType.SIMPLE)
+
+    # Degenerate case: with no controls box A is a free scalar e^{iβ} and
+    # box B an arity-1 box — both handled by the tensor evaluator.
+    return d

@@ -1,0 +1,84 @@
+"""CLI tests (argument parsing, each subcommand end to end)."""
+
+import pytest
+
+from repro.cli import main, parse_problem
+from repro.problems import MaxCut
+
+
+class TestParseProblem:
+    def test_ring(self):
+        name, qubo, mc = parse_problem("ring:5")
+        assert name == "maxcut-ring-5"
+        assert qubo.num_variables == 5
+        assert isinstance(mc, MaxCut)
+
+    def test_regular_with_seed(self):
+        name, qubo, _ = parse_problem("regular:3,8,7")
+        assert qubo.num_variables == 8
+
+    def test_complete(self):
+        _, qubo, _ = parse_problem("complete:4")
+        assert len(qubo.quadratic_terms()) == 6
+
+    def test_mis_ring(self):
+        name, qubo, mis = parse_problem("mis-ring:5")
+        assert name == "mis-ring-5"
+        assert qubo.num_variables == 5
+
+    def test_partition(self):
+        _, qubo, _ = parse_problem("partition:5,3")
+        assert qubo.num_variables == 5
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            parse_problem("ring")
+        with pytest.raises(ValueError):
+            parse_problem("ring:abc")
+        with pytest.raises(ValueError):
+            parse_problem("torus:5")
+
+
+class TestCommands:
+    def test_compile(self, capsys):
+        assert main(["compile", "ring:4", "--gamma", "0.4", "--beta", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "graph-state nodes" in out
+        assert "peak live qubits" in out
+
+    def test_compile_graph_first(self, capsys):
+        rc = main(["compile", "ring:4", "--gamma", "0.4", "--beta", "0.7",
+                   "--schedule", "graph-first"])
+        assert rc == 0
+        assert "graph-first" in capsys.readouterr().out
+
+    def test_compile_with_grid_search(self, capsys):
+        assert main(["compile", "ring:4"]) == 0
+        out = capsys.readouterr().out
+        assert "gammas" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "ring:4", "--gamma", "0.4", "--beta", "0.7",
+                   "--shots", "64", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best cut" in out
+
+    def test_resources(self, capsys):
+        assert main(["resources", "ring:6", "--depths", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "NQ_bound" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "ring:6", "--stop-at", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cut          6" in out
+
+    def test_param_length_error(self, capsys):
+        rc = main(["compile", "ring:4", "--p", "2", "--gamma", "0.1",
+                   "--beta", "0.2"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_problem_error(self, capsys):
+        assert main(["compile", "nope:3"]) == 2

@@ -1,0 +1,233 @@
+"""Experiment E6 (headline): MBQC-QAOA ≡ gate-model QAOA.
+
+For random QUBOs and MaxCut instances, arbitrary parameters and depths,
+the compiled measurement pattern prepares exactly the QAOA state — checked
+over all (or sampled) outcome branches — and the pattern's open graph
+admits an extended gflow (the paper's determinism criterion).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CompiledQAOA,
+    check_pattern_determinism,
+    compile_qaoa_pattern,
+    pattern_equals_unitary,
+    pattern_state_equals,
+)
+from repro.core.compiler import measurement_order
+from repro.mbqc import OpenGraph, find_gflow
+from repro.mbqc.flow import verify_gflow
+from repro.problems import QUBO, MaxCut, MinVertexCover
+from repro.qaoa import qaoa_circuit, qaoa_state
+from repro.qaoa.circuits import qaoa_circuit_from_qubo
+
+
+def random_qubo(n: int, seed: int, density: float = 0.6) -> QUBO:
+    rng = np.random.default_rng(seed)
+    m = np.triu(rng.normal(size=(n, n)), 0)
+    mask = np.triu(rng.random((n, n)) < density, 1)
+    m = m * (mask + np.eye(n, dtype=bool) * (rng.random(n) < 0.5))
+    return QUBO(m)
+
+
+class TestStatePreparation:
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_maxcut_triangle_all_params(self, p):
+        mc = MaxCut(3, [(0, 1), (1, 2), (0, 2)])
+        rng = np.random.default_rng(p)
+        gammas = rng.uniform(-np.pi, np.pi, p)
+        betas = rng.uniform(-np.pi, np.pi, p)
+        compiled = compile_qaoa_pattern(mc.to_qubo(), gammas, betas)
+        target = qaoa_state(mc.to_qubo().to_ising().energy_vector(), gammas, betas)
+        max_branches = None if p == 1 else 24
+        assert pattern_state_equals(
+            compiled.pattern, target, max_branches=max_branches, seed=1
+        )
+
+    def test_general_qubo_with_linear_terms(self):
+        """The Eq. (12) general-QUBO case (nonzero γ' wires)."""
+        vc = MinVertexCover(3, [(0, 1), (1, 2)])
+        qubo = vc.to_qubo()
+        gammas, betas = [0.37], [0.81]
+        compiled = compile_qaoa_pattern(qubo, gammas, betas)
+        assert compiled.count_role("field-ancilla") == len(qubo.to_ising().fields)
+        assert compiled.count_role("field-ancilla") > 0
+        target = qaoa_state(qubo.to_ising().energy_vector(), gammas, betas)
+        assert pattern_state_equals(compiled.pattern, target, max_branches=48, seed=2)
+
+    def test_random_qubo_p1(self):
+        qubo = random_qubo(3, seed=5)
+        gammas, betas = [0.63], [-0.29]
+        compiled = compile_qaoa_pattern(qubo, gammas, betas)
+        target = qaoa_state(qubo.to_ising().energy_vector(), gammas, betas)
+        assert pattern_state_equals(compiled.pattern, target, max_branches=64, seed=3)
+
+    def test_depth_three(self):
+        mc = MaxCut(3, [(0, 1), (1, 2)])
+        rng = np.random.default_rng(33)
+        gammas = rng.uniform(-1, 1, 3)
+        betas = rng.uniform(-1, 1, 3)
+        compiled = compile_qaoa_pattern(mc.to_qubo(), gammas, betas)
+        target = qaoa_state(mc.to_qubo().to_ising().energy_vector(), gammas, betas)
+        assert pattern_state_equals(compiled.pattern, target, max_branches=20, seed=4)
+
+    def test_single_vertex_no_edges(self):
+        qubo = QUBO.from_terms(1, {}, [1.0])
+        compiled = compile_qaoa_pattern(qubo, [0.4], [0.7])
+        ising = qubo.to_ising()
+        target = qaoa_state(ising.energy_vector(), [0.4], [0.7])
+        assert pattern_state_equals(compiled.pattern, target)
+
+
+class TestUnitaryEquivalence:
+    def test_open_inputs_implements_qaoa_unitary(self):
+        """With open inputs the pattern implements the QAOA circuit unitary
+        (minus the initial H layer) on arbitrary states."""
+        mc = MaxCut(2, [(0, 1)])
+        gammas, betas = [0.52], [-0.33]
+        compiled = compile_qaoa_pattern(mc.to_qubo(), gammas, betas, open_inputs=True)
+        circ = qaoa_circuit_from_qubo(mc.to_qubo(), gammas, betas)
+        # Strip the initial Hadamard layer: the pattern acts on raw inputs.
+        no_h = qaoa_circuit(mc.to_qubo().to_ising(), gammas, betas, include_initial_layer=False)
+        assert pattern_equals_unitary(compiled.pattern, no_h.unitary(), max_branches=None)
+
+    def test_determinism_exhaustive_small(self):
+        mc = MaxCut(2, [(0, 1)])
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.9], [0.4], open_inputs=True)
+        assert check_pattern_determinism(compiled.pattern)
+
+    @given(st.floats(-3.0, 3.0), st.floats(-3.0, 3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_arbitrary_parameters_property(self, gamma, beta):
+        """The paper's 'arbitrary algorithm parameters' claim at p=1."""
+        mc = MaxCut(2, [(0, 1)])
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [gamma], [beta])
+        target = qaoa_state(mc.to_qubo().to_ising().energy_vector(), [gamma], [beta])
+        assert pattern_state_equals(compiled.pattern, target, atol=1e-7)
+
+
+class TestScheduling:
+    def test_graph_first_equals_eager(self):
+        mc = MaxCut(3, [(0, 1), (1, 2)])
+        gammas, betas = [0.7], [0.2]
+        eager = compile_qaoa_pattern(mc.to_qubo(), gammas, betas, schedule="eager")
+        first = compile_qaoa_pattern(mc.to_qubo(), gammas, betas, schedule="graph-first")
+        target = qaoa_state(mc.to_qubo().to_ising().energy_vector(), gammas, betas)
+        assert pattern_state_equals(eager.pattern, target, max_branches=32, seed=5)
+        assert pattern_state_equals(first.pattern, target, max_branches=32, seed=6)
+
+    def test_graph_first_is_nemc(self):
+        """Graph-first = the literal one-way model: all preparations and
+        entanglers before any measurement (algorithm-independent resource
+        state)."""
+        from repro.mbqc.pattern import CommandE, CommandM, CommandN
+
+        mc = MaxCut(3, [(0, 1), (1, 2)])
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.3], [0.5], schedule="graph-first")
+        kinds = [type(c).__name__ for c in compiled.pattern.commands]
+        first_m = kinds.index("CommandM")
+        assert all(k != "CommandN" and k != "CommandE" for k in kinds[first_m:] if k == "CommandN" or k == "CommandE")
+        # All E's precede all M's:
+        assert max(i for i, k in enumerate(kinds) if k == "CommandE") < first_m
+
+    def test_eager_live_set_smaller(self):
+        from repro.core.reuse import peak_live_qubits
+
+        mc = MaxCut.ring(4)
+        eager = compile_qaoa_pattern(mc.to_qubo(), [0.1, 0.2], [0.3, 0.4], schedule="eager")
+        first = compile_qaoa_pattern(mc.to_qubo(), [0.1, 0.2], [0.3, 0.4], schedule="graph-first")
+        assert peak_live_qubits(eager.pattern) < peak_live_qubits(first.pattern)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.1], [0.1], schedule="lazy")
+
+
+class TestStructure:
+    def test_node_counts_match_paper(self):
+        """Section III.A: per layer, 1 ancilla/edge + 2/vertex (+1/field).
+
+        Unweighted MaxCut's Ising form has no linear fields (they cancel in
+        the -cut expansion), so the count is exactly ``|V| + p(|E|+2|V|)``.
+        """
+        mc = MaxCut.ring(5)
+        p = 3
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.1] * p, [0.1] * p)
+        v, e = 5, 5
+        assert len(compiled.ising.fields) == 0
+        assert compiled.count_role("edge-ancilla") == p * e
+        assert compiled.count_role("field-ancilla") == 0
+        assert compiled.count_role("mixer-ancilla") == 2 * p * v
+        assert compiled.num_nodes() == v + p * (e + 2 * v)
+
+    def test_node_counts_general_qubo(self):
+        """General QUBO: +1 node per nonzero field per layer (Eq. 12)."""
+        vc = MinVertexCover(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        ising = vc.to_qubo().to_ising()
+        p = 2
+        compiled = compile_qaoa_pattern(vc.to_qubo(), [0.1] * p, [0.1] * p)
+        v, e, lin = 4, 4, len(ising.fields)
+        assert compiled.num_nodes() == v + p * (e + 2 * v + lin)
+
+    def test_measurement_order_layered(self):
+        """Per layer: edge ancillas, then field ancillas, then the
+        vertex-chain measurements — the paper's n-then-m ordering."""
+        mc = MaxCut(3, [(0, 1), (1, 2)])
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.1, 0.2], [0.3, 0.4])
+        order = measurement_order(compiled)
+        layer_of = {
+            node: compiled.roles[node][1]
+            for node in order
+            if node in compiled.roles and compiled.roles[node][0] != "wire-init"
+        }
+        # Wire-init nodes are measured during layer-1 mixing; ancillas carry
+        # their own layer tag.  Check ancilla layers are non-decreasing.
+        anc_layers = [
+            compiled.roles[n][1]
+            for n in order
+            if compiled.roles.get(n, ("", 0, ()))[0] in ("edge-ancilla", "field-ancilla")
+        ]
+        assert anc_layers == sorted(anc_layers)
+
+    def test_pattern_validates(self):
+        compiled = compile_qaoa_pattern(MaxCut.ring(4).to_qubo(), [0.1], [0.2])
+        compiled.pattern.validate()
+
+    def test_param_mismatch(self):
+        with pytest.raises(ValueError):
+            compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.1, 0.2], [0.1])
+
+    def test_rejects_bad_problem_type(self):
+        with pytest.raises(TypeError):
+            compile_qaoa_pattern("not a qubo", [0.1], [0.1])
+
+    def test_include_fields_false_drops_ancillas(self):
+        vc = MinVertexCover(3, [(0, 1), (1, 2)])
+        with_f = compile_qaoa_pattern(vc.to_qubo(), [0.1], [0.1], include_fields=True)
+        without = compile_qaoa_pattern(vc.to_qubo(), [0.1], [0.1], include_fields=False)
+        assert without.count_role("field-ancilla") == 0
+        assert with_f.num_nodes() > without.num_nodes()
+
+
+class TestGFlow:
+    def test_compiled_pattern_has_gflow(self):
+        """The paper's determinism criterion: the compiled open graph
+        admits an extended gflow."""
+        mc = MaxCut(3, [(0, 1), (1, 2)])
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.3], [0.7])
+        og = OpenGraph.from_pattern(compiled.pattern)
+        gf = find_gflow(og)
+        assert gf is not None
+        assert verify_gflow(og, gf)
+
+    def test_gflow_with_open_inputs(self):
+        mc = MaxCut(2, [(0, 1)])
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.3], [0.7], open_inputs=True)
+        og = OpenGraph.from_pattern(compiled.pattern)
+        gf = find_gflow(og)
+        assert gf is not None
+        assert verify_gflow(og, gf)

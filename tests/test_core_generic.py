@@ -1,0 +1,141 @@
+"""Tests for the generic circuit→pattern compiler (the paper's baseline)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_pattern_determinism, circuit_to_pattern, pattern_equals_unitary
+from repro.core.generic import generic_pattern_counts
+from repro.linalg import allclose_up_to_global_phase
+from repro.mbqc.runner import run_pattern
+from repro.sim import Circuit
+
+
+class TestSingleGates:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("h", ()),
+            ("x", ()),
+            ("y", ()),
+            ("z", ()),
+            ("s", ()),
+            ("sdg", ()),
+            ("t", ()),
+            ("tdg", ()),
+            ("rz", (0.71,)),
+            ("rx", (-1.2,)),
+            ("ry", (0.93,)),
+            ("p", (0.4,)),
+            ("j", (0.55,)),
+        ],
+    )
+    def test_single_qubit_gates(self, name, params):
+        c = Circuit(1).append(name, (0,), *params)
+        p = circuit_to_pattern(c)
+        assert pattern_equals_unitary(p, c.unitary(), max_branches=32, seed=0)
+
+    def test_identity_gate_free(self):
+        c = Circuit(1).append("i", (0,))
+        p = circuit_to_pattern(c)
+        assert p.num_nodes() == 1  # no ancillas
+
+    def test_unsupported_gate(self):
+        c = Circuit(3).append("ccx", (0, 1, 2))
+        with pytest.raises(ValueError):
+            circuit_to_pattern(c)
+
+
+class TestTwoQubitGates:
+    def test_cz(self):
+        c = Circuit(2).cz(0, 1)
+        p = circuit_to_pattern(c)
+        assert pattern_equals_unitary(p, c.unitary())
+        assert p.num_nodes() == 2  # native, no ancillas
+
+    def test_cnot(self):
+        c = Circuit(2).cnot(0, 1)
+        p = circuit_to_pattern(c)
+        assert pattern_equals_unitary(p, c.unitary())
+
+    def test_swap_is_free(self):
+        c = Circuit(2).append("swap", (0, 1))
+        p = circuit_to_pattern(c)
+        assert p.num_nodes() == 2
+        assert pattern_equals_unitary(p, c.unitary())
+
+    def test_rzz_via_cnot_rz(self):
+        c = Circuit(2).rzz(0, 1, 0.77)
+        p = circuit_to_pattern(c)
+        assert pattern_equals_unitary(p, c.unitary(), max_branches=64, seed=1)
+
+    def test_bell_preparation_closed(self):
+        c = Circuit(2).h(0).cnot(0, 1)
+        p = circuit_to_pattern(c, open_inputs=False, initial="zero")
+        from repro.core.verify import pattern_state_equals
+
+        bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert pattern_state_equals(p, bell, max_branches=None)
+
+
+class TestRandomCircuits:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["h", "s", "t", "rz", "rx", "cz", "cnot"]),
+                st.integers(0, 1),
+                st.integers(0, 1),
+                st.floats(-3.0, 3.0),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_circuit_property(self, moves):
+        c = Circuit(2)
+        for name, a, b, theta in moves:
+            if name in ("h", "s", "t"):
+                c.append(name, (a,))
+            elif name in ("rz", "rx"):
+                c.append(name, (a,), theta)
+            else:
+                if a == b:
+                    continue
+                c.append(name, (a, b))
+        p = circuit_to_pattern(c)
+        assert pattern_equals_unitary(
+            p, c.unitary(), max_branches=16, seed=7, atol=1e-7
+        )
+
+    def test_deterministic(self):
+        c = Circuit(2).h(0).cnot(0, 1).rz(1, 0.4).h(1)
+        p = circuit_to_pattern(c)
+        assert check_pattern_determinism(p, max_branches=32, seed=3)
+
+
+class TestOverhead:
+    def test_generic_beats_nothing_but_works(self):
+        """E12 raw material: the generic translation of the QAOA circuit is
+        strictly larger than the tailored compilation."""
+        from repro.core import compile_qaoa_pattern
+        from repro.problems import MaxCut
+        from repro.qaoa.circuits import qaoa_circuit
+
+        mc = MaxCut.ring(4)
+        ising = mc.to_qubo().to_ising()
+        circ = qaoa_circuit(ising, [0.3], [0.7])
+        counts = generic_pattern_counts(circ)
+        tailored = compile_qaoa_pattern(mc.to_qubo(), [0.3], [0.7])
+        assert counts["nodes"] > tailored.num_nodes()
+        assert counts["entanglers"] > tailored.num_entanglers()
+
+    def test_counts_shape(self):
+        c = Circuit(2).h(0).cz(0, 1)
+        counts = generic_pattern_counts(c)
+        assert counts["nodes"] == 3
+        assert counts["entanglers"] == 2
+        assert counts["measurements"] == 1

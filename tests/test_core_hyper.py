@@ -1,0 +1,126 @@
+"""Higher-order MBQC-QAOA: hyperedge gadgets and the PUBO compiler."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.core.gadgets import WireTracker
+from repro.core.hyper import compile_pubo_qaoa_pattern, pubo_resource_counts
+from repro.core.verify import (
+    check_pattern_determinism,
+    pattern_equals_unitary,
+    pattern_state_equals,
+)
+from repro.linalg import PauliString
+from repro.problems.pubo import PUBO, MaxThreeSat
+from repro.qaoa import qaoa_state
+
+
+def zk_exponential(k: int, theta: float) -> np.ndarray:
+    """exp(i (theta/2) Z^{⊗k})."""
+    z = PauliString({i: "Z" for i in range(k)}).to_matrix(k)
+    return expm(1j * (theta / 2.0) * z)
+
+
+class TestHyperedgeGadget:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_exponential(self, k):
+        theta = 0.83
+        tracker = WireTracker.begin(k, open_inputs=True)
+        tracker.hyperedge_gadget(list(range(k)), theta)
+        p = tracker.finish()
+        assert pattern_equals_unitary(p, zk_exponential(k, theta))
+        assert check_pattern_determinism(p)
+
+    def test_k1_equals_hanging_rz(self):
+        theta = -0.71
+        t1 = WireTracker.begin(1, open_inputs=True)
+        t1.hyperedge_gadget([0], theta)
+        t2 = WireTracker.begin(1, open_inputs=True)
+        t2.hanging_rz_gadget(0, theta)
+        from repro.mbqc.runner import pattern_to_matrix
+
+        m1 = pattern_to_matrix(t1.finish(), {1: 0})
+        m2 = pattern_to_matrix(t2.finish(), {1: 0})
+        assert np.allclose(m1, m2)
+
+    def test_one_ancilla_k_entanglers(self):
+        tracker = WireTracker.begin(3, open_inputs=True)
+        tracker.hyperedge_gadget([0, 1, 2], 0.4)
+        p = tracker.finish()
+        assert p.num_nodes() == 4
+        assert len(p.entangling_edges()) == 3
+
+    def test_byproduct_adaptivity_after_mixer(self):
+        tracker = WireTracker.begin(3, open_inputs=True)
+        for w in range(3):
+            tracker.rx(w, 0.6)
+        a = tracker.hyperedge_gadget([0, 1, 2], 0.9)
+        p = tracker.finish()
+        m = p.measurement_of(a)
+        assert len(m.s_domain) == 3  # all three wires' X byproducts
+        from repro.linalg import kron_all, rx as rx_mat
+
+        u = zk_exponential(3, 0.9) @ kron_all([rx_mat(0.6)] * 3)
+        assert pattern_equals_unitary(p, u, max_branches=16, seed=0)
+
+    def test_validation(self):
+        tracker = WireTracker.begin(2, open_inputs=True)
+        with pytest.raises(ValueError):
+            tracker.hyperedge_gadget([0, 0], 0.1)
+        with pytest.raises(ValueError):
+            tracker.hyperedge_gadget([], 0.1)
+
+
+class TestPUBOCompiler:
+    def test_cubic_term_state_preparation(self):
+        pubo = PUBO(3, {frozenset({0, 1, 2}): 0.8, frozenset({0, 1}): -0.5})
+        gammas, betas = [0.45], [0.3]
+        pattern = compile_pubo_qaoa_pattern(pubo, gammas, betas)
+        target = qaoa_state(pubo.energy_vector(), gammas, betas)
+        assert pattern_state_equals(pattern, target, max_branches=32, seed=1)
+
+    def test_depth_two(self):
+        pubo = PUBO(3, {frozenset({0, 1, 2}): 1.0})
+        gammas, betas = [0.3, -0.7], [0.5, 0.2]
+        pattern = compile_pubo_qaoa_pattern(pubo, gammas, betas)
+        target = qaoa_state(pubo.energy_vector(), gammas, betas)
+        assert pattern_state_equals(pattern, target, max_branches=24, seed=2)
+
+    def test_open_inputs_unitary(self):
+        pubo = PUBO(2, {frozenset({0, 1}): 0.6})
+        pattern = compile_pubo_qaoa_pattern(pubo, [0.4], [0.25], open_inputs=True)
+        assert check_pattern_determinism(pattern, max_branches=32, seed=3)
+
+    def test_graph_first_schedule(self):
+        pubo = PUBO(2, {frozenset({0, 1}): 0.6})
+        pattern = compile_pubo_qaoa_pattern(pubo, [0.4], [0.25], schedule="graph-first")
+        target = qaoa_state(pubo.energy_vector(), [0.4], [0.25])
+        assert pattern_state_equals(pattern, target, max_branches=16, seed=4)
+
+    def test_max3sat_small(self):
+        sat = MaxThreeSat(3, [((0, False), (1, True), (2, False))])
+        pubo = sat.to_pubo()
+        gammas, betas = [0.5], [0.4]
+        pattern = compile_pubo_qaoa_pattern(pubo, gammas, betas)
+        target = qaoa_state(pubo.energy_vector(), gammas, betas)
+        assert pattern_state_equals(pattern, target, max_branches=16, seed=5)
+
+    def test_resource_counts(self):
+        pubo = PUBO(4, {frozenset({0, 1, 2}): 1.0, frozenset({1, 3}): 0.5})
+        counts = pubo_resource_counts(pubo, p=2)
+        assert counts["total_nodes"] == 4 + 2 * (2 + 8)
+        assert counts["entanglers"] == 2 * ((3 + 2) + 8)
+        assert counts["max_order"] == 3
+        pattern = compile_pubo_qaoa_pattern(pubo, [0.1, 0.2], [0.3, 0.4])
+        assert pattern.num_nodes() == counts["total_nodes"]
+        assert len(pattern.entangling_edges()) == counts["entanglers"]
+
+    def test_validation(self):
+        pubo = PUBO(2, {frozenset({0, 1}): 1.0})
+        with pytest.raises(ValueError):
+            compile_pubo_qaoa_pattern(pubo, [0.1], [])
+        with pytest.raises(ValueError):
+            compile_pubo_qaoa_pattern(pubo, [0.1], [0.1], schedule="nope")
+        with pytest.raises(ValueError):
+            pubo_resource_counts(pubo, p=-1)

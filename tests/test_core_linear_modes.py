@@ -1,0 +1,68 @@
+"""The two linear-term realizations: paper's hanging gadget vs fused mode."""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_qaoa_pattern, pattern_state_equals
+from repro.problems import MinVertexCover, QUBO
+from repro.qaoa import qaoa_state
+
+
+@pytest.fixture(scope="module")
+def vc_instance():
+    vc = MinVertexCover(3, [(0, 1), (1, 2)])
+    qubo = vc.to_qubo()
+    gammas, betas = [0.53], [-0.37]
+    target = qaoa_state(qubo.to_ising().energy_vector(), gammas, betas)
+    return qubo, gammas, betas, target
+
+
+class TestFusedMode:
+    def test_fused_prepares_same_state(self, vc_instance):
+        qubo, gammas, betas, target = vc_instance
+        fused = compile_qaoa_pattern(qubo, gammas, betas, linear_mode="fused")
+        assert pattern_state_equals(fused.pattern, target, max_branches=32, seed=0)
+
+    def test_hanging_prepares_same_state(self, vc_instance):
+        qubo, gammas, betas, target = vc_instance
+        hang = compile_qaoa_pattern(qubo, gammas, betas, linear_mode="hanging")
+        assert pattern_state_equals(hang.pattern, target, max_branches=32, seed=1)
+
+    def test_fused_saves_field_ancillas(self, vc_instance):
+        qubo, gammas, betas, _ = vc_instance
+        nf = len(qubo.to_ising().fields)
+        assert nf > 0
+        fused = compile_qaoa_pattern(qubo, gammas, betas, linear_mode="fused")
+        hang = compile_qaoa_pattern(qubo, gammas, betas, linear_mode="hanging")
+        assert hang.num_nodes() - fused.num_nodes() == nf
+        assert hang.num_entanglers() - fused.num_entanglers() == nf
+        assert fused.count_role("field-ancilla") == 0
+
+    def test_fused_depth_two(self):
+        qubo = QUBO.from_terms(2, {(0, 1): 0.8}, [0.5, -0.3])
+        gammas, betas = [0.4, -0.6], [0.2, 0.9]
+        target = qaoa_state(qubo.to_ising().energy_vector(), gammas, betas)
+        fused = compile_qaoa_pattern(qubo, gammas, betas, linear_mode="fused")
+        assert pattern_state_equals(fused.pattern, target, max_branches=24, seed=2)
+
+    def test_fused_first_mixer_angle_carries_field(self):
+        qubo = QUBO.from_terms(1, {}, [1.0])  # single variable, field only
+        gamma, beta = 0.7, 0.3
+        fused = compile_qaoa_pattern(qubo, [gamma], [beta], linear_mode="fused")
+        h = qubo.to_ising().fields[0]
+        m0 = fused.pattern.measurement_of(0)
+        # J angle = 2γh; pattern stores -angle (XY convention).
+        assert m0.angle == pytest.approx(-2.0 * gamma * h)
+
+    def test_unknown_mode(self, vc_instance):
+        qubo, gammas, betas, _ = vc_instance
+        with pytest.raises(ValueError):
+            compile_qaoa_pattern(qubo, gammas, betas, linear_mode="telepathic")
+
+    def test_modes_equal_without_fields(self):
+        from repro.problems import MaxCut
+
+        qubo = MaxCut.ring(3).to_qubo()  # no Ising fields
+        a = compile_qaoa_pattern(qubo, [0.3], [0.5], linear_mode="fused")
+        b = compile_qaoa_pattern(qubo, [0.3], [0.5], linear_mode="hanging")
+        assert a.num_nodes() == b.num_nodes()

@@ -1,0 +1,140 @@
+"""Section IV verification (experiment E9): the MIS partial mixer and the
+complete MBQC MIS-QAOA pipeline."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.core.mis import (
+    mis_mixer_circuit,
+    mis_qaoa_circuit,
+    mis_qaoa_pattern,
+    multi_z_rotation,
+    phase_on_all_ones,
+)
+from repro.core import circuit_to_pattern, pattern_equals_unitary
+from repro.linalg import PAULI_X, allclose_up_to_global_phase, controlled, operator_on_qubits
+from repro.problems import MaximumIndependentSet
+from repro.sim import Circuit
+
+
+def mis_mixer_dense(num_qubits, vertex, neighbors, beta):
+    u = expm(1j * beta * PAULI_X)
+    nbrs = sorted(neighbors)
+    k = len(nbrs)
+    if k == 0:
+        return operator_on_qubits(u, [vertex], num_qubits)
+    core = controlled(u, k)  # controls in low slots, target top
+    full = operator_on_qubits(core, nbrs + [vertex], num_qubits)
+    flip = np.eye(1 << num_qubits)
+    for w in nbrs:
+        flip = operator_on_qubits(PAULI_X, [w], num_qubits) @ flip
+    return flip @ full @ flip
+
+
+class TestPhasePolynomials:
+    def test_multi_z_rotation(self):
+        theta = 0.63
+        c = Circuit(3)
+        multi_z_rotation(c, [0, 2], theta)
+        zz = operator_on_qubits(np.diag([1, -1, -1, 1.0]), [0, 2], 3)
+        expect = expm(1j * theta * zz)
+        assert allclose_up_to_global_phase(c.unitary(), expect)
+
+    def test_multi_z_single_qubit(self):
+        c = Circuit(1)
+        multi_z_rotation(c, [0], 0.4)
+        expect = expm(1j * 0.4 * np.diag([1.0, -1.0]))
+        assert allclose_up_to_global_phase(c.unitary(), expect)
+
+    def test_multi_z_empty(self):
+        with pytest.raises(ValueError):
+            multi_z_rotation(Circuit(1), [], 0.1)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_phase_on_all_ones(self, k):
+        phi = 0.87
+        c = Circuit(k)
+        phase_on_all_ones(c, list(range(k)), phi)
+        expect = np.eye(1 << k, dtype=complex)
+        expect[-1, -1] = np.exp(1j * phi)
+        assert allclose_up_to_global_phase(c.unitary(), expect)
+
+    def test_phase_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            phase_on_all_ones(Circuit(2), [0, 0], 0.1)
+
+
+class TestMixerCircuit:
+    @pytest.mark.parametrize("deg", [0, 1, 2, 3])
+    def test_matches_reference(self, deg):
+        beta = 0.59
+        n = deg + 1
+        vertex = deg  # neighbors 0..deg-1
+        c = mis_mixer_circuit(n, vertex, list(range(deg)), beta)
+        expect = mis_mixer_dense(n, vertex, list(range(deg)), beta)
+        assert allclose_up_to_global_phase(c.unitary(), expect)
+
+    def test_rejects_self_neighbor(self):
+        with pytest.raises(ValueError):
+            mis_mixer_circuit(2, 0, [0], 0.3)
+
+    def test_preserves_independent_subspace(self):
+        """The partial mixer never creates an edge violation."""
+        mis = MaximumIndependentSet(3, [(0, 1), (1, 2)])
+        mask = mis.feasibility_mask()
+        for v in range(3):
+            c = mis_mixer_circuit(3, v, mis.neighborhood(v), 0.77)
+            u = c.unitary()
+            # Feasible block maps to feasible block.
+            assert np.allclose(u[~mask][:, mask], 0, atol=1e-9)
+
+    def test_mixer_as_pattern(self):
+        """Section IV completed: the partial mixer as a measurement
+        pattern."""
+        beta = 0.45
+        c = mis_mixer_circuit(2, 1, [0], beta)
+        p = circuit_to_pattern(c)
+        expect = mis_mixer_dense(2, 1, [0], beta)
+        assert pattern_equals_unitary(p, expect, max_branches=24, seed=0)
+
+
+class TestMISQAOAPipeline:
+    def test_circuit_feasibility(self):
+        mis = MaximumIndependentSet(3, [(0, 1), (1, 2)])
+        warm = [1, 0, 1]
+        c = mis_qaoa_circuit(mis, [0.4], [0.8], warm_start=warm)
+        psi = c.run().to_array()
+        mask = mis.feasibility_mask()
+        assert float(np.sum(np.abs(psi[~mask]) ** 2)) < 1e-12
+
+    def test_circuit_matches_fast_simulator(self):
+        from repro.qaoa import qaoa_state_constrained_mis
+        from repro.qaoa.simulator import basis_state
+
+        mis = MaximumIndependentSet(3, [(0, 1), (1, 2)])
+        warm = [0, 1, 0]
+        gammas, betas = [0.7], [0.35]
+        circ_psi = mis_qaoa_circuit(mis, gammas, betas, warm_start=warm).run().to_array()
+        fast_psi = qaoa_state_constrained_mis(mis, gammas, betas, basis_state(warm))
+        assert allclose_up_to_global_phase(circ_psi, fast_psi, atol=1e-9)
+
+    def test_warm_start_validation(self):
+        mis = MaximumIndependentSet(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            mis_qaoa_circuit(mis, [0.1], [0.1], warm_start=[1, 1])
+        with pytest.raises(ValueError):
+            mis_qaoa_circuit(mis, [0.1], [0.1], warm_start=[1])
+        with pytest.raises(ValueError):
+            mis_qaoa_circuit(mis, [0.1, 0.2], [0.1])
+
+    def test_full_pattern_prepares_feasible_state(self):
+        """The complete MBQC MIS-QAOA: every sampled branch of the pattern
+        yields a state supported on independent sets only."""
+        mis = MaximumIndependentSet(2, [(0, 1)])
+        warm = [1, 0]
+        pattern = mis_qaoa_pattern(mis, [0.6], [0.4], warm_start=warm)
+        target = mis_qaoa_circuit(mis, [0.6], [0.4], warm_start=warm).run().to_array()
+        from repro.core.verify import pattern_state_equals
+
+        assert pattern_state_equals(pattern, target, max_branches=24, seed=4)

@@ -1,0 +1,118 @@
+"""Tests for the Section III.A resource accounting and qubit-reuse analysis
+(experiments E7 and E13)."""
+
+import pytest
+
+from repro.core import compile_qaoa_pattern, estimate_resources, resource_table
+from repro.core.resources import format_table, paper_bounds
+from repro.core.reuse import live_qubit_profile, peak_live_qubits, reuse_summary
+from repro.problems import MaxCut, MinVertexCover, NumberPartitioning
+from repro.utils import grid_graph
+
+
+class TestBounds:
+    def test_paper_formulas(self):
+        nq, ne = paper_bounds(num_vertices=6, num_edges=9, p=2)
+        assert nq == 2 * (9 + 12)
+        assert ne == 2 * (18 + 12)
+
+    def test_general_qubo_correction(self):
+        nq0, ne0 = paper_bounds(5, 7, 3)
+        nq1, ne1 = paper_bounds(5, 7, 3, num_fields=5)
+        assert nq1 - nq0 == 15
+        assert ne1 - ne0 == 15
+
+
+class TestEstimates:
+    def test_exact_counts_respect_bounds(self):
+        """The compiled pattern meets the paper's bounds with equality in
+        the ancilla convention (no reuse assumed)."""
+        for p in (1, 2, 3):
+            mc = MaxCut.ring(5)
+            rep = estimate_resources(mc.to_qubo(), p=p)
+            # total nodes = |V| wires + ancillas; ancillas == bound exactly.
+            assert rep.total_nodes - rep.num_vertices == rep.bound_ancilla_qubits
+            assert rep.total_entanglers == rep.bound_entanglers
+
+    def test_general_qubo_counts(self):
+        vc = MinVertexCover(4, [(0, 1), (1, 2), (2, 3)])
+        rep = estimate_resources(vc.to_qubo(), p=2)
+        assert rep.num_fields > 0
+        assert rep.total_nodes - rep.num_vertices == rep.bound_ancilla_qubits
+
+    def test_gate_model_comparison(self):
+        mc = MaxCut.ring(6)
+        rep = estimate_resources(mc.to_qubo(), p=2)
+        assert rep.gate_model_qubits == 6
+        assert rep.gate_model_entanglers == 2 * 2 * 6
+        # MBQC needs more raw qubits but the same order of entanglers.
+        assert rep.total_nodes > rep.gate_model_qubits
+
+    def test_from_compiled(self):
+        mc = MaxCut.ring(4)
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.3, 0.1], [0.2, 0.4])
+        rep = estimate_resources(compiled)
+        assert rep.p == 2
+        assert rep.total_nodes == compiled.num_nodes()
+
+    def test_p_required_for_problem(self):
+        with pytest.raises(ValueError):
+            estimate_resources(MaxCut.ring(3).to_qubo())
+
+    def test_resource_table_rows(self):
+        instances = [
+            ("ring5", MaxCut.ring(5).to_qubo()),
+            ("K4", MaxCut.complete(4).to_qubo()),
+        ]
+        rows = resource_table(instances, depths=[1, 2])
+        assert len(rows) == 4
+        assert {r["instance"] for r in rows} == {"ring5", "K4"}
+        text = format_table(rows)
+        assert "NQ_bound" in text and "ring5" in text
+
+    def test_format_empty(self):
+        assert format_table([]) == "(empty)"
+
+
+class TestReuse:
+    def test_profile_shape(self):
+        mc = MaxCut.ring(4)
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.1], [0.2])
+        prof = live_qubit_profile(compiled.pattern)
+        assert prof[0] == 0  # no inputs: empty register at start
+        assert prof[-1] == 4  # outputs alive at the end
+        assert max(prof) == peak_live_qubits(compiled.pattern)
+
+    def test_eager_peak_independent_of_depth(self):
+        """E13 headline: under eager scheduling the live register does not
+        grow with p (the ref. [51] reuse regime)."""
+        mc = MaxCut.ring(5)
+        peaks = []
+        for p in (1, 2, 4):
+            compiled = compile_qaoa_pattern(mc.to_qubo(), [0.1] * p, [0.1] * p)
+            peaks.append(peak_live_qubits(compiled.pattern))
+        assert peaks[0] == peaks[1] == peaks[2]
+        assert peaks[0] <= 5 + 2  # |V| + O(1)
+
+    def test_graph_first_peak_grows_with_depth(self):
+        mc = MaxCut.ring(5)
+        peaks = []
+        for p in (1, 2, 4):
+            compiled = compile_qaoa_pattern(
+                mc.to_qubo(), [0.1] * p, [0.1] * p, schedule="graph-first"
+            )
+            peaks.append(peak_live_qubits(compiled.pattern))
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_reuse_summary(self):
+        mc = MaxCut.ring(4)
+        compiled = compile_qaoa_pattern(mc.to_qubo(), [0.1] * 3, [0.1] * 3)
+        total, peak, factor = reuse_summary(compiled.pattern)
+        assert total == compiled.num_nodes()
+        assert factor > 2.0  # strong reuse at p=3
+
+    def test_dense_problem_peak(self):
+        np_ = NumberPartitioning.random(5, seed=0)
+        compiled = compile_qaoa_pattern(np_.to_qubo(), [0.1], [0.1])
+        # K5 interaction graph: peak live still ~|V|+1.
+        assert peak_live_qubits(compiled.pattern) <= 7

@@ -1,0 +1,89 @@
+"""End-to-end MBQC-QAOA variational solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import MBQCQAOASolver, SampleBatch
+from repro.mbqc.noise import NoiseModel
+from repro.problems import MaxCut
+from repro.qaoa import qaoa_expectation
+
+
+class TestSampling:
+    def test_sample_batch_shapes(self):
+        solver = MBQCQAOASolver(MaxCut.ring(4).to_qubo(), p=1, shots=64, seed=1)
+        batch = solver.sample([0.4], [0.7])
+        assert batch.bitstrings.shape == (64,)
+        assert batch.costs.shape == (64,)
+        assert solver.evaluations == 1
+
+    def test_sampled_expectation_matches_exact(self):
+        mc = MaxCut.ring(4)
+        solver = MBQCQAOASolver(mc.to_qubo(), p=1, shots=4000, runs_per_batch=4, seed=2)
+        est = solver.expectation([0.5], [0.3])
+        exact = qaoa_expectation(mc.to_qubo().cost_vector(), [0.5], [0.3])
+        assert est == pytest.approx(exact, abs=0.15)
+
+    def test_batch_best(self):
+        batch = SampleBatch(np.array([3, 5, 1]), np.array([0.5, -2.0, 1.0]))
+        b, c = batch.best()
+        assert b == 5 and c == -2.0
+
+    def test_validation(self):
+        qubo = MaxCut.ring(3).to_qubo()
+        with pytest.raises(ValueError):
+            MBQCQAOASolver(qubo, p=0)
+        with pytest.raises(ValueError):
+            MBQCQAOASolver(qubo, shots=0)
+
+    def test_ising_input_accepted(self):
+        ising = MaxCut.ring(3).to_qubo().to_ising()
+        solver = MBQCQAOASolver(ising, p=1, shots=16, seed=0)
+        batch = solver.sample([0.2], [0.4])
+        assert len(batch.costs) == 16
+
+
+class TestSolve:
+    def test_finds_ring_optimum(self):
+        mc = MaxCut.ring(4)
+        solver = MBQCQAOASolver(mc.to_qubo(), p=1, shots=128, runs_per_batch=2, seed=3)
+        res = solver.solve(restarts=2, maxiter=20)
+        # Best sampled solution should be the perfect cut (cost -4).
+        assert res.best_cost == pytest.approx(-4.0)
+        assert mc.cut_value(res.best_bitstring) == pytest.approx(4.0)
+        assert res.evaluations > 0
+
+    def test_warm_started_solve(self):
+        mc = MaxCut.ring(4)
+        from repro.qaoa import grid_search_p1
+
+        warm = grid_search_p1(mc.to_qubo().cost_vector(), resolution=10)
+        solver = MBQCQAOASolver(mc.to_qubo(), p=1, shots=96, runs_per_batch=2, seed=4)
+        res = solver.solve(restarts=1, maxiter=10, initial=(warm.gammas, warm.betas))
+        assert res.best_cost <= -3.0
+
+    def test_noisy_solver_still_solves_small(self):
+        """With mild noise the sampler still finds the optimum — the
+        variational loop is noise-tolerant on tiny instances."""
+        mc = MaxCut(3, [(0, 1), (1, 2)])
+        solver = MBQCQAOASolver(
+            mc.to_qubo(), p=1, shots=96, runs_per_batch=6,
+            noise=NoiseModel(p_ent=0.01), seed=5,
+        )
+        res = solver.solve(restarts=1, maxiter=12)
+        assert mc.cut_value(res.best_bitstring) == pytest.approx(2.0)
+
+    def test_expectation_degrades_with_noise(self):
+        mc = MaxCut.ring(4)
+        qubo = mc.to_qubo()
+        from repro.qaoa import grid_search_p1
+
+        params = grid_search_p1(qubo.cost_vector(), resolution=12)
+        clean = MBQCQAOASolver(qubo, p=1, shots=1500, runs_per_batch=3, seed=6)
+        noisy = MBQCQAOASolver(
+            qubo, p=1, shots=1500, runs_per_batch=12,
+            noise=NoiseModel(p_prep=0.05, p_ent=0.05, p_meas=0.05), seed=6,
+        )
+        e_clean = clean.expectation(params.gammas, params.betas)
+        e_noisy = noisy.expectation(params.gammas, params.betas)
+        assert e_noisy > e_clean + 0.1  # noise pushes <cost> toward 0

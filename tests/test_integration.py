@@ -1,0 +1,157 @@
+"""Cross-stack integration tests: circuits ↔ ZX ↔ MBQC ↔ QAOA.
+
+These tie the subsystems together the way the paper's derivation chain
+does: a QAOA circuit, its ZX diagram, its measurement pattern, and the
+prepared state must all agree; the resource state of a graph-first pattern
+must be the graph state its E-commands describe; and the two compilation
+routes (tailored vs generic) must coincide semantically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MBQCQAOASolver,
+    circuit_to_pattern,
+    compile_qaoa_pattern,
+    pattern_state_equals,
+)
+from repro.linalg import allclose_up_to_global_phase, proportionality_factor
+from repro.mbqc import OpenGraph, Pattern, find_causal_flow, find_gflow, run_pattern, standardize
+from repro.mbqc.pattern import CommandE, CommandM, CommandN
+from repro.problems import MaxCut
+from repro.qaoa import qaoa_circuit, qaoa_state
+from repro.qaoa.iterative import iterative_quantum_optimize
+from repro.sim import StateVector
+from repro.stab import StabilizerState, graph_state_stabilizers
+from repro.zx import circuit_to_diagram, diagram_matrix
+from repro.zx.graph_like import is_graph_like, to_graph_like
+
+
+@pytest.fixture(scope="module")
+def small_qaoa():
+    mc = MaxCut(3, [(0, 1), (1, 2)])
+    qubo = mc.to_qubo()
+    gammas, betas = [0.63], [-0.41]
+    target = qaoa_state(qubo.to_ising().energy_vector(), gammas, betas)
+    return mc, qubo, gammas, betas, target
+
+
+class TestCircuitZXPipeline:
+    def test_qaoa_circuit_diagram_graph_like(self, small_qaoa):
+        _, qubo, gammas, betas, _ = small_qaoa
+        circ = qaoa_circuit(qubo.to_ising(), gammas, betas)
+        d = circuit_to_diagram(circ)
+        before = diagram_matrix(d)
+        to_graph_like(d)
+        assert is_graph_like(d)
+        after = diagram_matrix(d)
+        assert proportionality_factor(after, before, atol=1e-8) is not None
+        # And the diagram's first column is the prepared state.
+        state_col = after[:, 0]
+        circ_state = circ.run().to_array()
+        assert proportionality_factor(state_col, circ_state, atol=1e-8) is not None
+
+    def test_zx_state_matches_pattern_state(self, small_qaoa):
+        _, qubo, gammas, betas, target = small_qaoa
+        circ = qaoa_circuit(qubo.to_ising(), gammas, betas)
+        d = circuit_to_diagram(circ)
+        zx_state = diagram_matrix(d)[:, 0]
+        assert proportionality_factor(zx_state, target, atol=1e-8) is not None
+
+
+class TestPatternRoutes:
+    def test_tailored_vs_generic_vs_gate_model(self, small_qaoa):
+        _, qubo, gammas, betas, target = small_qaoa
+        tailored = compile_qaoa_pattern(qubo, gammas, betas)
+        circ = qaoa_circuit(qubo.to_ising(), gammas, betas)
+        generic = circuit_to_pattern(circ, open_inputs=False, initial="zero")
+        assert pattern_state_equals(tailored.pattern, target, max_branches=16, seed=0)
+        assert pattern_state_equals(generic, target, max_branches=16, seed=1)
+
+    def test_standardized_compiled_pattern(self, small_qaoa):
+        _, qubo, gammas, betas, target = small_qaoa
+        compiled = compile_qaoa_pattern(qubo, gammas, betas)
+        std = standardize(compiled.pattern)
+        assert pattern_state_equals(std, target, max_branches=16, seed=2)
+
+    def test_graph_first_resource_state_is_graph_state(self, small_qaoa):
+        """Cut the graph-first pattern at the N/E–M boundary: the state at
+        that point must be exactly the graph state of the E-command graph
+        (verified with the stabilizer tableau)."""
+        _, qubo, gammas, betas, _ = small_qaoa
+        compiled = compile_qaoa_pattern(qubo, gammas, betas, schedule="graph-first")
+        cmds = compiled.pattern.commands
+        prep = [c for c in cmds if isinstance(c, (CommandN, CommandE))]
+        nodes = sorted({c.node for c in prep if isinstance(c, CommandN)})
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [
+            (index[c.nodes[0]], index[c.nodes[1]])
+            for c in prep
+            if isinstance(c, CommandE)
+        ]
+        tableau = StabilizerState.graph_state(len(nodes), edges)
+        for gen in graph_state_stabilizers(len(nodes), edges):
+            assert tableau.stabilizes(gen)
+        # Cross-check against the dense runner on the truncated pattern.
+        trunc = Pattern(input_nodes=[], output_nodes=nodes, commands=list(prep))
+        dense = run_pattern(trunc).state_array()
+        sv = StateVector.plus(len(nodes))
+        for u, v in edges:
+            sv.apply_cz(u, v)
+        assert allclose_up_to_global_phase(dense, sv.to_array(), atol=1e-9)
+
+    def test_flow_structure(self, small_qaoa):
+        """Tailored patterns (YZ ancillas) admit gflow but not causal flow;
+        generic patterns (all XY) admit causal flow."""
+        _, qubo, gammas, betas, _ = small_qaoa
+        tailored = compile_qaoa_pattern(qubo, gammas, betas, open_inputs=True)
+        og_t = OpenGraph.from_pattern(tailored.pattern)
+        with pytest.raises(ValueError):
+            find_causal_flow(og_t)  # non-XY planes present
+        assert find_gflow(og_t) is not None
+
+        circ = qaoa_circuit(qubo.to_ising(), gammas, betas, include_initial_layer=False)
+        generic = circuit_to_pattern(circ, open_inputs=True)
+        og_g = OpenGraph.from_pattern(generic)
+        assert find_causal_flow(og_g) is not None
+        assert find_gflow(og_g) is not None
+
+
+class TestSolversAgree:
+    def test_variational_and_iterative_find_same_optimum(self):
+        mc = MaxCut.ring(4)
+        qubo = mc.to_qubo()
+        var = MBQCQAOASolver(qubo, p=1, shots=128, runs_per_batch=2, seed=7)
+        vres = var.solve(restarts=2, maxiter=15)
+        ires = iterative_quantum_optimize(qubo.to_ising(), stop_at=2)
+        assert mc.cut_value(vres.best_bitstring) == pytest.approx(4.0)
+        assert mc.cut_value(ires.bits()) == pytest.approx(4.0)
+
+
+class TestEndToEndDeterminism:
+    def test_many_random_seeds_one_state(self, small_qaoa):
+        """Determinism as a user experiences it: independent executions
+        with different RNG seeds produce the identical output state."""
+        _, qubo, gammas, betas, target = small_qaoa
+        compiled = compile_qaoa_pattern(qubo, gammas, betas)
+        outs = [
+            run_pattern(compiled.pattern, seed=s).state_array() for s in range(6)
+        ]
+        for arr in outs:
+            assert allclose_up_to_global_phase(arr, target, atol=1e-9)
+
+    def test_outcome_distribution_uniform(self, small_qaoa):
+        """Deterministic patterns have unbiased (uniform) outcomes — the
+        theorem behind branch-norm equality, observed empirically."""
+        _, qubo, gammas, betas, _ = small_qaoa
+        compiled = compile_qaoa_pattern(qubo, gammas, betas)
+        measured = compiled.pattern.measured_nodes()
+        counts = {node: 0 for node in measured}
+        runs = 80
+        for s in range(runs):
+            res = run_pattern(compiled.pattern, seed=1000 + s)
+            for node, bit in res.outcomes.items():
+                counts[node] += bit
+        for node, ones in counts.items():
+            assert 0.2 < ones / runs < 0.8, f"biased outcome at node {node}"

@@ -1,0 +1,210 @@
+"""Unit tests for repro.linalg: gates, kron embedding, Pauli algebra, comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    PauliString,
+    allclose_up_to_global_phase,
+    controlled,
+    global_phase_between,
+    j_gate,
+    kron_all,
+    operator_on_qubits,
+    phase_gate,
+    proportionality_factor,
+    rx,
+    ry,
+    rz,
+)
+
+
+class TestGates:
+    def test_paulis_square_to_identity(self):
+        for p in (PAULI_X, PAULI_Y, PAULI_Z):
+            assert np.allclose(p @ p, np.eye(2))
+
+    def test_pauli_anticommutation(self):
+        assert np.allclose(PAULI_X @ PAULI_Y + PAULI_Y @ PAULI_X, 0)
+        assert np.allclose(PAULI_X @ PAULI_Y, 1j * PAULI_Z)
+
+    def test_hadamard_conjugation(self):
+        assert np.allclose(HADAMARD @ PAULI_X @ HADAMARD, PAULI_Z)
+        assert np.allclose(HADAMARD @ HADAMARD, np.eye(2))
+
+    @pytest.mark.parametrize("theta", [0.0, 0.3, np.pi / 2, np.pi, -1.7])
+    def test_rotations_unitary(self, theta):
+        for r in (rx, ry, rz):
+            u = r(theta)
+            assert np.allclose(u @ u.conj().T, np.eye(2))
+
+    def test_rz_convention(self):
+        assert np.allclose(rz(np.pi), np.array([[-1j, 0], [0, 1j]]))
+
+    def test_rx_is_h_rz_h(self):
+        theta = 0.917
+        assert np.allclose(rx(theta), HADAMARD @ rz(theta) @ HADAMARD)
+
+    def test_phase_gate_vs_rz(self):
+        theta = 0.42
+        assert allclose_up_to_global_phase(phase_gate(theta), rz(theta))
+
+    def test_j_gate_decompositions(self):
+        a = 1.234
+        assert np.allclose(j_gate(a), HADAMARD @ rz(a))
+        # J(a) J(0) = RX(a) and J(0) J(a) = RZ(a) up to phase.
+        assert allclose_up_to_global_phase(j_gate(a) @ j_gate(0.0), rx(a))
+        assert allclose_up_to_global_phase(j_gate(0.0) @ j_gate(a), rz(a))
+
+    def test_cnot_little_endian(self):
+        # control = qubit 0 (low bit).  |01> (x0=1,x1=0) -> |11>.
+        v = np.zeros(4)
+        v[1] = 1.0
+        assert np.allclose(CNOT @ v, np.eye(4)[3])
+
+    def test_controlled_single(self):
+        crx = controlled(rx(0.5))
+        # Control low bit: states with x0=0 unchanged.
+        assert np.allclose(crx[0, 0], 1)
+        assert np.allclose(crx[2, 2], 1)
+        sub = crx[np.ix_([1, 3], [1, 3])]
+        assert np.allclose(sub, rx(0.5))
+
+    def test_controlled_z_is_cz(self):
+        assert np.allclose(controlled(PAULI_Z), CZ)
+
+    def test_controlled_multi(self):
+        ccx = controlled(PAULI_X, 2)
+        # Only |11t> block swaps: indices 3 and 7.
+        expect = np.eye(8)
+        expect[[3, 7]] = expect[[7, 3]]
+        assert np.allclose(ccx, expect)
+
+    def test_controlled_validates(self):
+        with pytest.raises(ValueError):
+            controlled(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            controlled(PAULI_X, -1)
+
+
+class TestKron:
+    def test_kron_all_ordering(self):
+        # X on qubit 0, I on qubit 1: should flip bit 0.
+        op = kron_all([PAULI_X, np.eye(2)])
+        v = np.zeros(4)
+        v[0] = 1
+        assert np.allclose(op @ v, np.eye(4)[1])
+
+    def test_operator_on_qubits_single(self):
+        n = 3
+        for q in range(n):
+            full = operator_on_qubits(PAULI_X, [q], n)
+            v = np.zeros(8)
+            v[0] = 1
+            assert np.allclose(full @ v, np.eye(8)[1 << q])
+
+    def test_operator_on_qubits_two_ordering(self):
+        # CNOT control qubit 2, target qubit 0 in a 3-qubit register.
+        full = operator_on_qubits(CNOT, [2, 0], 3)
+        v = np.zeros(8)
+        v[4] = 1  # |x2=1, x1=0, x0=0>
+        out = full @ v
+        assert np.allclose(out, np.eye(8)[5])  # target bit 0 flips
+
+    def test_operator_on_qubits_matches_kron_adjacent(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        # acting on qubits (0,1) of 2 qubits is the matrix itself
+        assert np.allclose(operator_on_qubits(m, [0, 1], 2), m)
+
+    def test_operator_on_qubits_errors(self):
+        with pytest.raises(ValueError):
+            operator_on_qubits(PAULI_X, [0, 1], 2)
+        with pytest.raises(ValueError):
+            operator_on_qubits(CNOT, [0, 0], 2)
+        with pytest.raises(ValueError):
+            operator_on_qubits(CNOT, [0, 5], 2)
+
+
+class TestPauliString:
+    def test_multiplication_phases(self):
+        x = PauliString.single(0, "X")
+        y = PauliString.single(0, "Y")
+        z = x * y
+        assert z.ops == {0: "Z"}
+        assert z.phase == 1j
+
+    def test_identity(self):
+        x = PauliString.single(1, "X")
+        assert (x * x).ops == {}
+        assert (x * x).phase == 1
+
+    def test_commutation(self):
+        xz = PauliString({0: "X", 1: "Z"})
+        zx = PauliString({0: "Z", 1: "X"})
+        assert xz.commutes_with(zx)  # anticommute on both sites -> commute
+        assert not PauliString.single(0, "X").commutes_with(PauliString.single(0, "Z"))
+        assert PauliString.single(0, "X").commutes_with(PauliString.single(1, "Z"))
+
+    def test_to_matrix_matches_kron(self):
+        ps = PauliString({0: "X", 2: "Z"}, -1)
+        mat = ps.to_matrix(3)
+        expect = -kron_all([PAULI_X, np.eye(2), PAULI_Z])
+        assert np.allclose(mat, expect)
+
+    def test_weight(self):
+        assert PauliString({0: "X", 3: "Y"}).weight() == 2
+        assert PauliString.identity().weight() == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PauliString({0: "Q"})
+        with pytest.raises(ValueError):
+            PauliString({0: "X"}, phase=2.0)
+
+    @given(st.lists(st.sampled_from(["X", "Y", "Z"]), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_product_matches_matrices(self, labels):
+        n = 2
+        acc = PauliString.identity()
+        mat = np.eye(1 << n, dtype=complex)
+        for i, lab in enumerate(labels):
+            p = PauliString.single(i % n, lab)
+            acc = acc * p
+            mat = mat @ p.to_matrix(n)
+        assert np.allclose(acc.to_matrix(n), mat)
+
+
+class TestCompare:
+    def test_proportionality(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert np.isclose(proportionality_factor(2j * a, a), 2j)
+        assert proportionality_factor(a, np.array([1.0, 2.0, 4.0])) is None
+
+    def test_zero_handling(self):
+        z = np.zeros(3)
+        assert proportionality_factor(z, z) == 1.0
+        assert proportionality_factor(z, np.ones(3)) is None
+        assert proportionality_factor(np.ones(3), z) is None
+
+    def test_global_phase(self):
+        a = np.array([1.0, 1j])
+        assert allclose_up_to_global_phase(np.exp(0.7j) * a, a)
+        assert not allclose_up_to_global_phase(2 * a, a)
+        ph = global_phase_between(np.exp(0.7j) * a, a)
+        assert np.isclose(ph, np.exp(0.7j))
+
+    def test_global_phase_raises(self):
+        with pytest.raises(ValueError):
+            global_phase_between(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_shape_mismatch(self):
+        assert proportionality_factor(np.ones(3), np.ones(4)) is None

@@ -1,0 +1,130 @@
+"""Pattern → circuit extraction (round-tripping the generic compiler)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generic import circuit_to_pattern
+from repro.linalg import allclose_up_to_global_phase, j_gate, proportionality_factor
+from repro.mbqc import Pattern
+from repro.mbqc.extract import ExtractionError, extract_circuit, extractable
+from repro.mbqc.runner import pattern_to_matrix
+from repro.sim import Circuit
+
+
+def assert_extraction_matches(pattern: Pattern, atol=1e-8):
+    circ = extract_circuit(pattern)
+    branch = pattern_to_matrix(pattern)  # all-zero branch
+    u = circ.unitary()
+    assert proportionality_factor(branch, u, atol=atol) is not None
+    return circ
+
+
+class TestBasicExtraction:
+    def test_j_pattern(self):
+        p = Pattern(input_nodes=[0], output_nodes=[1])
+        p.n(1).e(0, 1).m(0, "XY", -0.8).x(1, {0})
+        circ = assert_extraction_matches(p)
+        assert np.allclose(circ.unitary(), j_gate(0.8))
+
+    def test_j_chain(self):
+        p = Pattern(input_nodes=[0], output_nodes=[3])
+        for k in range(3):
+            p.n(k + 1).e(k, k + 1).m(k, "XY", -0.3 * (k + 1), s_domain={k - 1} if k else set())
+        p.x(3, {2})
+        # (signals don't matter for extraction: the flow absorbs them)
+        assert_extraction_matches(p)
+
+    def test_cz_only_pattern(self):
+        p = Pattern(input_nodes=[0, 1], output_nodes=[0, 1])
+        p.e(0, 1)
+        circ = assert_extraction_matches(p)
+        assert circ.count_by_name().get("cz") == 1
+
+    def test_rejects_closed_patterns(self):
+        p = Pattern(input_nodes=[], output_nodes=[0])
+        p.n(0)
+        with pytest.raises(ExtractionError):
+            extract_circuit(p)
+
+    def test_rejects_non_xy(self):
+        p = Pattern(input_nodes=[0, 1], output_nodes=[0, 1])
+        p.n(2).e(0, 2).e(1, 2).m(2, "YZ", 0.4)
+        with pytest.raises(ExtractionError):
+            extract_circuit(p)
+
+    def test_rejects_flowless(self):
+        # Two inputs into one output: no causal flow.
+        p = Pattern(input_nodes=[0, 1], output_nodes=[2])
+        p.n(2).e(0, 2).e(1, 2).m(0, "XY", 0.0).m(1, "XY", 0.0)
+        with pytest.raises(ExtractionError):
+            extract_circuit(p)
+
+    def test_extractable_predicate(self):
+        p = Pattern(input_nodes=[0], output_nodes=[1])
+        p.n(1).e(0, 1).m(0, "XY", 0.0).x(1, {0})
+        assert extractable(p)
+        q = Pattern(input_nodes=[], output_nodes=[0])
+        q.n(0)
+        assert not extractable(q)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda c: c.h(0).cnot(0, 1),
+            lambda c: c.rz(0, 0.7).rx(1, -0.4).cz(0, 1),
+            lambda c: c.s(0).h(1).cz(0, 1).rz(1, 1.1).h(0),
+            lambda c: c.ry(0, 0.5).cnot(1, 0),
+        ],
+    )
+    def test_circuit_pattern_circuit(self, builder):
+        c = Circuit(2)
+        builder(c)
+        pattern = circuit_to_pattern(c)
+        extracted = assert_extraction_matches(pattern)
+        assert allclose_up_to_global_phase(extracted.unitary(), c.unitary(), atol=1e-8)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["h", "s", "rz", "rx", "cz", "cnot"]),
+                st.integers(0, 2),
+                st.integers(0, 2),
+                st.floats(-3.0, 3.0),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_round_trip_property(self, moves):
+        c = Circuit(3)
+        for name, a, b, theta in moves:
+            if name in ("h", "s"):
+                c.append(name, (a,))
+            elif name in ("rz", "rx"):
+                c.append(name, (a,), theta)
+            elif a != b:
+                c.append(name, (a, b))
+        pattern = circuit_to_pattern(c)
+        extracted = extract_circuit(pattern)
+        assert allclose_up_to_global_phase(
+            extracted.unitary(), c.unitary(), atol=1e-7
+        )
+
+    def test_qaoa_pattern_round_trip(self):
+        """The generic QAOA pattern extracts back to a circuit preparing
+        the same state (paper refs [6],[24] loop closed)."""
+        from repro.problems import MaxCut
+        from repro.qaoa import qaoa_circuit
+
+        mc = MaxCut(3, [(0, 1), (1, 2)])
+        circ = qaoa_circuit(mc.to_qubo().to_ising(), [0.4], [0.7], include_initial_layer=False)
+        pattern = circuit_to_pattern(circ)
+        extracted = extract_circuit(pattern)
+        assert allclose_up_to_global_phase(
+            extracted.unitary(), circ.unitary(), atol=1e-8
+        )

@@ -1,0 +1,156 @@
+"""Tests for causal flow and extended gflow (the determinism criterion)."""
+
+import pytest
+
+from repro.mbqc import OpenGraph, Pattern, find_causal_flow, find_gflow
+from repro.mbqc.flow import verify_gflow
+from repro.utils import cycle_graph, path_graph
+
+
+def linear_cluster(n: int) -> OpenGraph:
+    _, edges = path_graph(n)
+    return OpenGraph(set(range(n)), set(edges), [0], [n - 1])
+
+
+class TestOpenGraph:
+    def test_from_pattern(self):
+        p = Pattern(input_nodes=[0], output_nodes=[1])
+        p.n(1).e(0, 1).m(0, "XY", -0.4).x(1, {0})
+        og = OpenGraph.from_pattern(p)
+        assert og.nodes == {0, 1}
+        assert og.edges == {(0, 1)}
+        assert og.planes[0] == "XY"
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            OpenGraph({0}, {(0, 0)}, [], [0])
+
+    def test_rejects_unknown_endpoint(self):
+        with pytest.raises(ValueError):
+            OpenGraph({0}, {(0, 1)}, [], [0])
+
+    def test_default_plane_is_xy(self):
+        og = OpenGraph({0, 1}, {(0, 1)}, [0], [1])
+        assert og.planes[0] == "XY"
+
+    def test_adjacency(self):
+        og = linear_cluster(3)
+        a = og.adjacency([0, 1, 2])
+        assert a[0, 1] and a[1, 2] and not a[0, 2]
+
+
+class TestCausalFlow:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_linear_cluster_has_flow(self, n):
+        og = linear_cluster(n)
+        fl = find_causal_flow(og)
+        assert fl is not None
+        # Successor of each measured node is the next one down the chain.
+        for u in range(n - 1):
+            assert fl.f[u] == u + 1
+
+    def test_flow_order_decreases_toward_outputs(self):
+        og = linear_cluster(4)
+        fl = find_causal_flow(og)
+        assert fl.layer[0] > fl.layer[1] > fl.layer[2] > fl.layer[3] == 0
+        assert fl.measurement_order() == [0, 1, 2]
+
+    def test_no_flow_two_inputs_one_output(self):
+        og = OpenGraph({0, 1, 2}, {(0, 2), (1, 2)}, [0, 1], [2])
+        assert find_causal_flow(og) is None
+
+    def test_cycle_without_outputs_has_no_flow(self):
+        n, edges = cycle_graph(4)
+        og = OpenGraph(set(range(n)), set(edges), [0], [1])
+        # 4-cycle with 1 input and 1 output: qubit counts force failure.
+        assert find_causal_flow(og) is None
+
+    def test_rejects_non_xy_planes(self):
+        og = OpenGraph({0, 1}, {(0, 1)}, [], [1], planes={0: "YZ"})
+        with pytest.raises(ValueError):
+            find_causal_flow(og)
+
+    def test_grid_cluster_has_flow(self):
+        # 2x3 grid, inputs on left column, outputs on right column.
+        from repro.utils import grid_graph
+
+        n, edges = grid_graph(2, 3)
+        og = OpenGraph(set(range(n)), set(edges), [0, 3], [2, 5])
+        fl = find_causal_flow(og)
+        assert fl is not None
+
+
+class TestGFlow:
+    def test_linear_cluster_gflow(self):
+        og = linear_cluster(5)
+        gf = find_gflow(og)
+        assert gf is not None
+        assert verify_gflow(og, gf)
+
+    def test_gflow_exists_where_flow_does(self):
+        from repro.utils import grid_graph
+
+        n, edges = grid_graph(2, 4)
+        og = OpenGraph(set(range(n)), set(edges), [0, 4], [3, 7])
+        assert find_causal_flow(og) is not None
+        gf = find_gflow(og)
+        assert gf is not None and verify_gflow(og, gf)
+
+    def test_gflow_beyond_flow(self):
+        """A graph with gflow but no causal flow: the bipartite adjacency
+        between outputs and measured inputs is invertible over GF(2) (so
+        correction *sets* exist) but every output sees ≥2 measured
+        neighbors (so no single-successor causal flow)."""
+        edges = {(0, 3), (1, 3), (1, 4), (2, 4), (0, 5), (1, 5), (2, 5)}
+        og = OpenGraph(set(range(6)), edges, [0, 1, 2], [3, 4, 5])
+        assert find_causal_flow(og) is None
+        gf = find_gflow(og)
+        assert gf is not None and verify_gflow(og, gf)
+
+    def test_no_gflow_even_parity_cycle(self):
+        """C6 between inputs and outputs: the GF(2) column space only spans
+        even-weight vectors, so no gflow exists."""
+        edges = {(0, 3), (0, 4), (1, 4), (1, 5), (2, 5), (2, 3)}
+        og = OpenGraph(set(range(6)), edges, [0, 1, 2], [3, 4, 5])
+        assert find_causal_flow(og) is None
+        assert find_gflow(og) is None
+
+    def test_yz_plane_gflow(self):
+        """A YZ-measured hub (the paper's edge-ancilla shape): ancilla a
+        measured in YZ attached to two outputs."""
+        og = OpenGraph(
+            {0, 1, 2},
+            {(0, 2), (1, 2)},
+            [0, 1],
+            [0, 1],
+            planes={2: "YZ"},
+        )
+        # Node 2 is not an output but inputs==outputs here; fix: treat 2 as
+        # the only measured node.
+        gf = find_gflow(og)
+        assert gf is not None and verify_gflow(og, gf)
+        # YZ condition: 2 in its own correction set.
+        assert 2 in gf.g[2]
+
+    def test_xz_plane_gflow(self):
+        og = OpenGraph(
+            {0, 1},
+            {(0, 1)},
+            [],
+            [1],
+            planes={0: "XZ"},
+        )
+        gf = find_gflow(og)
+        assert gf is not None and verify_gflow(og, gf)
+
+    def test_no_gflow(self):
+        # Two measured nodes, no outputs at all: nothing can correct them.
+        og = OpenGraph({0, 1}, {(0, 1)}, [], [], planes={0: "XY", 1: "XY"})
+        assert find_gflow(og) is None
+
+    def test_gflow_layers_monotone(self):
+        og = linear_cluster(6)
+        gf = find_gflow(og)
+        order = gf.measurement_order()
+        layers = [gf.layer[v] for v in order]
+        assert layers == sorted(layers, reverse=True)

@@ -1,0 +1,89 @@
+"""Pattern serialization round trips, plus the MBQC correlation oracle."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import compile_qaoa_pattern
+from repro.linalg import allclose_up_to_global_phase
+from repro.mbqc import Pattern, PatternError, run_pattern
+from repro.mbqc.serialize import (
+    pattern_from_dict,
+    pattern_from_json,
+    pattern_to_dict,
+    pattern_to_json,
+)
+from repro.problems import MaxCut
+
+
+def example_pattern() -> Pattern:
+    p = Pattern(input_nodes=[0], output_nodes=[2])
+    p.n(1).n(2).e(0, 1).e(1, 2)
+    p.m(0, "XY", -0.4)
+    p.m(1, "YZ", 0.9, s_domain={0})
+    p.z(2, {0}).x(2, {1}).c(2, "h")
+    return p
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        p = example_pattern()
+        q = pattern_from_dict(pattern_to_dict(p))
+        assert q.input_nodes == p.input_nodes
+        assert q.output_nodes == p.output_nodes
+        assert q.commands == p.commands
+
+    def test_json_round_trip(self):
+        p = example_pattern()
+        text = pattern_to_json(p, indent=2)
+        json.loads(text)  # valid JSON
+        q = pattern_from_json(text)
+        assert q.commands == p.commands
+
+    def test_compiled_protocol_round_trip_executes(self):
+        compiled = compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.4], [0.7])
+        q = pattern_from_json(pattern_to_json(compiled.pattern))
+        a = run_pattern(compiled.pattern, seed=1).state_array()
+        b = run_pattern(q, seed=2).state_array()
+        assert allclose_up_to_global_phase(a, b, atol=1e-9)
+
+    def test_version_check(self):
+        with pytest.raises(PatternError):
+            pattern_from_dict({"version": 99, "input_nodes": [], "output_nodes": [], "commands": []})
+
+    def test_unknown_op(self):
+        with pytest.raises(PatternError):
+            pattern_from_dict(
+                {"version": 1, "input_nodes": [], "output_nodes": [],
+                 "commands": [{"op": "Q", "node": 0}]}
+            )
+
+    def test_invalid_pattern_rejected_on_load(self):
+        # Measuring an unprepared node fails validation at load time.
+        with pytest.raises(PatternError):
+            pattern_from_dict(
+                {"version": 1, "input_nodes": [], "output_nodes": [],
+                 "commands": [{"op": "M", "node": 7}]}
+            )
+
+
+class TestMBQCCorrelationOracle:
+    def test_oracle_feeds_iterative_solver(self):
+        """Section V / ref [61]: expectation values for iterative
+        optimization obtained from executed measurement patterns."""
+        from repro.qaoa.iterative import iterative_quantum_optimize, mbqc_correlation_oracle
+
+        mc = MaxCut.ring(4)
+        oracle = mbqc_correlation_oracle(p=1, shots=384, runs_per_batch=2, seed=3)
+        res = iterative_quantum_optimize(mc.to_qubo().to_ising(), oracle=oracle, stop_at=2)
+        assert mc.cut_value(res.bits()) == pytest.approx(4.0)
+
+    def test_oracle_correlations_close_to_exact(self):
+        from repro.qaoa.iterative import mbqc_correlation_oracle, qaoa_correlation_oracle
+
+        ising = MaxCut.ring(4).to_qubo().to_ising()
+        exact, _ = qaoa_correlation_oracle(p=1, grid_resolution=12)(ising)
+        sampled, _ = mbqc_correlation_oracle(p=1, shots=3000, runs_per_batch=2, seed=4)(ising)
+        for key in exact:
+            assert sampled[key] == pytest.approx(exact[key], abs=0.12)

@@ -1,0 +1,306 @@
+"""Tests for the problems package: QUBO/Ising algebra and each encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems import (
+    QUBO,
+    GraphColoring,
+    IsingModel,
+    MaxCut,
+    MaxKCut,
+    MaximumIndependentSet,
+    MinVertexCover,
+    NumberPartitioning,
+)
+from repro.utils import cycle_graph, int_to_bitstring, iter_bitstrings
+
+
+class TestQUBO:
+    def test_cost_matches_matrix_form(self):
+        q = QUBO.from_terms(3, {(0, 1): 2.0, (1, 2): -1.0}, [0.5, 0.0, -0.25], 1.0)
+        assert q.cost([1, 1, 0]) == pytest.approx(2.0 + 0.5 + 1.0)
+        assert q.cost([0, 1, 1]) == pytest.approx(-1.0 - 0.25 + 1.0)
+
+    def test_cost_vector_matches_pointwise(self):
+        rng = np.random.default_rng(0)
+        m = np.triu(rng.normal(size=(4, 4)))
+        q = QUBO(m, constant=0.7)
+        cv = q.cost_vector()
+        for x in range(16):
+            assert cv[x] == pytest.approx(q.cost(int_to_bitstring(x, 4)))
+
+    def test_lower_triangle_folded(self):
+        m = np.array([[0.0, 0.0], [3.0, 0.0]])
+        q = QUBO(m)
+        assert q.matrix[0, 1] == 3.0
+        assert q.matrix[1, 0] == 0.0
+
+    def test_diagonal_quadratic_folds_to_linear(self):
+        q = QUBO.from_terms(2, {(1, 1): 2.0})
+        assert q.linear_terms()[1] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QUBO(np.zeros((2, 3)))
+        q = QUBO.from_terms(2, {(0, 1): 1.0})
+        with pytest.raises(ValueError):
+            q.cost([1])
+        with pytest.raises(ValueError):
+            q.cost([2, 0])
+
+    def test_brute_force(self):
+        q = QUBO.from_terms(2, {(0, 1): 5.0}, [-1.0, -1.0])
+        val, arg = q.brute_force_minimum()
+        assert val == -1.0 and arg in (1, 2)
+
+    def test_addition_and_scaling(self):
+        a = QUBO.from_terms(2, {(0, 1): 1.0}, [1.0, 0.0], 0.5)
+        b = a.scaled(2.0)
+        assert b.cost([1, 1]) == pytest.approx(2 * a.cost([1, 1]))
+        c = a + a
+        assert c.cost([1, 0]) == pytest.approx(2 * a.cost([1, 0]))
+
+    @given(st.integers(2, 5), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_ising_round_trip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = np.triu(rng.normal(size=(n, n)))
+        q = QUBO(m, constant=float(rng.normal()))
+        q2 = q.to_ising().to_qubo()
+        assert np.allclose(q2.cost_vector(), q.cost_vector(), atol=1e-9)
+
+    @given(st.integers(2, 5), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_ising_energy_matches_qubo_cost(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = np.triu(rng.normal(size=(n, n)))
+        q = QUBO(m)
+        ising = q.to_ising()
+        ev = ising.energy_vector()
+        cv = q.cost_vector()
+        assert np.allclose(ev, cv, atol=1e-9)
+        # And pointwise via s = 1 - 2x.
+        for bits in iter_bitstrings(n):
+            spins = [1 - 2 * b for b in bits]
+            assert ising.energy(spins) == pytest.approx(q.cost(bits))
+
+
+class TestIsing:
+    def test_coupling_canonicalization(self):
+        m = IsingModel(3, {(2, 0): 1.0, (0, 2): 2.0})
+        assert m.couplings == {(0, 2): 3.0}
+
+    def test_self_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            IsingModel(2, {(1, 1): 1.0})
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            IsingModel(2, {(0, 5): 1.0})
+        with pytest.raises(ValueError):
+            IsingModel(2, {}, {9: 1.0})
+
+    def test_energy_validation(self):
+        m = IsingModel(2, {(0, 1): 1.0})
+        with pytest.raises(ValueError):
+            m.energy([1, 0])  # 0 is not a spin
+
+    def test_interaction_graph(self):
+        m = IsingModel(4, {(0, 1): 1.0, (2, 3): 0.5, (1, 2): 0.0})
+        assert m.interaction_graph() == [(0, 1), (2, 3)]
+
+
+class TestMaxCut:
+    def test_ring_cut_values(self):
+        mc = MaxCut.ring(4)
+        assert mc.cut_value([0, 1, 0, 1]) == 4
+        assert mc.cut_value([0, 0, 1, 1]) == 2
+        assert mc.max_cut_value() == 4
+
+    def test_odd_ring(self):
+        mc = MaxCut.ring(5)
+        assert mc.max_cut_value() == 4  # odd cycles are not bipartite
+
+    def test_qubo_is_negated_cut(self):
+        mc = MaxCut.ring(5)
+        q = mc.to_qubo()
+        cv = q.cost_vector()
+        for x in range(32):
+            assert cv[x] == pytest.approx(-mc.cut_value(int_to_bitstring(x, 5)))
+
+    def test_cost_hamiltonian_eigenvalues_are_cuts(self):
+        mc = MaxCut(4, [(0, 1), (1, 2), (2, 3)])
+        ev = mc.cost_hamiltonian().energy_vector()
+        assert np.allclose(ev, mc.cut_vector())
+
+    def test_weighted(self):
+        mc = MaxCut(3, [(0, 1), (1, 2)], weights={(0, 1): 2.0, (1, 2): -0.5})
+        assert mc.cut_value([0, 1, 1]) == pytest.approx(2.0)
+        assert mc.cut_value([0, 1, 0]) == pytest.approx(1.5)
+
+    def test_weight_missing(self):
+        with pytest.raises(ValueError):
+            MaxCut(3, [(0, 1), (1, 2)], weights={(0, 1): 1.0})
+
+    def test_approximation_ratio(self):
+        mc = MaxCut.ring(4)
+        assert mc.approximation_ratio(3.0) == pytest.approx(0.75)
+
+    def test_random_regular_constructor(self):
+        mc = MaxCut.random_regular(3, 8, seed=0)
+        assert mc.num_vertices == 8 and len(mc.edges) == 12
+
+
+class TestMIS:
+    def test_independence(self):
+        mis = MaximumIndependentSet(4, [(0, 1), (1, 2), (2, 3)])
+        assert mis.is_independent([1, 0, 1, 0])
+        assert not mis.is_independent([1, 1, 0, 0])
+
+    def test_maximum_size(self):
+        mis = MaximumIndependentSet(*cycle_graph(5))
+        assert mis.maximum_independent_set_size() == 2
+
+    def test_penalty_qubo_optimum_is_mis(self):
+        mis = MaximumIndependentSet(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)])
+        q = mis.to_penalty_qubo(penalty=2.0)
+        val, arg = q.brute_force_minimum()
+        x = int_to_bitstring(arg, 5)
+        assert mis.is_independent(x)
+        assert sum(x) == mis.maximum_independent_set_size()
+        assert val == pytest.approx(-mis.maximum_independent_set_size())
+
+    def test_penalty_validation(self):
+        mis = MaximumIndependentSet(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            mis.to_penalty_qubo(penalty=0.5)
+
+    def test_feasibility_mask(self):
+        mis = MaximumIndependentSet(3, [(0, 1)])
+        mask = mis.feasibility_mask()
+        assert not mask[0b011]
+        assert mask[0b101]
+
+    def test_greedy_warm_start_feasible(self):
+        mis = MaximumIndependentSet.random(10, 0.4, seed=5)
+        for s in range(5):
+            x = mis.greedy_independent_set(seed=s)
+            assert mis.is_independent(x)
+            assert sum(x) >= 1
+
+    def test_neighborhood(self):
+        mis = MaximumIndependentSet(4, [(0, 1), (0, 2)])
+        assert mis.neighborhood(0) == [1, 2]
+        assert mis.neighborhood(3) == []
+
+
+class TestColoring:
+    def test_feasibility(self):
+        gc = GraphColoring(2, [(0, 1)], k=2)
+        assert gc.is_feasible([1, 0, 0, 1])
+        assert not gc.is_feasible([1, 1, 0, 1])
+
+    def test_conflicts(self):
+        gc = GraphColoring(2, [(0, 1)], k=2)
+        assert gc.conflict_count([1, 0, 1, 0]) == 1
+        assert gc.conflict_count([1, 0, 0, 1]) == 0
+
+    def test_cost_vector_on_feasible(self):
+        gc = GraphColoring(2, [(0, 1)], k=2)
+        cv = gc.cost_vector()
+        import repro.utils as u
+
+        for x in range(16):
+            bits = u.int_to_bitstring(x, 4)
+            if gc.is_feasible(bits):
+                assert cv[x] == pytest.approx(gc.conflict_count(bits))
+
+    def test_initial_feasible(self):
+        gc = GraphColoring(3, [(0, 1), (1, 2)], k=3)
+        assert gc.is_feasible(gc.initial_feasible_state())
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            GraphColoring(2, [(0, 1)], k=1)
+
+
+class TestMaxKCut:
+    def test_feasibility_and_coloring(self):
+        mk = MaxKCut(2, [(0, 1)], k=3)
+        x = [0, 1, 0, 1, 0, 0]
+        assert mk.is_feasible(x)
+        assert mk.coloring_of(x) == [1, 0]
+        assert mk.cut_of_coloring([1, 0]) == 1
+        assert mk.cut_of_coloring([1, 1]) == 0
+
+    def test_cost_vector_feasible_entries(self):
+        mk = MaxKCut(2, [(0, 1)], k=2)
+        cv = mk.cost_vector()
+        # feasible one-hot: vertex0 color0, vertex1 color1 -> qubits 0,3
+        assert cv[0b1001] == pytest.approx(-1.0)
+        assert cv[0b0101] == pytest.approx(0.0)  # same color
+        # infeasible entries are penalized above any cut
+        assert cv[0] == pytest.approx(2.0)
+
+
+class TestPartition:
+    def test_difference(self):
+        np_ = NumberPartitioning([3.0, 1.0, 1.0, 1.0])
+        assert np_.difference([1, 0, 0, 0]) == pytest.approx(0.0)
+        assert np_.difference([0, 0, 0, 0]) == pytest.approx(6.0)
+
+    def test_qubo_encodes_squared_difference(self):
+        np_ = NumberPartitioning([2.0, 3.0, 5.0])
+        q = np_.to_qubo()
+        cv = q.cost_vector()
+        for x in range(8):
+            bits = int_to_bitstring(x, 3)
+            assert cv[x] == pytest.approx(np_.difference(bits) ** 2)
+
+    def test_best_difference(self):
+        np_ = NumberPartitioning([4.0, 5.0, 6.0, 7.0])
+        assert np_.best_difference() == pytest.approx(0.0)
+        np2 = NumberPartitioning([2.0, 3.0, 7.0])
+        assert np2.best_difference() == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumberPartitioning([])
+        with pytest.raises(ValueError):
+            NumberPartitioning([1.0, -2.0])
+
+    def test_dense_interaction_graph(self):
+        np_ = NumberPartitioning.random(5, seed=1)
+        assert len(np_.to_ising().interaction_graph()) == 10
+
+
+class TestVertexCover:
+    def test_cover_check(self):
+        vc = MinVertexCover(3, [(0, 1), (1, 2)])
+        assert vc.is_cover([0, 1, 0])
+        assert not vc.is_cover([1, 0, 0])
+
+    def test_minimum_cover(self):
+        vc = MinVertexCover(*cycle_graph(5))
+        assert vc.minimum_cover_size() == 3
+
+    def test_qubo_optimum_is_min_cover(self):
+        vc = MinVertexCover(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        q = vc.to_qubo(penalty=2.0)
+        val, arg = q.brute_force_minimum()
+        x = int_to_bitstring(arg, 5)
+        assert vc.is_cover(x)
+        assert sum(x) == vc.minimum_cover_size() == int(val)
+
+    def test_qubo_has_linear_terms(self):
+        # This problem exercises the general-QUBO (Eq. 12) compile path.
+        vc = MinVertexCover(3, [(0, 1)])
+        ising = vc.to_qubo().to_ising()
+        assert ising.fields  # nonzero single-Z terms
+
+    def test_penalty_validation(self):
+        with pytest.raises(ValueError):
+            MinVertexCover(2, [(0, 1)]).to_qubo(penalty=1.0)

@@ -1,0 +1,106 @@
+"""Tests for higher-order (PUBO) cost models and Max-3-SAT encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems.pubo import PUBO, MaxThreeSat
+from repro.utils import int_to_bitstring
+
+
+class TestPUBO:
+    def test_energy_pointwise(self):
+        p = PUBO(3, {frozenset({0, 1, 2}): 2.0, frozenset({0}): -1.0, frozenset(): 0.5})
+        assert p.energy([1, 1, 1]) == pytest.approx(2.0 - 1.0 + 0.5)
+        assert p.energy([-1, 1, 1]) == pytest.approx(-2.0 + 1.0 + 0.5)
+
+    def test_energy_vector_matches_pointwise(self):
+        rng = np.random.default_rng(0)
+        terms = {
+            frozenset({0, 1}): 0.7,
+            frozenset({1, 2, 3}): -1.3,
+            frozenset({0, 2, 3}): 0.4,
+            frozenset({2}): 0.9,
+        }
+        p = PUBO(4, terms)
+        ev = p.energy_vector()
+        for x in range(16):
+            bits = int_to_bitstring(x, 4)
+            spins = [1 - 2 * b for b in bits]
+            assert ev[x] == pytest.approx(p.energy(spins))
+
+    def test_zero_terms_pruned(self):
+        p = PUBO(2, {frozenset({0, 1}): 0.0, frozenset({0}): 1.0})
+        assert p.interaction_terms() == [(frozenset({0}), 1.0)]
+
+    def test_set_keys_normalized_to_frozensets(self):
+        # Plain sets are accepted and canonicalized.
+        p = PUBO(2, {frozenset([1, 0]): 2.0})
+        assert p.terms[frozenset({0, 1})] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PUBO(2, {frozenset({0, 5}): 1.0})
+        p = PUBO(2, {frozenset({0, 1}): 1.0})
+        with pytest.raises(ValueError):
+            p.energy([1])
+        with pytest.raises(ValueError):
+            p.energy([1, 0])
+
+    def test_max_order(self):
+        p = PUBO(4, {frozenset({0, 1, 2, 3}): 1.0, frozenset({0}): 1.0})
+        assert p.max_order == 4
+
+    def test_brute_force(self):
+        # minimize 2 σ0σ1σ2: any odd number of -1 spins
+        p = PUBO(3, {frozenset({0, 1, 2}): 2.0})
+        val, arg = p.brute_force_minimum()
+        assert val == pytest.approx(-2.0)
+        spins = [1 - 2 * b for b in int_to_bitstring(arg, 3)]
+        assert spins[0] * spins[1] * spins[2] == -1
+
+
+class TestMaxThreeSat:
+    def test_satisfaction_counting(self):
+        sat = MaxThreeSat(
+            3, [((0, False), (1, False), (2, False)), ((0, True), (1, True), (2, True))]
+        )
+        assert sat.num_satisfied([1, 0, 0]) == 2
+        assert sat.num_satisfied([0, 0, 0]) == 1  # first clause unsat
+        assert sat.num_satisfied([1, 1, 1]) == 1  # second clause unsat
+
+    def test_pubo_counts_unsatisfied(self):
+        sat = MaxThreeSat.random(5, 8, seed=3)
+        pubo = sat.to_pubo()
+        ev = pubo.energy_vector()
+        for x in range(32):
+            bits = int_to_bitstring(x, 5)
+            unsat = len(sat.clauses) - sat.num_satisfied(bits)
+            assert ev[x] == pytest.approx(unsat), bits
+
+    def test_pubo_is_cubic(self):
+        sat = MaxThreeSat.random(6, 10, seed=1)
+        assert sat.to_pubo().max_order == 3
+
+    def test_max_satisfiable(self):
+        sat = MaxThreeSat(
+            3, [((0, False), (1, False), (2, False)), ((0, True), (1, True), (2, True))]
+        )
+        assert sat.max_satisfiable() == 2
+
+    def test_clause_validation(self):
+        with pytest.raises(ValueError):
+            MaxThreeSat(3, [((0, False), (0, True), (1, False))])
+        with pytest.raises(ValueError):
+            MaxThreeSat(2, [((0, False), (1, False), (2, False))])
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_equals_unsat_property(self, x):
+        sat = MaxThreeSat.random(6, 12, seed=9)
+        pubo = sat.to_pubo()
+        bits = int_to_bitstring(x % 64, 6)
+        spins = [1 - 2 * b for b in bits]
+        unsat = len(sat.clauses) - sat.num_satisfied(bits)
+        assert pubo.energy(spins) == pytest.approx(unsat)

@@ -1,0 +1,120 @@
+"""Randomized hardening: property tests over the full compiler and
+cross-simulator measurement checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_qaoa_pattern, pattern_state_equals
+from repro.linalg import allclose_up_to_global_phase
+from repro.problems import QUBO
+from repro.qaoa import qaoa_state
+from repro.sim import Circuit, MeasurementBasis, StateVector
+from repro.stab import StabilizerState
+
+
+@st.composite
+def small_qubos(draw):
+    n = draw(st.integers(2, 3))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    m = np.triu(rng.normal(size=(n, n)))
+    return QUBO(m)
+
+
+class TestCompilerProperties:
+    @given(small_qubos(), st.floats(-2.0, 2.0), st.floats(-2.0, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_random_qubo_random_params(self, qubo, gamma, beta):
+        """E6 hardened: random dense QUBOs with linear terms, random
+        parameters, sampled branches."""
+        compiled = compile_qaoa_pattern(qubo, [gamma], [beta])
+        target = qaoa_state(qubo.to_ising().energy_vector(), [gamma], [beta])
+        assert pattern_state_equals(
+            compiled.pattern, target, max_branches=6, seed=0, atol=1e-7
+        )
+
+    @given(small_qubos())
+    @settings(max_examples=10, deadline=None)
+    def test_fused_equals_hanging(self, qubo):
+        gammas, betas = [0.37], [0.61]
+        target = qaoa_state(qubo.to_ising().energy_vector(), gammas, betas)
+        for mode in ("hanging", "fused"):
+            compiled = compile_qaoa_pattern(qubo, gammas, betas, linear_mode=mode)
+            assert pattern_state_equals(
+                compiled.pattern, target, max_branches=4, seed=1, atol=1e-7
+            ), mode
+
+    @given(small_qubos(), st.integers(1, 2))
+    @settings(max_examples=8, deadline=None)
+    def test_node_count_formula_property(self, qubo, p):
+        ising = qubo.to_ising()
+        compiled = compile_qaoa_pattern(qubo, [0.1] * p, [0.1] * p)
+        v = ising.num_spins
+        e = len(ising.couplings)
+        lin = len(ising.fields)
+        assert compiled.num_nodes() == v + p * (e + 2 * v + lin)
+        assert compiled.num_entanglers() == p * (2 * e + 2 * v + lin)
+
+
+CLIFFORD_MOVES = st.lists(
+    st.tuples(
+        st.sampled_from(["h", "s", "x", "z", "cnot", "cz"]),
+        st.integers(0, 2),
+        st.integers(0, 2),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestStabilizerMeasurementCrossCheck:
+    @given(CLIFFORD_MOVES, st.sampled_from(["X", "Y", "Z"]), st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_measurement_probabilities_agree(self, moves, pauli, qubit):
+        """Stabilizer and dense simulators agree on Pauli-measurement
+        statistics for random Clifford states."""
+        n = 3
+        tab = StabilizerState(n)
+        circ = Circuit(n)
+        for name, a, b in moves:
+            if name in ("h", "s", "x", "z"):
+                tab.apply_named(name, (a,))
+                circ.append(name, (a,))
+            elif a != b:
+                tab.apply_named(name, (a, b))
+                circ.append(name, (a, b))
+        sv = circ.run()
+        p0 = sv.measure_probability(qubit, MeasurementBasis.pauli(pauli), 0)
+        # Stabilizer outcome: deterministic iff p0 in {0, 1}; else random.
+        if p0 > 1 - 1e-9:
+            assert tab.measure_pauli(qubit, pauli) == 0
+        elif p0 < 1e-9:
+            assert tab.measure_pauli(qubit, pauli) == 1
+        else:
+            assert np.isclose(p0, 0.5)  # Clifford states: probs in {0,1/2,1}
+            out = tab.measure_pauli(qubit, pauli, rng=np.random.default_rng(0))
+            assert out in (0, 1)
+
+    @given(CLIFFORD_MOVES)
+    @settings(max_examples=15, deadline=None)
+    def test_post_measurement_states_agree(self, moves):
+        n = 3
+        tab = StabilizerState(n)
+        circ = Circuit(n)
+        for name, a, b in moves:
+            if name in ("h", "s", "x", "z"):
+                tab.apply_named(name, (a,))
+                circ.append(name, (a,))
+            elif a != b:
+                tab.apply_named(name, (a, b))
+                circ.append(name, (a, b))
+        sv = circ.run()
+        p0 = sv.measure_probability(0, MeasurementBasis.pauli("Z"), 0)
+        force = 0 if p0 > 1e-9 else 1
+        sv.measure(0, MeasurementBasis.pauli("Z"), force=force, remove=False)
+        tab.measure_z(0, force=force) if 1e-9 < p0 < 1 - 1e-9 else tab.measure_z(0)
+        assert allclose_up_to_global_phase(
+            tab.to_statevector(), sv.to_array(), atol=1e-8
+        )

@@ -1,0 +1,231 @@
+"""Tests for gate-model QAOA: simulator vs circuits, mixers, optimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import allclose_up_to_global_phase
+from repro.problems import MaxCut, MaximumIndependentSet, GraphColoring
+from repro.qaoa import (
+    apply_constrained_mis_mixer,
+    apply_x_mixer,
+    apply_xy_mixer_pair,
+    grid_search_p1,
+    optimize_qaoa,
+    qaoa_circuit,
+    qaoa_expectation,
+    qaoa_gate_counts,
+    qaoa_state,
+    qaoa_state_constrained_mis,
+    qaoa_state_xy_ring,
+    sample_cost,
+)
+from repro.qaoa.circuits import qaoa_circuit_from_qubo
+from repro.qaoa.optimize import best_sampled_solution
+from repro.qaoa.simulator import basis_state, plus_state
+from repro.utils import popcount_vector
+
+
+class TestSimulatorVsCircuit:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_fast_state_matches_circuit(self, p):
+        mc = MaxCut.ring(4)
+        ising = mc.to_qubo().to_ising()
+        rng = np.random.default_rng(p)
+        gammas = rng.uniform(-1, 1, p)
+        betas = rng.uniform(-1, 1, p)
+        fast = qaoa_state(ising.energy_vector(), gammas, betas)
+        circ = qaoa_circuit(ising, gammas, betas)
+        slow = circ.run().to_array()
+        assert allclose_up_to_global_phase(fast, slow, atol=1e-9)
+
+    def test_with_linear_terms(self):
+        from repro.problems import MinVertexCover
+
+        vc = MinVertexCover(4, [(0, 1), (1, 2), (2, 3)])
+        ising = vc.to_qubo().to_ising()
+        gammas, betas = [0.37], [0.81]
+        fast = qaoa_state(ising.energy_vector(), gammas, betas)
+        slow = qaoa_circuit(ising, gammas, betas).run().to_array()
+        assert allclose_up_to_global_phase(fast, slow, atol=1e-9)
+
+    def test_qubo_convenience_builder(self):
+        mc = MaxCut.ring(3)
+        c = qaoa_circuit_from_qubo(mc.to_qubo(), [0.2], [0.3])
+        fast = qaoa_state(mc.to_qubo().to_ising().energy_vector(), [0.2], [0.3])
+        assert allclose_up_to_global_phase(c.run().to_array(), fast, atol=1e-9)
+
+    def test_param_length_mismatch(self):
+        with pytest.raises(ValueError):
+            qaoa_state(np.zeros(4), [0.1], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            qaoa_circuit(MaxCut.ring(3).to_qubo().to_ising(), [0.1], [])
+
+
+class TestMixers:
+    def test_x_mixer_is_global_rotation(self):
+        # On |0...0>, the X mixer gives product of single-qubit rotations.
+        n = 3
+        psi = basis_state([0] * n)
+        apply_x_mixer(psi, 0.4)
+        single = np.array([np.cos(0.4), -1j * np.sin(0.4)])
+        expect = np.array([1.0], dtype=complex)
+        for _ in range(n):
+            expect = np.kron(single, expect)
+        assert np.allclose(psi, expect)
+
+    def test_xy_mixer_preserves_hamming_weight(self):
+        n = 4
+        rng = np.random.default_rng(3)
+        psi = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        psi /= np.linalg.norm(psi)
+        w = popcount_vector(n)
+        weights_before = [
+            float(np.sum(np.abs(psi[w == k]) ** 2)) for k in range(n + 1)
+        ]
+        apply_xy_mixer_pair(psi, 0, 2, 0.7)
+        apply_xy_mixer_pair(psi, 1, 3, -0.3)
+        weights_after = [
+            float(np.sum(np.abs(psi[w == k]) ** 2)) for k in range(n + 1)
+        ]
+        assert np.allclose(weights_before, weights_after, atol=1e-10)
+
+    def test_xy_mixer_matches_dense_exponential(self):
+        from scipy.linalg import expm
+
+        from repro.linalg import PAULI_X, PAULI_Y, operator_on_qubits
+
+        n = 3
+        beta = 0.53
+        xx = operator_on_qubits(np.kron(PAULI_X, PAULI_X), [0, 2], n)
+        yy = operator_on_qubits(np.kron(PAULI_Y, PAULI_Y), [0, 2], n)
+        u = expm(1j * beta * (xx + yy))
+        rng = np.random.default_rng(1)
+        psi = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        psi /= np.linalg.norm(psi)
+        expect = u @ psi
+        apply_xy_mixer_pair(psi, 0, 2, beta)
+        assert np.allclose(psi, expect, atol=1e-9)
+
+    def test_mis_mixer_matches_dense(self):
+        from scipy.linalg import expm
+
+        from repro.linalg import PAULI_X, controlled, operator_on_qubits
+
+        # 3 qubits; vertex 2 controlled on neighbors {0,1} being 0.
+        beta = 0.61
+        u_rot = expm(1j * beta * PAULI_X)
+        core = controlled(u_rot, 2)
+        flip = operator_on_qubits(PAULI_X, [0], 3) @ operator_on_qubits(PAULI_X, [1], 3)
+        dense = flip @ core @ flip
+        rng = np.random.default_rng(2)
+        psi = rng.normal(size=8) + 1j * rng.normal(size=8)
+        psi /= np.linalg.norm(psi)
+        expect = dense @ psi
+        apply_constrained_mis_mixer(psi, 2, [0, 1], beta)
+        assert np.allclose(psi, expect, atol=1e-9)
+
+    def test_mis_mixer_validation(self):
+        psi = plus_state(2)
+        with pytest.raises(ValueError):
+            apply_constrained_mis_mixer(psi, 0, [0], 0.1)
+        with pytest.raises(ValueError):
+            apply_xy_mixer_pair(psi, 0, 0, 0.1)
+
+
+class TestConstrainedQAOA:
+    def test_mis_qaoa_preserves_feasibility(self):
+        """Section IV headline behaviour: starting from an independent set,
+        every sample is an independent set, at any parameters."""
+        mis = MaximumIndependentSet(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        x0 = mis.greedy_independent_set(seed=3)
+        psi = qaoa_state_constrained_mis(
+            mis, gammas=[0.7, -0.4], betas=[0.3, 0.9], initial=basis_state(x0)
+        )
+        mask = mis.feasibility_mask()
+        infeasible_weight = float(np.sum(np.abs(psi[~mask]) ** 2))
+        assert infeasible_weight < 1e-12
+
+    def test_mis_qaoa_explores_feasible_space(self):
+        mis = MaximumIndependentSet(4, [(0, 1), (1, 2), (2, 3)])
+        x0 = [0, 0, 0, 0]
+        psi = qaoa_state_constrained_mis(
+            mis, gammas=[0.5], betas=[0.8], initial=basis_state(x0), sweeps=2
+        )
+        # Amplitude must have spread beyond the start state.
+        assert abs(psi[0]) ** 2 < 0.99
+
+    def test_xy_ring_preserves_one_hot(self):
+        gc = GraphColoring(2, [(0, 1)], k=3)
+        x0 = gc.initial_feasible_state()
+        psi = qaoa_state_xy_ring(
+            gc.cost_vector(),
+            gammas=[0.4],
+            betas=[0.6],
+            blocks=gc.blocks(),
+            initial=basis_state(x0),
+        )
+        mask = gc.feasibility_mask()
+        assert float(np.sum(np.abs(psi[~mask]) ** 2)) < 1e-12
+
+
+class TestOptimization:
+    def test_grid_search_beats_random_on_ring(self):
+        mc = MaxCut.ring(6)
+        cost = mc.to_qubo().cost_vector()
+        res = grid_search_p1(cost, resolution=16)
+        # Random state expectation is -|E|/2 = -3; optimized must be better.
+        assert res.expectation < -3.5
+
+    def test_optimize_improves_with_p(self):
+        mc = MaxCut.ring(5)
+        cost = mc.to_qubo().cost_vector()
+        r1 = optimize_qaoa(cost, p=1, restarts=4, seed=0)
+        r2 = optimize_qaoa(
+            cost, p=2, restarts=4, seed=0, warm_start=(r1.gammas, r1.betas)
+        )
+        assert r2.expectation <= r1.expectation + 1e-9
+
+    def test_optimizer_validation(self):
+        with pytest.raises(ValueError):
+            optimize_qaoa(np.zeros(4), p=0)
+
+    def test_sampling_matches_expectation(self):
+        mc = MaxCut.ring(4)
+        cost = mc.to_qubo().cost_vector()
+        res = grid_search_p1(cost, resolution=12)
+        _, costs = sample_cost(cost, res.gammas, res.betas, shots=20000, seed=1)
+        assert abs(costs.mean() - res.expectation) < 0.1
+
+    def test_best_sampled_solution(self):
+        mc = MaxCut.ring(4)
+        cost = mc.to_qubo().cost_vector()
+        res = grid_search_p1(cost, resolution=12)
+        _, best_cost = best_sampled_solution(cost, res.gammas, res.betas, shots=2000, seed=2)
+        assert best_cost == pytest.approx(-4.0)  # finds the optimum
+
+
+class TestGateCounts:
+    def test_counts_formula(self):
+        mc = MaxCut.ring(6)
+        ising = mc.to_qubo().to_ising()
+        counts = qaoa_gate_counts(ising, p=3)
+        assert counts["qubits"] == 6
+        assert counts["entangling_gates"] == 2 * 3 * 6
+        assert counts["rx_gates"] == 18
+
+    def test_counts_match_circuit(self):
+        mc = MaxCut.ring(5)
+        ising = mc.to_qubo().to_ising()
+        p = 2
+        circ = qaoa_circuit(ising, [0.1] * p, [0.2] * p)
+        counts = qaoa_gate_counts(ising, p)
+        assert circ.count_entangling() == counts["entangling_gates"]
+        by_name = circ.count_by_name()
+        assert by_name["rx"] == counts["rx_gates"]
+        assert by_name["h"] == counts["h_gates"]
+
+    def test_negative_p(self):
+        with pytest.raises(ValueError):
+            qaoa_gate_counts(MaxCut.ring(3).to_qubo().to_ising(), -1)

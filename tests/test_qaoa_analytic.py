@@ -1,0 +1,78 @@
+"""Analytic p=1 MaxCut expectations (ref. [40]) vs the exact simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems import MaxCut
+from repro.qaoa import qaoa_expectation
+from repro.qaoa.analytic import (
+    maxcut_p1_expectation,
+    maxcut_p1_grid_optimum,
+    ring_p1_optimum,
+)
+from repro.utils import grid_graph
+
+
+GRAPHS = [
+    ("ring6", MaxCut.ring(6)),
+    ("ring5", MaxCut.ring(5)),
+    ("path4", MaxCut(4, [(0, 1), (1, 2), (2, 3)])),
+    ("star5", MaxCut(5, [(0, i) for i in range(1, 5)])),
+    ("triangle", MaxCut(3, [(0, 1), (1, 2), (0, 2)])),  # λ = 1 per edge
+    ("K4", MaxCut.complete(4)),                          # λ = 2 per edge
+    ("3reg8", MaxCut.random_regular(3, 8, seed=4)),
+]
+
+
+class TestFormulaVsSimulator:
+    @pytest.mark.parametrize("name,mc", GRAPHS)
+    @pytest.mark.parametrize("gamma,beta", [(0.3, 0.5), (-0.9, 0.2), (1.4, -1.1)])
+    def test_matches_exact_simulation(self, name, mc, gamma, beta):
+        cost = mc.to_qubo().cost_vector()  # = -cut
+        exact_cut = -qaoa_expectation(cost, [gamma], [beta])
+        analytic = maxcut_p1_expectation(mc, gamma, beta)
+        assert analytic == pytest.approx(exact_cut, abs=1e-9), name
+
+    @given(st.floats(-np.pi, np.pi), st.floats(-np.pi, np.pi))
+    @settings(max_examples=25, deadline=None)
+    def test_property_on_triangle_graph(self, gamma, beta):
+        mc = MaxCut(3, [(0, 1), (1, 2), (0, 2)])
+        cost = mc.to_qubo().cost_vector()
+        exact_cut = -qaoa_expectation(cost, [gamma], [beta])
+        assert maxcut_p1_expectation(mc, gamma, beta) == pytest.approx(
+            exact_cut, abs=1e-8
+        )
+
+    def test_zero_angles_give_half_edges(self):
+        mc = MaxCut.ring(8)
+        assert maxcut_p1_expectation(mc, 0.0, 0.0) == pytest.approx(4.0)
+
+    def test_weighted_rejected(self):
+        mc = MaxCut(2, [(0, 1)], weights={(0, 1): 2.0})
+        with pytest.raises(ValueError):
+            maxcut_p1_expectation(mc, 0.1, 0.1)
+
+
+class TestOptima:
+    def test_even_ring_reaches_three_quarters(self):
+        mc = MaxCut.ring(8)
+        best, g, b = maxcut_p1_grid_optimum(mc, resolution=60)
+        assert best == pytest.approx(ring_p1_optimum(8), abs=0.02)
+        # And the simulator agrees at those parameters.
+        cost = mc.to_qubo().cost_vector()
+        assert -qaoa_expectation(cost, [g], [b]) == pytest.approx(best, abs=1e-9)
+
+    def test_scales_to_large_graphs(self):
+        """The closed form needs no 2^n vectors: evaluate on a 100-node
+        ring (statevector would be 2^100)."""
+        mc = MaxCut.ring(100)
+        val = maxcut_p1_expectation(mc, 0.3, 0.4)
+        assert np.isfinite(val)
+        best, _, _ = maxcut_p1_grid_optimum(mc, resolution=24)
+        assert best / 100.0 > 0.70  # near the 3/4 ring limit
+
+    def test_ring_optimum_validation(self):
+        with pytest.raises(ValueError):
+            ring_p1_optimum(2)

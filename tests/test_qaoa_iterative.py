@@ -1,0 +1,116 @@
+"""Iterative quantum optimization (Section V; refs [56],[60],[61])."""
+
+import numpy as np
+import pytest
+
+from repro.problems import MaxCut, MinVertexCover
+from repro.problems.qubo import IsingModel
+from repro.qaoa.iterative import (
+    IterativeResult,
+    _contract_edge,
+    _fix_spin,
+    iterative_quantum_optimize,
+    qaoa_correlation_oracle,
+)
+from repro.utils import int_to_bitstring
+
+
+class TestContraction:
+    def test_contract_edge_preserves_energy_on_consistent_states(self):
+        ising = IsingModel(
+            3, {(0, 1): 1.0, (1, 2): -0.5, (0, 2): 0.25}, {1: 0.3}, offset=0.1
+        )
+        reduced = _contract_edge(ising, 0, 1, sign=-1)  # s_1 := -s_0
+        for s0 in (-1, 1):
+            for s2 in (-1, 1):
+                full = [s0, -s0, s2]
+                # reduced model ignores spin 1 (disconnected)
+                assert reduced.energy([s0, 1, s2]) == pytest.approx(
+                    ising.energy(full)
+                )
+
+    def test_contract_edge_folds_parallel_coupling(self):
+        # Edge (0,1) contracted: coupling (0,1) becomes a constant.
+        ising = IsingModel(2, {(0, 1): 2.0})
+        reduced = _contract_edge(ising, 0, 1, sign=1)
+        assert reduced.couplings == {}
+        assert reduced.offset == pytest.approx(2.0)
+
+    def test_fix_spin_preserves_energy(self):
+        ising = IsingModel(3, {(0, 1): 1.0, (1, 2): -1.0}, {1: 0.5}, offset=0.2)
+        reduced = _fix_spin(ising, 1, sign=-1)
+        for s0 in (-1, 1):
+            for s2 in (-1, 1):
+                assert reduced.energy([s0, 1, s2]) == pytest.approx(
+                    ising.energy([s0, -1, s2])
+                )
+
+
+class TestOracle:
+    def test_correlations_in_range(self):
+        ising = MaxCut.ring(4).to_qubo().to_ising()
+        oracle = qaoa_correlation_oracle(p=1, grid_resolution=10)
+        corrs, means = oracle(ising)
+        assert set(corrs) == set(ising.couplings)
+        assert all(-1.0 - 1e-9 <= c <= 1.0 + 1e-9 for c in corrs.values())
+        assert means == {}  # MaxCut: no fields
+
+    def test_ferromagnet_correlations_positive(self):
+        # Pure ferromagnetic chain (minimize): QAOA aligns spins: <ZZ> > 0.
+        ising = IsingModel(3, {(0, 1): -1.0, (1, 2): -1.0})
+        corrs, _ = qaoa_correlation_oracle(p=1, grid_resolution=16)(ising)
+        assert all(c > 0.1 for c in corrs.values())
+
+
+class TestSolver:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_on_small_maxcut(self, seed):
+        mc = MaxCut.random_regular(3, 8, seed=seed)
+        ising = mc.to_qubo().to_ising()
+        res = iterative_quantum_optimize(ising, stop_at=3)
+        best_cut = mc.max_cut_value()
+        got_cut = mc.cut_value(res.bits())
+        assert got_cut >= 0.9 * best_cut
+        assert res.energy == pytest.approx(ising.energy(res.spins))
+
+    def test_ring_solved_exactly(self):
+        mc = MaxCut.ring(8)
+        res = iterative_quantum_optimize(mc.to_qubo().to_ising(), stop_at=2)
+        assert mc.cut_value(res.bits()) == pytest.approx(8.0)
+
+    def test_with_fields(self):
+        vc = MinVertexCover(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        qubo = vc.to_qubo()
+        res = iterative_quantum_optimize(qubo.to_ising(), stop_at=2)
+        x = res.bits()
+        assert vc.is_cover(x)
+        assert sum(x) == vc.minimum_cover_size()
+
+    def test_steps_recorded(self):
+        mc = MaxCut.ring(6)
+        res = iterative_quantum_optimize(mc.to_qubo().to_ising(), stop_at=2)
+        assert len(res.steps) >= 1
+        assert all(s.kind in ("edge", "field") for s in res.steps)
+        assert all(0.0 <= s.strength <= 1.0 + 1e-9 for s in res.steps)
+
+    def test_stop_at_validation(self):
+        with pytest.raises(ValueError):
+            iterative_quantum_optimize(IsingModel(2, {(0, 1): 1.0}), stop_at=0)
+
+    def test_energy_bookkeeping_matches_brute_force(self):
+        ising = MaxCut.ring(6).to_qubo().to_ising()
+        res = iterative_quantum_optimize(ising, stop_at=6)
+        # stop_at >= n: pure brute force, must be the global optimum.
+        ev = ising.energy_vector()
+        assert res.energy == pytest.approx(float(ev.min()))
+
+    def test_beats_single_shot_qaoa_expectation(self):
+        """The Section V motivation: iteration extracts more than one
+        optimized QAOA_1 expectation."""
+        from repro.qaoa import grid_search_p1
+
+        mc = MaxCut.random_regular(3, 8, seed=7)
+        cost = mc.to_qubo().cost_vector()
+        single = -grid_search_p1(cost, resolution=16).expectation
+        res = iterative_quantum_optimize(mc.to_qubo().to_ising(), stop_at=3)
+        assert mc.cut_value(res.bits()) >= single - 1e-9

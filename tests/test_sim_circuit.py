@@ -1,0 +1,149 @@
+"""Tests for the circuit IR: gate validation, execution, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    allclose_up_to_global_phase,
+    controlled,
+    operator_on_qubits,
+    rx,
+    rz,
+)
+from repro.sim import Circuit, Gate, StateVector
+
+
+class TestGate:
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            Gate("frobnicate", (0,))
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1))
+        with pytest.raises(ValueError):
+            Gate("cz", (0,))
+
+    def test_param_check(self):
+        with pytest.raises(ValueError):
+            Gate("rz", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0,), (0.3,))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("cz", (1, 1))
+
+    def test_matrix_fixed(self):
+        assert np.allclose(Gate("cnot", (0, 1)).matrix(), CNOT)
+        assert np.allclose(Gate("rz", (0,), (0.5,)).matrix(), rz(0.5))
+
+    def test_matrix_variadic(self):
+        g = Gate("mcrx", (0, 1, 2), (0.7,))
+        assert np.allclose(g.matrix(), controlled(rx(0.7), 2))
+
+    def test_mcx_needs_control(self):
+        with pytest.raises(ValueError):
+            Gate("mcx", (0,))
+
+    def test_dagger(self):
+        assert Gate("rz", (0,), (0.5,)).dagger() == Gate("rz", (0,), (-0.5,))
+        assert Gate("s", (0,)).dagger() == Gate("sdg", (0,))
+        assert Gate("h", (0,)).dagger() == Gate("h", (0,))
+        with pytest.raises(ValueError):
+            Gate("j", (0,), (0.1,)).dagger()
+
+    def test_entangling_flag(self):
+        assert Gate("cz", (0, 1)).is_entangling()
+        assert not Gate("h", (0,)).is_entangling()
+
+
+class TestCircuit:
+    def test_register_bounds(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError):
+            c.h(2)
+
+    def test_bell_circuit(self):
+        c = Circuit(2).h(0).cnot(0, 1)
+        out = c.run().to_array()
+        assert np.allclose(out, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+    def test_unitary_matches_run(self):
+        c = Circuit(3).h(0).cz(0, 1).rx(2, 0.4).cnot(2, 0).rz(1, -0.9)
+        u = c.unitary()
+        v0 = np.zeros(8)
+        v0[0] = 1
+        assert np.allclose(u @ v0, c.run().to_array())
+
+    def test_unitary_is_unitary(self):
+        c = Circuit(3).h(0).cz(0, 1).rx(2, 0.4).ry(1, 1.0).append("ccx", (0, 1, 2))
+        u = c.unitary()
+        assert np.allclose(u @ u.conj().T, np.eye(8))
+
+    def test_inverse(self):
+        c = Circuit(2).h(0).s(1).cz(0, 1).rz(0, 0.7).rx(1, -0.2)
+        ident = c.compose(c.inverse()).unitary()
+        assert np.allclose(ident, np.eye(4))
+
+    def test_rzz_matches_exponential(self):
+        theta = 0.63
+        c = Circuit(2).rzz(0, 1, theta)
+        zz = np.diag([1.0, -1.0, -1.0, 1.0])
+        from scipy.linalg import expm
+
+        expect = expm(-1j * theta / 2 * zz)
+        assert allclose_up_to_global_phase(c.unitary(), expect)
+
+    def test_rxx_ryy_match_exponentials(self):
+        from scipy.linalg import expm
+
+        theta = -0.41
+        xx = operator_on_qubits(np.kron([[0, 1], [1, 0]], [[0, 1], [1, 0]]), [0, 1], 2)
+        yy = operator_on_qubits(
+            np.kron([[0, -1j], [1j, 0]], [[0, -1j], [1j, 0]]), [0, 1], 2
+        )
+        assert allclose_up_to_global_phase(
+            Circuit(2).rxx(0, 1, theta).unitary(), expm(-1j * theta / 2 * xx)
+        )
+        assert allclose_up_to_global_phase(
+            Circuit(2).ryy(0, 1, theta).unitary(), expm(-1j * theta / 2 * yy)
+        )
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_counts(self):
+        c = Circuit(3).h(0).h(1).cz(0, 1).cnot(1, 2).rz(0, 0.3)
+        assert c.count_entangling() == 2
+        assert c.count_by_name()["h"] == 2
+        assert len(c) == 5
+
+    def test_depth(self):
+        c = Circuit(3).h(0).h(1).cz(0, 1).h(2)
+        assert c.depth() == 2
+        assert Circuit(2).depth() == 0
+
+    def test_apply_to_register_mismatch(self):
+        with pytest.raises(ValueError):
+            Circuit(2).h(0).apply_to(StateVector.zeros(3))
+
+    def test_run_with_initial(self):
+        init = StateVector.plus(1)
+        out = Circuit(1).h(0).run(init).to_array()
+        assert np.allclose(out, [1, 0])
+
+    def test_mcrx_execution(self):
+        # Controls on qubits 0,1; RX on qubit 2; fires only from |11x>.
+        c = Circuit(3).x(0).x(1).append("mcrx", (0, 1, 2), np.pi)
+        out = c.run().to_array()
+        # |110> -> controls set, RX(pi)|0> = -i|1> -> state |111> up to phase.
+        assert np.isclose(abs(out[7]), 1.0)
+
+    def test_j_gate_in_circuit(self):
+        c = Circuit(1).j(0, 0.8)
+        assert np.allclose(c.unitary(), HADAMARD @ rz(0.8))

@@ -1,0 +1,180 @@
+"""Density-matrix simulator: unitary/channel/measurement semantics, and the
+exact-channel vs Monte-Carlo-trajectory cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import CNOT, CZ, HADAMARD, PAULI_X, PAULI_Z, operator_on_qubits, rx, rz
+from repro.sim import MeasurementBasis, StateVector
+from repro.sim.density import (
+    DensityMatrix,
+    amplitude_damping_kraus,
+    dephasing_kraus,
+    depolarizing_kraus,
+)
+from repro.sim.statevector import KET_0, KET_PLUS
+
+
+def random_sv(n, seed=0):
+    rng = np.random.default_rng(seed)
+    v = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    return StateVector.from_array(v / np.linalg.norm(v))
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        dm = DensityMatrix(2)
+        m = dm.to_matrix()
+        assert np.isclose(m[0, 0], 1.0) and np.isclose(np.trace(m), 1.0)
+
+    def test_from_statevector_roundtrip(self):
+        sv = random_sv(3, seed=1)
+        dm = DensityMatrix.from_statevector(sv)
+        v = sv.to_array()
+        assert np.allclose(dm.to_matrix(), np.outer(v, v.conj()))
+        assert dm.purity() == pytest.approx(1.0)
+
+    def test_from_matrix_validation(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.from_matrix(np.eye(3), 2)
+
+    def test_add_qubit(self):
+        dm = DensityMatrix(0)
+        dm.add_qubit(KET_0)
+        dm.add_qubit(KET_PLUS)
+        sv = StateVector(0)
+        sv.add_qubit(KET_0)
+        sv.add_qubit(KET_PLUS)
+        v = sv.to_array()
+        assert np.allclose(dm.to_matrix(), np.outer(v, v.conj()))
+
+
+class TestUnitaries:
+    def test_1q_matches_statevector(self):
+        sv = random_sv(3, seed=2)
+        dm = DensityMatrix.from_statevector(sv)
+        for q, u in [(0, HADAMARD), (2, rz(0.7)), (1, rx(-0.4))]:
+            sv.apply_1q(u, q)
+            dm.apply_1q(u, q)
+        v = sv.to_array()
+        assert np.allclose(dm.to_matrix(), np.outer(v, v.conj()), atol=1e-10)
+
+    def test_2q_matches_statevector(self):
+        sv = random_sv(3, seed=3)
+        dm = DensityMatrix.from_statevector(sv)
+        for qs, u in [((0, 1), CNOT), ((2, 0), CZ), ((1, 2), CNOT)]:
+            sv.apply_2q(u, *qs)
+            dm.apply_2q(u, *qs)
+        v = sv.to_array()
+        assert np.allclose(dm.to_matrix(), np.outer(v, v.conj()), atol=1e-10)
+
+    def test_trace_preserved(self):
+        dm = DensityMatrix(2)
+        dm.apply_1q(HADAMARD, 0)
+        dm.apply_2q(CNOT, 0, 1)
+        assert dm.trace() == pytest.approx(1.0)
+
+
+class TestChannels:
+    def test_kraus_completeness(self):
+        for kraus in (depolarizing_kraus(0.3), dephasing_kraus(0.2), amplitude_damping_kraus(0.4)):
+            acc = sum(k.conj().T @ k for k in kraus)
+            assert np.allclose(acc, np.eye(2))
+
+    def test_probability_validation(self):
+        for f in (depolarizing_kraus, dephasing_kraus, amplitude_damping_kraus):
+            with pytest.raises(ValueError):
+                f(1.5)
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        dm = DensityMatrix(1)
+        dm.apply_1q(HADAMARD, 0)
+        # p=3/4 single-qubit depolarizing is the fully-depolarizing channel.
+        dm.apply_kraus(depolarizing_kraus(0.75), 0)
+        assert np.allclose(dm.to_matrix(), np.eye(2) / 2, atol=1e-10)
+
+    def test_dephasing_kills_coherence(self):
+        dm = DensityMatrix(1)
+        dm.apply_1q(HADAMARD, 0)
+        dm.apply_kraus(dephasing_kraus(0.5), 0)
+        m = dm.to_matrix()
+        assert np.isclose(m[0, 1], 0.0)
+        assert np.isclose(m[0, 0], 0.5)
+
+    def test_amplitude_damping_decays_excited(self):
+        dm = DensityMatrix(1)
+        dm.apply_1q(PAULI_X, 0)  # |1>
+        dm.apply_kraus(amplitude_damping_kraus(0.3), 0)
+        m = dm.to_matrix()
+        assert m[1, 1] == pytest.approx(0.7)
+        assert m[0, 0] == pytest.approx(0.3)
+
+    def test_channel_on_entangled_state(self):
+        dm = DensityMatrix(2)
+        dm.apply_1q(HADAMARD, 0)
+        dm.apply_2q(CNOT, 0, 1)
+        dm.apply_kraus(dephasing_kraus(1.0), 0)  # Z on qubit 0 (coherent)
+        # Z⊗I on a Bell state gives |Φ->: still pure.
+        assert dm.purity() == pytest.approx(1.0)
+        v = np.array([1, 0, 0, -1]) / np.sqrt(2)
+        assert dm.fidelity_with_pure(v) == pytest.approx(1.0)
+
+    def test_exact_channel_equals_trajectory_average(self):
+        """The E15 validation: Monte-Carlo Pauli insertion averages to the
+        exact depolarizing channel."""
+        p = 0.3
+        base = random_sv(2, seed=5)
+        exact = DensityMatrix.from_statevector(base)
+        exact.apply_kraus(depolarizing_kraus(p), 0)
+
+        rng = np.random.default_rng(7)
+        acc = np.zeros((4, 4), dtype=complex)
+        trials = 4000
+        paulis = [PAULI_X, np.array([[0, -1j], [1j, 0]]), PAULI_Z]
+        for _ in range(trials):
+            sv = base.copy()
+            if rng.random() < p:
+                sv.apply_1q(paulis[int(rng.integers(3))], 0)
+            v = sv.to_array()
+            acc += np.outer(v, v.conj())
+        acc /= trials
+        assert np.allclose(acc, exact.to_matrix(), atol=0.03)
+
+
+class TestMeasurement:
+    def test_z_measurement_statistics(self):
+        dm = DensityMatrix(1)
+        dm.apply_1q(rx(2 * np.arcsin(np.sqrt(0.3))), 0)
+        out, p = dm.measure(0, MeasurementBasis.pauli("Z"), force=1)
+        assert p == pytest.approx(0.3)
+        assert dm.num_qubits == 0
+
+    def test_measure_keep(self):
+        dm = DensityMatrix(2)
+        dm.apply_1q(HADAMARD, 0)
+        dm.apply_2q(CNOT, 0, 1)
+        out, p = dm.measure(0, MeasurementBasis.pauli("Z"), force=0, remove=False)
+        assert p == pytest.approx(0.5)
+        m = dm.to_matrix()
+        assert np.isclose(m[0, 0], 1.0)  # collapsed to |00>
+
+    def test_measure_removes_and_renormalizes(self):
+        dm = DensityMatrix(2)
+        dm.apply_1q(HADAMARD, 0)
+        dm.apply_2q(CNOT, 0, 1)
+        dm.measure(0, MeasurementBasis.pauli("Z"), force=1)
+        m = dm.to_matrix()
+        assert np.isclose(m[1, 1], 1.0)  # remaining qubit in |1>
+        assert dm.trace() == pytest.approx(1.0)
+
+    def test_forced_zero_prob(self):
+        dm = DensityMatrix(1)
+        with pytest.raises(ValueError):
+            dm.measure(0, MeasurementBasis.pauli("Z"), force=1)
+
+    def test_measurement_agrees_with_statevector(self):
+        sv = random_sv(3, seed=8)
+        dm = DensityMatrix.from_statevector(sv)
+        out_sv, p_sv = sv.copy().measure(1, MeasurementBasis.xy(0.4), force=0)
+        out_dm, p_dm = dm.measure(1, MeasurementBasis.xy(0.4), force=0)
+        assert p_dm == pytest.approx(p_sv)

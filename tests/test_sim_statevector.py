@@ -1,0 +1,226 @@
+"""Unit + property tests for the dynamic statevector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    PAULI_X,
+    allclose_up_to_global_phase,
+    operator_on_qubits,
+    rx,
+    ry,
+    rz,
+)
+from repro.sim import MeasurementBasis, StateVector
+from repro.sim.statevector import KET_0, KET_1, KET_MINUS, KET_PLUS, ZeroProbabilityBranch
+
+
+def random_state(n, seed=0):
+    rng = np.random.default_rng(seed)
+    v = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    return v / np.linalg.norm(v)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        sv = StateVector.zeros(3)
+        a = sv.to_array()
+        assert np.isclose(a[0], 1) and np.allclose(a[1:], 0)
+
+    def test_plus(self):
+        sv = StateVector.plus(2)
+        assert np.allclose(sv.to_array(), np.full(4, 0.5))
+
+    def test_from_array_roundtrip(self):
+        v = random_state(3, seed=1)
+        sv = StateVector.from_array(v)
+        assert np.allclose(sv.to_array(), v)
+        assert sv.num_qubits == 3
+
+    def test_from_array_bad_length(self):
+        with pytest.raises(ValueError):
+            StateVector.from_array(np.ones(3))
+
+    def test_empty_register(self):
+        sv = StateVector(0)
+        assert sv.num_qubits == 0
+        assert np.isclose(sv.norm(), 1.0)
+
+    def test_add_qubit_order(self):
+        sv = StateVector(0)
+        sv.add_qubit(KET_0)
+        sv.add_qubit(KET_1)
+        # qubit 0 = |0>, qubit 1 = |1> -> index 2
+        a = sv.to_array()
+        assert np.isclose(a[2], 1)
+
+
+class TestUnitaries:
+    def test_apply_1q_matches_dense(self):
+        n = 3
+        v = random_state(n, seed=2)
+        for q in range(n):
+            sv = StateVector.from_array(v)
+            sv.apply_1q(HADAMARD, q)
+            dense = operator_on_qubits(HADAMARD, [q], n) @ v
+            assert np.allclose(sv.to_array(), dense)
+
+    def test_apply_2q_matches_dense(self):
+        n = 4
+        v = random_state(n, seed=3)
+        for q0, q1 in [(0, 1), (1, 0), (0, 3), (3, 1), (2, 0)]:
+            sv = StateVector.from_array(v)
+            sv.apply_2q(CNOT, q0, q1)
+            dense = operator_on_qubits(CNOT, [q0, q1], n) @ v
+            assert np.allclose(sv.to_array(), dense)
+
+    def test_apply_cz_matches_dense(self):
+        n = 3
+        v = random_state(n, seed=4)
+        sv = StateVector.from_array(v)
+        sv.apply_cz(0, 2)
+        dense = operator_on_qubits(CZ, [0, 2], n) @ v
+        assert np.allclose(sv.to_array(), dense)
+        # CZ is symmetric
+        sv2 = StateVector.from_array(v)
+        sv2.apply_cz(2, 0)
+        assert np.allclose(sv2.to_array(), dense)
+
+    def test_apply_kq_matches_dense(self):
+        n = 4
+        rng = np.random.default_rng(5)
+        m = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        q, _ = np.linalg.qr(m)
+        v = random_state(n, seed=6)
+        for qubits in [(0, 1, 2), (2, 0, 3), (3, 1, 0)]:
+            sv = StateVector.from_array(v)
+            sv.apply_kq(q, qubits)
+            dense = operator_on_qubits(q, list(qubits), n) @ v
+            assert np.allclose(sv.to_array(), dense)
+
+    def test_apply_diagonal(self):
+        n = 3
+        v = random_state(n, seed=7)
+        d = np.exp(1j * np.arange(8))
+        sv = StateVector.from_array(v)
+        sv.apply_diagonal(d)
+        assert np.allclose(sv.to_array(), d * v)
+
+    def test_errors(self):
+        sv = StateVector.zeros(2)
+        with pytest.raises(ValueError):
+            sv.apply_1q(HADAMARD, 5)
+        with pytest.raises(ValueError):
+            sv.apply_2q(CZ, 0, 0)
+        with pytest.raises(ValueError):
+            sv.apply_diagonal(np.ones(3))
+
+
+class TestMeasurement:
+    def test_z_measurement_on_zero_state(self):
+        sv = StateVector.zeros(1)
+        out, p = sv.measure(0, MeasurementBasis.pauli("Z"), seed_or_rng_none := None)
+        assert out == 0 and np.isclose(p, 1.0)
+        assert sv.num_qubits == 0
+
+    def test_plus_measured_in_x(self):
+        sv = StateVector.plus(1)
+        out, p = sv.measure(0, MeasurementBasis.pauli("X"))
+        assert out == 0 and np.isclose(p, 1.0)
+
+    def test_force_impossible_branch_raises(self):
+        sv = StateVector.zeros(1)
+        with pytest.raises(ZeroProbabilityBranch):
+            sv.measure(0, MeasurementBasis.pauli("Z"), force=1)
+
+    def test_forced_branches_probabilities(self):
+        sv = StateVector.plus(1)
+        _, p = sv.copy().measure(0, MeasurementBasis.pauli("Z"), force=0)
+        assert np.isclose(p, 0.5)
+        _, p = sv.copy().measure(0, MeasurementBasis.pauli("Z"), force=1)
+        assert np.isclose(p, 0.5)
+
+    def test_measure_keep_collapses(self):
+        sv = StateVector.plus(2)
+        out, _ = sv.measure(0, MeasurementBasis.pauli("Z"), force=1, remove=False)
+        assert sv.num_qubits == 2
+        a = sv.to_array()
+        # qubit 0 collapsed to |1>: only odd indices populated
+        assert np.allclose(a[[0, 2]], 0)
+
+    def test_measure_removes_correct_axis(self):
+        # Entangle and confirm remaining qubit's reduced state.
+        sv = StateVector.zeros(2)
+        sv.apply_1q(HADAMARD, 0)
+        sv.apply_2q(CNOT, 0, 1)  # Bell state
+        out, p = sv.measure(0, MeasurementBasis.pauli("Z"), force=0)
+        assert np.isclose(p, 0.5)
+        assert np.allclose(sv.to_array(), [1, 0])
+
+    def test_xy_basis_angles(self):
+        # |+> measured in XY(pi) should be deterministic outcome 1? No:
+        # XY(pi) basis is {RZ(pi)|+>, RZ(pi)|->} ~ {|->, |+>} up to phase.
+        sv = StateVector.plus(1)
+        out, p = sv.measure(0, MeasurementBasis.xy(np.pi))
+        assert out == 1 and np.isclose(p, 1.0)
+
+    def test_yz_zero_is_z_basis(self):
+        sv = StateVector.zeros(1)
+        out, p = sv.measure(0, MeasurementBasis.yz(0.0))
+        assert out == 0 and np.isclose(p, 1.0)
+
+    def test_measure_probability(self):
+        sv = StateVector.plus(1)
+        assert np.isclose(sv.measure_probability(0, MeasurementBasis.pauli("Z"), 0), 0.5)
+
+    def test_basis_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementBasis.from_vectors(np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            MeasurementBasis.from_vectors(np.array([2.0, 0.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            MeasurementBasis.pauli("Q")
+
+
+class TestDerived:
+    def test_expectation_diagonal(self):
+        sv = StateVector.plus(2)
+        diag = np.array([0.0, 1.0, 2.0, 3.0])
+        assert np.isclose(sv.expectation_diagonal(diag), 1.5)
+
+    def test_sampling_distribution(self):
+        sv = StateVector.zeros(1)
+        sv.apply_1q(ry(2 * np.arcsin(np.sqrt(0.3))), 0)  # P(1)=0.3
+        samples = sv.sample(20000, rng=np.random.default_rng(0))
+        assert abs(samples.mean() - 0.3) < 0.02
+
+    def test_fidelity(self):
+        a = StateVector.plus(2)
+        b = StateVector.plus(2)
+        assert np.isclose(a.fidelity(b), 1.0)
+        c = StateVector.zeros(2)
+        assert np.isclose(a.fidelity(c), 0.25)
+
+    @given(st.integers(min_value=0, max_value=3), st.floats(-3.0, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_rotation_composition_property(self, q, theta):
+        n = 4
+        v = random_state(n, seed=42)
+        sv = StateVector.from_array(v)
+        sv.apply_1q(rz(theta), q)
+        sv.apply_1q(rz(-theta), q)
+        assert np.allclose(sv.to_array(), v, atol=1e-9)
+
+    @given(st.floats(-3.0, 3.0), st.floats(-3.0, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_norm_preserved(self, t1, t2):
+        sv = StateVector.plus(2)
+        sv.apply_1q(rx(t1), 0)
+        sv.apply_2q(CNOT, 0, 1)
+        sv.apply_1q(rz(t2), 1)
+        assert np.isclose(sv.norm(), 1.0, atol=1e-9)

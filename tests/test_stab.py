@@ -1,0 +1,147 @@
+"""Tests for the CHP stabilizer tableau simulator, including cross-checks
+against the dense statevector simulator on random Clifford circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import PauliString, allclose_up_to_global_phase
+from repro.sim import Circuit, StateVector
+from repro.stab import StabilizerState, graph_state_stabilizers
+from repro.utils import cycle_graph, erdos_renyi_graph
+
+
+class TestBasics:
+    def test_initial_state_stabilized_by_z(self):
+        st_ = StabilizerState(3)
+        for q in range(3):
+            assert st_.stabilizes(PauliString.single(q, "Z"))
+            assert not st_.stabilizes(PauliString.single(q, "X"))
+
+    def test_plus_state(self):
+        st_ = StabilizerState.plus_state(2)
+        assert st_.stabilizes(PauliString.single(0, "X"))
+        assert st_.stabilizes(PauliString.single(1, "X"))
+
+    def test_x_gate_flips_sign(self):
+        st_ = StabilizerState(1)
+        st_.x_gate(0)
+        assert st_.stabilizes(PauliString.single(0, "Z", -1))
+
+    def test_bell_state_stabilizers(self):
+        st_ = StabilizerState(2)
+        st_.h(0)
+        st_.cnot(0, 1)
+        assert st_.stabilizes(PauliString({0: "X", 1: "X"}))
+        assert st_.stabilizes(PauliString({0: "Z", 1: "Z"}))
+        assert not st_.stabilizes(PauliString({0: "Z", 1: "Z"}, -1))
+
+    def test_s_gate(self):
+        st_ = StabilizerState.plus_state(1)
+        st_.s(0)
+        # S|+> is stabilized by Y.
+        assert st_.stabilizes(PauliString.single(0, "Y"))
+
+    def test_sdg_inverse_of_s(self):
+        st_ = StabilizerState.plus_state(1)
+        st_.s(0)
+        st_.sdg(0)
+        assert st_.stabilizes(PauliString.single(0, "X"))
+
+    def test_qubit_range_check(self):
+        st_ = StabilizerState(2)
+        with pytest.raises(ValueError):
+            st_.h(2)
+        with pytest.raises(ValueError):
+            st_.cnot(0, 0)
+
+
+class TestGraphStates:
+    def test_graph_state_canonical_generators(self):
+        n, edges = cycle_graph(5)
+        st_ = StabilizerState.graph_state(n, edges)
+        for gen in graph_state_stabilizers(n, edges):
+            assert st_.stabilizes(gen)
+
+    def test_large_graph_state(self):
+        n, edges = erdos_renyi_graph(40, 0.15, seed=9)
+        st_ = StabilizerState.graph_state(n, edges)
+        for gen in graph_state_stabilizers(n, edges)[:10]:
+            assert st_.stabilizes(gen)
+
+    def test_graph_state_matches_dense(self):
+        n, edges = cycle_graph(4)
+        st_ = StabilizerState.graph_state(n, edges)
+        dense = StateVector.plus(n)
+        for u, v in edges:
+            dense.apply_cz(u, v)
+        assert allclose_up_to_global_phase(st_.to_statevector(), dense.to_array())
+
+
+class TestMeasurement:
+    def test_z_measure_deterministic(self):
+        st_ = StabilizerState(1)
+        assert st_.measure_z(0) == 0
+        st_.x_gate(0)
+        assert st_.measure_z(0) == 1
+
+    def test_z_measure_random_then_repeatable(self):
+        st_ = StabilizerState.plus_state(1)
+        out = st_.measure_z(0, rng=np.random.default_rng(0))
+        # After collapse, repeated measurement is deterministic.
+        assert st_.measure_z(0) == out
+
+    def test_force_contradiction_raises(self):
+        st_ = StabilizerState(1)
+        with pytest.raises(ValueError):
+            st_.measure_z(0, force=1)
+
+    def test_bell_correlations(self):
+        for force in (0, 1):
+            st_ = StabilizerState(2)
+            st_.h(0)
+            st_.cnot(0, 1)
+            a = st_.measure_z(0, force=force)
+            b = st_.measure_z(1)
+            assert a == b == force
+
+    def test_x_measurement_of_plus(self):
+        st_ = StabilizerState.plus_state(1)
+        assert st_.measure_x(0) == 0
+
+    def test_y_measurement_of_s_plus(self):
+        st_ = StabilizerState.plus_state(1)
+        st_.s(0)
+        assert st_.measure_y(0) == 0
+
+
+CLIFFORD_1Q = ["h", "s", "x", "z", "y", "sdg"]
+
+
+class TestCrossCheck:
+    @given(st.lists(st.tuples(st.sampled_from(CLIFFORD_1Q + ["cnot", "cz"]),
+                              st.integers(0, 3), st.integers(0, 3)),
+                    min_size=1, max_size=25),
+           st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_random_clifford_circuit_agrees(self, moves, measured_qubit):
+        n = 4
+        tab = StabilizerState(n)
+        circ = Circuit(n)
+        for name, a, b in moves:
+            if name in CLIFFORD_1Q:
+                tab.apply_named(name, (a,))
+                circ.append(name, (a,))
+            else:
+                if a == b:
+                    continue
+                tab.apply_named(name, (a, b))
+                circ.append(name, (a, b))
+        dense = circ.run().to_array()
+        assert allclose_up_to_global_phase(tab.to_statevector(), dense)
+
+    def test_apply_named_rejects_non_clifford(self):
+        tab = StabilizerState(2)
+        with pytest.raises(ValueError):
+            tab.apply_named("rz", (0,))

@@ -1,0 +1,130 @@
+"""Tests for repro.utils: bits, graphs, rng."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    bit_parity,
+    bitstring_to_int,
+    complete_graph,
+    cycle_graph,
+    ensure_rng,
+    erdos_renyi_graph,
+    grid_graph,
+    hamming_weight,
+    int_to_bitstring,
+    iter_bitstrings,
+    normalize_edges,
+    path_graph,
+    popcount_vector,
+    random_regular_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+class TestBits:
+    def test_roundtrip(self):
+        for n in range(1, 6):
+            for x in range(1 << n):
+                assert bitstring_to_int(int_to_bitstring(x, n)) == x
+
+    def test_little_endian(self):
+        assert int_to_bitstring(1, 3) == (1, 0, 0)
+        assert bitstring_to_int((0, 0, 1)) == 4
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_bitstring(8, 3)
+        with pytest.raises(ValueError):
+            int_to_bitstring(-1, 3)
+        with pytest.raises(ValueError):
+            bitstring_to_int((0, 2))
+
+    def test_iter_bitstrings(self):
+        all_bs = list(iter_bitstrings(2))
+        assert all_bs == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_hamming_and_parity(self):
+        assert hamming_weight(7) == 3
+        assert bit_parity(7) == 1
+        assert bit_parity(5) == 0
+        with pytest.raises(ValueError):
+            hamming_weight(-1)
+
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=7, deadline=None)
+    def test_popcount_vector(self, n):
+        w = popcount_vector(n)
+        assert w.shape == (1 << n,)
+        assert all(w[x] == hamming_weight(x) for x in range(1 << n))
+
+
+class TestGraphs:
+    def test_normalize_edges(self):
+        assert normalize_edges([(2, 1), (1, 2), (0, 3)]) == [(1, 2), (0, 3)]
+        with pytest.raises(ValueError):
+            normalize_edges([(1, 1)])
+
+    def test_path(self):
+        n, e = path_graph(4)
+        assert n == 4 and e == [(0, 1), (1, 2), (2, 3)]
+
+    def test_cycle(self):
+        n, e = cycle_graph(4)
+        assert n == 4 and len(e) == 4
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        n, e = complete_graph(5)
+        assert len(e) == 10
+
+    def test_star(self):
+        n, e = star_graph(5)
+        assert len(e) == 4 and all(u == 0 for u, _ in e)
+
+    def test_grid(self):
+        n, e = grid_graph(2, 3)
+        assert n == 6 and len(e) == 7  # 2*2 vertical + 3 horizontal? -> 4+3
+
+    def test_grid_degree_bound(self):
+        n, e = grid_graph(3, 3)
+        deg = {}
+        for u, v in e:
+            deg[u] = deg.get(u, 0) + 1
+            deg[v] = deg.get(v, 0) + 1
+        assert max(deg.values()) <= 4
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi_graph(10, 0.5, seed=3)
+        b = erdos_renyi_graph(10, 0.5, seed=3)
+        assert a == b
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5)
+
+    def test_regular_graph_degrees(self):
+        n, e = random_regular_graph(3, 8, seed=1)
+        deg = {v: 0 for v in range(n)}
+        for u, v in e:
+            deg[u] += 1
+            deg[v] += 1
+        assert all(d == 3 for d in deg.values())
+
+    def test_weighted_graph(self):
+        n, edges, w = random_weighted_graph(8, 0.5, seed=2)
+        assert set(w) == set(edges)
+        assert all(-1 <= x < 1 for x in w.values())
+
+
+class TestRng:
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_seed(self):
+        a = ensure_rng(5).random()
+        b = ensure_rng(5).random()
+        assert a == b

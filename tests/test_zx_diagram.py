@@ -1,0 +1,125 @@
+"""Structural tests for the ZX diagram data type."""
+
+import math
+
+import pytest
+
+from repro.zx import Diagram, EdgeType, VertexType
+from repro.zx.diagram import normalize_phase, phases_equal
+
+
+class TestPhases:
+    def test_normalize(self):
+        assert normalize_phase(2 * math.pi) == 0.0
+        assert abs(normalize_phase(-math.pi / 2) - 3 * math.pi / 2) < 1e-12
+        assert normalize_phase(7 * math.pi) == pytest.approx(math.pi)
+
+    def test_equality_mod_2pi(self):
+        assert phases_equal(0.0, 2 * math.pi)
+        assert phases_equal(-math.pi, math.pi)
+        assert not phases_equal(0.0, 0.1)
+
+
+class TestConstruction:
+    def test_add_vertices(self):
+        d = Diagram()
+        z = d.add_z(0.5)
+        x = d.add_x(-0.5)
+        h = d.add_hbox(2.0)
+        assert d.vtype(z) is VertexType.Z
+        assert d.vtype(x) is VertexType.X
+        assert d.phase(z) == pytest.approx(0.5)
+        assert d.param(h) == 2.0
+        assert d.num_vertices() == 3
+        assert d.num_spiders() == 2
+
+    def test_boundary_registration(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        o = d.add_boundary("output")
+        assert d.inputs == [i] and d.outputs == [o]
+        with pytest.raises(ValueError):
+            d.add_boundary("sideways")
+
+    def test_boundary_single_edge(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        z = d.add_z()
+        d.add_edge(i, z)
+        with pytest.raises(ValueError):
+            d.add_edge(i, z)
+
+    def test_edge_endpoint_missing(self):
+        d = Diagram()
+        z = d.add_z()
+        with pytest.raises(ValueError):
+            d.add_edge(z, 999)
+
+    def test_self_loop_counted_twice(self):
+        d = Diagram()
+        z = d.add_z()
+        d.add_edge(z, z)
+        assert d.degree(z) == 2
+        assert d.neighbors(z) == []
+
+    def test_parallel_edges(self):
+        d = Diagram()
+        a, b = d.add_z(), d.add_x()
+        d.add_edge(a, b)
+        d.add_edge(a, b, EdgeType.HADAMARD)
+        assert len(d.edges_between(a, b)) == 2
+        assert d.degree(a) == 2
+
+    def test_remove_vertex_cleans_edges(self):
+        d = Diagram()
+        a, b, c = d.add_z(), d.add_z(), d.add_z()
+        d.add_edge(a, b)
+        d.add_edge(b, c)
+        d.remove_vertex(b)
+        assert d.num_edges() == 0
+        assert d.num_vertices() == 2
+
+    def test_phase_arithmetic(self):
+        d = Diagram()
+        z = d.add_z(0.3)
+        d.add_phase(z, 0.4)
+        assert d.phase(z) == pytest.approx(0.7)
+        d.set_phase(z, 2 * math.pi + 0.1)
+        assert d.phase(z) == pytest.approx(0.1)
+
+
+class TestValidate:
+    def test_valid_diagram_passes(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        z = d.add_z()
+        o = d.add_boundary("output")
+        d.add_edge(i, z)
+        d.add_edge(z, o)
+        d.validate()
+
+    def test_dangling_boundary_fails(self):
+        d = Diagram()
+        d.add_boundary("input")
+        with pytest.raises(ValueError):
+            d.validate()
+
+
+class TestCopyCompose:
+    def test_copy_independent(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        z = d.add_z(0.2)
+        o = d.add_boundary("output")
+        d.add_edge(i, z)
+        d.add_edge(z, o)
+        c = d.copy()
+        c.add_phase(z, 1.0)
+        assert d.phase(z) == pytest.approx(0.2)
+
+    def test_compose_arity_mismatch(self):
+        a = Diagram()
+        a.add_boundary("output")
+        b = Diagram()
+        with pytest.raises(ValueError):
+            a.compose(b)

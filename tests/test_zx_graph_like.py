@@ -1,0 +1,196 @@
+"""Graph-like form, local complementation, pivoting (ref. [31] machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import proportionality_factor
+from repro.sim import Circuit
+from repro.zx import Diagram, EdgeType, VertexType, circuit_to_diagram, diagram_matrix
+from repro.zx.graph_like import (
+    clifford_simplify,
+    is_graph_like,
+    local_complementation,
+    pivot,
+    to_graph_like,
+)
+
+
+def prop_check(before, after):
+    return proportionality_factor(after, before, atol=1e-8) is not None
+
+
+class TestToGraphLike:
+    def test_simple_circuit(self):
+        c = Circuit(2).h(0).cnot(0, 1).rz(1, 0.4).rx(0, 0.7).cz(0, 1)
+        d = circuit_to_diagram(c)
+        before = diagram_matrix(d)
+        to_graph_like(d)
+        assert is_graph_like(d)
+        assert prop_check(before, diagram_matrix(d))
+
+    @given(st.lists(st.tuples(st.sampled_from(["h", "s", "rz", "rx", "cz", "cnot", "x", "z"]),
+                              st.integers(0, 2), st.integers(0, 2),
+                              st.floats(-3.0, 3.0)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuits_property(self, moves):
+        c = Circuit(3)
+        for name, a, b, theta in moves:
+            if name in ("h", "s", "x", "z"):
+                c.append(name, (a,))
+            elif name in ("rz", "rx"):
+                c.append(name, (a,), theta)
+            elif a != b:
+                c.append(name, (a, b))
+        d = circuit_to_diagram(c)
+        before = diagram_matrix(d)
+        to_graph_like(d)
+        assert is_graph_like(d)
+        assert prop_check(before, diagram_matrix(d))
+
+    def test_rejects_hboxes(self):
+        d = Diagram()
+        h = d.add_hbox(2.0)
+        o = d.add_boundary("output")
+        d.add_edge(h, o)
+        with pytest.raises(ValueError):
+            to_graph_like(d)
+
+    def test_is_graph_like_detects_violations(self):
+        d = Diagram()
+        a = d.add_z()
+        b = d.add_x()
+        o1 = d.add_boundary("output")
+        o2 = d.add_boundary("output")
+        d.add_edge(a, b)
+        d.add_edge(a, o1)
+        d.add_edge(b, o2)
+        assert not is_graph_like(d)  # X spider present
+
+
+def lc_test_diagram(phase_sign):
+    """A ±π/2 interior spider H-connected to three phased Z spiders with
+    boundary legs."""
+    d = Diagram()
+    center = d.add_z(phase_sign * math.pi / 2)
+    nbrs = []
+    for k in range(3):
+        z = d.add_z(0.2 * (k + 1))
+        b = d.add_boundary("output")
+        d.add_edge(z, b)
+        d.add_edge(center, z, EdgeType.HADAMARD)
+        nbrs.append(z)
+    return d, center, nbrs
+
+
+class TestLocalComplementation:
+    @pytest.mark.parametrize("sign", [1, -1])
+    def test_preserves_semantics(self, sign):
+        d, center, nbrs = lc_test_diagram(sign)
+        before = diagram_matrix(d)
+        local_complementation(d, center)
+        assert prop_check(before, diagram_matrix(d))
+        # Spider removed; neighborhood (empty graph on 3) now complete.
+        assert d.num_spiders() == 3
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert len(d.edges_between(nbrs[i], nbrs[j])) == 1
+
+    def test_phase_transfer(self):
+        d, center, nbrs = lc_test_diagram(1)
+        local_complementation(d, center)
+        assert d.phase(nbrs[0]) == pytest.approx(0.2 - math.pi / 2 + 2 * math.pi)
+
+    def test_rejects_non_clifford_phase(self):
+        d, center, _ = lc_test_diagram(1)
+        d.set_phase(center, 0.3)
+        with pytest.raises(ValueError):
+            local_complementation(d, center)
+
+    def test_rejects_plain_edges(self):
+        d = Diagram()
+        c = d.add_z(math.pi / 2)
+        z = d.add_z(0.1)
+        o = d.add_boundary("output")
+        d.add_edge(c, z)  # plain edge
+        d.add_edge(z, o)
+        with pytest.raises(ValueError):
+            local_complementation(d, c)
+
+
+def pivot_test_diagram(pu, pv):
+    """An H-connected Pauli pair with one exclusive neighbor each plus one
+    common neighbor, all carrying boundary legs."""
+    d = Diagram()
+    u = d.add_z(pu)
+    v = d.add_z(pv)
+    d.add_edge(u, v, EdgeType.HADAMARD)
+    spiders = {}
+    for label in ("a", "b", "c"):
+        z = d.add_z(0.15)
+        bnd = d.add_boundary("output")
+        d.add_edge(z, bnd)
+        spiders[label] = z
+    d.add_edge(u, spiders["a"], EdgeType.HADAMARD)       # N(u) only
+    d.add_edge(v, spiders["b"], EdgeType.HADAMARD)       # N(v) only
+    d.add_edge(u, spiders["c"], EdgeType.HADAMARD)       # common
+    d.add_edge(v, spiders["c"], EdgeType.HADAMARD)
+    return d, u, v, spiders
+
+
+class TestPivot:
+    @pytest.mark.parametrize("pu,pv", [(0.0, 0.0), (math.pi, 0.0), (math.pi, math.pi)])
+    def test_preserves_semantics(self, pu, pv):
+        d, u, v, spiders = pivot_test_diagram(pu, pv)
+        before = diagram_matrix(d)
+        pivot(d, u, v)
+        assert prop_check(before, diagram_matrix(d))
+        assert d.num_spiders() == 3
+
+    def test_phase_updates(self):
+        d, u, v, spiders = pivot_test_diagram(math.pi, 0.0)
+        pivot(d, u, v)
+        # N(u)-only gains phase(v)=0; N(v)-only gains phase(u)=π;
+        # common gains π+0+π = 2π = 0.
+        assert d.phase(spiders["a"]) == pytest.approx(0.15)
+        assert d.phase(spiders["b"]) == pytest.approx(0.15 + math.pi)
+        assert d.phase(spiders["c"]) == pytest.approx(0.15)
+
+    def test_rejects_non_pauli(self):
+        d, u, v, _ = pivot_test_diagram(0.4, 0.0)
+        with pytest.raises(ValueError):
+            pivot(d, u, v)
+
+
+class TestCliffordSimplify:
+    @given(st.lists(st.tuples(st.sampled_from(["h", "s", "cz", "cnot", "x", "z"]),
+                              st.integers(0, 2), st.integers(0, 2)),
+                    min_size=2, max_size=12))
+    @settings(max_examples=15, deadline=None)
+    def test_preserves_clifford_circuits(self, moves):
+        c = Circuit(3)
+        for name, a, b in moves:
+            if name in ("h", "s", "x", "z"):
+                c.append(name, (a,))
+            elif a != b:
+                c.append(name, (a, b))
+        d = circuit_to_diagram(c)
+        before = diagram_matrix(d)
+        to_graph_like(d)
+        clifford_simplify(d)
+        assert prop_check(before, diagram_matrix(d))
+
+    def test_reduces_spiders(self):
+        c = Circuit(2)
+        for _ in range(3):
+            c.s(0).h(0).s(0).cz(0, 1).s(1).h(1)
+        d = circuit_to_diagram(c)
+        to_graph_like(d)
+        n0 = d.num_spiders()
+        applied = clifford_simplify(d)
+        assert applied > 0
+        assert d.num_spiders() < n0

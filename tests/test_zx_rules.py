@@ -1,0 +1,349 @@
+"""Experiment E1: the Fig. 1 rewrite rules preserve diagram semantics.
+
+Every rule application is checked against the tensor semantics (up to a
+nonzero scalar, the paper's ∝ convention) on both hand-built and randomized
+diagrams.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import proportionality_factor
+from repro.sim import Circuit
+from repro.zx import Diagram, EdgeType, VertexType, circuit_to_diagram, diagram_matrix
+from repro.zx.rules import (
+    basic_simplify,
+    bialgebra,
+    color_change,
+    copy_state,
+    fuse,
+    fuse_all,
+    pi_push,
+    remove_identities,
+    remove_identity,
+    remove_parallel_pair,
+)
+
+
+def assert_semantics_preserved(before: Diagram, transform):
+    m0 = diagram_matrix(before)
+    d = before.copy()
+    transform(d)
+    m1 = diagram_matrix(d)
+    c = proportionality_factor(m1, m0, atol=1e-8)
+    assert c is not None, "rewrite changed diagram semantics"
+    return d
+
+
+def two_spider_chain(t1, p1, t2, p2, etype=EdgeType.SIMPLE):
+    d = Diagram()
+    i = d.add_boundary("input")
+    a = d.add_vertex(t1, p1)
+    b = d.add_vertex(t2, p2)
+    o = d.add_boundary("output")
+    d.add_edge(i, a)
+    d.add_edge(a, b, etype)
+    d.add_edge(b, o)
+    return d, a, b
+
+
+class TestFusion:
+    @pytest.mark.parametrize("vt", [VertexType.Z, VertexType.X])
+    def test_fuse_adds_phases(self, vt):
+        d, a, b = two_spider_chain(vt, 0.3, vt, 0.4)
+        e = d.edges_between(a, b)[0]
+        d2 = assert_semantics_preserved(d, lambda dd: fuse(dd, e))
+        spiders = [v for v in d2.vertices() if d2.vtype(v) is vt]
+        assert len(spiders) == 1
+        assert d2.phase(spiders[0]) == pytest.approx(0.7)
+
+    def test_fuse_requires_same_color(self):
+        d, a, b = two_spider_chain(VertexType.Z, 0.1, VertexType.X, 0.2)
+        e = d.edges_between(a, b)[0]
+        with pytest.raises(ValueError):
+            fuse(d, e)
+
+    def test_fuse_requires_simple_edge(self):
+        d, a, b = two_spider_chain(VertexType.Z, 0.1, VertexType.Z, 0.2, EdgeType.HADAMARD)
+        e = d.edges_between(a, b)[0]
+        with pytest.raises(ValueError):
+            fuse(d, e)
+
+    def test_fuse_with_parallel_simple_edge(self):
+        # Parallel simple edge becomes a plain self-loop, which vanishes.
+        d, a, b = two_spider_chain(VertexType.Z, 0.5, VertexType.Z, 0.25)
+        d.add_edge(a, b, EdgeType.SIMPLE)
+        e = d.edges_between(a, b)[0]
+        assert_semantics_preserved(d, lambda dd: fuse(dd, e))
+
+    def test_fuse_with_parallel_hadamard_edge_adds_pi(self):
+        # Parallel H edge becomes an H self-loop => +π phase.
+        d, a, b = two_spider_chain(VertexType.Z, 0.5, VertexType.Z, 0.25)
+        d.add_edge(a, b, EdgeType.HADAMARD)
+        e = [x for x in d.edges_between(a, b) if d.edge_info(x)[2] is EdgeType.SIMPLE][0]
+        d2 = assert_semantics_preserved(d, lambda dd: fuse(dd, e))
+        spiders = [v for v in d2.vertices() if d2.vtype(v) is VertexType.Z]
+        assert d2.phase(spiders[0]) == pytest.approx(0.75 + math.pi)
+
+    def test_fuse_all_on_chain(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        prev = i
+        for k in range(4):
+            z = d.add_z(0.1 * (k + 1))
+            d.add_edge(prev, z)
+            prev = z
+        o = d.add_boundary("output")
+        d.add_edge(prev, o)
+        d2 = assert_semantics_preserved(d, fuse_all)
+        assert d2.num_spiders() == 1
+
+
+class TestColorChange:
+    @pytest.mark.parametrize("vt,phase", [(VertexType.Z, 0.4), (VertexType.X, 1.1)])
+    def test_color_change_preserves_semantics(self, vt, phase):
+        d = Diagram()
+        i = d.add_boundary("input")
+        v = d.add_vertex(vt, phase)
+        o1 = d.add_boundary("output")
+        o2 = d.add_boundary("output")
+        d.add_edge(i, v)
+        d.add_edge(v, o1)
+        d.add_edge(v, o2, EdgeType.HADAMARD)
+        d2 = assert_semantics_preserved(d, lambda dd: color_change(dd, v))
+        assert d2.vtype(v) is (VertexType.X if vt is VertexType.Z else VertexType.Z)
+
+    def test_color_change_rejects_boundary(self):
+        d = Diagram()
+        b = d.add_boundary("input")
+        with pytest.raises(ValueError):
+            color_change(d, b)
+
+
+class TestIdentity:
+    def test_remove_identity_simple(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        a = d.add_z(0.3)
+        mid = d.add_z(0.0)
+        b = d.add_x(0.6)
+        o = d.add_boundary("output")
+        d.add_edge(i, a)
+        d.add_edge(a, mid)
+        d.add_edge(mid, b)
+        d.add_edge(b, o)
+        d2 = assert_semantics_preserved(d, lambda dd: remove_identity(dd, mid))
+        assert d2.num_spiders() == 2
+
+    def test_hh_cancellation_via_identity(self):
+        # H edge - phase-0 spider - H edge collapses to a plain edge (hh).
+        d = Diagram()
+        i = d.add_boundary("input")
+        mid = d.add_x(0.0)
+        o = d.add_boundary("output")
+        d.add_edge(i, mid, EdgeType.HADAMARD)
+        d.add_edge(mid, o, EdgeType.HADAMARD)
+        d2 = assert_semantics_preserved(d, lambda dd: remove_identity(dd, mid))
+        (e,) = list(d2.edges())
+        assert d2.edge_info(e)[2] is EdgeType.SIMPLE
+
+    def test_identity_requires_phase_zero(self):
+        d, a, b = two_spider_chain(VertexType.Z, 0.0, VertexType.Z, 0.5)
+        with pytest.raises(ValueError):
+            remove_identity(d, b)
+
+    def test_remove_identities_driver(self):
+        c = Circuit(2).h(0).h(0).cz(0, 1)  # hh gives identity-like wire
+        d = circuit_to_diagram(c)
+        assert_semantics_preserved(d, remove_identities)
+
+
+class TestPiPush:
+    def test_pi_through_z(self):
+        # X(π) then Z(α): pushing flips the Z phase.
+        d = Diagram()
+        i = d.add_boundary("input")
+        p = d.add_x(math.pi)
+        z = d.add_z(0.8)
+        o = d.add_boundary("output")
+        d.add_edge(i, p)
+        d.add_edge(p, z)
+        d.add_edge(z, o)
+        d2 = assert_semantics_preserved(d, lambda dd: pi_push(dd, p))
+        zs = [v for v in d2.vertices() if d2.vtype(v) is VertexType.Z]
+        assert len(zs) == 1
+        assert d2.phase(zs[0]) == pytest.approx(2 * math.pi - 0.8)
+
+    def test_pi_through_multi_leg_spider(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        p = d.add_x(math.pi)
+        z = d.add_z(0.5)
+        o1 = d.add_boundary("output")
+        o2 = d.add_boundary("output")
+        d.add_edge(i, p)
+        d.add_edge(p, z)
+        d.add_edge(z, o1)
+        d.add_edge(z, o2, EdgeType.HADAMARD)
+        d2 = assert_semantics_preserved(d, lambda dd: pi_push(dd, p))
+        # π spiders copied onto both remaining legs
+        pis = [v for v in d2.vertices() if d2.vtype(v) is VertexType.X]
+        assert len(pis) == 2
+
+    def test_z_pi_through_x(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        p = d.add_z(math.pi)
+        x = d.add_x(1.2)
+        o = d.add_boundary("output")
+        d.add_edge(i, p)
+        d.add_edge(p, x)
+        d.add_edge(x, o)
+        assert_semantics_preserved(d, lambda dd: pi_push(dd, p))
+
+    def test_pi_push_validation(self):
+        d, a, b = two_spider_chain(VertexType.X, 0.3, VertexType.Z, 0.2)
+        with pytest.raises(ValueError):
+            pi_push(d, a)  # phase not π
+
+
+class TestCopy:
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_x_state_copies_through_z(self, k):
+        d = Diagram()
+        s = d.add_x(k * math.pi)
+        z = d.add_z(0.0)
+        o1 = d.add_boundary("output")
+        o2 = d.add_boundary("output")
+        d.add_edge(s, z)
+        d.add_edge(z, o1)
+        d.add_edge(z, o2)
+        d2 = assert_semantics_preserved(d, lambda dd: copy_state(dd, s))
+        assert d2.num_spiders() == 2  # two copies
+
+    def test_copy_rejects_non_pauli(self):
+        d = Diagram()
+        s = d.add_x(0.3)
+        z = d.add_z(0.0)
+        o = d.add_boundary("output")
+        d.add_edge(s, z)
+        d.add_edge(z, o)
+        with pytest.raises(ValueError):
+            copy_state(d, s)
+
+    def test_copy_rejects_same_color(self):
+        d = Diagram()
+        s = d.add_z(0.0)
+        z = d.add_z(0.0)
+        o = d.add_boundary("output")
+        d.add_edge(s, z)
+        d.add_edge(z, o)
+        with pytest.raises(ValueError):
+            copy_state(d, s)
+
+
+class TestBialgebra:
+    def test_bialgebra_2_2(self):
+        d = Diagram()
+        i1 = d.add_boundary("input")
+        i2 = d.add_boundary("input")
+        z = d.add_z(0.0)
+        x = d.add_x(0.0)
+        o1 = d.add_boundary("output")
+        o2 = d.add_boundary("output")
+        d.add_edge(i1, z)
+        d.add_edge(i2, z)
+        d.add_edge(z, x)
+        d.add_edge(x, o1)
+        d.add_edge(x, o2)
+        e = d.edges_between(z, x)[0]
+        assert_semantics_preserved(d, lambda dd: bialgebra(dd, e))
+
+    def test_bialgebra_1_2(self):
+        d = Diagram()
+        i1 = d.add_boundary("input")
+        z = d.add_z(0.0)
+        x = d.add_x(0.0)
+        o1 = d.add_boundary("output")
+        o2 = d.add_boundary("output")
+        d.add_edge(i1, z)
+        d.add_edge(z, x)
+        d.add_edge(x, o1)
+        d.add_edge(x, o2)
+        e = d.edges_between(z, x)[0]
+        assert_semantics_preserved(d, lambda dd: bialgebra(dd, e))
+
+    def test_bialgebra_requires_phase_zero(self):
+        d, a, b = two_spider_chain(VertexType.Z, 0.5, VertexType.X, 0.0)
+        e = d.edges_between(a, b)[0]
+        with pytest.raises(ValueError):
+            bialgebra(d, e)
+
+
+class TestHopf:
+    def test_hopf_simple_pair_opposite_colors(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        z = d.add_z(0.0)
+        x = d.add_x(0.0)
+        o = d.add_boundary("output")
+        d.add_edge(i, z)
+        d.add_edge(z, x)
+        d.add_edge(z, x)
+        d.add_edge(x, o)
+        d2 = assert_semantics_preserved(d, lambda dd: remove_parallel_pair(dd, z, x))
+        assert len(d2.edges_between(z, x)) == 0
+
+    def test_hadamard_pair_same_color(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        a = d.add_z(0.2)
+        b = d.add_z(0.3)
+        o = d.add_boundary("output")
+        d.add_edge(i, a)
+        d.add_edge(a, b, EdgeType.HADAMARD)
+        d.add_edge(a, b, EdgeType.HADAMARD)
+        d.add_edge(b, o)
+        d2 = assert_semantics_preserved(d, lambda dd: remove_parallel_pair(dd, a, b))
+        assert len(d2.edges_between(a, b)) == 0
+
+    def test_no_pair_returns_false(self):
+        d, a, b = two_spider_chain(VertexType.Z, 0.0, VertexType.X, 0.0)
+        assert remove_parallel_pair(d, a, b) is False
+
+
+class TestSimplifyDriver:
+    @given(st.lists(st.tuples(st.sampled_from(["h", "rz", "rx", "cz", "cnot", "s", "x", "z"]),
+                              st.integers(0, 2), st.integers(0, 2),
+                              st.floats(-3.0, 3.0)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_basic_simplify_preserves_random_circuits(self, moves):
+        c = Circuit(3)
+        for name, a, b, theta in moves:
+            if name in ("h", "s", "x", "z"):
+                c.append(name, (a,))
+            elif name in ("rz", "rx"):
+                c.append(name, (a,), theta)
+            else:
+                if a == b:
+                    continue
+                c.append(name, (a, b))
+        d = circuit_to_diagram(c)
+        m0 = diagram_matrix(d)
+        basic_simplify(d)
+        m1 = diagram_matrix(d)
+        assert proportionality_factor(m1, m0, atol=1e-7) is not None
+
+    def test_simplify_reduces_spider_count(self):
+        c = Circuit(2)
+        for _ in range(4):
+            c.rz(0, 0.2).rz(0, 0.3)
+        d = circuit_to_diagram(c)
+        before = d.num_spiders()
+        basic_simplify(d)
+        assert d.num_spiders() < before

@@ -1,0 +1,253 @@
+"""Semantic tests: diagram tensors against known linear maps.
+
+These pin the ZX semantics the whole derivation chain rests on: spiders
+(Eqs. 1-3 of the paper), gates (Eq. 4), graph states (Eq. 5), phase gadgets
+(Eq. 7), and circuit translation round trips.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.linalg import (
+    CZ,
+    HADAMARD,
+    PAULI_X,
+    PAULI_Z,
+    allclose_up_to_global_phase,
+    proportionality_factor,
+    rx,
+    rz,
+)
+from repro.sim import Circuit, StateVector
+from repro.zx import (
+    Diagram,
+    EdgeType,
+    circuit_to_diagram,
+    diagram_matrix,
+    graph_state_diagram,
+    phase_gadget_diagram,
+)
+from repro.utils import cycle_graph, erdos_renyi_graph
+
+
+def prop(a, b):
+    """Assert proportionality and return the factor."""
+    c = proportionality_factor(np.asarray(a), np.asarray(b), atol=1e-8)
+    assert c is not None, "arrays are not proportional"
+    return c
+
+
+def wire_through(vtype_adder, phase):
+    """One-wire diagram: input - spider(phase) - output."""
+    d = Diagram()
+    i = d.add_boundary("input")
+    v = vtype_adder(d, phase)
+    o = d.add_boundary("output")
+    d.add_edge(i, v)
+    d.add_edge(v, o)
+    return d
+
+
+class TestSpiders:
+    def test_z_spider_is_rz(self):
+        theta = 0.731
+        d = wire_through(lambda dd, p: dd.add_z(p), theta)
+        prop(diagram_matrix(d), rz(theta))
+
+    def test_x_spider_is_rx(self):
+        theta = -1.13
+        d = wire_through(lambda dd, p: dd.add_x(p), theta)
+        prop(diagram_matrix(d), rx(theta))
+
+    def test_pi_spiders_are_paulis(self):
+        dz = wire_through(lambda dd, p: dd.add_z(p), math.pi)
+        prop(diagram_matrix(dz), PAULI_Z)
+        dx = wire_through(lambda dd, p: dd.add_x(p), math.pi)
+        prop(diagram_matrix(dx), PAULI_X)
+
+    def test_hadamard_edge(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        o = d.add_boundary("output")
+        d.add_edge(i, o, EdgeType.HADAMARD)
+        assert np.allclose(diagram_matrix(d), HADAMARD)
+
+    def test_bare_wire(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        o = d.add_boundary("output")
+        d.add_edge(i, o)
+        assert np.allclose(diagram_matrix(d), np.eye(2))
+
+    def test_z_state_arity1(self):
+        # Arity-1 Z(0) spider = |0> + |1> = sqrt(2)|+> (Eq. 3).
+        d = Diagram()
+        z = d.add_z(0.0)
+        o = d.add_boundary("output")
+        d.add_edge(z, o)
+        prop(diagram_matrix(d).ravel(), np.array([1, 1]) / np.sqrt(2))
+
+    def test_x_pi_state_is_ket1(self):
+        d = Diagram()
+        x = d.add_x(math.pi)
+        o = d.add_boundary("output")
+        d.add_edge(x, o)
+        prop(diagram_matrix(d).ravel(), np.array([0, 1]))
+
+    def test_spider_leg_symmetry(self):
+        # 3-legged Z spider as map 2->1 vs 1->2 relate by transpose.
+        d = Diagram()
+        z = d.add_z(0.4)
+        i1 = d.add_boundary("input")
+        i2 = d.add_boundary("input")
+        o = d.add_boundary("output")
+        for b in (i1, i2, o):
+            d.add_edge(z, b)
+        m = diagram_matrix(d)  # 2 x 4
+        assert m.shape == (2, 4)
+        # Copies |00>-><0|, |11>->e^{i phase}<1|
+        expect = np.zeros((2, 4), dtype=complex)
+        expect[0, 0] = 1
+        expect[1, 3] = np.exp(0.4j)
+        assert np.allclose(m, expect)
+
+    def test_scalar_diagram(self):
+        d = Diagram()
+        d.add_z(0.0)  # isolated spider: scalar 1 + e^{i0} = 2
+        t = diagram_matrix(d)
+        assert t.shape == (1, 1)
+        assert np.isclose(t[0, 0], 2.0)
+
+    def test_self_loop_tensor(self):
+        # Z spider with a plain self-loop and one output = arity-1 spider.
+        d = Diagram()
+        z = d.add_z(0.9)
+        o = d.add_boundary("output")
+        d.add_edge(z, o)
+        d.add_edge(z, z)
+        v = diagram_matrix(d).ravel()
+        prop(v, np.array([1, np.exp(0.9j)]))
+
+
+class TestGates:
+    def test_cz_diagram(self):
+        d = Diagram()
+        ins = [d.add_boundary("input") for _ in range(2)]
+        zs = [d.add_z(), d.add_z()]
+        outs = [d.add_boundary("output") for _ in range(2)]
+        for k in range(2):
+            d.add_edge(ins[k], zs[k])
+            d.add_edge(zs[k], outs[k])
+        d.add_edge(zs[0], zs[1], EdgeType.HADAMARD)
+        prop(diagram_matrix(d), CZ)
+
+    def test_cnot_diagram(self):
+        d = Diagram()
+        ins = [d.add_boundary("input") for _ in range(2)]
+        c = d.add_z()
+        t = d.add_x()
+        outs = [d.add_boundary("output") for _ in range(2)]
+        d.add_edge(ins[0], c)
+        d.add_edge(c, outs[0])
+        d.add_edge(ins[1], t)
+        d.add_edge(t, outs[1])
+        d.add_edge(c, t)
+        from repro.linalg import CNOT
+
+        prop(diagram_matrix(d), CNOT)
+
+
+class TestCircuitTranslation:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda c: c.h(0),
+            lambda c: c.rz(0, 0.3).rx(1, -0.7),
+            lambda c: c.h(0).cz(0, 1).h(1),
+            lambda c: c.cnot(0, 1).rz(1, 0.5).cnot(0, 1),
+            lambda c: c.s(0).append("t", (1,)).append("sdg", (0,)).append("tdg", (1,)),
+            lambda c: c.x(0).z(1).append("y", (0,)),
+            lambda c: c.ry(0, 1.2),
+            lambda c: c.j(0, 0.9),
+            lambda c: c.append("swap", (0, 1)),
+            lambda c: c.append("crz", (0, 1), 0.8),
+            lambda c: c.append("cp", (0, 1), -0.6),
+        ],
+    )
+    def test_gate_translations(self, builder):
+        c = Circuit(2)
+        builder(c)
+        d = circuit_to_diagram(c)
+        prop(diagram_matrix(d), c.unitary())
+
+    def test_unsupported_gate(self):
+        c = Circuit(3).append("ccx", (0, 1, 2))
+        with pytest.raises(ValueError):
+            circuit_to_diagram(c)
+
+    @given(st.lists(st.tuples(st.sampled_from(["h", "rz", "rx", "cz", "cnot", "s"]),
+                              st.integers(0, 2), st.integers(0, 2),
+                              st.floats(-3.0, 3.0)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_random_circuits_translate(self, moves):
+        c = Circuit(3)
+        for name, a, b, theta in moves:
+            if name in ("h", "s"):
+                c.append(name, (a,))
+            elif name in ("rz", "rx"):
+                c.append(name, (a,), theta)
+            else:
+                if a == b:
+                    continue
+                c.append(name, (a, b))
+        d = circuit_to_diagram(c)
+        prop(diagram_matrix(d), c.unitary())
+
+
+class TestGraphStates:
+    def test_square_graph_state_eq5(self):
+        # The paper's 4-vertex square example.
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        d = graph_state_diagram(4, edges)
+        sv = StateVector.plus(4)
+        for u, v in edges:
+            sv.apply_cz(u, v)
+        prop(diagram_matrix(d).ravel(), sv.to_array())
+
+    def test_random_graph_state(self):
+        n, edges = erdos_renyi_graph(5, 0.5, seed=11)
+        d = graph_state_diagram(n, edges)
+        sv = StateVector.plus(n)
+        for u, v in edges:
+            sv.apply_cz(u, v)
+        prop(diagram_matrix(d).ravel(), sv.to_array())
+
+    def test_graph_state_no_self_loop(self):
+        with pytest.raises(ValueError):
+            graph_state_diagram(2, [(0, 0)])
+
+
+class TestPhaseGadget:
+    @pytest.mark.parametrize("gamma", [0.0, 0.37, -1.2, math.pi / 2])
+    def test_single_gadget_matches_exponential(self, gamma):
+        d = phase_gadget_diagram(2, [(0, 1)], gamma)
+        zz = np.diag([1.0, -1.0, -1.0, 1.0])
+        # Our gadget with leaf phase gamma implements exp(-i gamma/2 ZZ)
+        expect = expm(-1j * (gamma / 2) * zz)
+        prop(diagram_matrix(d), expect)
+
+    def test_gadget_chain(self):
+        n, edges = cycle_graph(3)
+        gamma = 0.81
+        d = phase_gadget_diagram(n, edges, gamma)
+        acc = np.eye(8, dtype=complex)
+        for u, v in edges:
+            c = Circuit(n).rzz(u, v, gamma)
+            acc = c.unitary() @ acc
+        prop(diagram_matrix(d), acc)

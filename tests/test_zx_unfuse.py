@@ -1,0 +1,98 @@
+"""Spider un-fusing and degree capping (ref. [49] compilation step)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import proportionality_factor
+from repro.zx import Diagram, EdgeType, VertexType, diagram_matrix, graph_state_diagram
+from repro.zx.rules import fuse
+from repro.zx.unfuse import cap_degree, max_spider_degree, unfuse
+from repro.utils import star_graph
+
+
+def star_state_diagram(n):
+    return graph_state_diagram(*star_graph(n))
+
+
+class TestUnfuse:
+    def test_preserves_semantics(self):
+        d = Diagram()
+        z = d.add_z(0.7)
+        outs = [d.add_boundary("output") for _ in range(4)]
+        for o in outs:
+            d.add_edge(z, o)
+        before = diagram_matrix(d)
+        edges = d.incident_edges(z)[:2]
+        unfuse(d, z, edges)
+        after = diagram_matrix(d)
+        assert proportionality_factor(after, before, atol=1e-9) is not None
+
+    def test_inverse_of_fuse(self):
+        d = Diagram()
+        z = d.add_z(1.1)
+        outs = [d.add_boundary("output") for _ in range(3)]
+        for o in outs:
+            d.add_edge(z, o)
+        new = unfuse(d, z, d.incident_edges(z)[:2])
+        # Fuse back along the connecting wire.
+        (conn,) = d.edges_between(z, new)
+        fuse(d, conn)
+        assert d.num_spiders() == 1
+        m = diagram_matrix(d)
+        assert m.shape == (8, 1)
+
+    def test_moves_hadamard_edges(self):
+        d = Diagram()
+        z = d.add_z(0.0)
+        o1 = d.add_boundary("output")
+        o2 = d.add_boundary("output")
+        d.add_edge(z, o1, EdgeType.HADAMARD)
+        d.add_edge(z, o2)
+        before = diagram_matrix(d)
+        h_edge = [e for e in d.incident_edges(z) if d.edge_info(e)[2] is EdgeType.HADAMARD]
+        unfuse(d, z, h_edge)
+        assert proportionality_factor(diagram_matrix(d), before, atol=1e-9) is not None
+
+    def test_validation(self):
+        d = Diagram()
+        b = d.add_boundary("output")
+        z = d.add_z()
+        d.add_edge(z, b)
+        with pytest.raises(ValueError):
+            unfuse(d, b, [])
+        with pytest.raises(ValueError):
+            unfuse(d, z, [999])
+        e = d.incident_edges(z)[0]
+        with pytest.raises(ValueError):
+            unfuse(d, z, [e, e])
+
+
+class TestCapDegree:
+    @pytest.mark.parametrize("n,cap", [(6, 3), (7, 4), (5, 3)])
+    def test_star_graph_state_capped(self, n, cap):
+        """The paper's planarization route: the star resource graph (hub
+        degree n-1) becomes a bounded-degree diagram with the same state."""
+        d = star_state_diagram(n)
+        before = diagram_matrix(d)
+        splits = cap_degree(d, cap)
+        assert max_spider_degree(d) <= cap
+        assert splits > 0
+        after = diagram_matrix(d)
+        assert proportionality_factor(after, before, atol=1e-8) is not None
+
+    def test_no_op_when_already_bounded(self):
+        d = star_state_diagram(4)  # hub degree 4 (3 H-edges + output)
+        assert cap_degree(d, 5) == 0
+
+    def test_splits_counted(self):
+        d = star_state_diagram(8)  # hub degree 8
+        splits = cap_degree(d, 3)
+        assert splits >= 3
+        assert max_spider_degree(d) <= 3
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            cap_degree(Diagram(), 2)
+
+    def test_max_degree_empty(self):
+        assert max_spider_degree(Diagram()) == 0

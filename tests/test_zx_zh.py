@@ -1,0 +1,112 @@
+"""Tests for the ZH-calculus constructions (Section IV substrate)."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.linalg import PAULI_X, controlled, operator_on_qubits, proportionality_factor
+from repro.zx import Diagram, EdgeType, diagram_matrix
+from repro.zx.zh import controlled_phase_hbox_diagram, mis_partial_mixer_diagram
+
+
+def prop(a, b):
+    c = proportionality_factor(np.asarray(a), np.asarray(b), atol=1e-8)
+    assert c is not None, "not proportional"
+    return c
+
+
+def mis_mixer_dense(degree: int, beta: float) -> np.ndarray:
+    """Reference: RX-style rotation e^{i beta X} on target iff all controls 0.
+
+    Little-endian wires: controls 0..degree-1, target = degree.
+    """
+    u = expm(1j * beta * PAULI_X)
+    if degree == 0:
+        return u
+    core = controlled(u, degree)  # fires when controls all 1
+    n = degree + 1
+    flip = np.eye(1 << n, dtype=complex)
+    for q in range(degree):
+        flip = operator_on_qubits(PAULI_X, [q], n) @ flip
+    return flip @ core @ flip
+
+
+class TestHBoxTensor:
+    def test_arity2_hbox_is_scaled_hadamard(self):
+        d = Diagram()
+        i = d.add_boundary("input")
+        o = d.add_boundary("output")
+        h = d.add_hbox(-1.0)
+        d.add_edge(i, h)
+        d.add_edge(h, o)
+        m = diagram_matrix(d)
+        assert np.allclose(m, np.array([[1, 1], [1, -1]]))
+
+    def test_arity1_hbox(self):
+        d = Diagram()
+        o = d.add_boundary("output")
+        h = d.add_hbox(0.5j)
+        d.add_edge(h, o)
+        assert np.allclose(diagram_matrix(d).ravel(), [1, 0.5j])
+
+    def test_arity0_hbox_scalar(self):
+        d = Diagram()
+        d.add_hbox(3.0)
+        assert np.isclose(diagram_matrix(d)[0, 0], 3.0)
+
+
+class TestControlledPhase:
+    @pytest.mark.parametrize("phi", [0.0, 0.7, -1.3, math.pi])
+    def test_two_wire_is_cp(self, phi):
+        d = controlled_phase_hbox_diagram(2, phi)
+        expect = np.diag([1, 1, 1, cmath.exp(1j * phi)])
+        prop(diagram_matrix(d), expect)
+
+    def test_three_wire_phase_on_all_ones(self):
+        phi = 0.9
+        d = controlled_phase_hbox_diagram(3, phi)
+        expect = np.eye(8, dtype=complex)
+        expect[7, 7] = cmath.exp(1j * phi)
+        prop(diagram_matrix(d), expect)
+
+    def test_single_wire(self):
+        phi = -0.4
+        d = controlled_phase_hbox_diagram(1, phi)
+        prop(diagram_matrix(d), np.diag([1, cmath.exp(1j * phi)]))
+
+    def test_zero_wires_rejected(self):
+        with pytest.raises(ValueError):
+            controlled_phase_hbox_diagram(0, 1.0)
+
+
+class TestMISMixer:
+    @pytest.mark.parametrize("degree", [0, 1, 2, 3])
+    @pytest.mark.parametrize("beta", [0.0, 0.37, -1.1])
+    def test_matches_reference_unitary(self, degree, beta):
+        d = mis_partial_mixer_diagram(degree, beta)
+        m = diagram_matrix(d)
+        ref = mis_mixer_dense(degree, beta)
+        prop(m, ref)
+
+    def test_identity_off_neighborhood(self):
+        # With a control set to 1 the mixer must act as identity: check the
+        # block structure explicitly for degree 2.
+        beta = 0.8
+        d = mis_partial_mixer_diagram(2, beta)
+        m = diagram_matrix(d)
+        m = m / m[1, 1]  # normalize scalar on an identity entry
+        # Any basis state with a control bit set must be fixed.
+        for idx in range(8):
+            c0, c1 = idx & 1, (idx >> 1) & 1
+            if c0 or c1:
+                col = m[:, idx]
+                expect = np.zeros(8)
+                expect[idx] = 1
+                assert np.allclose(col, expect, atol=1e-8)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            mis_partial_mixer_diagram(-1, 0.3)
