@@ -57,10 +57,32 @@ class CompiledQAOA:
     betas: Tuple[float, ...]
     roles: Dict[int, NodeRole]
     schedule: str
+    _executable: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def p(self) -> int:
         return len(self.gammas)
+
+    def executable(self):
+        """The pattern lowered to slot-resolved ops, compiled once and
+        cached (see :func:`repro.mbqc.compile.compile_pattern`)."""
+        if self._executable is None:
+            from repro.mbqc.compile import compile_pattern
+
+            self._executable = compile_pattern(self.pattern)
+        return self._executable
+
+    def branch_map(self, forced_outcomes=None, backend=None):
+        """The linear map of one outcome branch (default all-0), extracted
+        on the batched execution engine via the cached executable."""
+        from repro.mbqc.runner import pattern_to_matrix
+
+        return pattern_to_matrix(
+            self.pattern,
+            forced_outcomes,
+            backend=backend,
+            compiled=self.executable(),
+        )
 
     def num_nodes(self) -> int:
         return self.pattern.num_nodes()

@@ -66,6 +66,9 @@ class WireTracker:
         self.pattern = pattern
         self.wires = wires
         self._next = next_node
+        # Canonical node pair -> index of the CommandE emitted by cz(); node
+        # ids are never reused, so a stale pair can never match again.
+        self._cz_edges: Dict[Tuple[int, int], int] = {}
 
     @staticmethod
     def begin(
@@ -195,10 +198,28 @@ class WireTracker:
 
     def cz(self, wire_u: int, wire_v: int) -> None:
         """Native CZ between two wires (generic compiler): byproduct
-        bookkeeping ``CZ·X_u = X_u Z_v·CZ``."""
+        bookkeeping ``CZ·X_u = X_u Z_v·CZ``.
+
+        CZ is involutive, so a second CZ on the same (still live) node pair
+        *cancels* the earlier entangler instead of duplicating it.  Node ids
+        are never reused and the tracker only emits N/E/M commands
+        mid-pattern — all of which commute with an entangler on two distinct
+        live nodes — so removing the matching ``E`` is exact.  Without this,
+        graph-based consumers that model edges as a set (flow finding,
+        circuit extraction) silently read ``CZ·CZ = I`` as a single CZ.
+        """
         wu = self.wires[wire_u]
         wv = self.wires[wire_v]
-        self.pattern.e(wu.node, wv.node)
+        pair = (wu.node, wv.node) if wu.node < wv.node else (wv.node, wu.node)
+        idx = self._cz_edges.pop(pair, None)
+        if idx is not None:
+            del self.pattern.commands[idx]
+            for key, j in self._cz_edges.items():
+                if j > idx:
+                    self._cz_edges[key] = j - 1
+        else:
+            self._cz_edges[pair] = len(self.pattern.commands)
+            self.pattern.e(*pair)
         self.wires[wire_u] = Wire(wu.node, wu.x_domain, wu.z_domain ^ wv.x_domain)
         self.wires[wire_v] = Wire(wv.node, wv.x_domain, wv.z_domain ^ wu.x_domain)
 

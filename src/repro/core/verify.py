@@ -3,6 +3,15 @@
 The paper's determinism requirement (Section II.B) is checked *semantically*
 here: a pattern is deterministic iff every outcome branch implements the
 same map up to global phase.  These helpers power the E3-E6 experiments.
+
+Branch maps are produced by the batched execution engine
+(:mod:`repro.mbqc.backend`): the pattern is compiled once
+(:func:`~repro.mbqc.compile.compile_pattern`) and every branch evaluates all
+``2^k`` input columns in a single vectorized sweep, so enumerating ``2^m``
+branches costs ``2^m`` batched runs instead of ``2^m · 2^k`` sequential
+pattern executions.  Pass ``backend=`` to substitute another
+:class:`~repro.mbqc.backend.PatternBackend` (e.g. a future stabilizer fast
+path for Clifford-angle patterns).
 """
 
 from __future__ import annotations
@@ -12,28 +21,47 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.linalg.compare import allclose_up_to_global_phase, proportionality_factor
+from repro.mbqc.backend import PatternBackend, default_backend
+from repro.mbqc.compile import compile_pattern
 from repro.mbqc.pattern import Pattern
-from repro.mbqc.runner import enumerate_branches, pattern_to_matrix, run_pattern
+from repro.mbqc.runner import pattern_to_matrix, run_pattern
 from repro.utils.rng import SeedLike, ensure_rng
 
 
-def branch_unitaries(
-    pattern: Pattern, max_branches: Optional[int] = None, seed: SeedLike = None
-) -> List[Tuple[Dict[int, int], np.ndarray]]:
-    """Branch maps for all (or a random subset of) outcome branches."""
-    measured = pattern.measured_nodes()
+def _sample_branches(
+    measured: List[int], max_branches: Optional[int], seed: SeedLike, keep_zero: bool
+) -> List[Dict[int, int]]:
     total = 1 << len(measured)
     if max_branches is None or total <= max_branches:
-        branches = list(enumerate_branches(pattern))
+        bit_sets = range(total)
     else:
         rng = ensure_rng(seed)
         picks = set(int(x) for x in rng.choice(total, size=max_branches, replace=False))
-        picks.add(0)
-        branches = [
-            {node: (bits >> i) & 1 for i, node in enumerate(measured)}
-            for bits in sorted(picks)
-        ]
-    return [(b, pattern_to_matrix(pattern, b)) for b in branches]
+        if keep_zero:
+            picks.add(0)
+        bit_sets = sorted(picks)
+    return [
+        {node: (bits >> i) & 1 for i, node in enumerate(measured)} for bits in bit_sets
+    ]
+
+
+def branch_unitaries(
+    pattern: Pattern,
+    max_branches: Optional[int] = None,
+    seed: SeedLike = None,
+    backend: Optional[PatternBackend] = None,
+) -> List[Tuple[Dict[int, int], np.ndarray]]:
+    """Branch maps for all (or a random subset of) outcome branches."""
+    compiled = compile_pattern(pattern)
+    if backend is None:
+        backend = default_backend()
+    branches = _sample_branches(
+        list(compiled.measured_nodes), max_branches, seed, keep_zero=True
+    )
+    return [
+        (b, pattern_to_matrix(pattern, b, backend=backend, compiled=compiled))
+        for b in branches
+    ]
 
 
 def check_pattern_determinism(
@@ -41,13 +69,14 @@ def check_pattern_determinism(
     max_branches: Optional[int] = None,
     seed: SeedLike = None,
     atol: float = 1e-8,
+    backend: Optional[PatternBackend] = None,
 ) -> bool:
     """True iff all (sampled) branches give the same map up to phase.
 
     Branch maps of a deterministic pattern also have equal norms (uniform
     outcome probabilities); both are checked.
     """
-    maps = branch_unitaries(pattern, max_branches=max_branches, seed=seed)
+    maps = branch_unitaries(pattern, max_branches=max_branches, seed=seed, backend=backend)
     _, ref = maps[0]
     ref_norm = np.linalg.norm(ref)
     if ref_norm < 1e-12:
@@ -67,11 +96,12 @@ def pattern_equals_unitary(
     max_branches: Optional[int] = None,
     seed: SeedLike = None,
     atol: float = 1e-8,
+    backend: Optional[PatternBackend] = None,
 ) -> bool:
     """True iff every (sampled) branch map ∝ ``unitary``."""
     if not all_branches:
         max_branches = max_branches or 1
-    maps = branch_unitaries(pattern, max_branches=max_branches, seed=seed)
+    maps = branch_unitaries(pattern, max_branches=max_branches, seed=seed, backend=backend)
     for _, m in maps:
         if proportionality_factor(m, np.asarray(unitary, dtype=complex), atol=atol) is None:
             return False
@@ -86,23 +116,21 @@ def pattern_state_equals(
     atol: float = 1e-8,
 ) -> bool:
     """For state-preparation patterns (no inputs): every branch output
-    equals ``state`` up to global phase."""
+    equals ``state`` up to global phase.
+
+    The pattern is compiled once and re-run per branch with the cached
+    program (branch outputs need renormalized states, so this path uses the
+    sequential runner rather than the unnormalized batched map extractor).
+    """
     if pattern.input_nodes:
         raise ValueError("pattern has inputs; use pattern_equals_unitary")
-    measured = pattern.measured_nodes()
-    total = 1 << len(measured)
-    if max_branches is None or total <= max_branches:
-        branches = list(enumerate_branches(pattern))
-    else:
-        rng = ensure_rng(seed)
-        picks = set(int(x) for x in rng.choice(total, size=max_branches, replace=False))
-        branches = [
-            {node: (bits >> i) & 1 for i, node in enumerate(measured)}
-            for bits in sorted(picks)
-        ]
+    compiled = compile_pattern(pattern)
+    branches = _sample_branches(
+        list(compiled.measured_nodes), max_branches, seed, keep_zero=False
+    )
     target = np.asarray(state, dtype=complex)
     for b in branches:
-        out = run_pattern(pattern, forced_outcomes=b).state_array()
+        out = run_pattern(pattern, forced_outcomes=b, compiled=compiled).state_array()
         if not allclose_up_to_global_phase(out, target, atol=atol):
             return False
     return True

@@ -11,9 +11,13 @@ are sequences of commands
 - ``X(i, domain)`` / ``Z(i, domain)``  conditional Pauli corrections,
 
 with the paper's notation ``M_i^P -> n`` and ``Λ_i^n(U)`` mapping onto
-``M``/``X``/``Z`` commands.  The runner executes patterns on the dynamic
-statevector simulator, supporting exhaustive outcome-branch enumeration —
-the determinism checks of Sections II.B/III are run over *all* branches.
+``M``/``X``/``Z`` commands.  Patterns are pre-compiled to slot-resolved ops
+(:mod:`repro.mbqc.compile`) and executed on the dynamic statevector
+simulator, supporting exhaustive outcome-branch enumeration — the
+determinism checks of Sections II.B/III are run over *all* branches.  Branch
+map extraction runs on a pluggable batched engine
+(:mod:`repro.mbqc.backend`): all ``2^k`` input columns in one vectorized
+sweep.
 
 :mod:`repro.mbqc.flow` implements causal flow and (extended, three-plane)
 generalized flow, the graph-theoretic determinism criterion the paper cites
@@ -31,7 +35,19 @@ from repro.mbqc.pattern import (
     PatternError,
     standardize,
 )
-from repro.mbqc.runner import PatternResult, pattern_to_matrix, run_pattern
+from repro.mbqc.compile import CompiledPattern, compile_pattern
+from repro.mbqc.backend import (
+    BranchRun,
+    PatternBackend,
+    StatevectorBackend,
+    default_backend,
+)
+from repro.mbqc.runner import (
+    PatternResult,
+    pattern_to_matrix,
+    pattern_to_matrix_sequential,
+    run_pattern,
+)
 from repro.mbqc.flow import OpenGraph, find_causal_flow, find_gflow
 from repro.mbqc.noise import NoiseModel, average_fidelity, run_pattern_noisy
 from repro.mbqc.extract import ExtractionError, extract_circuit, extractable
@@ -53,7 +69,14 @@ __all__ = [
     "PatternError",
     "standardize",
     "PatternResult",
+    "CompiledPattern",
+    "compile_pattern",
+    "BranchRun",
+    "PatternBackend",
+    "StatevectorBackend",
+    "default_backend",
     "pattern_to_matrix",
+    "pattern_to_matrix_sequential",
     "run_pattern",
     "OpenGraph",
     "find_causal_flow",

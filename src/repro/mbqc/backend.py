@@ -1,0 +1,141 @@
+"""Execution backends for compiled measurement patterns.
+
+A :class:`PatternBackend` runs a :class:`~repro.mbqc.compile.CompiledPattern`
+on a *forced outcome branch* for a whole block of input states at once.
+This is the engine under :func:`repro.mbqc.runner.pattern_to_matrix` and the
+branch-exhaustive verification in :mod:`repro.core.verify`: extracting the
+linear map of a pattern on ``k`` inputs needs all ``2^k`` basis columns, and
+a backend simulates them in one batched sweep instead of ``2^k`` sequential
+pattern re-runs.
+
+The protocol is deliberately small (``supports`` + ``run_branch_batch``) so
+alternative engines can slot in.  The default is the dense
+:class:`StatevectorBackend` built on
+:class:`~repro.sim.statevector.BatchedStateVector`.  A stabilizer-tableau
+backend over :mod:`repro.stab` is the planned fast path for Clifford-angle
+patterns (``supports`` would check that every measurement basis table is
+Pauli); see ROADMAP.md open items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.mbqc.compile import (
+    CompiledPattern,
+    ConditionalOp,
+    EntangleOp,
+    MeasureOp,
+    PrepOp,
+    UnitaryOp,
+    signal_parity,
+)
+from repro.mbqc.pattern import PatternError
+from repro.sim.statevector import BatchedStateVector
+
+try:  # typing.Protocol exists on all supported pythons; keep a soft fallback
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@dataclass(frozen=True)
+class BranchRun:
+    """Result of one forced-branch batched execution.
+
+    ``states`` is a ``(B, 2**n_out)`` block: row ``j`` is the (unnormalized)
+    output state for input row ``j``, with output qubits little-endian in
+    ``output_nodes`` order.  ``outcomes`` echoes the forced branch in
+    measurement order.
+    """
+
+    outcomes: Dict[int, int]
+    states: np.ndarray
+
+
+@runtime_checkable
+class PatternBackend(Protocol):
+    """Minimal contract a pattern-execution engine must satisfy."""
+
+    name: str
+
+    def supports(self, compiled: CompiledPattern) -> bool:
+        """Whether this backend can execute ``compiled`` exactly."""
+        ...
+
+    def run_branch_batch(
+        self,
+        compiled: CompiledPattern,
+        inputs: np.ndarray,
+        forced_outcomes: Mapping[int, int],
+    ) -> BranchRun:
+        """Run every row of ``inputs`` (``(B, 2**k)``) through ``compiled``
+        on the branch pinned by ``forced_outcomes`` (all measured nodes)."""
+        ...
+
+
+class StatevectorBackend:
+    """Dense batched-statevector execution (always applicable)."""
+
+    name = "statevector"
+
+    def supports(self, compiled: CompiledPattern) -> bool:
+        return True
+
+    def run_branch_batch(
+        self,
+        compiled: CompiledPattern,
+        inputs: np.ndarray,
+        forced_outcomes: Mapping[int, int],
+    ) -> BranchRun:
+        missing = [n for n in compiled.measured_nodes if n not in forced_outcomes]
+        if missing:
+            raise PatternError(
+                f"branch must force all outcomes; missing {sorted(missing)}"
+            )
+        inputs = np.asarray(inputs, dtype=complex)
+        sv = BatchedStateVector.from_arrays(inputs)
+        if sv.num_qubits != compiled.num_inputs:
+            raise PatternError(
+                f"input block has {sv.num_qubits} qubits, "
+                f"pattern has {compiled.num_inputs} inputs"
+            )
+        outcomes: Dict[int, int] = {}
+        for op in compiled.ops:
+            tp = type(op)
+            if tp is PrepOp:
+                sv.add_qubit(op.state)
+            elif tp is EntangleOp:
+                sv.apply_cz(*op.slots)
+            elif tp is MeasureOp:
+                s = signal_parity(outcomes, op.s_domain)
+                t = signal_parity(outcomes, op.t_domain)
+                out = forced_outcomes[op.node]
+                if out not in (0, 1):
+                    raise PatternError(f"forced outcome for node {op.node} must be 0 or 1")
+                sv.measure_forced(op.slot, op.bases[s + 2 * t], out)
+                outcomes[op.node] = out
+            elif tp is ConditionalOp:
+                if signal_parity(outcomes, op.domain):
+                    sv.apply_1q(op.matrix, op.slot)
+            else:  # UnitaryOp
+                sv.apply_1q(op.matrix, op.slot)
+        sv.permute(compiled.out_perm)
+        return BranchRun(outcomes=outcomes, states=sv.to_arrays())
+
+
+_DEFAULT_BACKEND: Optional[StatevectorBackend] = None
+
+
+def default_backend() -> StatevectorBackend:
+    """The process-wide default engine (a shared, stateless instance)."""
+    global _DEFAULT_BACKEND
+    if _DEFAULT_BACKEND is None:
+        _DEFAULT_BACKEND = StatevectorBackend()
+    return _DEFAULT_BACKEND

@@ -1,0 +1,269 @@
+"""Pattern pre-compilation: slot lifetimes, basis tables, Clifford fusion.
+
+Interpreting a :class:`~repro.mbqc.pattern.Pattern` command-by-command pays
+per-command bookkeeping in the hot path: ``_Register`` compaction on every
+measurement (an O(live-qubits) dict scan), a fresh
+:class:`~repro.sim.statevector.MeasurementBasis` construction per ``M``, and
+one ``apply_1q`` per ``C``.  :func:`compile_pattern` hoists all of that to a
+one-time compile:
+
+- **slot lifetimes** — the simulator removes a measured qubit's tensor axis,
+  so every node's slot index over time is a pure function of the command
+  order (outcome-independent).  The compile walk replays the register once
+  and bakes the concrete slot into each op, so execution does O(1) lookups
+  and no register exists at run time.
+- **basis tables** — an ``M`` command's effective angle is
+  ``(-1)^s·angle + t·π`` with ``s, t ∈ {0, 1}``, so each measurement has at
+  most four distinct bases; all four are prebuilt per command.
+- **Clifford fusion** — consecutive ``C`` commands on the same node are
+  fused into a single 2x2 matrix at compile time.
+- **dead-code elimination** — ``X``/``Z`` corrections with an empty signal
+  domain can never fire and are dropped.
+
+The compiled program is a flat tuple of frozen ops consumed by both the
+sequential interpreter (:func:`repro.mbqc.runner.run_pattern`) and the
+batched backend (:mod:`repro.mbqc.backend`).  Ill-formed references —
+entangling, measuring, or correcting an unknown or already-measured node —
+surface as :class:`~repro.mbqc.pattern.PatternError` here even when pattern
+validation is skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.linalg.gates import HADAMARD, PAULI_X, PAULI_Y, PAULI_Z, S_GATE
+from repro.linalg.gates import rx as _rx, ry as _ry, rz as _rz
+from repro.mbqc.pattern import (
+    CommandC,
+    CommandE,
+    CommandM,
+    CommandN,
+    CommandX,
+    CommandZ,
+    Pattern,
+    PatternError,
+)
+from repro.sim.statevector import (
+    KET_0,
+    KET_1,
+    KET_MINUS,
+    KET_PLUS,
+    MeasurementBasis,
+)
+
+_PREP = {"plus": KET_PLUS, "minus": KET_MINUS, "zero": KET_0, "one": KET_1}
+_CLIFFORD = {
+    "h": HADAMARD,
+    "s": S_GATE,
+    "sdg": S_GATE.conj().T,
+    "x": PAULI_X,
+    "y": PAULI_Y,
+    "z": PAULI_Z,
+}
+@dataclass(frozen=True)
+class PrepOp:
+    """Append ``node`` in product state ``state`` (lands in slot ``slot``)."""
+
+    node: int
+    slot: int
+    state: np.ndarray
+
+
+@dataclass(frozen=True)
+class EntangleOp:
+    """CZ between two live slots."""
+
+    slots: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeasureOp:
+    """Measure ``slot`` (removing it); basis picked from a 4-entry table.
+
+    ``bases[s + 2t]`` is the basis for signal parities ``(s, t)`` — the
+    four possible effective angles ``(-1)^s·angle + t·π``.
+    """
+
+    node: int
+    slot: int
+    s_domain: Tuple[int, ...]
+    t_domain: Tuple[int, ...]
+    bases: Tuple[MeasurementBasis, ...]
+
+
+@dataclass(frozen=True)
+class ConditionalOp:
+    """Apply ``matrix`` to ``slot`` iff the outcome parity over ``domain``
+    is odd (a compiled ``X``/``Z`` correction)."""
+
+    slot: int
+    domain: Tuple[int, ...]
+    matrix: np.ndarray
+
+
+@dataclass(frozen=True)
+class UnitaryOp:
+    """Apply an unconditional 2x2 ``matrix`` to ``slot`` (fused ``C`` run)."""
+
+    slot: int
+    matrix: np.ndarray
+
+
+CompiledOp = Union[PrepOp, EntangleOp, MeasureOp, ConditionalOp, UnitaryOp]
+
+
+@dataclass(frozen=True)
+class CompiledPattern:
+    """A pattern lowered to slot-resolved ops plus output bookkeeping.
+
+    ``out_perm[j]`` is the final slot of ``output_nodes[j]``; ``max_live``
+    is the peak register width (cf. :meth:`Pattern.max_live_nodes`).
+    """
+
+    input_nodes: Tuple[int, ...]
+    output_nodes: Tuple[int, ...]
+    measured_nodes: Tuple[int, ...]
+    ops: Tuple[CompiledOp, ...]
+    out_perm: Tuple[int, ...]
+    max_live: int
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_nodes)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.output_nodes)
+
+
+def _fast_basis(plane: str, angle: float) -> MeasurementBasis:
+    """Build a plane basis without the ``from_vectors`` orthonormality
+    round-trip — the rotated Pauli bases are orthonormal by construction,
+    and compile-time basis building is on the hot path of branch sweeps."""
+    if plane == "XY":
+        rot = _rz(angle)
+        b0, b1 = rot @ KET_PLUS, rot @ KET_MINUS
+    elif plane == "YZ":
+        rot = _rx(angle)
+        b0, b1 = rot @ KET_0, rot @ KET_1
+    else:  # XZ
+        rot = _ry(angle)
+        b0, b1 = rot @ KET_0, rot @ KET_1
+    return MeasurementBasis(tuple(b0), tuple(b1))
+
+
+@lru_cache(maxsize=4096)
+def _basis_table(plane: str, angle: float) -> Tuple[MeasurementBasis, ...]:
+    """The four bases one ``M`` command can use, indexed ``s + 2t``.
+
+    Memoized across compiles: QAOA patterns reuse a handful of angles
+    (``0``, ``±2γJ``, ``±2β``) across hundreds of measurements.
+    """
+    return tuple(
+        _fast_basis(plane, ((-1.0) ** s) * angle + t * np.pi)
+        for s, t in ((0, 0), (1, 0), (0, 1), (1, 1))
+    )
+
+
+def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
+    """Lower ``pattern`` to a :class:`CompiledPattern`.
+
+    With ``validate=True`` the full well-formedness check runs first; even
+    without it, the compile walk raises :class:`PatternError` on commands
+    referencing unknown or already-measured nodes and on signal domains
+    over not-yet-measured nodes.
+    """
+    if validate:
+        pattern.validate()
+
+    slots: Dict[int, int] = {}
+    order: List[int] = []
+    for node in pattern.input_nodes:
+        slots[node] = len(order)
+        order.append(node)
+    measured: set = set()
+    measured_order: List[int] = []
+    ops: List[CompiledOp] = []
+    max_live = len(order)
+
+    def live_slot(node: int, what: str) -> int:
+        try:
+            return slots[node]
+        except KeyError:
+            state = "already-measured" if node in measured else "unknown"
+            raise PatternError(f"{what} targets {state} node {node}") from None
+
+    def check_domain(owner: int, domain) -> Tuple[int, ...]:
+        bad = set(domain) - measured
+        if bad:
+            raise PatternError(
+                f"signal for node {owner} references unmeasured nodes {sorted(bad)}"
+            )
+        return tuple(sorted(domain))
+
+    for cmd in pattern.commands:
+        if isinstance(cmd, CommandN):
+            if cmd.node in slots:
+                raise PatternError(f"node {cmd.node} prepared twice (or is an input)")
+            slot = len(order)
+            slots[cmd.node] = slot
+            order.append(cmd.node)
+            max_live = max(max_live, len(order))
+            ops.append(PrepOp(cmd.node, slot, _PREP[cmd.state]))
+        elif isinstance(cmd, CommandE):
+            s0 = live_slot(cmd.nodes[0], "entangler")
+            s1 = live_slot(cmd.nodes[1], "entangler")
+            ops.append(EntangleOp((s0, s1)))
+        elif isinstance(cmd, CommandM):
+            slot = live_slot(cmd.node, "measurement")
+            s_dom = check_domain(cmd.node, cmd.s_domain)
+            t_dom = check_domain(cmd.node, cmd.t_domain)
+            ops.append(
+                MeasureOp(cmd.node, slot, s_dom, t_dom, _basis_table(cmd.plane, cmd.angle))
+            )
+            # The simulator removes the measured axis: slots above shift down.
+            order.pop(slot)
+            del slots[cmd.node]
+            for i in range(slot, len(order)):
+                slots[order[i]] = i
+            measured.add(cmd.node)
+            measured_order.append(cmd.node)
+        elif isinstance(cmd, (CommandX, CommandZ)):
+            slot = live_slot(cmd.node, "correction")
+            dom = check_domain(cmd.node, cmd.domain)
+            if dom:  # empty-domain corrections can never fire
+                matrix = PAULI_X if isinstance(cmd, CommandX) else PAULI_Z
+                ops.append(ConditionalOp(slot, dom, matrix))
+        elif isinstance(cmd, CommandC):
+            slot = live_slot(cmd.node, "Clifford")
+            matrix = _CLIFFORD[cmd.gate]
+            if ops and isinstance(ops[-1], UnitaryOp) and ops[-1].slot == slot:
+                ops[-1] = UnitaryOp(slot, matrix @ ops[-1].matrix)
+            else:
+                ops.append(UnitaryOp(slot, matrix))
+        else:  # pragma: no cover - defensive
+            raise PatternError(f"unknown command {cmd!r}")
+
+    out_perm = tuple(live_slot(node, "output") for node in pattern.output_nodes)
+    return CompiledPattern(
+        input_nodes=tuple(pattern.input_nodes),
+        output_nodes=tuple(pattern.output_nodes),
+        measured_nodes=tuple(measured_order),
+        ops=tuple(ops),
+        out_perm=out_perm,
+        max_live=max_live,
+    )
+
+
+def signal_parity(outcomes: Dict[int, int], domain: Tuple[int, ...]) -> int:
+    """XOR of recorded outcomes over ``domain`` (domains are compile-checked,
+    so lookups cannot miss)."""
+    parity = 0
+    for node in domain:
+        parity ^= outcomes[node]
+    return parity

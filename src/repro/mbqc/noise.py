@@ -34,7 +34,16 @@ from repro.mbqc.pattern import (
     CommandZ,
     Pattern,
 )
-from repro.mbqc.runner import PatternResult, run_pattern, _PREP, _CLIFFORD, _PLANE_BASIS, _Register, _signal
+from repro.mbqc.runner import (
+    PatternResult,
+    run_pattern,
+    _PREP,
+    _CLIFFORD,
+    _PLANE_BASIS,
+    _Register,
+    _reorder_output,
+    _signal,
+)
 from repro.sim.statevector import StateVector
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -118,13 +127,7 @@ def run_pattern_noisy(
             sv.apply_1q(_CLIFFORD[cmd.gate], reg[cmd.node])
 
     order = [reg[node] for node in pattern.output_nodes]
-    arr = sv.to_array()
-    n = sv.num_qubits
-    if n:
-        tensor = arr.reshape((2,) * n).transpose(tuple(reversed(range(n))))
-        tensor = tensor.transpose(order)
-        arr = tensor.transpose(tuple(reversed(range(n)))).reshape(-1)
-    out_state = StateVector.from_array(arr) if n else StateVector(0)
+    out_state = _reorder_output(sv, order)
     return PatternResult(outcomes, out_state, list(pattern.output_nodes))
 
 

@@ -1,15 +1,22 @@
 """Pattern execution on the dynamic statevector simulator.
 
-``run_pattern`` walks the command list, allocating a qubit per ``N``,
-entangling on ``E``, measuring adaptively on ``M`` (the measured qubit is
-*removed*, so memory tracks the live set, cf. ``Pattern.max_live_nodes``),
-and applying conditional corrections.  Outcomes can be forced per node,
-which gives exhaustive branch enumeration: the determinism claims of the
-paper (Sections II.B and III) are tested over every outcome branch.
+``run_pattern`` executes a pattern compiled to slot-resolved ops
+(:func:`repro.mbqc.compile.compile_pattern`): a qubit is allocated per
+``N``, entangled on ``E``, measured adaptively on ``M`` (the measured qubit
+is *removed*, so memory tracks the live set, cf. ``Pattern.max_live_nodes``),
+with conditional corrections applied from precomputed slots.  Outcomes can
+be forced per node, which gives exhaustive branch enumeration: the
+determinism claims of the paper (Sections II.B and III) are tested over
+every outcome branch.
 
 ``pattern_to_matrix`` extracts the linear map a pattern implements on its
-input nodes for a fixed outcome branch, by running the pattern on each
-computational basis state without renormalization.
+input nodes for a fixed outcome branch.  It runs on the batched execution
+engine (:mod:`repro.mbqc.backend`): all ``2^k`` computational basis columns
+are simulated in one vectorized sweep over a
+:class:`~repro.sim.statevector.BatchedStateVector` instead of ``2^k``
+sequential pattern re-runs.  ``pattern_to_matrix_sequential`` keeps the
+per-column reference path for cross-checks and benchmarking
+(``benchmarks/bench_e19_batched_runner.py``).
 """
 
 from __future__ import annotations
@@ -19,36 +26,25 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.linalg.gates import HADAMARD, PAULI_X, PAULI_Y, PAULI_Z, S_GATE
-from repro.mbqc.pattern import (
-    CommandC,
-    CommandE,
-    CommandM,
-    CommandN,
-    CommandX,
-    CommandZ,
-    Pattern,
-    PatternError,
+from repro.mbqc.backend import PatternBackend, default_backend
+from repro.mbqc.compile import (
+    _CLIFFORD,
+    _PREP,
+    CompiledPattern,
+    ConditionalOp,
+    EntangleOp,
+    MeasureOp,
+    PrepOp,
+    UnitaryOp,
+    compile_pattern,
+    signal_parity,
 )
-from repro.sim.statevector import (
-    KET_0,
-    KET_1,
-    KET_MINUS,
-    KET_PLUS,
-    MeasurementBasis,
-    StateVector,
-)
+from repro.mbqc.pattern import Pattern, PatternError
+from repro.sim.statevector import MeasurementBasis, StateVector
 from repro.utils.rng import SeedLike, ensure_rng
 
-_PREP = {"plus": KET_PLUS, "minus": KET_MINUS, "zero": KET_0, "one": KET_1}
-_CLIFFORD = {
-    "h": HADAMARD,
-    "s": S_GATE,
-    "sdg": S_GATE.conj().T,
-    "x": PAULI_X,
-    "y": PAULI_Y,
-    "z": PAULI_Z,
-}
+# The command-by-command interpreters (noise.py) share the compile-time
+# prep/Clifford tables; _PLANE_BASIS stays here for adaptive-basis building.
 _PLANE_BASIS = {
     "XY": MeasurementBasis.xy,
     "YZ": MeasurementBasis.yz,
@@ -73,7 +69,11 @@ class PatternResult:
 
 
 class _Register:
-    """node id <-> simulator slot bookkeeping with removal compaction."""
+    """node id <-> simulator slot bookkeeping with removal compaction.
+
+    Used by the command-by-command interpreters (e.g. the noisy runner);
+    the main runner executes precompiled ops and needs no register.
+    """
 
     def __init__(self) -> None:
         self.slot: Dict[int, int] = {}
@@ -82,14 +82,20 @@ class _Register:
         self.slot[node] = slot
 
     def remove(self, node: int) -> int:
-        s = self.slot.pop(node)
+        s = self[node]
+        del self.slot[node]
         for k in self.slot:
             if self.slot[k] > s:
                 self.slot[k] -= 1
         return s
 
     def __getitem__(self, node: int) -> int:
-        return self.slot[node]
+        try:
+            return self.slot[node]
+        except KeyError:
+            raise PatternError(
+                f"command targets unknown or already-measured node {node}"
+            ) from None
 
 
 def _signal(outcomes: Dict[int, int], domain) -> int:
@@ -102,6 +108,23 @@ def _signal(outcomes: Dict[int, int], domain) -> int:
     return parity
 
 
+def _reorder_output(sv: StateVector, out_perm: Sequence[int]) -> StateVector:
+    """Permute simulator slots into output order; returns the output state.
+
+    For zero-output patterns the 0-qubit state still carries the branch
+    amplitude (``from_array`` on a length-1 vector keeps it) — the previous
+    implementation reset it to 1, silently dropping the branch weight.
+    """
+    arr = sv.to_array()
+    n = sv.num_qubits
+    if n:
+        tensor = arr.reshape((2,) * n).transpose(tuple(reversed(range(n))))
+        # tensor axis i = slot i; want axis j = slot of output_nodes[j].
+        tensor = tensor.transpose(out_perm)
+        arr = tensor.transpose(tuple(reversed(range(n)))).reshape(-1)
+    return StateVector.from_array(arr)
+
+
 def run_pattern(
     pattern: Pattern,
     input_state: Optional[StateVector] = None,
@@ -109,6 +132,7 @@ def run_pattern(
     forced_outcomes: Optional[Dict[int, int]] = None,
     renormalize: bool = True,
     validate: bool = True,
+    compiled: Optional[CompiledPattern] = None,
 ) -> PatternResult:
     """Execute ``pattern`` and return outcomes plus the output state.
 
@@ -123,13 +147,18 @@ def run_pattern(
     renormalize:
         With ``False`` the state keeps the branch amplitude — used by
         :func:`pattern_to_matrix` to extract linear maps.
+    compiled:
+        A precompiled program for ``pattern`` (from
+        :func:`~repro.mbqc.compile.compile_pattern`); pass it when running
+        the same pattern many times (e.g. branch enumeration) to skip
+        recompilation.
     """
-    if validate:
-        pattern.validate()
+    if compiled is None:
+        compiled = compile_pattern(pattern, validate=validate)
     rng = ensure_rng(seed)
     forced = forced_outcomes or {}
 
-    k = len(pattern.input_nodes)
+    k = compiled.num_inputs
     if input_state is None:
         sv = StateVector.plus(k)
     else:
@@ -138,54 +167,34 @@ def run_pattern(
                 f"input state has {input_state.num_qubits} qubits, pattern has {k} inputs"
             )
         sv = input_state.copy()
-    reg = _Register()
-    for i, node in enumerate(pattern.input_nodes):
-        reg.add(node, i)
 
     outcomes: Dict[int, int] = {}
-    for cmd in pattern.commands:
-        if isinstance(cmd, CommandN):
-            slot = sv.add_qubit(_PREP[cmd.state])
-            reg.add(cmd.node, slot)
-        elif isinstance(cmd, CommandE):
-            sv.apply_cz(reg[cmd.nodes[0]], reg[cmd.nodes[1]])
-        elif isinstance(cmd, CommandM):
-            s = _signal(outcomes, cmd.s_domain)
-            t = _signal(outcomes, cmd.t_domain)
-            angle = ((-1) ** s) * cmd.angle + t * np.pi
-            basis = _PLANE_BASIS[cmd.plane](angle)
+    for op in compiled.ops:
+        tp = type(op)
+        if tp is PrepOp:
+            sv.add_qubit(op.state)
+        elif tp is EntangleOp:
+            sv.apply_cz(*op.slots)
+        elif tp is MeasureOp:
+            s = signal_parity(outcomes, op.s_domain)
+            t = signal_parity(outcomes, op.t_domain)
             out, _prob = sv.measure(
-                reg[cmd.node],
-                basis,
+                op.slot,
+                op.bases[s + 2 * t],
                 rng=rng,
-                force=forced.get(cmd.node),
+                force=forced.get(op.node),
                 remove=True,
                 renormalize=renormalize,
             )
-            reg.remove(cmd.node)
-            outcomes[cmd.node] = out
-        elif isinstance(cmd, CommandX):
-            if _signal(outcomes, cmd.domain):
-                sv.apply_1q(PAULI_X, reg[cmd.node])
-        elif isinstance(cmd, CommandZ):
-            if _signal(outcomes, cmd.domain):
-                sv.apply_1q(PAULI_Z, reg[cmd.node])
-        elif isinstance(cmd, CommandC):
-            sv.apply_1q(_CLIFFORD[cmd.gate], reg[cmd.node])
-        else:  # pragma: no cover - defensive
-            raise PatternError(f"unknown command {cmd!r}")
+            outcomes[op.node] = out
+        elif tp is ConditionalOp:
+            if signal_parity(outcomes, op.domain):
+                sv.apply_1q(op.matrix, op.slot)
+        else:  # UnitaryOp
+            sv.apply_1q(op.matrix, op.slot)
 
-    # Reorder remaining qubits into output_nodes order.
-    order = [reg[node] for node in pattern.output_nodes]
-    arr = sv.to_array()
-    n = sv.num_qubits
-    if n:
-        tensor = arr.reshape((2,) * n).transpose(tuple(reversed(range(n))))
-        # tensor axis i = slot i; want axis j = slot of output_nodes[j].
-        tensor = tensor.transpose(order)
-        arr = tensor.transpose(tuple(reversed(range(n)))).reshape(-1)
-    out_state = StateVector.from_array(arr) if n else StateVector(0)
-    return PatternResult(outcomes, out_state, list(pattern.output_nodes))
+    out_state = _reorder_output(sv, compiled.out_perm)
+    return PatternResult(outcomes, out_state, list(compiled.output_nodes))
 
 
 def enumerate_branches(pattern: Pattern) -> Iterator[Dict[int, int]]:
@@ -196,25 +205,56 @@ def enumerate_branches(pattern: Pattern) -> Iterator[Dict[int, int]]:
         yield {node: (bits >> i) & 1 for i, node in enumerate(measured)}
 
 
+def _full_branch(
+    compiled: CompiledPattern, forced_outcomes: Optional[Dict[int, int]]
+) -> Dict[int, int]:
+    if forced_outcomes is None:
+        return {node: 0 for node in compiled.measured_nodes}
+    missing = set(compiled.measured_nodes) - set(forced_outcomes)
+    if missing:
+        raise PatternError(f"branch must force all outcomes; missing {sorted(missing)}")
+    return dict(forced_outcomes)
+
+
 def pattern_to_matrix(
     pattern: Pattern,
     forced_outcomes: Optional[Dict[int, int]] = None,
+    backend: Optional[PatternBackend] = None,
+    compiled: Optional[CompiledPattern] = None,
 ) -> np.ndarray:
     """The linear map implemented on a fixed outcome branch (default all-0).
 
     For a deterministic pattern, this is proportional to the same unitary on
     every branch; :func:`repro.core.verify.check_pattern_determinism` makes
     that claim precise by enumerating branches.
+
+    All ``2^k`` input basis columns run in one batched sweep on ``backend``
+    (default: the shared dense :class:`~repro.mbqc.backend.StatevectorBackend`);
+    pass ``compiled`` to amortize compilation across many branches.
     """
-    pattern.validate()
-    k = len(pattern.input_nodes)
-    n_out = len(pattern.output_nodes)
-    forced = forced_outcomes
-    if forced is None:
-        forced = {node: 0 for node in pattern.measured_nodes()}
-    missing = set(pattern.measured_nodes()) - set(forced)
-    if missing:
-        raise PatternError(f"branch must force all outcomes; missing {sorted(missing)}")
+    if compiled is None:
+        compiled = compile_pattern(pattern)
+    forced = _full_branch(compiled, forced_outcomes)
+    if backend is None:
+        backend = default_backend()
+    k = compiled.num_inputs
+    inputs = np.eye(1 << k, dtype=complex)
+    run = backend.run_branch_batch(compiled, inputs, forced)
+    # Row j of ``states`` is the output column for input basis state j.
+    return np.ascontiguousarray(run.states.T)
+
+
+def pattern_to_matrix_sequential(
+    pattern: Pattern,
+    forced_outcomes: Optional[Dict[int, int]] = None,
+) -> np.ndarray:
+    """Reference implementation of :func:`pattern_to_matrix`: one full
+    pattern run per input basis column.  Kept for cross-validation and as
+    the baseline in ``benchmarks/bench_e19_batched_runner.py``."""
+    compiled = compile_pattern(pattern)
+    forced = _full_branch(compiled, forced_outcomes)
+    k = compiled.num_inputs
+    n_out = compiled.num_outputs
     cols = []
     for j in range(1 << k):
         basis = np.zeros(1 << k, dtype=complex)
@@ -224,7 +264,7 @@ def pattern_to_matrix(
             input_state=StateVector.from_array(basis),
             forced_outcomes=forced,
             renormalize=False,
-            validate=False,
+            compiled=compiled,
         )
         cols.append(res.state_array())
     return np.stack(cols, axis=1).reshape(1 << n_out, 1 << k)

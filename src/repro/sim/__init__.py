@@ -4,12 +4,26 @@
 register can *grow and shrink at runtime* — the property that makes MBQC
 simulation tractable: a measurement pattern on ``p(|E|+3|V|)`` total nodes
 only ever holds the live subset in memory when ancillas are measured eagerly
-(see ``repro.core.reuse``).  :class:`~repro.sim.circuit.Circuit` is a minimal
-gate-model IR used by the QAOA builders and the generic circuit→pattern
-compiler.
+(see ``repro.core.reuse``).  :class:`~repro.sim.statevector.BatchedStateVector`
+evolves ``B`` independent states in one tensor — the substrate of the batched
+pattern-execution engine (``repro.mbqc.backend``).
+:class:`~repro.sim.circuit.Circuit` is a minimal gate-model IR used by the
+QAOA builders and the generic circuit→pattern compiler.
 """
 
 from repro.sim.circuit import Circuit, Gate
-from repro.sim.statevector import MeasurementBasis, StateVector
+from repro.sim.statevector import (
+    BatchedStateVector,
+    MeasurementBasis,
+    StateVector,
+    ZeroProbabilityBranch,
+)
 
-__all__ = ["Circuit", "Gate", "StateVector", "MeasurementBasis"]
+__all__ = [
+    "Circuit",
+    "Gate",
+    "StateVector",
+    "BatchedStateVector",
+    "MeasurementBasis",
+    "ZeroProbabilityBranch",
+]

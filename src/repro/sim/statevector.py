@@ -9,6 +9,14 @@ keeps MBQC pattern simulation at max-live-qubit memory cost.
 
 Flattening convention is little-endian: :meth:`StateVector.to_array` returns
 amplitudes indexed by ``x = sum_i x_i 2**i``.
+
+:class:`BatchedStateVector` is the vectorized sibling used by the batched
+pattern-execution engine (:mod:`repro.mbqc.backend`): it carries ``B``
+independent pure states in one ``(B, 2, ..., 2)`` tensor with the batch on
+axis 0 and qubit slot ``i`` on tensor axis ``i + 1``.  Every operation is a
+single ``tensordot``/view sweep over the whole batch, so simulating all
+``2^k`` input columns of a pattern costs one pass instead of ``2^k``
+sequential re-runs.
 """
 
 from __future__ import annotations
@@ -119,6 +127,8 @@ class StateVector:
     def from_array(vec: np.ndarray) -> "StateVector":
         """Build from a little-endian flat amplitude vector of length 2**n."""
         vec = np.asarray(vec, dtype=complex)
+        if vec.size == 0:
+            raise ValueError("amplitude vector must be non-empty")
         n = int(np.round(np.log2(vec.size)))
         if vec.size != 1 << n:
             raise ValueError("length must be a power of two")
@@ -226,11 +236,20 @@ class StateVector:
 
     # -- measurement -------------------------------------------------------
     def measure_probability(self, q: int, basis: MeasurementBasis, outcome: int) -> float:
-        """Probability of ``outcome`` when measuring ``q`` in ``basis``."""
+        """Probability of ``outcome`` when measuring ``q`` in ``basis``.
+
+        The result is normalized by the state's total norm, matching
+        :meth:`measure` — on an unnormalized state (e.g. the
+        ``renormalize=False`` branch-extraction path) the probabilities of
+        the two outcomes still sum to one.
+        """
         self._check(q)
+        total = float(np.vdot(self._t, self._t).real)
+        if total < 1e-300:
+            raise ValueError("cannot measure a zero-norm state")
         b = basis.vectors()[outcome]
         amp = np.tensordot(b.conj(), self._t, axes=([0], [q]))
-        return float(np.vdot(amp, amp).real)
+        return float(np.vdot(amp, amp).real) / total
 
     def measure(
         self,
@@ -319,3 +338,150 @@ class StateVector:
 
 class ZeroProbabilityBranch(ValueError):
     """Raised when branch enumeration forces an impossible outcome."""
+
+
+class BatchedStateVector:
+    """``B`` independent pure states evolved in lockstep.
+
+    The tensor has shape ``(B, 2, ..., 2)``: batch on axis 0, qubit slot
+    ``i`` on axis ``i + 1``.  All batch elements share the same register
+    layout and undergo the same operations; amplitudes (and norms) evolve
+    independently per element.  This is the execution substrate for
+    forced-branch pattern runs where the ``2^k`` input basis columns of
+    :func:`repro.mbqc.runner.pattern_to_matrix` ride one batch.
+
+    Measurements are *forced* (projective with a pinned outcome): sampling
+    per batch element would break the lockstep register layout, and the
+    batched engine only ever runs fixed outcome branches.
+    """
+
+    def __init__(self, batch_size: int, num_qubits: int = 0, tensor: Optional[np.ndarray] = None):
+        if tensor is not None:
+            tensor = np.asarray(tensor, dtype=complex)
+            if tensor.ndim < 1 or tensor.shape[1:] != (2,) * (tensor.ndim - 1):
+                raise ValueError("tensor must have shape (B,) + (2,)*n")
+            self._t = tensor
+        else:
+            if batch_size < 1:
+                raise ValueError("batch_size must be positive")
+            if num_qubits < 0:
+                raise ValueError("num_qubits must be non-negative")
+            t = np.zeros((batch_size,) + (2,) * num_qubits, dtype=complex)
+            t.reshape(batch_size, -1)[:, 0] = 1.0
+            self._t = t
+
+    @staticmethod
+    def from_arrays(mat: np.ndarray) -> "BatchedStateVector":
+        """Build from a ``(B, 2**n)`` block of little-endian amplitude rows."""
+        mat = np.asarray(mat, dtype=complex)
+        if mat.ndim != 2 or mat.shape[0] < 1 or mat.shape[1] < 1:
+            raise ValueError("need a 2-D (B, 2**n) amplitude block")
+        b, m = mat.shape
+        n = int(np.round(np.log2(m)))
+        if m != 1 << n:
+            raise ValueError("row length must be a power of two")
+        if n == 0:
+            return BatchedStateVector(b, tensor=mat.reshape(b).copy())
+        t = mat.reshape((b,) + (2,) * n)
+        t = t.transpose((0,) + tuple(reversed(range(1, n + 1))))
+        return BatchedStateVector(b, tensor=t.copy())
+
+    # -- basic properties --------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        return self._t.shape[0]
+
+    @property
+    def num_qubits(self) -> int:
+        return self._t.ndim - 1
+
+    def _check(self, *qubits: int) -> None:
+        n = self.num_qubits
+        for q in qubits:
+            if not 0 <= q < n:
+                raise ValueError(f"qubit {q} out of range for {n}-qubit batch")
+        if len(set(qubits)) != len(qubits):
+            raise ValueError("duplicate qubit indices")
+
+    def sq_norms(self) -> np.ndarray:
+        """Per-element squared norms, shape ``(B,)``."""
+        flat = self._t.reshape(self.batch_size, -1)
+        return np.einsum("bi,bi->b", flat.conj(), flat).real
+
+    def to_arrays(self) -> np.ndarray:
+        """``(B, 2**n)`` little-endian amplitude block (copy)."""
+        b, n = self.batch_size, self.num_qubits
+        if n == 0:
+            return self._t.reshape(b, 1).copy()
+        t = self._t.transpose((0,) + tuple(reversed(range(1, n + 1))))
+        return t.reshape(b, -1).copy()
+
+    def copy(self) -> "BatchedStateVector":
+        return BatchedStateVector(self.batch_size, tensor=self._t.copy())
+
+    # -- register management ----------------------------------------------
+    def add_qubit(self, state: np.ndarray = KET_PLUS) -> int:
+        """Append a fresh qubit in ``state`` to every element; returns its slot."""
+        state = np.asarray(state, dtype=complex)
+        if state.shape != (2,):
+            raise ValueError("single-qubit state must have shape (2,)")
+        self._t = np.multiply.outer(self._t, state)
+        return self.num_qubits - 1
+
+    def permute(self, order: Sequence[int]) -> None:
+        """Reorder slots so new qubit ``j`` is old slot ``order[j]``."""
+        n = self.num_qubits
+        if sorted(order) != list(range(n)):
+            raise ValueError("order must be a permutation of all slots")
+        self._t = self._t.transpose((0,) + tuple(s + 1 for s in order))
+
+    # -- unitaries ---------------------------------------------------------
+    def apply_1q(self, matrix: np.ndarray, q: int) -> None:
+        """Apply one 2x2 unitary to qubit ``q`` of every batch element."""
+        self._check(q)
+        t = np.tensordot(matrix, self._t, axes=([1], [q + 1]))
+        self._t = np.moveaxis(t, 0, q + 1)
+
+    def apply_cz(self, q0: int, q1: int) -> None:
+        """Batched controlled-Z via sign flip on the ``|11>`` slice."""
+        self._check(q0, q1)
+        idx = [slice(None)] * (self.num_qubits + 1)
+        idx[q0 + 1] = 1
+        idx[q1 + 1] = 1
+        self._t[tuple(idx)] *= -1.0
+
+    # -- measurement -------------------------------------------------------
+    def measure_forced(
+        self,
+        q: int,
+        basis: MeasurementBasis,
+        outcome: int,
+        renormalize: bool = False,
+    ) -> np.ndarray:
+        """Project every element onto ``basis[outcome]`` of qubit ``q``.
+
+        The measured qubit is removed (slots above shift down, matching
+        :meth:`StateVector.measure` with ``remove=True``).  Returns the
+        per-element outcome probabilities; any element with ~zero branch
+        probability raises :class:`ZeroProbabilityBranch`, mirroring the
+        sequential forced-measurement semantics element-for-element.
+        """
+        self._check(q)
+        if outcome not in (0, 1):
+            raise ValueError("forced outcome must be 0 or 1")
+        totals = self.sq_norms()
+        if np.any(totals < 1e-300):
+            raise ValueError("cannot measure a zero-norm state")
+        b = basis.vectors()[outcome]
+        self._t = np.tensordot(b.conj(), self._t, axes=([0], [q + 1]))
+        probs = self.sq_norms() / totals
+        if np.any(probs < 1e-12):
+            bad = int(np.argmin(probs))
+            raise ZeroProbabilityBranch(
+                f"forced outcome {outcome} on qubit {q} has probability ~0 "
+                f"for batch element {bad}"
+            )
+        if renormalize:
+            norms = np.sqrt(self.sq_norms())
+            self._t /= norms.reshape((-1,) + (1,) * self.num_qubits)
+        return probs

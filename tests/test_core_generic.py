@@ -139,3 +139,41 @@ class TestOverhead:
         assert counts["nodes"] == 3
         assert counts["entanglers"] == 2
         assert counts["measurements"] == 1
+
+
+class TestCzParityCancellation:
+    """Regression: CZ·CZ = I must cancel the entangler in the emitted
+    pattern — graph-based consumers (flow, extraction) model edges as a
+    set, so a duplicate E used to be silently read as a single CZ."""
+
+    def test_double_cz_cancels(self):
+        c = Circuit(2).cz(0, 1).cz(0, 1)
+        p = circuit_to_pattern(c)
+        assert p.entangling_edges() == []
+        from repro.mbqc import pattern_to_matrix
+
+        assert np.allclose(pattern_to_matrix(p), np.eye(4), atol=1e-12)
+
+    def test_triple_cz_is_one(self):
+        c = Circuit(2).cz(0, 1).cz(0, 1).cz(0, 1)
+        p = circuit_to_pattern(c)
+        assert len(p.entangling_edges()) == 1
+
+    def test_double_cz_roundtrip_extracts_identity(self):
+        from repro.linalg import allclose_up_to_global_phase
+        from repro.mbqc.extract import extract_circuit
+
+        c = Circuit(3).cz(0, 1).cz(0, 1)
+        extracted = extract_circuit(circuit_to_pattern(c))
+        assert allclose_up_to_global_phase(extracted.unitary(), c.unitary(), atol=1e-8)
+
+    def test_cz_separated_by_wire_advance_does_not_cancel(self):
+        # An rz on either wire advances the wire node, so the second CZ
+        # binds a different node pair and must NOT cancel.
+        c = Circuit(2).cz(0, 1).rz(0, 0.4).cz(0, 1)
+        p = circuit_to_pattern(c)
+        assert len(p.entangling_edges()) >= 2
+        from repro.mbqc import pattern_to_matrix
+        from repro.linalg import proportionality_factor
+
+        assert proportionality_factor(pattern_to_matrix(p), c.unitary(), atol=1e-8) is not None

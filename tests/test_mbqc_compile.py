@@ -1,0 +1,149 @@
+"""Tests for the pattern compile step (slot lifetimes, basis tables,
+Clifford fusion) and its error paths."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import HADAMARD, S_GATE, allclose_up_to_global_phase
+from repro.mbqc import CommandX, Pattern, PatternError, compile_pattern, run_pattern
+from repro.mbqc.compile import (
+    ConditionalOp,
+    EntangleOp,
+    MeasureOp,
+    PrepOp,
+    UnitaryOp,
+)
+from repro.sim import StateVector
+
+
+class TestSlotLifetimes:
+    def test_slots_track_removal_compaction(self):
+        # Nodes 0,1,2 live in slots 0,1,2; measuring node 0 shifts 1,2 down.
+        p = Pattern(input_nodes=[], output_nodes=[1, 2])
+        p.n(0).n(1).n(2).e(0, 1).m(0, "XY", 0.0).e(1, 2)
+        c = compile_pattern(p)
+        entangles = [op for op in c.ops if isinstance(op, EntangleOp)]
+        assert entangles[0].slots == (0, 1)  # before removal
+        assert entangles[1].slots == (0, 1)  # nodes 1,2 compacted down
+        assert c.out_perm == (0, 1)
+
+    def test_out_perm_reorders(self):
+        p = Pattern(input_nodes=[], output_nodes=[5, 3])
+        p.n(3).n(5)
+        c = compile_pattern(p)
+        assert c.out_perm == (1, 0)
+
+    def test_max_live_matches_pattern(self):
+        p = Pattern(input_nodes=[0], output_nodes=[2])
+        p.n(1).e(0, 1).m(0, "XY", 0.1)
+        p.n(2).e(1, 2).m(1, "XY", 0.2, s_domain={0})
+        p.x(2, {1}).z(2, {0})
+        c = compile_pattern(p)
+        assert c.max_live == p.max_live_nodes() == 2
+        assert c.measured_nodes == (0, 1)
+
+    def test_empty_domain_corrections_dropped(self):
+        p = Pattern(input_nodes=[0], output_nodes=[0])
+        p.add(CommandX(0, frozenset()))
+        c = compile_pattern(p)
+        assert not any(isinstance(op, ConditionalOp) for op in c.ops)
+
+
+class TestBasisTables:
+    def test_four_entries_per_measurement(self):
+        p = Pattern(input_nodes=[0], output_nodes=[1])
+        p.n(1).e(0, 1).m(0, "XY", -0.7).x(1, {0})
+        (m_op,) = [op for op in compile_pattern(p).ops if isinstance(op, MeasureOp)]
+        assert len(m_op.bases) == 4
+        # index s + 2t encodes the effective angle (-1)^s * a + t*pi
+        from repro.sim import MeasurementBasis
+
+        for s in (0, 1):
+            for t in (0, 1):
+                ref = MeasurementBasis.xy(((-1) ** s) * (-0.7) + t * np.pi)
+                got = m_op.bases[s + 2 * t]
+                assert np.allclose(got.vectors()[0], ref.vectors()[0], atol=1e-12)
+
+
+class TestCliffordFusion:
+    def test_consecutive_cliffords_fuse(self):
+        p = Pattern(input_nodes=[0], output_nodes=[0])
+        p.c(0, "h").c(0, "s").c(0, "h")
+        c = compile_pattern(p)
+        unitaries = [op for op in c.ops if isinstance(op, UnitaryOp)]
+        assert len(unitaries) == 1
+        assert np.allclose(unitaries[0].matrix, HADAMARD @ S_GATE @ HADAMARD)
+
+    def test_fusion_preserves_semantics(self):
+        p = Pattern(input_nodes=[0], output_nodes=[0])
+        p.c(0, "h").c(0, "s").c(0, "sdg").c(0, "h").c(0, "x")
+        res = run_pattern(p, input_state=StateVector.zeros(1))
+        assert np.allclose(res.state_array(), [0, 1])
+
+    def test_no_fusion_across_nodes(self):
+        p = Pattern(input_nodes=[0, 1], output_nodes=[0, 1])
+        p.c(0, "h").c(1, "h").c(0, "s")
+        c = compile_pattern(p)
+        assert sum(isinstance(op, UnitaryOp) for op in c.ops) == 3
+
+
+class TestErrorPaths:
+    """Regressions: malformed commands raise PatternError, never KeyError
+    — even with validation disabled."""
+
+    def test_correction_on_unknown_node(self):
+        p = Pattern(input_nodes=[0], output_nodes=[0])
+        p.x(7, {0})
+        with pytest.raises(PatternError, match="unknown node 7"):
+            run_pattern(p, validate=False)
+
+    def test_clifford_on_measured_node(self):
+        p = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        p.m(0, "XY", 0.0).c(0, "h")
+        with pytest.raises(PatternError, match="already-measured node 0"):
+            run_pattern(p, validate=False)
+
+    def test_z_correction_on_measured_node(self):
+        p = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        p.m(0, "XY", 0.0).z(0, {0})
+        with pytest.raises(PatternError, match="already-measured"):
+            compile_pattern(p, validate=False)
+
+    def test_entangler_on_unknown_node(self):
+        p = Pattern(input_nodes=[0], output_nodes=[0])
+        p.e(0, 9)
+        with pytest.raises(PatternError):
+            compile_pattern(p, validate=False)
+
+    def test_measure_unknown_node(self):
+        p = Pattern(input_nodes=[0], output_nodes=[0])
+        p.m(4, "XY", 0.0)
+        with pytest.raises(PatternError):
+            compile_pattern(p, validate=False)
+
+    def test_signal_domain_unmeasured(self):
+        p = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        p.m(0, "XY", 0.0, s_domain={1})
+        with pytest.raises(PatternError, match="unmeasured"):
+            compile_pattern(p, validate=False)
+
+    def test_double_preparation(self):
+        p = Pattern(input_nodes=[0], output_nodes=[0])
+        p.n(0)
+        with pytest.raises(PatternError, match="prepared twice"):
+            compile_pattern(p, validate=False)
+
+    def test_output_never_alive(self):
+        p = Pattern(input_nodes=[0], output_nodes=[0, 3])
+        with pytest.raises(PatternError):
+            compile_pattern(p, validate=False)
+
+
+class TestPrecompiledReuse:
+    def test_run_pattern_accepts_compiled(self):
+        p = Pattern(input_nodes=[0], output_nodes=[1])
+        p.n(1).e(0, 1).m(0, "XY", -0.4).x(1, {0})
+        c = compile_pattern(p)
+        a = run_pattern(p, forced_outcomes={0: 0}).state_array()
+        b = run_pattern(p, forced_outcomes={0: 0}, compiled=c).state_array()
+        assert np.allclose(a, b, atol=1e-12)

@@ -224,3 +224,44 @@ class TestDerived:
         sv.apply_2q(CNOT, 0, 1)
         sv.apply_1q(rz(t2), 1)
         assert np.isclose(sv.norm(), 1.0, atol=1e-9)
+
+
+class TestBugfixRegressions:
+    """Regression tests for the measurement/runner hot-path correctness fixes."""
+
+    def test_measure_probability_unnormalized_state(self):
+        # Scaling the state must not change outcome probabilities — the
+        # renormalize=False branch-extraction path produces exactly such
+        # unnormalized states.
+        sv = StateVector.from_array(random_state(3, seed=5))
+        basis = MeasurementBasis.xy(0.37)
+        p_before = sv.measure_probability(1, basis, 0)
+        sv._t *= 0.25
+        assert np.isclose(sv.measure_probability(1, basis, 0), p_before, atol=1e-12)
+
+    def test_measure_probability_outcomes_sum_to_one(self):
+        sv = StateVector.from_array(random_state(2, seed=9))
+        sv._t *= 3.0  # unnormalized
+        basis = MeasurementBasis.yz(-1.1)
+        total = sv.measure_probability(0, basis, 0) + sv.measure_probability(0, basis, 1)
+        assert np.isclose(total, 1.0, atol=1e-12)
+
+    def test_measure_probability_matches_measure(self):
+        basis = MeasurementBasis.xz(0.8)
+        sv = StateVector.from_array(random_state(2, seed=3))
+        sv._t *= 0.5
+        expected = sv.measure_probability(1, basis, 1)
+        _, prob = sv.copy().measure(1, basis, force=1, renormalize=False)
+        assert np.isclose(expected, prob, atol=1e-12)
+
+    def test_measure_probability_zero_norm_raises(self):
+        sv = StateVector.zeros(2)
+        sv._t *= 0.0
+        with pytest.raises(ValueError):
+            sv.measure_probability(0, MeasurementBasis.pauli("Z"), 0)
+
+    def test_from_array_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            StateVector.from_array(np.zeros(0))
+        with pytest.raises(ValueError, match="non-empty"):
+            StateVector.from_array([])
