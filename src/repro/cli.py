@@ -4,9 +4,16 @@ Subcommands
 -----------
 ``compile``    compile MBQC-QAOA for a problem and print the protocol summary
 ``run``        compile, execute, and sample solutions
+``verify``     branch-exhaustive determinism check of the compiled pattern
 ``resources``  print the Section III.A resource table for a problem at
                several depths
 ``solve``      run the iterative (Section V) solver to a concrete assignment
+
+``run`` and ``verify`` take ``--backend {auto,statevector,stabilizer}``:
+``auto`` dispatches Clifford-angle patterns (e.g. ``--gamma 0 --beta 0``)
+to the stabilizer-tableau engine once the live register outgrows dense
+reach; forcing ``stabilizer`` on a non-Clifford pattern fails with a clear
+error.
 
 Problems are specified as ``kind:args``:
 
@@ -28,7 +35,8 @@ import numpy as np
 from repro.core import compile_qaoa_pattern, estimate_resources
 from repro.core.resources import format_table, resource_table
 from repro.core.reuse import reuse_summary
-from repro.mbqc import run_pattern
+from repro.core.verify import check_pattern_determinism
+from repro.mbqc import run_pattern, select_backend
 from repro.problems import MaxCut, MaximumIndependentSet, NumberPartitioning
 from repro.problems.qubo import QUBO
 from repro.qaoa import grid_search_p1, optimize_qaoa
@@ -120,7 +128,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     name, qubo, problem = parse_problem(args.problem)
     gammas, betas = _resolve_params(qubo, args.p, args.gamma, args.beta, args.optimize, args.seed)
     compiled = compile_qaoa_pattern(qubo, gammas, betas)
-    result = run_pattern(compiled.pattern, seed=args.seed)
+    program = compiled.executable()
+    engine = select_backend(program, args.backend, dense_outputs=True)
+    result = run_pattern(
+        compiled.pattern, seed=args.seed, compiled=program, backend=engine
+    )
     probs = np.abs(result.state_array()) ** 2
     probs = probs / probs.sum()
     rng = np.random.default_rng(args.seed)
@@ -130,6 +142,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     best_idx = int(samples[np.argmin(costs)])
     n = qubo.num_variables
     print(f"problem        {name}")
+    print(f"backend        {engine.name}")
     print(f"pattern        {compiled.num_nodes()} nodes, "
           f"{len(result.outcomes)} measurement outcomes consumed")
     print(f"shots          {args.shots}")
@@ -140,6 +153,35 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"best cut       {problem.cut_value(int_to_bitstring(best_idx, n)):.0f} "
               f"(optimum {problem.max_cut_value():.0f})")
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    name, qubo, _ = parse_problem(args.problem)
+    gammas, betas = _resolve_params(qubo, args.p, args.gamma, args.beta, args.optimize, args.seed)
+    compiled = compile_qaoa_pattern(qubo, gammas, betas)
+    program = compiled.executable()
+    engine = select_backend(program, args.backend)
+    ok = check_pattern_determinism(
+        compiled.pattern,
+        max_branches=args.max_branches,
+        seed=args.seed,
+        backend=engine,
+        compiled=program,
+    )
+    m = len(compiled.pattern.measured_nodes())
+    print(f"problem        {name}")
+    print(f"pattern        {compiled.num_nodes()} nodes, {m} measured, "
+          f"peak live {program.max_live}")
+    print(f"clifford       {'yes' if program.is_clifford else 'no'}")
+    print(f"backend        {engine.name}")
+    if args.max_branches and args.max_branches < (1 << m):
+        # The budget bounds the sample; the stabilizer path additionally
+        # skips unreachable branches and may substitute trajectory draws.
+        print(f"branch budget  {args.max_branches} of {1 << m}")
+    else:
+        print(f"branches       all {1 << m}")
+    print(f"deterministic  {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
 
 
 def cmd_resources(args: argparse.Namespace) -> int:
@@ -184,10 +226,25 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--schedule", choices=["eager", "graph-first"], default="eager")
     pc.set_defaults(func=cmd_compile)
 
+    backend_kwargs = dict(
+        choices=["auto", "statevector", "stabilizer"],
+        default="auto",
+        help="pattern-execution engine (auto dispatches Clifford patterns "
+        "to the stabilizer tableau beyond dense reach)",
+    )
+
     pr = sub.add_parser("run", help="compile, execute, and sample")
     add_common(pr)
     pr.add_argument("--shots", type=int, default=256)
+    pr.add_argument("--backend", **backend_kwargs)
     pr.set_defaults(func=cmd_run)
+
+    pd = sub.add_parser("verify", help="branch-exhaustive determinism check")
+    add_common(pd)
+    pd.add_argument("--max-branches", type=int, default=64, dest="max_branches",
+                    help="sample at most this many outcome branches")
+    pd.add_argument("--backend", **backend_kwargs)
+    pd.set_defaults(func=cmd_verify)
 
     ps = sub.add_parser("resources", help="Section III.A resource table")
     ps.add_argument("problem")

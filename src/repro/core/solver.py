@@ -7,6 +7,14 @@ best solution found.  Nothing in the variational loop touches the
 gate-model simulator: every sample comes from executing the compiled
 pattern with its adaptive measurements (optionally under a
 :class:`~repro.mbqc.noise.NoiseModel`, giving a noisy-hardware rehearsal).
+
+All ``runs_per_batch`` pattern executions of one parameter evaluation run
+as a single batched-trajectory sweep on the pattern-execution backend
+(:meth:`~repro.mbqc.backend.PatternBackend.sample_batch`): the pattern is
+compiled once and the fresh executions — each realizing its own random
+outcome branch, its own adaptive corrections, and (if configured) its own
+Pauli fault pattern — ride one vectorized block instead of a Python shot
+loop (benchmarked in ``benchmarks/bench_e20_stabilizer_backend.py``).
 """
 
 from __future__ import annotations
@@ -18,8 +26,8 @@ import numpy as np
 from scipy import optimize as spopt
 
 from repro.core.compiler import compile_qaoa_pattern
-from repro.mbqc.noise import NoiseModel, run_pattern_noisy
-from repro.mbqc.runner import run_pattern
+from repro.mbqc.backend import PatternBackend, resolve_backend
+from repro.mbqc.noise import NoiseModel
 from repro.problems.qubo import QUBO, IsingModel
 from repro.utils.bits import int_to_bitstring
 from repro.utils.rng import SeedLike, ensure_rng
@@ -72,6 +80,10 @@ class MBQCQAOASolver:
         protocol.
     noise:
         Optional Pauli noise model applied during pattern execution.
+    backend:
+        Pattern-execution engine for the batched trajectory sweep: a
+        registry name (``"auto"``/``"statevector"``/``"stabilizer"``), an
+        engine instance, or ``None`` for automatic dispatch.
     """
 
     def __init__(
@@ -82,6 +94,7 @@ class MBQCQAOASolver:
         runs_per_batch: int = 8,
         noise: Optional[NoiseModel] = None,
         seed: SeedLike = 0,
+        backend: Union[str, PatternBackend, None] = None,
     ) -> None:
         if p < 1:
             raise ValueError("p must be at least 1")
@@ -93,22 +106,31 @@ class MBQCQAOASolver:
         self.shots = shots
         self.runs_per_batch = min(runs_per_batch, shots)
         self.noise = noise
+        self.backend = backend
         self.rng = ensure_rng(seed)
         self.evaluations = 0
         self._cost_vector = self.qubo.cost_vector()
 
     # -- sampling ------------------------------------------------------------
     def sample(self, gammas: Sequence[float], betas: Sequence[float]) -> SampleBatch:
-        """Compile for (γ, β), execute, and sample ``shots`` solutions."""
+        """Compile for (γ, β), execute, and sample ``shots`` solutions.
+
+        The ``runs_per_batch`` fresh executions run as one batched sweep
+        through :meth:`PatternBackend.sample_batch` — the pattern is
+        compiled once and every trajectory draws its own outcomes, its own
+        corrections, and (under ``noise``) its own Pauli faults.
+        """
         compiled = compile_qaoa_pattern(self.ising, gammas, betas)
+        program = compiled.executable()
+        engine = resolve_backend(self.backend, program, dense_outputs=True)
+        run = engine.sample_batch(
+            program, self.runs_per_batch, self.rng, noise=self.noise
+        )
+        states = run.dense_states()  # (runs_per_batch, 2**n), normalized rows
         per_run = -(-self.shots // self.runs_per_batch)  # ceil
         bitstrings: List[int] = []
-        for _ in range(self.runs_per_batch):
-            if self.noise is None or self.noise.is_trivial():
-                res = run_pattern(compiled.pattern, seed=self.rng)
-            else:
-                res = run_pattern_noisy(compiled.pattern, self.noise, seed=self.rng)
-            probs = np.abs(res.state_array()) ** 2
+        for row in states:
+            probs = np.abs(row) ** 2
             probs = probs / probs.sum()
             take = min(per_run, self.shots - len(bitstrings))
             if take <= 0:

@@ -9,36 +9,53 @@ Branch maps are produced by the batched execution engine
 (:func:`~repro.mbqc.compile.compile_pattern`) and every branch evaluates all
 ``2^k`` input columns in a single vectorized sweep, so enumerating ``2^m``
 branches costs ``2^m`` batched runs instead of ``2^m · 2^k`` sequential
-pattern executions.  Pass ``backend=`` to substitute another
-:class:`~repro.mbqc.backend.PatternBackend` (e.g. a future stabilizer fast
-path for Clifford-angle patterns).
+pattern executions.  ``backend=`` accepts an engine instance, a registry
+name, or ``None`` for automatic dispatch: Clifford-angle patterns beyond
+dense reach route to the stabilizer-tableau engine, where
+:func:`check_pattern_determinism` compares canonical stabilizer forms and
+branch weights instead of densifying — graph-state and Pauli-measurement
+patterns verify at dozens of measured nodes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.linalg.compare import allclose_up_to_global_phase, proportionality_factor
-from repro.mbqc.backend import PatternBackend, default_backend
+from repro.mbqc.backend import PatternBackend, resolve_backend
 from repro.mbqc.compile import compile_pattern
-from repro.mbqc.pattern import Pattern
+from repro.mbqc.pattern import Pattern, PatternError
 from repro.mbqc.runner import pattern_to_matrix, run_pattern
+from repro.sim.statevector import ZeroProbabilityBranch
 from repro.utils.rng import SeedLike, ensure_rng
 
 
 def _sample_branches(
     measured: List[int], max_branches: Optional[int], seed: SeedLike, keep_zero: bool
 ) -> List[Dict[int, int]]:
-    total = 1 << len(measured)
+    m = len(measured)
+    total = 1 << m
     if max_branches is None or total <= max_branches:
         bit_sets = range(total)
-    else:
+    elif m < 63:
         rng = ensure_rng(seed)
         picks = set(int(x) for x in rng.choice(total, size=max_branches, replace=False))
         if keep_zero:
             picks.add(0)
+        bit_sets = sorted(picks)
+    else:
+        # 2^m overflows rng.choice's index type; draw branch bit-vectors
+        # directly (collisions are vanishingly rare at this width).
+        rng = ensure_rng(seed)
+        picks = {0} if keep_zero else set()
+        target = max_branches + (1 if keep_zero else 0)
+        while len(picks) < target:
+            bits = 0
+            for word in rng.integers(0, 1 << 32, size=(m + 31) // 32, dtype=np.int64):
+                bits = (bits << 32) | int(word)
+            picks.add(bits & (total - 1))
         bit_sets = sorted(picks)
     return [
         {node: (bits >> i) & 1 for i, node in enumerate(measured)} for bits in bit_sets
@@ -49,19 +66,79 @@ def branch_unitaries(
     pattern: Pattern,
     max_branches: Optional[int] = None,
     seed: SeedLike = None,
-    backend: Optional[PatternBackend] = None,
+    backend: Union[str, PatternBackend, None] = None,
+    compiled=None,
 ) -> List[Tuple[Dict[int, int], np.ndarray]]:
-    """Branch maps for all (or a random subset of) outcome branches."""
-    compiled = compile_pattern(pattern)
-    if backend is None:
-        backend = default_backend()
+    """Branch maps for all (or a random subset of) outcome branches.
+
+    Pass ``compiled`` (from :func:`~repro.mbqc.compile.compile_pattern`) to
+    skip recompilation when the caller already holds the program.
+    """
+    if compiled is None:
+        compiled = compile_pattern(pattern)
+    engine = resolve_backend(backend, compiled, dense_outputs=True)
     branches = _sample_branches(
         list(compiled.measured_nodes), max_branches, seed, keep_zero=True
     )
     return [
-        (b, pattern_to_matrix(pattern, b, backend=backend, compiled=compiled))
+        (b, pattern_to_matrix(pattern, b, backend=engine, compiled=compiled))
         for b in branches
     ]
+
+
+def _check_determinism_stabilizer(
+    compiled, engine, branches, atol: float, seed: SeedLike
+) -> bool:
+    """Determinism check without densification: compare the canonical
+    stabilizer form and branch weight of every *reachable* branch.
+
+    Zero-weight branches (a forced outcome contradicting a deterministic
+    Pauli measurement) are unreachable and skipped — they carry no
+    amplitude, so they cannot break determinism.  When patterns contain
+    deterministic measurements, uniformly drawn branches are almost all
+    unreachable; to avoid certifying determinism from a single surviving
+    branch, reachable branches are then resampled from actual trajectories
+    (their outcome records have positive probability by construction).
+    """
+    inputs = np.ones((1, 1), dtype=complex)
+    ref_key: Optional[bytes] = None
+    ref_weight = 0.0
+    reachable = 0
+
+    def compare(output) -> bool:
+        """True iff ``output`` matches the reference (seeding it if first)."""
+        nonlocal ref_key, ref_weight, reachable
+        key = output.canonical_key()
+        # Branch probabilities are exact powers of two; compare in the log
+        # domain, where equality is exact at any size (an absolute
+        # tolerance on ~2^-m weights would be vacuous past ~27 nodes).
+        weight = float(output.log2_weight)
+        reachable += 1
+        if ref_key is None:
+            ref_key, ref_weight = key, weight
+            return True
+        return key == ref_key and weight == ref_weight
+
+    for branch in branches:
+        try:
+            run = engine.run_branch_batch(compiled, inputs, branch)
+        except ZeroProbabilityBranch:
+            continue
+        if not compare(run.raw[0]):
+            return False
+    if reachable < 2 and len(branches) > 1:
+        # The trajectories' own outputs are reachable branches already
+        # executed — compare them directly, one per distinct outcome record.
+        run = engine.sample_batch(compiled, len(branches), rng=ensure_rng(seed))
+        seen = set()
+        for j, output in enumerate(run.raw):
+            bits = run.outcomes[j].tobytes()
+            if bits in seen:
+                continue
+            seen.add(bits)
+            if not compare(output):
+                return False
+    return ref_key is not None
 
 
 def check_pattern_determinism(
@@ -69,14 +146,38 @@ def check_pattern_determinism(
     max_branches: Optional[int] = None,
     seed: SeedLike = None,
     atol: float = 1e-8,
-    backend: Optional[PatternBackend] = None,
+    backend: Union[str, PatternBackend, None] = None,
+    compiled=None,
 ) -> bool:
     """True iff all (sampled) branches give the same map up to phase.
 
     Branch maps of a deterministic pattern also have equal norms (uniform
     outcome probabilities); both are checked.
+
+    On the stabilizer engine (explicit, or auto-selected for Clifford
+    patterns beyond dense reach) a state-preparation pattern is checked by
+    comparing canonical stabilizer forms and branch weights — no dense
+    output is ever materialized, so graph-state patterns verify at sizes
+    far past ``2^n`` memory.
     """
-    maps = branch_unitaries(pattern, max_branches=max_branches, seed=seed, backend=backend)
+    if compiled is None:
+        compiled = compile_pattern(pattern)
+    engine = resolve_backend(backend, compiled)
+    if engine.name == "stabilizer":
+        if pattern.input_nodes:
+            raise PatternError(
+                "the stabilizer determinism check needs a state-preparation "
+                "pattern (no inputs): tableau columns carry no global phase, "
+                "so multi-column branch maps cannot be compared exactly"
+            )
+        branches = _sample_branches(
+            list(compiled.measured_nodes), max_branches, seed, keep_zero=True
+        )
+        return _check_determinism_stabilizer(compiled, engine, branches, atol, seed)
+    maps = branch_unitaries(
+        pattern, max_branches=max_branches, seed=seed, backend=engine,
+        compiled=compiled,
+    )
     _, ref = maps[0]
     ref_norm = np.linalg.norm(ref)
     if ref_norm < 1e-12:
@@ -96,9 +197,16 @@ def pattern_equals_unitary(
     max_branches: Optional[int] = None,
     seed: SeedLike = None,
     atol: float = 1e-8,
-    backend: Optional[PatternBackend] = None,
+    backend: Union[str, PatternBackend, None] = None,
 ) -> bool:
-    """True iff every (sampled) branch map ∝ ``unitary``."""
+    """True iff every (sampled) branch map ∝ ``unitary``.
+
+    Dense engines only: stabilizer-extracted branch maps carry an
+    independent phase per column, so a correct pattern can compare as
+    non-proportional.  Automatic dispatch never picks the stabilizer
+    engine for patterns with inputs for exactly this reason; avoid forcing
+    ``backend="stabilizer"`` here.
+    """
     if not all_branches:
         max_branches = max_branches or 1
     maps = branch_unitaries(pattern, max_branches=max_branches, seed=seed, backend=backend)

@@ -39,8 +39,15 @@ from repro.mbqc.compile import CompiledPattern, compile_pattern
 from repro.mbqc.backend import (
     BranchRun,
     PatternBackend,
+    SampleRun,
+    StabilizerBackend,
+    StabilizerOutput,
     StatevectorBackend,
+    available_backends,
     default_backend,
+    get_backend,
+    register_backend,
+    select_backend,
 )
 from repro.mbqc.runner import (
     PatternResult,
@@ -72,9 +79,16 @@ __all__ = [
     "CompiledPattern",
     "compile_pattern",
     "BranchRun",
+    "SampleRun",
     "PatternBackend",
     "StatevectorBackend",
+    "StabilizerBackend",
+    "StabilizerOutput",
+    "available_backends",
     "default_backend",
+    "get_backend",
+    "register_backend",
+    "select_backend",
     "pattern_to_matrix",
     "pattern_to_matrix_sequential",
     "run_pattern",

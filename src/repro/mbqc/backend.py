@@ -1,29 +1,34 @@
 """Execution backends for compiled measurement patterns.
 
 A :class:`PatternBackend` runs a :class:`~repro.mbqc.compile.CompiledPattern`
-on a *forced outcome branch* for a whole block of input states at once.
-This is the engine under :func:`repro.mbqc.runner.pattern_to_matrix` and the
-branch-exhaustive verification in :mod:`repro.core.verify`: extracting the
-linear map of a pattern on ``k`` inputs needs all ``2^k`` basis columns, and
-a backend simulates them in one batched sweep instead of ``2^k`` sequential
-pattern re-runs.
+either on a *forced outcome branch* for a whole block of input states at
+once (``run_branch_batch`` — the engine under
+:func:`repro.mbqc.runner.pattern_to_matrix` and the branch-exhaustive
+verification in :mod:`repro.core.verify`) or as a block of *sampled
+trajectories* with per-element RNG outcomes and per-element corrections
+(``sample_batch`` — the engine under :meth:`repro.core.solver.MBQCQAOASolver
+.sample` shot loops and the noise-trajectory averaging in
+:mod:`repro.mbqc.noise`).
 
-The protocol is deliberately small (``supports`` + ``run_branch_batch``) so
-alternative engines can slot in.  The default is the dense
-:class:`StatevectorBackend` built on
-:class:`~repro.sim.statevector.BatchedStateVector`.  A stabilizer-tableau
-backend over :mod:`repro.stab` is the planned fast path for Clifford-angle
-patterns (``supports`` would check that every measurement basis table is
-Pauli); see ROADMAP.md open items.
+Backends live in a named registry.  :func:`select_backend` dispatches a
+compiled pattern automatically: the dense :class:`StatevectorBackend`
+(always applicable) is the default, and Clifford-angle patterns — every
+measurement basis Pauli, every correction/Clifford a single-qubit Clifford,
+as classified at compile time (:attr:`CompiledPattern.is_clifford`) — fall
+through to the :class:`StabilizerBackend` once the live register outgrows
+dense reach.  Stabilizer outputs stay in tableau form
+(:class:`StabilizerOutput`) and densify only on demand, so graph-state and
+Pauli-measurement patterns verify at sizes far beyond ``2^n`` memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.linalg.gates import PAULI_X, PAULI_Y, PAULI_Z
 from repro.mbqc.compile import (
     CompiledPattern,
     ConditionalOp,
@@ -34,7 +39,20 @@ from repro.mbqc.compile import (
     signal_parity,
 )
 from repro.mbqc.pattern import PatternError
-from repro.sim.statevector import BatchedStateVector
+from repro.sim.statevector import (
+    BatchedStateVector,
+    KET_PLUS,
+    StateVector,
+    ZeroProbabilityBranch,
+)
+from repro.stab.tableau import (
+    ForcedOutcomeContradiction,
+    StabilizerState,
+    canonical_stabilizer_key,
+    stab_rows_to_paulis,
+    statevector_from_generators,
+)
+from repro.utils.rng import SeedLike, ensure_rng
 
 try:  # typing.Protocol exists on all supported pythons; keep a soft fallback
     from typing import Protocol, runtime_checkable
@@ -45,23 +63,142 @@ except ImportError:  # pragma: no cover
         return cls
 
 
-@dataclass(frozen=True)
+# Dense execution allocates 2^max_live amplitudes per batch element; past
+# this register width the auto-dispatcher prefers a non-dense backend.
+DENSE_AUTO_MAX_LIVE = 16
+
+# Densifying a tableau output materializes 2^n_out amplitudes (cap enforced
+# by repro.stab.tableau.statevector_from_generators); consumers that need
+# dense outputs must not be auto-dispatched to the stabilizer engine past it.
+DENSE_EXTRACT_MAX = 20
+
+_PAULI_GATES = ("x", "y", "z")
+
+
+@dataclass
+class StabilizerOutput:
+    """One batch element's output on the stabilizer engine.
+
+    The tableau covers *every* node the pattern ever prepared (measured
+    columns stay collapsed in place); ``out_cols`` are the columns of the
+    output nodes in output order.  ``log2_weight`` is the exact log-2
+    branch probability — each random forced measurement contributes -1,
+    each deterministic one 0 — kept in the log domain because a float
+    product of 1/2's underflows to 0.0 past ~1074 random outcomes, exactly
+    the scale this engine exists for.  Densification is on demand only:
+    :meth:`to_statevector` matches the dense engine's unnormalized
+    convention ``‖state‖² = weight`` (up to the global phase a tableau
+    cannot represent).
+    """
+
+    tableau: Optional[StabilizerState]
+    out_cols: Tuple[int, ...]
+    log2_weight: float
+
+    @property
+    def weight(self) -> float:
+        """Branch probability (may underflow to 0.0 at extreme depths;
+        compare ``log2_weight`` when exactness matters)."""
+        return float(2.0 ** self.log2_weight)
+
+    def stabilizer_bits(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Generator rows ``(x, z, r)`` of the output-restricted state."""
+        if not self.out_cols:
+            z = np.zeros((0, 0), dtype=bool)
+            return z, z.copy(), np.zeros(0, dtype=np.int8)
+        assert self.tableau is not None
+        return self.tableau.extract_substate(self.out_cols)
+
+    def canonical_key(self) -> bytes:
+        """Branch-comparison key: canonical stabilizer form of the output."""
+        return canonical_stabilizer_key(*self.stabilizer_bits())
+
+    def unit_statevector(self) -> np.ndarray:
+        """Dense little-endian output column at unit norm."""
+        n_out = len(self.out_cols)
+        if n_out > DENSE_EXTRACT_MAX:
+            raise ValueError(
+                f"cannot densify a {n_out}-qubit stabilizer output "
+                f"(cap {DENSE_EXTRACT_MAX}); compare canonical forms instead, "
+                f"or run on the statevector backend"
+            )
+        x, z, r = self.stabilizer_bits()
+        return statevector_from_generators(stab_rows_to_paulis(x, z, r), n_out)
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense little-endian output column, scaled to ``‖·‖² = weight``."""
+        return np.sqrt(self.weight) * self.unit_statevector()
+
+
+@dataclass
 class BranchRun:
     """Result of one forced-branch batched execution.
 
-    ``states`` is a ``(B, 2**n_out)`` block: row ``j`` is the (unnormalized)
-    output state for input row ``j``, with output qubits little-endian in
-    ``output_nodes`` order.  ``outcomes`` echoes the forced branch in
-    measurement order.
+    ``outcomes`` echoes the forced branch in measurement order.  Dense
+    engines fill ``states`` — a ``(B, 2**n_out)`` block whose row ``j`` is
+    the (unnormalized) output state for input row ``j``, output qubits
+    little-endian in ``output_nodes`` order.  Non-dense engines fill ``raw``
+    (one backend-native output per element, e.g. :class:`StabilizerOutput`)
+    and leave ``states`` to :meth:`dense_states` densification on demand.
+    ``weights[j]`` is the probability of this outcome branch for element
+    ``j`` (for unit-norm inputs, ``‖states[j]‖²``).
     """
 
     outcomes: Dict[int, int]
-    states: np.ndarray
+    states: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
+    raw: Optional[Tuple[object, ...]] = None
+
+    def dense_states(self) -> np.ndarray:
+        """The ``(B, 2**n_out)`` block, densifying ``raw`` if needed.
+
+        Tableau-backed rows are exact up to a per-row global phase (a
+        stabilizer tableau does not represent one)."""
+        if self.states is None:
+            if self.raw is None:
+                raise ValueError("branch run carries neither states nor raw outputs")
+            self.states = np.stack([out.to_statevector() for out in self.raw])
+        return self.states
+
+
+@dataclass
+class SampleRun:
+    """Result of one batched trajectory-sampling execution.
+
+    ``outcomes[j, i]`` is element ``j``'s outcome for the ``i``-th measured
+    node (order ``nodes`` = ``compiled.measured_nodes``).  Dense engines
+    fill ``states`` with normalized output rows; non-dense engines fill
+    ``raw`` instead (densified on demand by :meth:`dense_states`).
+    """
+
+    nodes: Tuple[int, ...]
+    outcomes: np.ndarray
+    states: Optional[np.ndarray] = None
+    raw: Optional[Tuple[object, ...]] = None
+
+    @property
+    def n_shots(self) -> int:
+        return self.outcomes.shape[0]
+
+    def outcome_dicts(self) -> List[Dict[int, int]]:
+        """Per-trajectory ``node -> bit`` maps."""
+        return [
+            {node: int(self.outcomes[j, i]) for i, node in enumerate(self.nodes)}
+            for j in range(self.n_shots)
+        ]
+
+    def dense_states(self) -> np.ndarray:
+        """Normalized ``(n_shots, 2**n_out)`` output block."""
+        if self.states is None:
+            if self.raw is None:
+                raise ValueError("sample run carries neither states nor raw outputs")
+            self.states = np.stack([out.unit_statevector() for out in self.raw])
+        return self.states
 
 
 @runtime_checkable
 class PatternBackend(Protocol):
-    """Minimal contract a pattern-execution engine must satisfy."""
+    """Contract a pattern-execution engine must satisfy."""
 
     name: str
 
@@ -79,6 +216,54 @@ class PatternBackend(Protocol):
         on the branch pinned by ``forced_outcomes`` (all measured nodes)."""
         ...
 
+    def sample_batch(
+        self,
+        compiled: CompiledPattern,
+        n_shots: int,
+        rng: SeedLike = None,
+        input_state: Optional[np.ndarray] = None,
+        forced_outcomes: Optional[Mapping[int, int]] = None,
+        noise: Optional[object] = None,
+    ) -> SampleRun:
+        """Run ``n_shots`` independent trajectories from one input state,
+        drawing measurement outcomes per element from the Born rule
+        (``forced_outcomes`` pins a subset for every element).  ``noise``
+        is an optional :class:`repro.mbqc.noise.NoiseModel`-like object
+        (``p_prep``/``p_ent``/``p_meas``) injecting per-element Pauli
+        faults."""
+        ...
+
+
+def _input_row(compiled: CompiledPattern, input_state) -> np.ndarray:
+    """Coerce ``input_state`` to one little-endian amplitude row."""
+    k = compiled.num_inputs
+    if input_state is None:
+        row = np.ones(1, dtype=complex)
+        for _ in range(k):
+            row = np.multiply.outer(row, KET_PLUS).reshape(-1)
+        return row
+    if isinstance(input_state, StateVector):
+        row = input_state.to_array()
+    else:
+        row = np.asarray(input_state, dtype=complex).reshape(-1)
+    if row.size != 1 << k:
+        raise PatternError(
+            f"input state has {row.size} amplitudes, pattern has {k} inputs"
+        )
+    return row
+
+
+def _check_branch(compiled: CompiledPattern, forced_outcomes) -> Dict[int, int]:
+    missing = [n for n in compiled.measured_nodes if n not in forced_outcomes]
+    if missing:
+        raise PatternError(
+            f"branch must force all outcomes; missing {sorted(missing)}"
+        )
+    for node in compiled.measured_nodes:
+        if forced_outcomes[node] not in (0, 1):
+            raise PatternError(f"forced outcome for node {node} must be 0 or 1")
+    return {node: forced_outcomes[node] for node in compiled.measured_nodes}
+
 
 class StatevectorBackend:
     """Dense batched-statevector execution (always applicable)."""
@@ -94,11 +279,7 @@ class StatevectorBackend:
         inputs: np.ndarray,
         forced_outcomes: Mapping[int, int],
     ) -> BranchRun:
-        missing = [n for n in compiled.measured_nodes if n not in forced_outcomes]
-        if missing:
-            raise PatternError(
-                f"branch must force all outcomes; missing {sorted(missing)}"
-            )
+        forced = _check_branch(compiled, forced_outcomes)
         inputs = np.asarray(inputs, dtype=complex)
         sv = BatchedStateVector.from_arrays(inputs)
         if sv.num_qubits != compiled.num_inputs:
@@ -106,6 +287,7 @@ class StatevectorBackend:
                 f"input block has {sv.num_qubits} qubits, "
                 f"pattern has {compiled.num_inputs} inputs"
             )
+        weights = np.ones(sv.batch_size, dtype=float)
         outcomes: Dict[int, int] = {}
         for op in compiled.ops:
             tp = type(op)
@@ -116,10 +298,8 @@ class StatevectorBackend:
             elif tp is MeasureOp:
                 s = signal_parity(outcomes, op.s_domain)
                 t = signal_parity(outcomes, op.t_domain)
-                out = forced_outcomes[op.node]
-                if out not in (0, 1):
-                    raise PatternError(f"forced outcome for node {op.node} must be 0 or 1")
-                sv.measure_forced(op.slot, op.bases[s + 2 * t], out)
+                out = forced[op.node]
+                weights *= sv.measure_forced(op.slot, op.bases[s + 2 * t], out)
                 outcomes[op.node] = out
             elif tp is ConditionalOp:
                 if signal_parity(outcomes, op.domain):
@@ -127,15 +307,417 @@ class StatevectorBackend:
             else:  # UnitaryOp
                 sv.apply_1q(op.matrix, op.slot)
         sv.permute(compiled.out_perm)
-        return BranchRun(outcomes=outcomes, states=sv.to_arrays())
+        return BranchRun(outcomes=outcomes, states=sv.to_arrays(), weights=weights)
+
+    def sample_batch(
+        self,
+        compiled: CompiledPattern,
+        n_shots: int,
+        rng: SeedLike = None,
+        input_state: Optional[np.ndarray] = None,
+        forced_outcomes: Optional[Mapping[int, int]] = None,
+        noise: Optional[object] = None,
+    ) -> SampleRun:
+        if n_shots < 1:
+            raise ValueError("n_shots must be positive")
+        rng = ensure_rng(rng)
+        forced = dict(forced_outcomes or {})
+        if noise is not None and getattr(noise, "is_trivial", lambda: False)():
+            noise = None
+        row = _input_row(compiled, input_state)
+        sv = BatchedStateVector.from_arrays(np.tile(row, (n_shots, 1)))
+        rec: Dict[int, np.ndarray] = {}  # node -> (B,) outcome bits
+        since_renorm = 0
+        for op in compiled.ops:
+            tp = type(op)
+            if tp is PrepOp:
+                sv.add_qubit(op.state)
+                if noise is not None:
+                    _inject_pauli_faults(sv, op.slot, noise.p_prep, rng)
+            elif tp is EntangleOp:
+                sv.apply_cz(*op.slots)
+                if noise is not None:
+                    _inject_pauli_faults(sv, op.slots[0], noise.p_ent, rng)
+                    _inject_pauli_faults(sv, op.slots[1], noise.p_ent, rng)
+            elif tp is MeasureOp:
+                s = _parity_vec(rec, op.s_domain, n_shots)
+                t = _parity_vec(rec, op.t_domain, n_shots)
+                block = op.basis_block
+                if block is None:  # hand-built op without the prebuilt view
+                    block = np.array([[b.b0, b.b1] for b in op.bases], dtype=complex)
+                vecs = block[s + 2 * t]  # (B, 2, 2) per-element bases
+                outs, _probs = sv.measure_sampled(
+                    op.slot, vecs, rng=rng, force=forced.get(op.node),
+                    renormalize=False,
+                )
+                # Outcome draws only need amplitude ratios, so per-step
+                # normalization is deferred — but each projection shrinks
+                # the norm (typically by ~1/2), so rescale periodically to
+                # keep thousand-measurement patterns clear of underflow.
+                since_renorm += 1
+                if since_renorm >= 64:
+                    sv.renormalize()
+                    since_renorm = 0
+                if noise is not None and noise.p_meas > 0.0:
+                    # Readout flip: corrupts downstream adaptivity too.
+                    outs = outs ^ (rng.random(n_shots) < noise.p_meas)
+                rec[op.node] = outs.astype(np.int8)
+            elif tp is ConditionalOp:
+                fire = _parity_vec(rec, op.domain, n_shots).astype(bool)
+                sv.apply_1q_masked(op.matrix, op.slot, fire)
+            else:  # UnitaryOp
+                sv.apply_1q(op.matrix, op.slot)
+        sv.permute(compiled.out_perm)
+        outcomes = (
+            np.stack([rec[n] for n in compiled.measured_nodes], axis=1)
+            if compiled.measured_nodes
+            else np.zeros((n_shots, 0), dtype=np.int8)
+        )
+        # Normalization was deferred through the measurement sweep (outcome
+        # probabilities only need amplitude ratios); restore unit rows once.
+        states = sv.to_arrays()
+        states /= np.linalg.norm(states, axis=1, keepdims=True)
+        return SampleRun(
+            nodes=compiled.measured_nodes, outcomes=outcomes, states=states
+        )
 
 
-_DEFAULT_BACKEND: Optional[StatevectorBackend] = None
+def _parity_vec(rec: Dict[int, np.ndarray], domain, n_shots: int) -> np.ndarray:
+    """Per-element XOR of recorded outcome vectors over ``domain``."""
+    parity = np.zeros(n_shots, dtype=np.int8)
+    for node in domain:
+        parity ^= rec[node]
+    return parity
 
 
-def default_backend() -> StatevectorBackend:
-    """The process-wide default engine (a shared, stateless instance)."""
-    global _DEFAULT_BACKEND
-    if _DEFAULT_BACKEND is None:
-        _DEFAULT_BACKEND = StatevectorBackend()
-    return _DEFAULT_BACKEND
+_DENSE_PAULIS = (PAULI_X, PAULI_Y, PAULI_Z)
+
+
+def _inject_pauli_faults(sv: BatchedStateVector, slot: int, p: float, rng) -> None:
+    """Depolarize ``slot`` independently per batch element with rate ``p``."""
+    if p <= 0.0:
+        return
+    b = sv.batch_size
+    fire = rng.random(b) < p
+    if not fire.any():
+        return
+    which = rng.integers(3, size=b)
+    for i, mat in enumerate(_DENSE_PAULIS):
+        sv.apply_1q_masked(mat, slot, fire & (which == i))
+
+
+class StabilizerBackend:
+    """Stabilizer-tableau execution for Clifford-angle patterns.
+
+    Applicable exactly when the compile-time classifier tagged every op
+    Clifford (:attr:`CompiledPattern.is_clifford`).  Slot add/remove is
+    mapped onto tableau columns: the tableau grows one column per prepared
+    node and measured columns stay behind, collapsed in place, so the cost
+    is ``O(total_nodes²)`` bits instead of ``2^max_live`` amplitudes.
+    Forced Pauli measurements carry exact branch weights — 1/2 per random
+    outcome, 1 per deterministic one — and forcing against a deterministic
+    outcome raises :class:`~repro.sim.statevector.ZeroProbabilityBranch`
+    (zero-weight branch), mirroring the dense engine's semantics.
+
+    Outputs are :class:`StabilizerOutput` tableaus; densification (which
+    loses only a global phase) happens on demand.  Input rows must be
+    stabilizer product rows the engine recognizes: computational basis
+    columns (what :func:`~repro.mbqc.runner.pattern_to_matrix` sends) or
+    the uniform ``|+>^k`` row (the default pattern input).
+    """
+
+    name = "stabilizer"
+
+    def supports(self, compiled: CompiledPattern) -> bool:
+        return compiled.is_clifford
+
+    def _require_clifford(self, compiled: CompiledPattern) -> None:
+        if not compiled.is_clifford:
+            raise PatternError(
+                "pattern is not Clifford (a measurement basis is not Pauli or "
+                "a correction is not a single-qubit Clifford); run it on the "
+                "statevector backend instead"
+            )
+
+    # -- input handling ----------------------------------------------------
+    def _total_nodes(self, compiled: CompiledPattern) -> int:
+        """Tableau width: inputs plus every node the pattern prepares."""
+        return compiled.num_inputs + sum(
+            1 for op in compiled.ops if type(op) is PrepOp
+        )
+
+    def _init_tableau(
+        self, compiled: CompiledPattern, row: np.ndarray, n_total: int
+    ) -> Tuple[Optional[StabilizerState], float]:
+        """Full-width tableau with the input columns in state ``row`` (all
+        prep columns start ``|0>`` and are rotated when their ``PrepOp``
+        executes — preallocating avoids an O(n²) tableau copy per prepared
+        node).  Returns the tableau (``None`` when the pattern has no
+        nodes at all) and the log-2 squared input norm.
+        """
+        k = compiled.num_inputs
+        if n_total == 0:
+            w = float(abs(row[0]) ** 2)
+            if w <= 0.0:
+                raise PatternError("input row has zero norm")
+            return None, float(np.log2(w))
+        st = StabilizerState(n_total)
+        if k == 0:
+            return st, 0.0
+        nz = np.nonzero(np.abs(row) > 1e-12)[0]
+        if nz.size == 1:
+            bits = int(nz[0])
+            for q in range(k):
+                if (bits >> q) & 1:
+                    st.x_gate(q)
+            return st, float(np.log2(abs(row[nz[0]]) ** 2))
+        if nz.size == row.size and np.allclose(row, row[0], atol=1e-12):
+            for q in range(k):
+                st.h(q)
+            return st, float(np.log2(np.vdot(row, row).real))
+        raise PatternError(
+            "stabilizer backend accepts computational-basis or uniform |+>^k "
+            "input rows only; use the statevector backend for general inputs"
+        )
+
+    # -- execution ---------------------------------------------------------
+    def _run_one(
+        self,
+        compiled: CompiledPattern,
+        st: Optional[StabilizerState],
+        log2_weight: float,
+        rng,
+        forced: Mapping[int, int],
+        noise: Optional[object],
+    ) -> Tuple[StabilizerOutput, Dict[int, int]]:
+        """Execute one trajectory/branch on one (preallocated) tableau.
+
+        ``forced`` pins outcomes for the nodes it contains; the rest are
+        sampled with ``rng``.  Replays the compiled slot dynamics against
+        monotonically assigned tableau columns: ``slot_cols[s]`` is the
+        column of the node currently in slot ``s``.
+        """
+        next_col = compiled.num_inputs
+        slot_cols = list(range(next_col))
+        outcomes: Dict[int, int] = {}
+        for op in compiled.ops:
+            tp = type(op)
+            if tp is PrepOp:
+                col = next_col
+                next_col += 1
+                # The column starts |0>; rotate it into the prep state.
+                if op.label in ("plus", "minus"):
+                    st.h(col)
+                    if op.label == "minus":
+                        st.z_gate(col)
+                elif op.label == "one":
+                    st.x_gate(col)
+                slot_cols.append(col)
+                if noise is not None:
+                    _inject_tableau_fault(st, col, noise.p_prep, rng)
+            elif tp is EntangleOp:
+                st.cz(slot_cols[op.slots[0]], slot_cols[op.slots[1]])
+                if noise is not None:
+                    _inject_tableau_fault(st, slot_cols[op.slots[0]], noise.p_ent, rng)
+                    _inject_tableau_fault(st, slot_cols[op.slots[1]], noise.p_ent, rng)
+            elif tp is MeasureOp:
+                s = signal_parity(outcomes, op.s_domain)
+                t = signal_parity(outcomes, op.t_domain)
+                label, flip = op.pauli[s + 2 * t]
+                col = slot_cols.pop(op.slot)
+                pinned = forced.get(op.node)
+                try:
+                    tab_out, prob = st.measure_pauli_info(
+                        col, label,
+                        rng=rng,
+                        force=None if pinned is None else pinned ^ flip,
+                    )
+                except ForcedOutcomeContradiction:
+                    raise ZeroProbabilityBranch(
+                        f"forced outcome {pinned} on node {op.node} has "
+                        f"probability 0 (deterministic Pauli measurement)"
+                    ) from None
+                if prob == 0.5:  # random outcome; deterministic ones weigh 1
+                    log2_weight -= 1.0
+                out = tab_out ^ flip
+                if (
+                    noise is not None
+                    and noise.p_meas > 0.0
+                    and rng.random() < noise.p_meas
+                ):
+                    out ^= 1  # readout flip corrupts downstream adaptivity
+                outcomes[op.node] = out
+            elif tp is ConditionalOp:
+                if signal_parity(outcomes, op.domain):
+                    col = slot_cols[op.slot]
+                    for name in op.clifford:
+                        st.apply_named(name, (col,))
+            else:  # UnitaryOp
+                col = slot_cols[op.slot]
+                for name in op.clifford:
+                    st.apply_named(name, (col,))
+        out_cols = tuple(slot_cols[s] for s in compiled.out_perm)
+        return StabilizerOutput(st, out_cols, log2_weight), outcomes
+
+    def run_branch_batch(
+        self,
+        compiled: CompiledPattern,
+        inputs: np.ndarray,
+        forced_outcomes: Mapping[int, int],
+    ) -> BranchRun:
+        self._require_clifford(compiled)
+        forced = _check_branch(compiled, forced_outcomes)
+        inputs = np.asarray(inputs, dtype=complex)
+        if inputs.ndim != 2 or inputs.shape[1] != 1 << compiled.num_inputs:
+            raise PatternError(
+                f"input block must have shape (B, {1 << compiled.num_inputs})"
+            )
+        n_total = self._total_nodes(compiled)
+        raw: List[StabilizerOutput] = []
+        for row in inputs:
+            st, log2_w = self._init_tableau(compiled, row, n_total)
+            out, _ = self._run_one(compiled, st, log2_w, None, forced, None)
+            raw.append(out)
+        return BranchRun(
+            outcomes=forced,
+            weights=np.array([o.weight for o in raw]),
+            raw=tuple(raw),
+        )
+
+    def sample_batch(
+        self,
+        compiled: CompiledPattern,
+        n_shots: int,
+        rng: SeedLike = None,
+        input_state: Optional[np.ndarray] = None,
+        forced_outcomes: Optional[Mapping[int, int]] = None,
+        noise: Optional[object] = None,
+    ) -> SampleRun:
+        if n_shots < 1:
+            raise ValueError("n_shots must be positive")
+        self._require_clifford(compiled)
+        rng = ensure_rng(rng)
+        forced = dict(forced_outcomes or {})
+        if noise is not None and getattr(noise, "is_trivial", lambda: False)():
+            noise = None
+        row = _input_row(compiled, input_state)
+        n_total = self._total_nodes(compiled)
+        raw: List[StabilizerOutput] = []
+        outs = np.zeros((n_shots, len(compiled.measured_nodes)), dtype=np.int8)
+        for j in range(n_shots):
+            st, log2_w = self._init_tableau(compiled, row, n_total)
+            out, outcomes = self._run_one(compiled, st, log2_w, rng, forced, noise)
+            raw.append(out)
+            for i, node in enumerate(compiled.measured_nodes):
+                outs[j, i] = outcomes[node]
+        return SampleRun(nodes=compiled.measured_nodes, outcomes=outs, raw=tuple(raw))
+
+
+def _inject_tableau_fault(st: StabilizerState, col: int, p: float, rng) -> None:
+    """Depolarizing Pauli fault on one tableau column with rate ``p``."""
+    if p > 0.0 and rng.random() < p:
+        st.apply_named(_PAULI_GATES[int(rng.integers(3))], (col,))
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: Dict[str, PatternBackend] = {}
+
+
+def register_backend(backend: PatternBackend, name: Optional[str] = None) -> None:
+    """Register an engine under ``name`` (default: ``backend.name``)."""
+    _REGISTRY[name or backend.name] = backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered engine names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> PatternBackend:
+    """Look up a registered engine by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PatternError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def select_backend(
+    compiled: CompiledPattern,
+    prefer: Union[str, PatternBackend, None] = "auto",
+    dense_outputs: bool = False,
+) -> PatternBackend:
+    """Pick an engine for ``compiled``.
+
+    ``prefer`` may be a backend instance (returned as-is after a
+    ``supports`` check), a registered name (strict: raises
+    :class:`PatternError` when the engine cannot execute the pattern — e.g.
+    a non-Clifford pattern forced onto the stabilizer engine), or
+    ``"auto"``/``None``: dense statevector while the peak register fits in
+    ``DENSE_AUTO_MAX_LIVE`` qubits, the stabilizer fast path beyond that
+    for Clifford-classified patterns.
+
+    Automatic dispatch only picks the stabilizer engine for
+    state-preparation patterns (no inputs): tableau columns carry no global
+    phase, so a multi-column branch map would have phase-incoherent columns
+    — explicit ``prefer="stabilizer"`` still allows it, with that caveat.
+    Consumers that must densify the outputs (``run_pattern``, the solver's
+    sampler, dense branch maps) pass ``dense_outputs=True``, which keeps
+    auto-dispatch dense whenever the output register exceeds the
+    ``DENSE_EXTRACT_MAX``-qubit densification cap.
+    """
+    if prefer is None:
+        prefer = "auto"
+    if not isinstance(prefer, str):
+        if not prefer.supports(compiled):
+            raise PatternError(
+                f"backend {getattr(prefer, 'name', prefer)!r} cannot execute "
+                f"this pattern"
+            )
+        return prefer
+    if prefer != "auto":
+        backend = get_backend(prefer)
+        if not backend.supports(compiled):
+            raise PatternError(
+                f"backend {prefer!r} cannot execute this pattern"
+                + (
+                    ": it is not Clifford (non-Pauli measurement bases or "
+                    "non-Clifford corrections); use 'statevector' or 'auto'"
+                    if prefer == "stabilizer"
+                    else ""
+                )
+            )
+        return backend
+    if (
+        compiled.max_live > DENSE_AUTO_MAX_LIVE
+        and compiled.num_inputs == 0
+        and not (dense_outputs and compiled.num_outputs > DENSE_EXTRACT_MAX)
+    ):
+        stab = _REGISTRY.get("stabilizer")
+        if stab is not None and stab.supports(compiled):
+            return stab
+    return get_backend("statevector")
+
+
+def resolve_backend(
+    backend: Union[str, PatternBackend, None],
+    compiled: CompiledPattern,
+    dense_outputs: bool = False,
+) -> PatternBackend:
+    """Coerce a user-supplied ``backend`` argument (name, instance, or
+    ``None`` for automatic dispatch) to an engine for ``compiled``."""
+    if backend is None or isinstance(backend, str):
+        return select_backend(compiled, backend, dense_outputs=dense_outputs)
+    return backend
+
+
+def default_backend() -> PatternBackend:
+    """The shared dense engine (kept for API compatibility; prefer
+    :func:`select_backend` for automatic dispatch)."""
+    return get_backend("statevector")
+
+
+register_backend(StatevectorBackend())
+register_backend(StabilizerBackend())

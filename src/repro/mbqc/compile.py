@@ -19,6 +19,12 @@ one-time compile:
   fused into a single 2x2 matrix at compile time.
 - **dead-code elimination** — ``X``/``Z`` corrections with an empty signal
   domain can never fire and are dropped.
+- **Clifford classification** — each measurement basis table is checked
+  against the Pauli eigenbases and each unitary against the single-qubit
+  Clifford group (as an ``h``/``s`` word); :attr:`CompiledPattern.is_clifford`
+  is true iff every op passed, which is what lets the backend registry
+  (:mod:`repro.mbqc.backend`) dispatch the pattern to the stabilizer-tableau
+  engine instead of the dense simulator.
 
 The compiled program is a flat tuple of frozen ops consumed by both the
 sequential interpreter (:func:`repro.mbqc.runner.run_pattern`) and the
@@ -31,8 +37,8 @@ validation is skipped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Tuple, Union
+from functools import cached_property, lru_cache
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -65,13 +71,95 @@ _CLIFFORD = {
     "y": PAULI_Y,
     "z": PAULI_Z,
 }
+
+# (label, +1 eigenvector) for each single-qubit Pauli; the -1 eigenvector of
+# X/Z is the other standard basis vector, Y's is (1, -i)/sqrt(2).
+_PAULI_EIGS = (
+    ("X", KET_PLUS, KET_MINUS),
+    ("Y", np.array([1, 1j], dtype=complex) / np.sqrt(2),
+          np.array([1, -1j], dtype=complex) / np.sqrt(2)),
+    ("Z", KET_0, KET_1),
+)
+
+
+def pauli_of_basis(basis: MeasurementBasis) -> Optional[Tuple[str, int]]:
+    """Identify ``basis`` as a Pauli eigenbasis, up to per-vector phase.
+
+    Returns ``(label, flip)`` where projecting onto ``basis.b_m`` equals
+    projecting onto the ``(-1)^(m XOR flip)`` eigenspace of Pauli ``label``
+    (``flip=1`` means ``b0`` is the -1 eigenvector), or ``None`` when the
+    basis is not Pauli.  This is the measurement half of the compile-time
+    Clifford classifier.
+    """
+    b0, _ = basis.vectors()
+    for label, plus, minus in _PAULI_EIGS:
+        if abs(abs(np.vdot(plus, b0)) - 1.0) < 1e-9:
+            return (label, 0)
+        if abs(abs(np.vdot(minus, b0)) - 1.0) < 1e-9:
+            return (label, 1)
+    return None
+
+
+def _matrix_key(matrix: np.ndarray) -> Optional[bytes]:
+    """Global-phase-invariant rounded key for a 2x2 unitary."""
+    flat = np.asarray(matrix, dtype=complex).ravel()
+    big = np.nonzero(np.abs(flat) > 0.3)[0]
+    if big.size == 0:
+        return None
+    ph = flat[big[0]] / abs(flat[big[0]])
+    normed = np.round(flat / ph, 6) + 0.0  # +0.0 kills -0.0
+    return normed.tobytes()
+
+
+@lru_cache(maxsize=1)
+def _clifford_words() -> Dict[bytes, Tuple[str, ...]]:
+    """All 24 single-qubit Cliffords (up to phase) as shortest h/s words.
+
+    BFS over left-multiplication: a word ``(g1, ..., gk)`` lists gates in
+    application order, i.e. the matrix is ``Gk···G1``.  The stabilizer
+    backend replays these words on tableau columns.
+    """
+    table: Dict[bytes, Tuple[str, ...]] = {}
+    frontier: List[Tuple[np.ndarray, Tuple[str, ...]]] = [(np.eye(2, dtype=complex), ())]
+    table[_matrix_key(frontier[0][0])] = ()
+    while frontier:
+        nxt: List[Tuple[np.ndarray, Tuple[str, ...]]] = []
+        for mat, word in frontier:
+            for name in ("h", "s"):
+                m2 = _CLIFFORD[name] @ mat
+                key = _matrix_key(m2)
+                if key not in table:
+                    table[key] = word + (name,)
+                    nxt.append((m2, word + (name,)))
+        frontier = nxt
+    return table
+
+
+def clifford_word(matrix: np.ndarray) -> Optional[Tuple[str, ...]]:
+    """``matrix`` as a tableau-gate word (application order), or ``None``.
+
+    Matches against the 24-element single-qubit Clifford group up to global
+    phase — the unitary half of the compile-time Clifford classifier.
+    """
+    key = _matrix_key(matrix)
+    if key is None:
+        return None
+    return _clifford_words().get(key)
+
+
 @dataclass(frozen=True)
 class PrepOp:
-    """Append ``node`` in product state ``state`` (lands in slot ``slot``)."""
+    """Append ``node`` in product state ``state`` (lands in slot ``slot``).
+
+    ``label`` is the pattern-level state name (one of ``plus``/``minus``/
+    ``zero``/``one``) so non-dense backends need not reverse-engineer the
+    amplitudes.
+    """
 
     node: int
     slot: int
     state: np.ndarray
+    label: str = "plus"
 
 
 @dataclass(frozen=True)
@@ -86,7 +174,11 @@ class MeasureOp:
     """Measure ``slot`` (removing it); basis picked from a 4-entry table.
 
     ``bases[s + 2t]`` is the basis for signal parities ``(s, t)`` — the
-    four possible effective angles ``(-1)^s·angle + t·π``.
+    four possible effective angles ``(-1)^s·angle + t·π``.  When every
+    entry is a Pauli eigenbasis, ``pauli[s + 2t]`` holds the matching
+    ``(label, flip)`` pair (see :func:`pauli_of_basis`); otherwise
+    ``pauli`` is ``None`` and the op disqualifies the pattern from the
+    stabilizer fast path.
     """
 
     node: int
@@ -94,24 +186,34 @@ class MeasureOp:
     s_domain: Tuple[int, ...]
     t_domain: Tuple[int, ...]
     bases: Tuple[MeasurementBasis, ...]
+    pauli: Optional[Tuple[Tuple[str, int], ...]] = None
+    basis_block: Optional[np.ndarray] = None
+    """``(4, 2, 2)`` array view of ``bases`` (``[s+2t, outcome, component]``)
+    — prebuilt so the batched trajectory sampler can gather per-element
+    bases with one fancy index instead of re-stacking vectors per call."""
 
 
 @dataclass(frozen=True)
 class ConditionalOp:
     """Apply ``matrix`` to ``slot`` iff the outcome parity over ``domain``
-    is odd (a compiled ``X``/``Z`` correction)."""
+    is odd (a compiled ``X``/``Z`` correction).  ``clifford`` is the
+    tableau-gate word for ``matrix`` when it is Clifford."""
 
     slot: int
     domain: Tuple[int, ...]
     matrix: np.ndarray
+    clifford: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
 class UnitaryOp:
-    """Apply an unconditional 2x2 ``matrix`` to ``slot`` (fused ``C`` run)."""
+    """Apply an unconditional 2x2 ``matrix`` to ``slot`` (fused ``C`` run).
+    ``clifford`` is the tableau-gate word for ``matrix`` when it is
+    Clifford."""
 
     slot: int
     matrix: np.ndarray
+    clifford: Optional[Tuple[str, ...]] = None
 
 
 CompiledOp = Union[PrepOp, EntangleOp, MeasureOp, ConditionalOp, UnitaryOp]
@@ -139,6 +241,23 @@ class CompiledPattern:
     @property
     def num_outputs(self) -> int:
         return len(self.output_nodes)
+
+    @cached_property
+    def is_clifford(self) -> bool:
+        """True iff every op is Clifford: all measurement basis tables are
+        Pauli and all (conditional) unitaries are single-qubit Cliffords.
+
+        Such patterns qualify for the stabilizer-tableau fast path
+        (:class:`repro.mbqc.backend.StabilizerBackend`); preparation states
+        are always stabilizer states, so only measurements and unitaries
+        can disqualify."""
+        for op in self.ops:
+            tp = type(op)
+            if tp is MeasureOp and op.pauli is None:
+                return False
+            if tp in (UnitaryOp, ConditionalOp) and op.clifford is None:
+                return False
+        return True
 
 
 def _fast_basis(plane: str, angle: float) -> MeasurementBasis:
@@ -168,6 +287,31 @@ def _basis_table(plane: str, angle: float) -> Tuple[MeasurementBasis, ...]:
         _fast_basis(plane, ((-1.0) ** s) * angle + t * np.pi)
         for s, t in ((0, 0), (1, 0), (0, 1), (1, 1))
     )
+
+
+@lru_cache(maxsize=4096)
+def _basis_block(plane: str, angle: float) -> np.ndarray:
+    """The basis table as one ``(4, 2, 2)`` array (memoized alongside
+    :func:`_basis_table`; see :attr:`MeasureOp.basis_block`)."""
+    block = np.array(
+        [[b.b0, b.b1] for b in _basis_table(plane, angle)], dtype=complex
+    )
+    block.setflags(write=False)
+    return block
+
+
+@lru_cache(maxsize=4096)
+def _pauli_table(plane: str, angle: float) -> Optional[Tuple[Tuple[str, int], ...]]:
+    """Pauli ``(label, flip)`` per basis-table entry, or ``None`` if any of
+    the four effective bases is not a Pauli eigenbasis (memoized alongside
+    :func:`_basis_table`)."""
+    entries = []
+    for basis in _basis_table(plane, angle):
+        entry = pauli_of_basis(basis)
+        if entry is None:
+            return None
+        entries.append(entry)
+    return tuple(entries)
 
 
 def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
@@ -214,7 +358,7 @@ def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
             slots[cmd.node] = slot
             order.append(cmd.node)
             max_live = max(max_live, len(order))
-            ops.append(PrepOp(cmd.node, slot, _PREP[cmd.state]))
+            ops.append(PrepOp(cmd.node, slot, _PREP[cmd.state], cmd.state))
         elif isinstance(cmd, CommandE):
             s0 = live_slot(cmd.nodes[0], "entangler")
             s1 = live_slot(cmd.nodes[1], "entangler")
@@ -224,7 +368,15 @@ def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
             s_dom = check_domain(cmd.node, cmd.s_domain)
             t_dom = check_domain(cmd.node, cmd.t_domain)
             ops.append(
-                MeasureOp(cmd.node, slot, s_dom, t_dom, _basis_table(cmd.plane, cmd.angle))
+                MeasureOp(
+                    cmd.node,
+                    slot,
+                    s_dom,
+                    t_dom,
+                    _basis_table(cmd.plane, cmd.angle),
+                    _pauli_table(cmd.plane, cmd.angle),
+                    _basis_block(cmd.plane, cmd.angle),
+                )
             )
             # The simulator removes the measured axis: slots above shift down.
             order.pop(slot)
@@ -237,15 +389,18 @@ def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
             slot = live_slot(cmd.node, "correction")
             dom = check_domain(cmd.node, cmd.domain)
             if dom:  # empty-domain corrections can never fire
-                matrix = PAULI_X if isinstance(cmd, CommandX) else PAULI_Z
-                ops.append(ConditionalOp(slot, dom, matrix))
+                if isinstance(cmd, CommandX):
+                    ops.append(ConditionalOp(slot, dom, PAULI_X, ("x",)))
+                else:
+                    ops.append(ConditionalOp(slot, dom, PAULI_Z, ("z",)))
         elif isinstance(cmd, CommandC):
             slot = live_slot(cmd.node, "Clifford")
             matrix = _CLIFFORD[cmd.gate]
             if ops and isinstance(ops[-1], UnitaryOp) and ops[-1].slot == slot:
-                ops[-1] = UnitaryOp(slot, matrix @ ops[-1].matrix)
+                matrix = matrix @ ops[-1].matrix
+                ops[-1] = UnitaryOp(slot, matrix, clifford_word(matrix))
             else:
-                ops.append(UnitaryOp(slot, matrix))
+                ops.append(UnitaryOp(slot, matrix, clifford_word(matrix)))
         else:  # pragma: no cover - defensive
             raise PatternError(f"unknown command {cmd!r}")
 

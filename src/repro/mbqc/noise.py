@@ -15,6 +15,10 @@ execution with independent Pauli errors injected at
 
 Noise is trajectory-sampled: each run draws one Pauli fault pattern, so
 fidelity estimates come from averaging over trajectories.
+:func:`average_fidelity` runs all trajectories in one batched sweep on the
+pattern-execution backend (:meth:`PatternBackend.sample_batch` with per-
+element fault masks); :func:`run_pattern_noisy` keeps the command-by-command
+single-trajectory reference path.
 """
 
 from __future__ import annotations
@@ -25,6 +29,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.linalg.gates import PAULI_X, PAULI_Y, PAULI_Z
+from repro.mbqc.backend import resolve_backend
+from repro.mbqc.compile import compile_pattern
 from repro.mbqc.pattern import (
     CommandC,
     CommandE,
@@ -137,20 +143,24 @@ def average_fidelity(
     trajectories: int = 50,
     seed: SeedLike = 0,
     reference: Optional[np.ndarray] = None,
+    backend=None,
 ) -> float:
     """Mean ``|<ideal|noisy>|^2`` over noise trajectories.
 
     ``reference`` defaults to one (noise-free) run of the pattern — valid
-    for deterministic patterns, which all compiled protocols are.
+    for deterministic patterns, which all compiled protocols are.  All
+    trajectories run in one batched sweep on the pattern-execution backend
+    (per-element fault masks and per-element adaptive corrections); pass
+    ``backend`` (name or instance) to override the automatic dispatch.
     """
     rng = ensure_rng(seed)
+    compiled = compile_pattern(pattern)
     if reference is None:
-        reference = run_pattern(pattern, seed=rng).state_array()
+        reference = run_pattern(pattern, seed=rng, compiled=compiled).state_array()
     ref = np.asarray(reference, dtype=complex)
     ref = ref / np.linalg.norm(ref)
-    total = 0.0
-    for _ in range(trajectories):
-        noisy = run_pattern_noisy(pattern, noise, seed=rng).state_array()
-        nrm = np.linalg.norm(noisy)
-        total += abs(np.vdot(ref, noisy / nrm)) ** 2
-    return total / trajectories
+    engine = resolve_backend(backend, compiled, dense_outputs=True)
+    run = engine.sample_batch(compiled, trajectories, rng, noise=noise)
+    states = run.dense_states()  # (trajectories, 2**n_out), normalized rows
+    overlaps = states @ ref.conj()
+    return float(np.mean(np.abs(overlaps) ** 2))

@@ -17,16 +17,22 @@ are simulated in one vectorized sweep over a
 sequential pattern re-runs.  ``pattern_to_matrix_sequential`` keeps the
 per-column reference path for cross-checks and benchmarking
 (``benchmarks/bench_e19_batched_runner.py``).
+
+Both entry points dispatch through the backend registry
+(:func:`repro.mbqc.backend.select_backend`): ``backend`` may be an engine
+instance, a registered name (``"statevector"``, ``"stabilizer"``), or
+``"auto"``/``None`` — the latter routes Clifford-angle patterns to the
+stabilizer-tableau fast path once the live register outgrows dense reach.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.mbqc.backend import PatternBackend, default_backend
+from repro.mbqc.backend import PatternBackend, resolve_backend
 from repro.mbqc.compile import (
     _CLIFFORD,
     _PREP,
@@ -133,6 +139,7 @@ def run_pattern(
     renormalize: bool = True,
     validate: bool = True,
     compiled: Optional[CompiledPattern] = None,
+    backend: Union[str, PatternBackend, None] = None,
 ) -> PatternResult:
     """Execute ``pattern`` and return outcomes plus the output state.
 
@@ -152,11 +159,35 @@ def run_pattern(
         :func:`~repro.mbqc.compile.compile_pattern`); pass it when running
         the same pattern many times (e.g. branch enumeration) to skip
         recompilation.
+    backend:
+        ``None`` keeps the in-process dense interpreter below (one
+        trajectory, no batch overhead).  A registry name (``"auto"``,
+        ``"statevector"``, ``"stabilizer"``) or engine instance dispatches
+        the trajectory through :meth:`PatternBackend.sample_batch`; the
+        returned state is then always normalized, and the output register
+        must stay densifiable (Clifford patterns with huge *measured* sets
+        are fine — only ``output_nodes`` are materialized).
     """
     if compiled is None:
         compiled = compile_pattern(pattern, validate=validate)
     rng = ensure_rng(seed)
     forced = forced_outcomes or {}
+
+    if backend is not None:
+        if not renormalize:
+            raise PatternError(
+                "renormalize=False (branch-amplitude extraction) needs the "
+                "in-process interpreter; drop the backend argument or use "
+                "pattern_to_matrix/run_branch_batch"
+            )
+        engine = resolve_backend(backend, compiled, dense_outputs=True)
+        run = engine.sample_batch(
+            compiled, 1, rng, input_state=input_state, forced_outcomes=forced
+        )
+        state = StateVector.from_array(run.dense_states()[0])
+        return PatternResult(
+            run.outcome_dicts()[0], state, list(compiled.output_nodes)
+        )
 
     k = compiled.num_inputs
     if input_state is None:
@@ -219,7 +250,7 @@ def _full_branch(
 def pattern_to_matrix(
     pattern: Pattern,
     forced_outcomes: Optional[Dict[int, int]] = None,
-    backend: Optional[PatternBackend] = None,
+    backend: Union[str, PatternBackend, None] = None,
     compiled: Optional[CompiledPattern] = None,
 ) -> np.ndarray:
     """The linear map implemented on a fixed outcome branch (default all-0).
@@ -229,19 +260,21 @@ def pattern_to_matrix(
     that claim precise by enumerating branches.
 
     All ``2^k`` input basis columns run in one batched sweep on ``backend``
-    (default: the shared dense :class:`~repro.mbqc.backend.StatevectorBackend`);
-    pass ``compiled`` to amortize compilation across many branches.
+    (an engine instance, registry name, or ``None`` for automatic dispatch
+    via :func:`~repro.mbqc.backend.select_backend`); pass ``compiled`` to
+    amortize compilation across many branches.  Columns extracted on the
+    stabilizer engine are exact up to a per-column phase (a tableau carries
+    no global phase).
     """
     if compiled is None:
         compiled = compile_pattern(pattern)
     forced = _full_branch(compiled, forced_outcomes)
-    if backend is None:
-        backend = default_backend()
+    engine = resolve_backend(backend, compiled, dense_outputs=True)
     k = compiled.num_inputs
     inputs = np.eye(1 << k, dtype=complex)
-    run = backend.run_branch_batch(compiled, inputs, forced)
+    run = engine.run_branch_batch(compiled, inputs, forced)
     # Row j of ``states`` is the output column for input basis state j.
-    return np.ascontiguousarray(run.states.T)
+    return np.ascontiguousarray(run.dense_states().T)
 
 
 def pattern_to_matrix_sequential(

@@ -419,6 +419,18 @@ class BatchedStateVector:
     def copy(self) -> "BatchedStateVector":
         return BatchedStateVector(self.batch_size, tensor=self._t.copy())
 
+    def renormalize(self) -> None:
+        """Scale every batch element back to unit norm.
+
+        Long measurement sweeps that defer per-step normalization (each
+        projection multiplies an element's norm² by its outcome
+        probability) call this periodically so norms never underflow.
+        """
+        norms = np.sqrt(self.sq_norms())
+        if np.any(norms < 1e-300):
+            raise ValueError("cannot renormalize a zero-norm state")
+        self._t /= norms.reshape((-1,) + (1,) * self.num_qubits)
+
     # -- register management ----------------------------------------------
     def add_qubit(self, state: np.ndarray = KET_PLUS) -> int:
         """Append a fresh qubit in ``state`` to every element; returns its slot."""
@@ -441,6 +453,24 @@ class BatchedStateVector:
         self._check(q)
         t = np.tensordot(matrix, self._t, axes=([1], [q + 1]))
         self._t = np.moveaxis(t, 0, q + 1)
+
+    def apply_1q_masked(self, matrix: np.ndarray, q: int, mask: np.ndarray) -> None:
+        """Apply a 2x2 unitary to qubit ``q`` of the masked batch elements.
+
+        ``mask`` is a boolean ``(B,)`` selector.  This is the primitive
+        behind per-element conditional corrections (and per-element Pauli
+        faults) in the batched trajectory sampler: element ``j`` is touched
+        iff ``mask[j]``.
+        """
+        self._check(q)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.batch_size,):
+            raise ValueError("mask must have shape (batch_size,)")
+        if not mask.any():
+            return
+        sel = self._t[mask]
+        t = np.tensordot(matrix, sel, axes=([1], [q + 1]))
+        self._t[mask] = np.moveaxis(t, 0, q + 1)
 
     def apply_cz(self, q0: int, q1: int) -> None:
         """Batched controlled-Z via sign flip on the ``|11>`` slice."""
@@ -485,3 +515,55 @@ class BatchedStateVector:
             norms = np.sqrt(self.sq_norms())
             self._t /= norms.reshape((-1,) + (1,) * self.num_qubits)
         return probs
+
+    def measure_sampled(
+        self,
+        q: int,
+        vecs: np.ndarray,
+        rng: SeedLike = None,
+        force: Optional[int] = None,
+        renormalize: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-element adaptive measurement of qubit ``q`` (removing it).
+
+        ``vecs`` is a ``(B, 2, 2)`` block: ``vecs[j, m]`` is the basis
+        vector element ``j`` projects onto for outcome ``m`` — each batch
+        element can measure in its *own* basis, which is what lets the
+        trajectory sampler keep elements with different signal parities in
+        one lockstep sweep.  Outcomes are drawn per element from the Born
+        rule (or pinned for every element with ``force``); returns
+        ``(outcomes, probabilities)`` as ``(B,)`` arrays.
+        """
+        self._check(q)
+        b = self.batch_size
+        vecs = np.asarray(vecs, dtype=complex)
+        if vecs.shape != (b, 2, 2):
+            raise ValueError("vecs must have shape (batch_size, 2, 2)")
+        t = np.moveaxis(self._t, q + 1, -1)
+        amp0 = np.einsum("b...i,bi->b...", t, vecs[:, 0].conj())
+        amp1 = np.einsum("b...i,bi->b...", t, vecs[:, 1].conj())
+        n0 = np.einsum("bi,bi->b", amp0.reshape(b, -1).conj(), amp0.reshape(b, -1)).real
+        n1 = np.einsum("bi,bi->b", amp1.reshape(b, -1).conj(), amp1.reshape(b, -1)).real
+        total = n0 + n1
+        if np.any(total < 1e-300):
+            raise ValueError("cannot measure a zero-norm state")
+        p0 = n0 / total
+        if force is None:
+            outcomes = (ensure_rng(rng).random(b) >= p0).astype(np.int8)
+        else:
+            if force not in (0, 1):
+                raise ValueError("forced outcome must be 0 or 1")
+            outcomes = np.full(b, force, dtype=np.int8)
+        probs = np.where(outcomes == 0, p0, 1.0 - p0)
+        if force is not None and np.any(probs < 1e-12):
+            bad = int(np.argmin(probs))
+            raise ZeroProbabilityBranch(
+                f"forced outcome {force} on qubit {q} has probability ~0 "
+                f"for batch element {bad}"
+            )
+        pick = outcomes.astype(bool).reshape((b,) + (1,) * (amp0.ndim - 1))
+        self._t = np.where(pick, amp1, amp0)
+        if renormalize:
+            norms = np.sqrt(self.sq_norms())
+            self._t /= norms.reshape((-1,) + (1,) * self.num_qubits)
+        return outcomes, probs

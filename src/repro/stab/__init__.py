@@ -7,6 +7,22 @@ here verifies those at sizes far beyond statevector reach and cross-checks
 the dense simulator on random Clifford circuits.
 """
 
-from repro.stab.tableau import StabilizerState, graph_state_stabilizers
+from repro.stab.tableau import (
+    ForcedOutcomeContradiction,
+    StabilizerState,
+    apply_pauli_string,
+    canonical_stabilizer_key,
+    graph_state_stabilizers,
+    stab_rows_to_paulis,
+    statevector_from_generators,
+)
 
-__all__ = ["StabilizerState", "graph_state_stabilizers"]
+__all__ = [
+    "ForcedOutcomeContradiction",
+    "StabilizerState",
+    "apply_pauli_string",
+    "canonical_stabilizer_key",
+    "graph_state_stabilizers",
+    "stab_rows_to_paulis",
+    "statevector_from_generators",
+]

@@ -19,6 +19,18 @@ from repro.linalg.paulis import PauliString
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+class ForcedOutcomeContradiction(ValueError):
+    """Forcing the opposite of a deterministic measurement outcome.
+
+    The branch being forced has probability zero; branch-enumerating
+    callers (e.g. the stabilizer pattern backend) treat this as a
+    zero-weight branch rather than an error.
+    """
+
+
+_PREP_LABELS = ("plus", "minus", "zero", "one")
+
+
 def _g_vec(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> int:
     """Summed exponent-of-i contribution when multiplying Pauli rows.
 
@@ -32,6 +44,20 @@ def _g_vec(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> in
     gy = x1i * z1i * (z2i - x2i)                     # row1 = Y
     gz = (1 - x1i) * z1i * (x2i * (1 - 2 * z2i))     # row1 = Z
     return int((gx + gy + gz).sum())
+
+
+def rows_mul(x: np.ndarray, z: np.ndarray, r: np.ndarray, dst: int, src: int) -> None:
+    """Row ``dst`` <- row ``dst`` * row ``src`` with CHP phase tracking.
+
+    ``r`` holds sign bits (0 -> +1, 1 -> -1).  The single place the
+    phase-tracked GF(2) row multiplication lives — the tableau's
+    ``_rowsum``, membership testing, substate extraction, and canonical
+    forms all delegate here so the phase convention cannot diverge.
+    """
+    two = 2 * int(r[dst]) + 2 * int(r[src]) + _g_vec(x[src], z[src], x[dst], z[dst])
+    r[dst] = (two % 4) // 2
+    x[dst] ^= x[src]
+    z[dst] ^= z[src]
 
 
 class StabilizerState:
@@ -129,6 +155,39 @@ class StabilizerState:
             raise ValueError(f"gate {name!r} is not Clifford-supported")
         table[name](*qubits)
 
+    # -- register management -------------------------------------------------
+    def add_qubit(self, state: str = "plus") -> int:
+        """Append a fresh qubit in product state ``state``; returns its column.
+
+        Mirrors :meth:`repro.sim.statevector.StateVector.add_qubit` for the
+        four pattern preparation states, so the stabilizer pattern backend
+        can map ``PrepOp`` slots onto tableau columns.
+        """
+        if state not in _PREP_LABELS:
+            raise ValueError(f"unknown preparation state {state!r}")
+        n = self.n
+        x = np.zeros((2 * n + 2, n + 1), dtype=bool)
+        z = np.zeros((2 * n + 2, n + 1), dtype=bool)
+        r = np.zeros(2 * n + 2, dtype=np.int8)
+        x[:n, :n] = self.x[:n]
+        z[:n, :n] = self.z[:n]
+        r[:n] = self.r[:n]
+        x[n + 1 : 2 * n + 1, :n] = self.x[n:]
+        z[n + 1 : 2 * n + 1, :n] = self.z[n:]
+        r[n + 1 : 2 * n + 1] = self.r[n:]
+        # Row n is the new destabilizer, row 2n+1 the new stabilizer.
+        if state in ("zero", "one"):
+            x[n, n] = True          # destabilizer X
+            z[2 * n + 1, n] = True  # stabilizer ±Z
+            r[2 * n + 1] = 1 if state == "one" else 0
+        else:
+            z[n, n] = True          # destabilizer Z
+            x[2 * n + 1, n] = True  # stabilizer ±X
+            r[2 * n + 1] = 1 if state == "minus" else 0
+        self.n = n + 1
+        self.x, self.z, self.r = x, z, r
+        return n
+
     # -- internals ---------------------------------------------------------
     def _chk(self, *qs: int) -> None:
         for q in qs:
@@ -137,18 +196,17 @@ class StabilizerState:
 
     def _rowsum(self, h: int, i: int) -> None:
         """Row h <- row h * row i with correct phase (vectorized)."""
-        two_r = 2 * int(self.r[h]) + 2 * int(self.r[i])
-        two_r += _g_vec(self.x[i], self.z[i], self.x[h], self.z[h])
-        self.r[h] = (two_r % 4) // 2
-        self.x[h] ^= self.x[i]
-        self.z[h] ^= self.z[i]
+        rows_mul(self.x, self.z, self.r, h, i)
 
     # -- measurement ---------------------------------------------------------
-    def measure_z(self, q: int, rng: SeedLike = None, force: Optional[int] = None) -> int:
-        """Measure Z on qubit ``q``; returns the outcome bit.
+    def _measure_z_info(
+        self, q: int, rng: SeedLike = None, force: Optional[int] = None
+    ) -> Tuple[int, float]:
+        """Measure Z on ``q``; returns ``(outcome, probability)``.
 
-        Deterministic outcomes ignore ``force`` mismatches by raising, so
-        branch enumeration stays honest.
+        The probability is exactly 0.5 for a random outcome and 1.0 for a
+        deterministic one; forcing against a deterministic outcome raises
+        :class:`ForcedOutcomeContradiction` (that branch has weight zero).
         """
         self._chk(q)
         n = self.n
@@ -167,7 +225,7 @@ class StabilizerState:
             self.z[p, q] = True
             outcome = int(ensure_rng(rng).integers(2)) if force is None else int(force)
             self.r[p] = outcome
-            return outcome
+            return outcome, 0.5
         # Deterministic outcome: accumulate into scratch row.
         sx = np.zeros(self.n, dtype=bool)
         sz = np.zeros(self.n, dtype=bool)
@@ -179,40 +237,72 @@ class StabilizerState:
             sz ^= self.z[s]
         outcome = (two_r % 4) // 2
         if force is not None and force != outcome:
-            raise ValueError("forced outcome contradicts deterministic measurement")
-        return outcome
+            raise ForcedOutcomeContradiction(
+                "forced outcome contradicts deterministic measurement"
+            )
+        return outcome, 1.0
+
+    def measure_z(self, q: int, rng: SeedLike = None, force: Optional[int] = None) -> int:
+        """Measure Z on qubit ``q``; returns the outcome bit.
+
+        Deterministic outcomes ignore ``force`` mismatches by raising, so
+        branch enumeration stays honest.
+        """
+        return self._measure_z_info(q, rng=rng, force=force)[0]
 
     def measure_x(self, q: int, rng: SeedLike = None, force: Optional[int] = None) -> int:
+        # try/finally: a ForcedOutcomeContradiction from the inner Z
+        # measurement must not leave the tableau H-conjugated.
         self.h(q)
-        out = self.measure_z(q, rng=rng, force=force)
-        self.h(q)
+        try:
+            out = self.measure_z(q, rng=rng, force=force)
+        finally:
+            self.h(q)
         return out
 
     def measure_y(self, q: int, rng: SeedLike = None, force: Optional[int] = None) -> int:
         self.sdg(q)
-        out = self.measure_x(q, rng=rng, force=force)
-        self.s(q)
+        try:
+            out = self.measure_x(q, rng=rng, force=force)
+        finally:
+            self.s(q)
         return out
 
     def measure_pauli(self, q: int, label: str, rng: SeedLike = None, force: Optional[int] = None) -> int:
         return {"X": self.measure_x, "Y": self.measure_y, "Z": self.measure_z}[label](q, rng=rng, force=force)
 
+    def measure_pauli_info(
+        self, q: int, label: str, rng: SeedLike = None, force: Optional[int] = None
+    ) -> Tuple[int, float]:
+        """Pauli measurement reporting its probability: ``(outcome, p)``.
+
+        ``p`` is 0.5 when the outcome was random, 1.0 when deterministic.
+        Forcing against a deterministic outcome raises
+        :class:`ForcedOutcomeContradiction` with the tableau left intact —
+        the pattern backend maps this to a zero-weight branch.
+        """
+        if label == "Z":
+            return self._measure_z_info(q, rng=rng, force=force)
+        if label == "X":
+            self.h(q)
+            try:
+                return self._measure_z_info(q, rng=rng, force=force)
+            finally:
+                self.h(q)
+        if label == "Y":
+            self.sdg(q)
+            self.h(q)
+            try:
+                return self._measure_z_info(q, rng=rng, force=force)
+            finally:
+                self.h(q)
+                self.s(q)
+        raise ValueError(f"unknown Pauli label {label!r}")
+
     # -- inspection ---------------------------------------------------------
     def stabilizer_rows(self) -> List[PauliString]:
         """The n stabilizer generators as :class:`PauliString` objects."""
-        out = []
-        for i in range(self.n, 2 * self.n):
-            ops: Dict[int, str] = {}
-            for q in range(self.n):
-                xb, zb = bool(self.x[i, q]), bool(self.z[i, q])
-                if xb and zb:
-                    ops[q] = "Y"
-                elif xb:
-                    ops[q] = "X"
-                elif zb:
-                    ops[q] = "Z"
-            out.append(PauliString(ops, -1 if self.r[i] else 1))
-        return out
+        return stab_rows_to_paulis(self.x[self.n:], self.z[self.n:], self.r[self.n:])
 
     def stabilizes(self, pauli: PauliString) -> bool:
         """True iff ``pauli`` is in the stabilizer group (with its phase).
@@ -253,11 +343,7 @@ class StabilizerState:
                 pivots.append((piv, (kind, col)))
                 for r in rows:
                     if r != piv and mat[r, col]:
-                        # row r *= row piv, phases tracked mod 4
-                        two = 2 * gr[r] + 2 * gr[piv] + _g_vec(gx[piv], gz[piv], gx[r], gz[r])
-                        gr[r] = (two % 4) // 2
-                        gx[r] ^= gx[piv]
-                        gz[r] ^= gz[piv]
+                        rows_mul(gx, gz, gr, r, piv)
         # Now express target in terms of pivot rows greedily.
         for piv, (kind, col) in pivots:
             bit = tx[col] if kind == "x" else tz[col]
@@ -282,26 +368,168 @@ class StabilizerState:
         group by averaging projectors; implemented as repeated projector
         application ``(I + g)/2`` on a random state to stay simple.
         """
+        return statevector_from_generators(self.stabilizer_rows(), self.n)
+
+    def extract_substate(
+        self, cols: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stabilizer generators of the marginal pure state on ``cols``.
+
+        Requires the state to factor as (pure state on ``cols``) ⊗ (rest) —
+        true once every column outside ``cols`` has been projectively
+        measured, which is how the pattern backend leaves measured nodes.
+        Returns ``(x, z, r)`` with ``len(cols)`` generator rows, columns
+        reordered to ``cols`` order, and phase bits ``r`` (0 → +1, 1 → -1).
+        Raises :class:`ValueError` if the split is entangled.
+        """
         n = self.n
-        if n > 12:
-            raise ValueError("to_statevector is for small n only")
-        vec = np.zeros(1 << n, dtype=complex)
-        rng = np.random.default_rng(12345)
-        vec = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
-        for g in self.stabilizer_rows():
-            mat = g.to_matrix(n)
-            vec = (vec + mat @ vec) / 2.0
+        cols = [int(c) for c in cols]
+        col_set = set(cols)
+        if len(col_set) != len(cols):
+            raise ValueError("duplicate columns")
+        for c in cols:
+            if not 0 <= c < n:
+                raise ValueError(f"column {c} out of range")
+        other = [c for c in range(n) if c not in col_set]
+        gx = self.x[n:].copy()
+        gz = self.z[n:].copy()
+        gr = self.r[n:].astype(np.int64).copy()
+        taken = np.zeros(n, dtype=bool)
+        # Eliminate support on the non-kept columns: one pivot row per
+        # (column, X/Z) bit, consumed rows are dropped from the output.
+        for col in other:
+            for mat in (gx, gz):
+                cand = np.nonzero(mat[:, col] & ~taken)[0]
+                if cand.size == 0:
+                    continue
+                piv = int(cand[0])
+                taken[piv] = True
+                for row in np.nonzero(mat[:, col])[0]:
+                    row = int(row)
+                    if row != piv:
+                        rows_mul(gx, gz, gr, row, piv)
+        keep = np.nonzero(~taken)[0]
+        if len(keep) != len(cols) or (
+            other and (gx[np.ix_(keep, other)].any() or gz[np.ix_(keep, other)].any())
+        ):
+            raise ValueError("state does not factor over the requested columns")
+        return (
+            gx[np.ix_(keep, cols)],
+            gz[np.ix_(keep, cols)],
+            (gr[keep] % 2).astype(np.int8),
+        )
+
+
+def canonical_stabilizer_key(
+    x: np.ndarray, z: np.ndarray, r: np.ndarray
+) -> bytes:
+    """Hashable canonical form of a stabilizer generator set.
+
+    Two generator sets describe the same stabilizer state iff their keys are
+    equal: the rows are brought to the unique phase-tracked reduced
+    row-echelon form over GF(2) (X block first, then Z block) and packed.
+    Used to compare outcome branches without densifying.
+    """
+    x = x.copy()
+    z = z.copy()
+    r = np.asarray(r, dtype=np.int64).copy()
+    k, m = x.shape
+    row = 0
+    for kind in ("x", "z"):
+        mat = x if kind == "x" else z
+        for col in range(m):
+            if row >= k:
+                break
+            cand = np.nonzero(mat[row:, col])[0]
+            if cand.size == 0:
+                continue
+            piv = row + int(cand[0])
+            if piv != row:
+                for arr in (x, z):
+                    arr[[row, piv]] = arr[[piv, row]]
+                r[[row, piv]] = r[[piv, row]]
+            for other in np.nonzero(mat[:, col])[0]:
+                other = int(other)
+                if other != row:
+                    rows_mul(x, z, r, other, row)
+            row += 1
+    bits = np.concatenate([x.ravel(), z.ravel(), (r % 2).astype(bool)])
+    return np.packbits(bits).tobytes() + k.to_bytes(4, "little") + m.to_bytes(4, "little")
+
+
+def stab_rows_to_paulis(
+    x: np.ndarray, z: np.ndarray, r: np.ndarray
+) -> List[PauliString]:
+    """Generator rows (as packed bits) to :class:`PauliString` objects."""
+    out = []
+    for i in range(x.shape[0]):
+        ops: Dict[int, str] = {}
+        for q in range(x.shape[1]):
+            xb, zb = bool(x[i, q]), bool(z[i, q])
+            if xb and zb:
+                ops[q] = "Y"
+            elif xb:
+                ops[q] = "X"
+            elif zb:
+                ops[q] = "Z"
+        out.append(PauliString(ops, -1 if r[i] else 1))
+    return out
+
+
+def apply_pauli_string(pauli: PauliString, vec: np.ndarray, n: int) -> np.ndarray:
+    """``P|vec>`` without materializing the ``2^n x 2^n`` matrix.
+
+    A Pauli string maps basis state ``|j>`` to ``phase(j) |j XOR xmask>``
+    with ``phase(j) = i^{#Y} · (-1)^{popcount(j AND zmask)}`` — one index
+    permutation plus a sign vector, ``O(n·2^n)`` instead of ``O(4^n)``.
+    """
+    xmask = 0
+    zmask = 0
+    n_y = 0
+    for q, p in pauli.ops.items():
+        if q >= n:
+            raise ValueError("qubit index out of range")
+        if p in ("X", "Y"):
+            xmask |= 1 << q
+        if p in ("Z", "Y"):
+            zmask |= 1 << q
+        if p == "Y":
+            n_y += 1
+    src = np.arange(1 << n) ^ xmask  # (P vec)[k] = phase(src_k) vec[src_k]
+    parity = np.zeros(1 << n, dtype=np.int8)
+    for q in range(n):
+        if (zmask >> q) & 1:
+            parity ^= ((src >> q) & 1).astype(np.int8)
+    phase = complex(pauli.phase) * (1j ** (n_y % 4))
+    signs = np.where(parity, -phase, phase)
+    return signs * vec[src]
+
+
+def statevector_from_generators(gens: Sequence[PauliString], n: int) -> np.ndarray:
+    """Dense unit statevector stabilized by ``gens`` (little-endian).
+
+    Projector-product construction (``(I + g)/2`` per generator, applied
+    matrix-free via :func:`apply_pauli_string`); ``n`` is capped at 20
+    because the vector itself is ``2^n`` amplitudes.
+    """
+    if n > 20:
+        raise ValueError("dense extraction is for small n only")
+    if n == 0:
+        return np.ones(1, dtype=complex)
+    rng = np.random.default_rng(12345)
+    vec = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    for g in gens:
+        vec = (vec + apply_pauli_string(g, vec, n)) / 2.0
+    nrm = np.linalg.norm(vec)
+    if nrm < 1e-9:
+        # Unlucky random seed component; retry deterministically.
+        vec = np.ones(1 << n, dtype=complex)
+        for g in gens:
+            vec = (vec + apply_pauli_string(g, vec, n)) / 2.0
         nrm = np.linalg.norm(vec)
         if nrm < 1e-9:
-            # Unlucky random seed component; retry deterministically.
-            vec = np.ones(1 << n, dtype=complex)
-            for g in self.stabilizer_rows():
-                mat = g.to_matrix(n)
-                vec = (vec + mat @ vec) / 2.0
-            nrm = np.linalg.norm(vec)
-            if nrm < 1e-9:
-                raise RuntimeError("failed to extract statevector")
-        return vec / nrm
+            raise RuntimeError("failed to extract statevector")
+    return vec / nrm
 
 
 def graph_state_stabilizers(n: int, edges: Sequence[Tuple[int, int]]) -> List[PauliString]:

@@ -74,6 +74,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cut          6" in out
 
+    def test_run_with_backend(self, capsys):
+        rc = main(["run", "ring:4", "--gamma", "0.4", "--beta", "0.7",
+                   "--shots", "32", "--backend", "statevector"])
+        assert rc == 0
+        assert "backend        statevector" in capsys.readouterr().out
+
+    def test_run_stabilizer_on_non_clifford_errors(self, capsys):
+        rc = main(["run", "ring:4", "--gamma", "0.4", "--beta", "0.7",
+                   "--backend", "stabilizer"])
+        assert rc == 2
+        assert "not Clifford" in capsys.readouterr().err
+
+    def test_verify_dense(self, capsys):
+        rc = main(["verify", "ring:4", "--gamma", "0.3", "--beta", "0.5",
+                   "--max-branches", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "deterministic  yes" in out
+        assert "backend        statevector" in out
+
+    def test_verify_clifford_angles_use_stabilizer(self, capsys):
+        rc = main(["verify", "ring:18", "--gamma", "0", "--beta", "0",
+                   "--max-branches", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clifford       yes" in out
+        assert "backend        stabilizer" in out
+        assert "deterministic  yes" in out
+
+    def test_verify_explicit_stabilizer_small(self, capsys):
+        rc = main(["verify", "ring:4", "--gamma", "0", "--beta", "0",
+                   "--max-branches", "8", "--backend", "stabilizer"])
+        assert rc == 0
+        assert "backend        stabilizer" in capsys.readouterr().out
+
     def test_param_length_error(self, capsys):
         rc = main(["compile", "ring:4", "--p", "2", "--gamma", "0.1",
                    "--beta", "0.2"])
