@@ -9,11 +9,16 @@ Subcommands
                several depths
 ``solve``      run the iterative (Section V) solver to a concrete assignment
 
-``run`` and ``verify`` take ``--backend {auto,statevector,stabilizer}``:
-``auto`` dispatches Clifford-angle patterns (e.g. ``--gamma 0 --beta 0``)
-to the stabilizer-tableau engine once the live register outgrows dense
-reach; forcing ``stabilizer`` on a non-Clifford pattern fails with a clear
-error.
+``run`` and ``verify`` take ``--backend {auto,statevector,stabilizer,
+density}``: ``auto`` dispatches Clifford-angle patterns (e.g. ``--gamma 0
+--beta 0``) to the stabilizer-tableau engine once the live register
+outgrows dense reach; forcing ``stabilizer`` on a non-Clifford pattern
+fails with a clear error.  ``run`` additionally takes ``--noise RATE``
+(uniform per-operation depolarizing + readout flips, the E15 model) and
+``--exact``, which integrates the channels exactly on the density-matrix
+engine — the reported ``<cost>`` is then the true noisy expectation, no
+sampling anywhere.  ``verify --backend density`` compares branch *Choi
+states*: exact map equality with no phase bookkeeping.
 
 Problems are specified as ``kind:args``:
 
@@ -36,7 +41,8 @@ from repro.core import compile_qaoa_pattern, estimate_resources
 from repro.core.resources import format_table, resource_table
 from repro.core.reuse import reuse_summary
 from repro.core.verify import check_pattern_determinism
-from repro.mbqc import run_pattern, select_backend
+from repro.mbqc import get_backend, lower_noise, run_pattern, select_backend
+from repro.mbqc.noise import NoiseModel
 from repro.problems import MaxCut, MaximumIndependentSet, NumberPartitioning
 from repro.problems.qubo import QUBO
 from repro.qaoa import grid_search_p1, optimize_qaoa
@@ -129,22 +135,64 @@ def cmd_run(args: argparse.Namespace) -> int:
     gammas, betas = _resolve_params(qubo, args.p, args.gamma, args.beta, args.optimize, args.seed)
     compiled = compile_qaoa_pattern(qubo, gammas, betas)
     program = compiled.executable()
-    engine = select_backend(program, args.backend, dense_outputs=True)
-    result = run_pattern(
-        compiled.pattern, seed=args.seed, compiled=program, backend=engine
-    )
-    probs = np.abs(result.state_array()) ** 2
-    probs = probs / probs.sum()
-    rng = np.random.default_rng(args.seed)
-    samples = rng.choice(probs.size, size=args.shots, p=probs)
+    noise = NoiseModel(p_prep=args.noise, p_ent=args.noise, p_meas=args.noise) \
+        if args.noise else None
     cost = qubo.cost_vector()
+    n = qubo.num_variables
+    measured = len(compiled.pattern.measured_nodes())
+    rng = np.random.default_rng(args.seed)
+
+    if args.exact:
+        if args.backend not in ("auto", "density"):
+            raise ValueError(
+                f"--exact integrates on the density engine; it cannot be "
+                f"combined with --backend {args.backend}"
+            )
+        engine = get_backend("density")
+        run = engine.integrate(program, noise=noise)
+        probs = run.probabilities()
+        exact_cost = float(probs @ cost)
+        support = probs > 1e-12
+        best_idx = int(np.flatnonzero(support)[np.argmin(cost[support])])
+        print(f"problem        {name}")
+        print(f"backend        {engine.name} (exact channel integration)")
+        print(f"pattern        {compiled.num_nodes()} nodes, {measured} measured, "
+              f"{run.branches} outcome branches integrated")
+        if noise is not None:
+            print(f"noise          uniform rate {args.noise:g} (prep/ent depolarizing"
+                  f" + readout flips)")
+        print(f"<cost>         {exact_cost:.4f}  (exact, no sampling)")
+        print(f"best cost      {cost[best_idx]:.4f}  (reachable support)")
+        print(f"best solution  {''.join(map(str, int_to_bitstring(best_idx, n)))}")
+        if isinstance(problem, MaxCut):
+            print(f"best cut       {problem.cut_value(int_to_bitstring(best_idx, n)):.0f} "
+                  f"(optimum {problem.max_cut_value():.0f})")
+        return 0
+
+    if noise is not None:
+        program = lower_noise(program, noise)
+    engine = select_backend(program, args.backend, dense_outputs=True)
+    if noise is not None:
+        runs = min(args.shots, 32)
+        batch = engine.sample_batch(program, runs, rng)
+        samples = batch.sample_bitstrings(args.shots, rng)
+        outcomes_consumed = measured * runs
+    else:
+        result = run_pattern(
+            compiled.pattern, seed=args.seed, compiled=program, backend=engine
+        )
+        probs = np.abs(result.state_array()) ** 2
+        probs = probs / probs.sum()
+        samples = rng.choice(probs.size, size=args.shots, p=probs)
+        outcomes_consumed = len(result.outcomes)
     costs = cost[samples]
     best_idx = int(samples[np.argmin(costs)])
-    n = qubo.num_variables
     print(f"problem        {name}")
     print(f"backend        {engine.name}")
     print(f"pattern        {compiled.num_nodes()} nodes, "
-          f"{len(result.outcomes)} measurement outcomes consumed")
+          f"{outcomes_consumed} measurement outcomes consumed")
+    if noise is not None:
+        print(f"noise          uniform rate {args.noise:g}")
     print(f"shots          {args.shots}")
     print(f"<cost>         {costs.mean():.4f}")
     print(f"best cost      {costs.min():.4f}")
@@ -227,16 +275,24 @@ def build_parser() -> argparse.ArgumentParser:
     pc.set_defaults(func=cmd_compile)
 
     backend_kwargs = dict(
-        choices=["auto", "statevector", "stabilizer"],
+        choices=["auto", "statevector", "stabilizer", "density"],
         default="auto",
         help="pattern-execution engine (auto dispatches Clifford patterns "
-        "to the stabilizer tableau beyond dense reach)",
+        "to the stabilizer tableau beyond dense reach; density evolves "
+        "the full density operator, integrating channels exactly)",
     )
 
     pr = sub.add_parser("run", help="compile, execute, and sample")
     add_common(pr)
     pr.add_argument("--shots", type=int, default=256)
     pr.add_argument("--backend", **backend_kwargs)
+    pr.add_argument("--noise", type=float, default=0.0,
+                    help="uniform per-operation error rate (depolarizing "
+                    "prep/ent + readout flips, the E15 model)")
+    pr.add_argument("--exact", action="store_true",
+                    help="integrate noise channels exactly on the density "
+                    "engine: <cost> is the true noisy expectation, no "
+                    "sampling anywhere")
     pr.set_defaults(func=cmd_run)
 
     pd = sub.add_parser("verify", help="branch-exhaustive determinism check")

@@ -27,6 +27,7 @@ from scipy import optimize as spopt
 
 from repro.core.compiler import compile_qaoa_pattern
 from repro.mbqc.backend import PatternBackend, resolve_backend
+from repro.mbqc.compile import lower_noise
 from repro.mbqc.noise import NoiseModel
 from repro.problems.qubo import QUBO, IsingModel
 from repro.utils.bits import int_to_bitstring
@@ -121,28 +122,41 @@ class MBQCQAOASolver:
         corrections, and (under ``noise``) its own Pauli faults.
         """
         compiled = compile_qaoa_pattern(self.ising, gammas, betas)
-        program = compiled.executable()
+        # Lower the noise program *before* resolving the engine: automatic
+        # dispatch inspects the lowered channels (non-Pauli ones route to
+        # the density engine, which no trajectory backend can replace).
+        program = lower_noise(compiled.executable(), self.noise)
         engine = resolve_backend(self.backend, program, dense_outputs=True)
-        run = engine.sample_batch(
-            program, self.runs_per_batch, self.rng, noise=self.noise
-        )
-        states = run.dense_states()  # (runs_per_batch, 2**n), normalized rows
-        per_run = -(-self.shots // self.runs_per_batch)  # ceil
-        bitstrings: List[int] = []
-        for row in states:
-            probs = np.abs(row) ** 2
-            probs = probs / probs.sum()
-            take = min(per_run, self.shots - len(bitstrings))
-            if take <= 0:
-                break
-            draws = self.rng.choice(probs.size, size=take, p=probs)
-            bitstrings.extend(int(x) for x in draws)
-        arr = np.asarray(bitstrings[: self.shots], dtype=np.int64)
+        run = engine.sample_batch(program, self.runs_per_batch, self.rng)
+        # Resample bitstrings from the per-trajectory distributions: |ψ|²
+        # rows on pure-state engines, exact density diagonals on the
+        # density engine (whose noisy trajectory outputs are mixed and
+        # have no state vector).
+        arr = run.sample_bitstrings(self.shots, self.rng)
         self.evaluations += 1
         return SampleBatch(arr, self._cost_vector[arr])
 
     def expectation(self, gammas: Sequence[float], betas: Sequence[float]) -> float:
         return self.sample(gammas, betas).expectation()
+
+    def exact_expectation(
+        self, gammas: Sequence[float], betas: Sequence[float]
+    ) -> float:
+        """Exact noisy ``<C>`` — no sampling anywhere.
+
+        The compiled pattern (with the solver's noise model lowered onto
+        it) is integrated on the density-matrix engine over every outcome
+        branch, and the cost expectation is read off the exact output
+        distribution.  The Monte-Carlo :meth:`expectation` converges to
+        this value as ``shots`` and ``runs_per_batch`` grow (certified in
+        benchmark E21)."""
+        from repro.mbqc.backend import get_backend
+
+        compiled = compile_qaoa_pattern(self.ising, gammas, betas)
+        program = compiled.executable()
+        run = get_backend("density").integrate(program, noise=self.noise)
+        self.evaluations += 1
+        return run.expectation_diagonal(self._cost_vector)
 
     # -- optimization ----------------------------------------------------------
     def solve(

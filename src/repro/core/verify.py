@@ -86,6 +86,40 @@ def branch_unitaries(
     ]
 
 
+def _check_determinism_density(
+    compiled, engine, branches, atol: float
+) -> bool:
+    """Determinism check on the density engine: compare branch *Choi
+    states* — the pattern's inputs maximally entangled with spectator
+    ancillas — so branch maps compare exactly, with no global-phase
+    ambiguity (a density matrix carries none) and no per-column phase
+    caveat (entanglement with the ancillas keeps relative input phases).
+
+    Unreachable branches (forcing against a deterministic measurement —
+    the engine raises on the ~0 conditional probability) are skipped,
+    mirroring the stabilizer path.  Branch weights are ~``2^-m`` for ``m``
+    random measurements, so they compare *relatively* — an absolute
+    tolerance would be vacuous past ~27 measured nodes (cf. the log-domain
+    comparison on the stabilizer path).
+    """
+    ref: Optional[np.ndarray] = None
+    ref_weight = 0.0
+    for branch in branches:
+        try:
+            out = engine.run_branch_choi(compiled, branch)
+        except ZeroProbabilityBranch:
+            continue
+        mat = out.rho.to_matrix()
+        if ref is None:
+            ref, ref_weight = mat, out.weight
+            continue
+        if abs(out.weight - ref_weight) > atol * max(ref_weight, out.weight):
+            return False
+        if not np.allclose(mat, ref, atol=atol):
+            return False
+    return ref is not None
+
+
 def _check_determinism_stabilizer(
     compiled, engine, branches, atol: float, seed: SeedLike
 ) -> bool:
@@ -159,10 +193,20 @@ def check_pattern_determinism(
     comparing canonical stabilizer forms and branch weights — no dense
     output is ever materialized, so graph-state patterns verify at sizes
     far past ``2^n`` memory.
+
+    On the density engine (``backend="density"``) branches are compared as
+    *Choi states* (inputs maximally entangled with spectator ancillas):
+    exact map equality with no global-phase bookkeeping at all — the
+    strictest of the three checks, for patterns within 4^n density reach.
     """
     if compiled is None:
         compiled = compile_pattern(pattern)
     engine = resolve_backend(backend, compiled)
+    if engine.name == "density":
+        branches = _sample_branches(
+            list(compiled.measured_nodes), max_branches, seed, keep_zero=True
+        )
+        return _check_determinism_density(compiled, engine, branches, atol)
     if engine.name == "stabilizer":
         if pattern.input_nodes:
             raise PatternError(

@@ -35,7 +35,13 @@ from repro.mbqc.pattern import (
     PatternError,
     standardize,
 )
-from repro.mbqc.compile import CompiledPattern, compile_pattern
+from repro.mbqc.channels import Channel, ChannelNoiseModel, as_channel_model
+from repro.mbqc.compile import (
+    ChannelOp,
+    CompiledPattern,
+    compile_pattern,
+    lower_noise,
+)
 from repro.mbqc.backend import (
     BranchRun,
     PatternBackend,
@@ -48,6 +54,11 @@ from repro.mbqc.backend import (
     get_backend,
     register_backend,
     select_backend,
+)
+from repro.mbqc.density_backend import (
+    DensityMatrixBackend,
+    DensityOutput,
+    DensityRun,
 )
 from repro.mbqc.runner import (
     PatternResult,
@@ -76,14 +87,22 @@ __all__ = [
     "PatternError",
     "standardize",
     "PatternResult",
+    "Channel",
+    "ChannelNoiseModel",
+    "as_channel_model",
+    "ChannelOp",
     "CompiledPattern",
     "compile_pattern",
+    "lower_noise",
     "BranchRun",
     "SampleRun",
     "PatternBackend",
     "StatevectorBackend",
     "StabilizerBackend",
     "StabilizerOutput",
+    "DensityMatrixBackend",
+    "DensityOutput",
+    "DensityRun",
     "available_backends",
     "default_backend",
     "get_backend",

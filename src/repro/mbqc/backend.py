@@ -19,6 +19,14 @@ through to the :class:`StabilizerBackend` once the live register outgrows
 dense reach.  Stabilizer outputs stay in tableau form
 (:class:`StabilizerOutput`) and densify only on demand, so graph-state and
 Pauli-measurement patterns verify at sizes far beyond ``2^n`` memory.
+
+Noise enters as a compile-time channel program
+(:func:`repro.mbqc.compile.lower_noise` weaves ``ChannelOp``s and readout
+flips into the op stream), executed identically by every engine: the
+trajectory engines here sample Pauli-mixture channels per element, while
+the density-matrix engine (:mod:`repro.mbqc.density_backend`, registered as
+``"density"``) applies arbitrary channels exactly — automatic dispatch
+routes programs carrying non-Pauli channels to it.
 """
 
 from __future__ import annotations
@@ -30,12 +38,14 @@ import numpy as np
 
 from repro.linalg.gates import PAULI_X, PAULI_Y, PAULI_Z
 from repro.mbqc.compile import (
+    ChannelOp,
     CompiledPattern,
     ConditionalOp,
     EntangleOp,
     MeasureOp,
     PrepOp,
     UnitaryOp,
+    lower_noise,
     signal_parity,
 )
 from repro.mbqc.pattern import PatternError
@@ -108,6 +118,10 @@ class StabilizerOutput:
             return z, z.copy(), np.zeros(0, dtype=np.int8)
         assert self.tableau is not None
         return self.tableau.extract_substate(self.out_cols)
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis probabilities of the (unit-norm) output."""
+        return np.abs(self.unit_statevector()) ** 2
 
     def canonical_key(self) -> bytes:
         """Branch-comparison key: canonical stabilizer form of the output."""
@@ -188,12 +202,44 @@ class SampleRun:
         ]
 
     def dense_states(self) -> np.ndarray:
-        """Normalized ``(n_shots, 2**n_out)`` output block."""
+        """Normalized ``(n_shots, 2**n_out)`` output block.
+
+        Raises for raw outputs that are genuinely mixed (density-engine
+        trajectories under noise cannot be a state vector) — use
+        :meth:`probability_rows` or the raw density matrices instead."""
         if self.states is None:
             if self.raw is None:
                 raise ValueError("sample run carries neither states nor raw outputs")
             self.states = np.stack([out.unit_statevector() for out in self.raw])
         return self.states
+
+    def probability_rows(self) -> np.ndarray:
+        """Per-trajectory computational-basis probabilities
+        (``(n_shots, 2**n_out)``) — works on every engine, including mixed
+        density-matrix outputs that cannot densify to state vectors."""
+        if self.states is None and self.raw is not None:
+            return np.stack([out.probabilities() for out in self.raw])
+        states = self.dense_states()
+        p = np.abs(states) ** 2
+        return p / p.sum(axis=1, keepdims=True)
+
+    def sample_bitstrings(self, shots: int, rng) -> np.ndarray:
+        """Draw ``shots`` computational-basis samples spread evenly over
+        the run's trajectories (ceil split; the tail trajectory takes the
+        remainder).  The shared resampling step under the solver's shot
+        loop and the CLI's noisy sampling path."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        rows = self.probability_rows()
+        per_run = -(-shots // rows.shape[0])  # ceil
+        draws: List[int] = []
+        for row in rows:
+            take = min(per_run, shots - len(draws))
+            if take <= 0:
+                break
+            picks = rng.choice(row.size, size=take, p=row / row.sum())
+            draws.extend(int(x) for x in picks)
+        return np.asarray(draws[:shots], dtype=np.int64)
 
 
 @runtime_checkable
@@ -266,12 +312,14 @@ def _check_branch(compiled: CompiledPattern, forced_outcomes) -> Dict[int, int]:
 
 
 class StatevectorBackend:
-    """Dense batched-statevector execution (always applicable)."""
+    """Dense batched-statevector execution (applicable to every pattern
+    except programs carrying lowered non-Pauli channels, which cannot be
+    trajectory-sampled — those need the density engine)."""
 
     name = "statevector"
 
     def supports(self, compiled: CompiledPattern) -> bool:
-        return True
+        return not compiled.has_non_pauli_channel
 
     def run_branch_batch(
         self,
@@ -279,6 +327,7 @@ class StatevectorBackend:
         inputs: np.ndarray,
         forced_outcomes: Mapping[int, int],
     ) -> BranchRun:
+        _check_branch_noiseless(compiled, self.name)
         forced = _check_branch(compiled, forced_outcomes)
         inputs = np.asarray(inputs, dtype=complex)
         sv = BatchedStateVector.from_arrays(inputs)
@@ -322,8 +371,8 @@ class StatevectorBackend:
             raise ValueError("n_shots must be positive")
         rng = ensure_rng(rng)
         forced = dict(forced_outcomes or {})
-        if noise is not None and getattr(noise, "is_trivial", lambda: False)():
-            noise = None
+        if noise is not None:
+            compiled = lower_noise(compiled, noise)
         row = _input_row(compiled, input_state)
         sv = BatchedStateVector.from_arrays(np.tile(row, (n_shots, 1)))
         rec: Dict[int, np.ndarray] = {}  # node -> (B,) outcome bits
@@ -332,13 +381,8 @@ class StatevectorBackend:
             tp = type(op)
             if tp is PrepOp:
                 sv.add_qubit(op.state)
-                if noise is not None:
-                    _inject_pauli_faults(sv, op.slot, noise.p_prep, rng)
             elif tp is EntangleOp:
                 sv.apply_cz(*op.slots)
-                if noise is not None:
-                    _inject_pauli_faults(sv, op.slots[0], noise.p_ent, rng)
-                    _inject_pauli_faults(sv, op.slots[1], noise.p_ent, rng)
             elif tp is MeasureOp:
                 s = _parity_vec(rec, op.s_domain, n_shots)
                 t = _parity_vec(rec, op.t_domain, n_shots)
@@ -358,13 +402,15 @@ class StatevectorBackend:
                 if since_renorm >= 64:
                     sv.renormalize()
                     since_renorm = 0
-                if noise is not None and noise.p_meas > 0.0:
+                if op.flip_p > 0.0:
                     # Readout flip: corrupts downstream adaptivity too.
-                    outs = outs ^ (rng.random(n_shots) < noise.p_meas)
+                    outs = outs ^ (rng.random(n_shots) < op.flip_p)
                 rec[op.node] = outs.astype(np.int8)
             elif tp is ConditionalOp:
                 fire = _parity_vec(rec, op.domain, n_shots).astype(bool)
                 sv.apply_1q_masked(op.matrix, op.slot, fire)
+            elif tp is ChannelOp:
+                _sample_pauli_channel_batch(sv, op, rng)
             else:  # UnitaryOp
                 sv.apply_1q(op.matrix, op.slot)
         sv.permute(compiled.out_perm)
@@ -393,17 +439,51 @@ def _parity_vec(rec: Dict[int, np.ndarray], domain, n_shots: int) -> np.ndarray:
 _DENSE_PAULIS = (PAULI_X, PAULI_Y, PAULI_Z)
 
 
-def _inject_pauli_faults(sv: BatchedStateVector, slot: int, p: float, rng) -> None:
-    """Depolarize ``slot`` independently per batch element with rate ``p``."""
-    if p <= 0.0:
-        return
+def _check_branch_noiseless(compiled: CompiledPattern, name: str) -> None:
+    """Forced-branch extraction on a trajectory engine is only defined for
+    noiseless programs — a sampled channel would make the branch map a
+    random variable.  The density engine integrates channels exactly and
+    accepts noise-lowered programs."""
+    if compiled.has_noise:
+        raise PatternError(
+            f"backend {name!r} cannot run forced branches of a noise-lowered "
+            f"program; use the 'density' backend for exact noisy branch maps"
+        )
+
+
+def _require_pauli_channel(op: ChannelOp) -> Tuple[float, float, float, float]:
+    if op.pauli_probs is None:
+        raise PatternError(
+            f"channel {op.label!r} is not a Pauli mixture; trajectory engines "
+            f"cannot sample it — run the 'density' backend (exact integration)"
+        )
+    return op.pauli_probs
+
+
+def _sample_pauli_channel_batch(sv: BatchedStateVector, op: ChannelOp, rng) -> None:
+    """Sample ``op``'s Pauli mixture independently per batch element."""
+    _, px, py, pz = _require_pauli_channel(op)
     b = sv.batch_size
-    fire = rng.random(b) < p
-    if not fire.any():
+    if px == py == pz:
+        # Uniform (depolarizing) mixture: one fire draw + one Pauli pick,
+        # byte-compatible with the historical fault stream so seeded
+        # trajectories reproduce across the refactor.
+        p = 3.0 * px
+        if p <= 0.0:
+            return
+        fire = rng.random(b) < p
+        if not fire.any():
+            return
+        which = rng.integers(3, size=b)
+        for i, mat in enumerate(_DENSE_PAULIS):
+            sv.apply_1q_masked(mat, op.slot, fire & (which == i))
         return
-    which = rng.integers(3, size=b)
-    for i, mat in enumerate(_DENSE_PAULIS):
-        sv.apply_1q_masked(mat, slot, fire & (which == i))
+    u = rng.random(b)
+    lo = 1.0 - (px + py + pz)
+    for mat, p in zip(_DENSE_PAULIS, (px, py, pz)):
+        if p > 0.0:
+            sv.apply_1q_masked(mat, op.slot, (u >= lo) & (u < lo + p))
+        lo += p
 
 
 class StabilizerBackend:
@@ -434,9 +514,10 @@ class StabilizerBackend:
     def _require_clifford(self, compiled: CompiledPattern) -> None:
         if not compiled.is_clifford:
             raise PatternError(
-                "pattern is not Clifford (a measurement basis is not Pauli or "
-                "a correction is not a single-qubit Clifford); run it on the "
-                "statevector backend instead"
+                "pattern is not Clifford (a measurement basis is not Pauli, a "
+                "correction is not a single-qubit Clifford, or a lowered "
+                "channel is not a Pauli mixture); run it on the statevector "
+                "or density backend instead"
             )
 
     # -- input handling ----------------------------------------------------
@@ -488,7 +569,6 @@ class StabilizerBackend:
         log2_weight: float,
         rng,
         forced: Mapping[int, int],
-        noise: Optional[object],
     ) -> Tuple[StabilizerOutput, Dict[int, int]]:
         """Execute one trajectory/branch on one (preallocated) tableau.
 
@@ -513,13 +593,10 @@ class StabilizerBackend:
                 elif op.label == "one":
                     st.x_gate(col)
                 slot_cols.append(col)
-                if noise is not None:
-                    _inject_tableau_fault(st, col, noise.p_prep, rng)
             elif tp is EntangleOp:
                 st.cz(slot_cols[op.slots[0]], slot_cols[op.slots[1]])
-                if noise is not None:
-                    _inject_tableau_fault(st, slot_cols[op.slots[0]], noise.p_ent, rng)
-                    _inject_tableau_fault(st, slot_cols[op.slots[1]], noise.p_ent, rng)
+            elif tp is ChannelOp:
+                _sample_tableau_channel(st, slot_cols[op.slot], op, rng)
             elif tp is MeasureOp:
                 s = signal_parity(outcomes, op.s_domain)
                 t = signal_parity(outcomes, op.t_domain)
@@ -540,11 +617,7 @@ class StabilizerBackend:
                 if prob == 0.5:  # random outcome; deterministic ones weigh 1
                     log2_weight -= 1.0
                 out = tab_out ^ flip
-                if (
-                    noise is not None
-                    and noise.p_meas > 0.0
-                    and rng.random() < noise.p_meas
-                ):
+                if op.flip_p > 0.0 and rng.random() < op.flip_p:
                     out ^= 1  # readout flip corrupts downstream adaptivity
                 outcomes[op.node] = out
             elif tp is ConditionalOp:
@@ -566,6 +639,7 @@ class StabilizerBackend:
         forced_outcomes: Mapping[int, int],
     ) -> BranchRun:
         self._require_clifford(compiled)
+        _check_branch_noiseless(compiled, self.name)
         forced = _check_branch(compiled, forced_outcomes)
         inputs = np.asarray(inputs, dtype=complex)
         if inputs.ndim != 2 or inputs.shape[1] != 1 << compiled.num_inputs:
@@ -576,7 +650,7 @@ class StabilizerBackend:
         raw: List[StabilizerOutput] = []
         for row in inputs:
             st, log2_w = self._init_tableau(compiled, row, n_total)
-            out, _ = self._run_one(compiled, st, log2_w, None, forced, None)
+            out, _ = self._run_one(compiled, st, log2_w, None, forced)
             raw.append(out)
         return BranchRun(
             outcomes=forced,
@@ -595,28 +669,50 @@ class StabilizerBackend:
     ) -> SampleRun:
         if n_shots < 1:
             raise ValueError("n_shots must be positive")
-        self._require_clifford(compiled)
         rng = ensure_rng(rng)
         forced = dict(forced_outcomes or {})
-        if noise is not None and getattr(noise, "is_trivial", lambda: False)():
-            noise = None
+        if noise is not None:
+            compiled = lower_noise(compiled, noise)
+        self._require_clifford(compiled)
         row = _input_row(compiled, input_state)
         n_total = self._total_nodes(compiled)
         raw: List[StabilizerOutput] = []
         outs = np.zeros((n_shots, len(compiled.measured_nodes)), dtype=np.int8)
         for j in range(n_shots):
             st, log2_w = self._init_tableau(compiled, row, n_total)
-            out, outcomes = self._run_one(compiled, st, log2_w, rng, forced, noise)
+            out, outcomes = self._run_one(compiled, st, log2_w, rng, forced)
             raw.append(out)
             for i, node in enumerate(compiled.measured_nodes):
                 outs[j, i] = outcomes[node]
         return SampleRun(nodes=compiled.measured_nodes, outcomes=outs, raw=tuple(raw))
 
 
-def _inject_tableau_fault(st: StabilizerState, col: int, p: float, rng) -> None:
-    """Depolarizing Pauli fault on one tableau column with rate ``p``."""
-    if p > 0.0 and rng.random() < p:
-        st.apply_named(_PAULI_GATES[int(rng.integers(3))], (col,))
+def draw_pauli_fault(op: ChannelOp, rng) -> Optional[int]:
+    """Sample ``op``'s Pauli mixture once: X/Y/Z index, or ``None`` for
+    identity.  Shared by every single-trajectory executor (the stabilizer
+    engine and the in-process interpreter in :mod:`repro.mbqc.runner`)."""
+    _, px, py, pz = _require_pauli_channel(op)
+    if px == py == pz:
+        # Uniform (depolarizing) mixture: keep the historical draw pattern
+        # so seeded trajectories reproduce across the refactor.
+        p = 3.0 * px
+        if p > 0.0 and rng.random() < p:
+            return int(rng.integers(3))
+        return None
+    u = rng.random()
+    lo = 1.0 - (px + py + pz)
+    for i, p in enumerate((px, py, pz)):
+        if lo <= u < lo + p:
+            return i
+        lo += p
+    return None
+
+
+def _sample_tableau_channel(st: StabilizerState, col: int, op: ChannelOp, rng) -> None:
+    """Sample ``op``'s Pauli mixture as a fault on one tableau column."""
+    i = draw_pauli_fault(op, rng)
+    if i is not None:
+        st.apply_named(_PAULI_GATES[i], (col,))
 
 
 # -- registry ---------------------------------------------------------------
@@ -690,6 +786,16 @@ def select_backend(
                 )
             )
         return backend
+    if compiled.has_non_pauli_channel:
+        # Non-Pauli channels cannot be trajectory-sampled: the density
+        # engine is the only one that executes such a program (exactly).
+        dens = _REGISTRY.get("density")
+        if dens is not None and dens.supports(compiled):
+            return dens
+        raise PatternError(
+            "pattern carries non-Pauli channels beyond the density engine's "
+            "reach; no registered backend can execute it"
+        )
     if (
         compiled.max_live > DENSE_AUTO_MAX_LIVE
         and compiled.num_inputs == 0
@@ -721,3 +827,7 @@ def default_backend() -> PatternBackend:
 
 register_backend(StatevectorBackend())
 register_backend(StabilizerBackend())
+
+# The density-matrix engine lives in its own module (it pulls in the
+# repro.sim.density substrate) and registers itself on import.
+import repro.mbqc.density_backend  # noqa: E402,F401  (registers "density")

@@ -1,0 +1,199 @@
+"""Compile-time noise IR: Kraus channels attached to pattern operations.
+
+The paper's noise story (Section I / experiment E15) — errors enter MBQC at
+resource-state *preparation*, *entangling*, and *measurement* rather than at
+gates — used to live as a bag of three probabilities that every runner
+reinterpreted on its own.  This module makes noise a first-class compile
+artifact instead:
+
+- :class:`Channel` is a validated Kraus map (named constructors for
+  depolarizing, dephasing, and amplitude damping, plus arbitrary
+  user-supplied Kraus lists), classified once as a Pauli mixture or not.
+- :class:`ChannelNoiseModel` assigns a channel per operation type (after
+  each ``N``, on both qubits of each ``E``) plus a classical readout-flip
+  probability per ``M``.
+- :func:`as_channel_model` coerces anything noise-shaped — including the
+  back-compat probability bag :class:`repro.mbqc.noise.NoiseModel` — to a
+  :class:`ChannelNoiseModel`.
+
+:func:`repro.mbqc.compile.lower_noise` lowers a model onto a compiled
+pattern as explicit ``ChannelOp``s, so every execution engine (dense
+trajectory, stabilizer trajectory, exact density matrix) consumes the *same*
+noise program: trajectory engines sample Pauli mixtures per element, the
+density engine integrates arbitrary channels exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import IDENTITY, PAULI_X, PAULI_Y, PAULI_Z
+from repro.sim.density import (
+    amplitude_damping_kraus,
+    dephasing_kraus,
+    depolarizing_kraus,
+    validate_kraus,
+)
+
+_PAULI_MATS = (IDENTITY, PAULI_X, PAULI_Y, PAULI_Z)
+
+
+@dataclass(frozen=True, eq=False)
+class Channel:
+    """A named, validated quantum channel in Kraus form.
+
+    Construction validates trace preservation (``Σ K†K ≈ I``) and uniform
+    operator shape; see :func:`repro.sim.density.validate_kraus`.  Use the
+    classmethod constructors for the standard channels, or
+    :meth:`from_kraus` for arbitrary operator lists.
+    """
+
+    name: str
+    kraus: Tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        ops = validate_kraus(self.kraus, where=f"channel {self.name!r}")
+        for op in ops:
+            op.setflags(write=False)
+        object.__setattr__(self, "kraus", ops)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_kraus(cls, kraus: Sequence[np.ndarray], name: str = "custom") -> "Channel":
+        """A channel from a user-supplied Kraus list (validated)."""
+        return cls(name, tuple(kraus))
+
+    @classmethod
+    def depolarizing(cls, p: float) -> "Channel":
+        """Identity w.p. ``1−p``, else a uniformly random Pauli."""
+        return cls(f"depolarizing({p:g})", tuple(depolarizing_kraus(p)))
+
+    @classmethod
+    def dephasing(cls, p: float) -> "Channel":
+        """Phase flip (Z) w.p. ``p``."""
+        return cls(f"dephasing({p:g})", tuple(dephasing_kraus(p)))
+
+    @classmethod
+    def amplitude_damping(cls, gamma: float) -> "Channel":
+        """Amplitude damping with decay probability ``gamma``."""
+        return cls(f"amplitude_damping({gamma:g})", tuple(amplitude_damping_kraus(gamma)))
+
+    # -- classification ------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self.kraus[0].shape[0].bit_length() - 1
+
+    @cached_property
+    def pauli_probs(self) -> Optional[Tuple[float, float, float, float]]:
+        """``(p_I, p_X, p_Y, p_Z)`` when every Kraus operator is
+        proportional to a single-qubit Pauli, else ``None``.
+
+        Pauli mixtures are the channels trajectory engines can sample as
+        per-element Pauli faults (and that keep a Clifford pattern on the
+        stabilizer fast path); anything else needs exact integration on the
+        density engine.
+        """
+        if self.num_qubits != 1:
+            return None
+        probs = [0.0, 0.0, 0.0, 0.0]
+        for k in self.kraus:
+            for i, pauli in enumerate(_PAULI_MATS):
+                # K ∝ P  ⇔  (P†K) ∝ I; the weight is |c|² = ‖K‖²_F / 2.
+                m = pauli.conj().T @ k
+                if abs(m[0, 1]) < 1e-12 and abs(m[1, 0]) < 1e-12 and abs(
+                    m[0, 0] - m[1, 1]
+                ) < 1e-12:
+                    probs[i] += float(np.real(np.vdot(k, k))) / 2.0
+                    break
+            else:
+                return None
+        return tuple(probs)  # type: ignore[return-value]
+
+    def is_identity(self) -> bool:
+        """True iff the channel is the identity map (trivial noise)."""
+        pp = self.pauli_probs
+        return pp is not None and pp[1] == pp[2] == pp[3] == 0.0
+
+
+@dataclass(frozen=True)
+class ChannelNoiseModel:
+    """Per-operation-type noise: Kraus channels plus readout flips.
+
+    ``prep`` is applied to each node right after its ``N`` preparation,
+    ``ent`` to both qubits of each ``E`` entangler, and ``meas_flip`` is
+    the probability that a measurement's *recorded* outcome is flipped
+    (corrupting downstream adaptivity — the classical error channel).
+    ``prep``/``ent`` must be single-qubit channels.
+    """
+
+    prep: Optional[Channel] = None
+    ent: Optional[Channel] = None
+    meas_flip: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.meas_flip <= 1.0:
+            raise ValueError(f"meas_flip must be a probability, got {self.meas_flip}")
+        for field_name in ("prep", "ent"):
+            ch = getattr(self, field_name)
+            if ch is not None and ch.num_qubits != 1:
+                raise ValueError(
+                    f"{field_name} channel {ch.name!r} acts on {ch.num_qubits} "
+                    f"qubits; per-op lowering needs single-qubit channels"
+                )
+
+    def is_trivial(self) -> bool:
+        return (
+            (self.prep is None or self.prep.is_identity())
+            and (self.ent is None or self.ent.is_identity())
+            and self.meas_flip == 0.0
+        )
+
+    def is_pauli(self) -> bool:
+        """True iff every channel is a Pauli mixture (readout flips are
+        classical and always fine) — the condition for trajectory sampling."""
+        return all(
+            ch is None or ch.pauli_probs is not None for ch in (self.prep, self.ent)
+        )
+
+
+def as_channel_model(noise: object) -> Optional["ChannelNoiseModel"]:
+    """Coerce anything noise-shaped to a :class:`ChannelNoiseModel`.
+
+    Accepts ``None``, a :class:`ChannelNoiseModel`, any object with a
+    ``channels()`` lowering method (the :class:`repro.mbqc.noise.NoiseModel`
+    shim), or a bare probability bag exposing ``p_prep``/``p_ent``/
+    ``p_meas`` floats (lowered to depolarizing channels + readout flips,
+    matching the historical Monte-Carlo semantics).
+    """
+    if noise is None:
+        return None
+    if isinstance(noise, ChannelNoiseModel):
+        return noise
+    lower = getattr(noise, "channels", None)
+    if callable(lower):
+        model = lower()
+        if not isinstance(model, ChannelNoiseModel):
+            raise TypeError(
+                f"{type(noise).__name__}.channels() returned "
+                f"{type(model).__name__}, expected ChannelNoiseModel"
+            )
+        return model
+    try:
+        p_prep = float(getattr(noise, "p_prep"))
+        p_ent = float(getattr(noise, "p_ent"))
+        p_meas = float(getattr(noise, "p_meas"))
+    except (AttributeError, TypeError, ValueError):
+        raise TypeError(
+            f"cannot interpret {type(noise).__name__} as a noise model: "
+            f"expected ChannelNoiseModel, a .channels() provider, or "
+            f"p_prep/p_ent/p_meas probabilities"
+        ) from None
+    return ChannelNoiseModel(
+        prep=Channel.depolarizing(p_prep) if p_prep > 0.0 else None,
+        ent=Channel.depolarizing(p_ent) if p_ent > 0.0 else None,
+        meas_flip=p_meas,
+    )

@@ -36,13 +36,14 @@ validation is skipped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import cached_property, lru_cache
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.linalg.gates import HADAMARD, PAULI_X, PAULI_Y, PAULI_Z, S_GATE
+from repro.mbqc.channels import Channel, ChannelNoiseModel, as_channel_model
 from repro.linalg.gates import rx as _rx, ry as _ry, rz as _rz
 from repro.mbqc.pattern import (
     CommandC,
@@ -191,6 +192,9 @@ class MeasureOp:
     """``(4, 2, 2)`` array view of ``bases`` (``[s+2t, outcome, component]``)
     — prebuilt so the batched trajectory sampler can gather per-element
     bases with one fancy index instead of re-stacking vectors per call."""
+    flip_p: float = 0.0
+    """Probability that the *recorded* outcome is flipped (classical readout
+    error; corrupts downstream adaptivity).  Set by :func:`lower_noise`."""
 
 
 @dataclass(frozen=True)
@@ -216,7 +220,24 @@ class UnitaryOp:
     clifford: Optional[Tuple[str, ...]] = None
 
 
-CompiledOp = Union[PrepOp, EntangleOp, MeasureOp, ConditionalOp, UnitaryOp]
+@dataclass(frozen=True)
+class ChannelOp:
+    """Apply a Kraus channel to ``slot`` — the lowered noise IR.
+
+    Woven into the op stream by :func:`lower_noise` so *every* backend
+    executes the identical noise program: the density engine applies
+    ``kraus`` exactly; trajectory engines sample ``pauli_probs``
+    (``(p_I, p_X, p_Y, p_Z)``, present iff the channel is a Pauli mixture)
+    as per-element Pauli faults, and refuse non-Pauli channels.
+    """
+
+    slot: int
+    kraus: Tuple[np.ndarray, ...]
+    label: str
+    pauli_probs: Optional[Tuple[float, float, float, float]] = None
+
+
+CompiledOp = Union[PrepOp, EntangleOp, MeasureOp, ConditionalOp, UnitaryOp, ChannelOp]
 
 
 @dataclass(frozen=True)
@@ -233,6 +254,9 @@ class CompiledPattern:
     ops: Tuple[CompiledOp, ...]
     out_perm: Tuple[int, ...]
     max_live: int
+    noise: Optional[ChannelNoiseModel] = None
+    """The channel model lowered into ``ops`` (``None`` for a noiseless
+    program).  Set by :func:`lower_noise`."""
 
     @property
     def num_inputs(self) -> int:
@@ -250,14 +274,36 @@ class CompiledPattern:
         Such patterns qualify for the stabilizer-tableau fast path
         (:class:`repro.mbqc.backend.StabilizerBackend`); preparation states
         are always stabilizer states, so only measurements and unitaries
-        can disqualify."""
+        can disqualify.  Lowered Pauli-mixture channels keep the pattern
+        Clifford (trajectories sample them as Pauli faults); any other
+        channel disqualifies."""
         for op in self.ops:
             tp = type(op)
             if tp is MeasureOp and op.pauli is None:
                 return False
             if tp in (UnitaryOp, ConditionalOp) and op.clifford is None:
                 return False
+            if tp is ChannelOp and op.pauli_probs is None:
+                return False
         return True
+
+    @cached_property
+    def has_noise(self) -> bool:
+        """True iff a noise program is lowered into ``ops`` (any channel op
+        or a nonzero readout-flip probability)."""
+        for op in self.ops:
+            tp = type(op)
+            if tp is ChannelOp or (tp is MeasureOp and op.flip_p > 0.0):
+                return True
+        return False
+
+    @cached_property
+    def has_non_pauli_channel(self) -> bool:
+        """True iff some lowered channel is not a Pauli mixture — such
+        programs cannot be trajectory-sampled and need the density engine."""
+        return any(
+            type(op) is ChannelOp and op.pauli_probs is None for op in self.ops
+        )
 
 
 def _fast_basis(plane: str, angle: float) -> MeasurementBasis:
@@ -413,6 +459,49 @@ def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
         out_perm=out_perm,
         max_live=max_live,
     )
+
+
+def lower_noise(compiled: CompiledPattern, noise: object) -> CompiledPattern:
+    """Attach a noise program to ``compiled`` as explicit per-op channels.
+
+    ``noise`` is anything :func:`repro.mbqc.channels.as_channel_model`
+    accepts (a :class:`~repro.mbqc.channels.ChannelNoiseModel`, the
+    back-compat ``NoiseModel`` probability bag, or ``None``).  The model's
+    ``prep`` channel is woven in after each :class:`PrepOp`, its ``ent``
+    channel after each :class:`EntangleOp` on both slots, and ``meas_flip``
+    is baked onto each :class:`MeasureOp` — so every backend executes one
+    shared noise program instead of reinterpreting probabilities.
+
+    Returns ``compiled`` unchanged for trivial models; lowering twice is an
+    error (the noise program would double).
+    """
+    model = as_channel_model(noise)
+    if model is None or model.is_trivial():
+        return compiled
+    if compiled.has_noise:
+        raise PatternError(
+            "pattern already carries a lowered noise program; compile a fresh "
+            "pattern or pass noise once"
+        )
+
+    def channel_op(channel: Channel, slot: int) -> ChannelOp:
+        return ChannelOp(slot, channel.kraus, channel.name, channel.pauli_probs)
+
+    prep = None if model.prep is None or model.prep.is_identity() else model.prep
+    ent = None if model.ent is None or model.ent.is_identity() else model.ent
+    ops: List[CompiledOp] = []
+    for op in compiled.ops:
+        tp = type(op)
+        if tp is MeasureOp and model.meas_flip > 0.0:
+            ops.append(replace(op, flip_p=model.meas_flip))
+            continue
+        ops.append(op)
+        if tp is PrepOp and prep is not None:
+            ops.append(channel_op(prep, op.slot))
+        elif tp is EntangleOp and ent is not None:
+            ops.append(channel_op(ent, op.slots[0]))
+            ops.append(channel_op(ent, op.slots[1]))
+    return replace(compiled, ops=tuple(ops), noise=model)
 
 
 def signal_parity(outcomes: Dict[int, int], domain: Tuple[int, ...]) -> int:

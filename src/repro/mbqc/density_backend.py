@@ -1,0 +1,456 @@
+"""Exact density-matrix execution engine (registered as ``"density"``).
+
+The third engine of the backend registry: where the dense and stabilizer
+engines *sample* noise trajectories, this one evolves the full density
+operator, applying every lowered :class:`~repro.mbqc.compile.ChannelOp` as
+an exact Kraus map.  Three execution modes:
+
+- :meth:`DensityMatrixBackend.sample_batch` — trajectories with *sampled*
+  measurement outcomes but *exact* channels (each shot's output is the
+  conditional mixed state given its outcome record).
+- :meth:`DensityMatrixBackend.run_branch_batch` /
+  :meth:`~DensityMatrixBackend.run_branch_choi` — one forced outcome
+  branch, exactly; readout flips make the branch state a two-term mixture
+  per measurement, integrated in place.  The Choi variant entangles the
+  input register with spectator ancillas, so branch *maps* compare without
+  any global-phase ambiguity (the exact determinism check of
+  :func:`repro.core.verify.check_pattern_determinism`).
+- :meth:`DensityMatrixBackend.integrate` — the headline: sum over **all**
+  outcome branches, weighting each by its exact probability.  The result
+  is the true noisy output state ``ρ = Σ_m p(m) ρ_m``, the convergence
+  reference that certifies the Monte-Carlo trajectory estimator
+  (``average_fidelity(..., exact=True)``, benchmark E21).  Cost is
+  ``O(2^m)`` branches (``4^m`` with readout flips on live outcomes);
+  measurements whose record is never read downstream are retired by a
+  basis dephase + partial trace instead of branching.
+
+Everything dispatches over the same compiled op stream as the other
+engines — noise enters through :func:`repro.mbqc.compile.lower_noise`, so
+all three backends execute the identical noise program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.gates import CZ
+from repro.mbqc.backend import (
+    BranchRun,
+    SampleRun,
+    _check_branch,
+    _input_row,
+    register_backend,
+)
+from repro.mbqc.compile import (
+    ChannelOp,
+    CompiledPattern,
+    ConditionalOp,
+    EntangleOp,
+    MeasureOp,
+    PrepOp,
+    UnitaryOp,
+    lower_noise,
+    signal_parity,
+)
+from repro.mbqc.pattern import PatternError
+from repro.sim.density import DensityMatrix
+from repro.sim.statevector import ZeroProbabilityBranch
+from repro.utils.rng import SeedLike, ensure_rng
+
+# A density tensor holds 4^n amplitudes: 10 live qubits is ~16 MiB complex,
+# the practical ceiling for this engine's per-op tensordot sweeps.
+DENSITY_MAX_LIVE = 10
+
+# Exact integration explores the outcome-branch tree; past this many leaves
+# the sum is better estimated by trajectories.
+DENSITY_MAX_BRANCHES = 1 << 18
+
+_ZERO_PROB = 1e-12
+
+
+def _normalized_probs(rho: DensityMatrix) -> np.ndarray:
+    """Unit-sum computational-basis probabilities of a (possibly
+    unnormalized) density operator."""
+    p = rho.probabilities()
+    total = p.sum()
+    return p / total if total > 0 else p
+
+
+@dataclass
+class DensityOutput:
+    """One batch element's output on the density engine.
+
+    ``rho`` is the normalized output density operator (output nodes in
+    output order, little-endian); ``weight`` is the branch probability
+    (1.0 for sampled trajectories).  Densification to a state vector is
+    only defined for pure outputs and, like the stabilizer engine's, is
+    exact up to a global phase.
+    """
+
+    rho: DensityMatrix
+    weight: float = 1.0
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis probabilities of the output."""
+        return _normalized_probs(self.rho)
+
+    def unit_statevector(self) -> np.ndarray:
+        """Dense unit-norm output column (pure outputs only, phase-free)."""
+        m = self.rho.to_matrix()
+        tr = float(np.real(np.trace(m)))
+        if tr <= 0.0:
+            raise ValueError("cannot densify a zero-trace output")
+        m = m / tr
+        purity = float(np.real(np.trace(m @ m)))
+        if purity < 1.0 - 1e-6:
+            raise ValueError(
+                f"output is mixed (purity {purity:.6f}); a state vector does "
+                f"not exist — use probabilities() or the rho field"
+            )
+        _, vecs = np.linalg.eigh(m)
+        return np.ascontiguousarray(vecs[:, -1])
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense output column scaled to ``‖·‖² = weight`` (pure only)."""
+        return np.sqrt(self.weight) * self.unit_statevector()
+
+
+@dataclass
+class DensityRun:
+    """Result of exact channel integration over all outcome branches.
+
+    ``rho`` is the exact noisy output state (trace ≈ 1 up to branch
+    pruning); ``branches`` counts the leaves actually explored.
+    """
+
+    rho: DensityMatrix
+    branches: int
+
+    def probabilities(self) -> np.ndarray:
+        return _normalized_probs(self.rho)
+
+    def expectation_diagonal(self, diag: np.ndarray) -> float:
+        """Exact ``Tr(ρ D)`` for a real little-endian diagonal cost."""
+        return float(np.dot(self.probabilities(), np.asarray(diag, dtype=float)))
+
+    def fidelity_with_pure(self, vec: np.ndarray) -> float:
+        """Exact ``<ψ|ρ|ψ>`` against a pure reference."""
+        return self.rho.fidelity_with_pure(vec)
+
+
+def _dead_records(ops: Tuple[object, ...]) -> List[bool]:
+    """``dead[i]`` is True when op ``i`` is a measurement whose recorded
+    outcome is never referenced by any later signal domain — its branch
+    pair can be merged (dephase + partial trace) instead of explored."""
+    dead = [False] * len(ops)
+    referenced: set = set()
+    for i in reversed(range(len(ops))):
+        op = ops[i]
+        tp = type(op)
+        if tp is MeasureOp:
+            dead[i] = op.node not in referenced
+            referenced |= set(op.s_domain) | set(op.t_domain)
+        elif tp is ConditionalOp:
+            referenced |= set(op.domain)
+    return dead
+
+
+class DensityMatrixBackend:
+    """Exact open-system execution over :class:`repro.sim.density`."""
+
+    name = "density"
+
+    def supports(self, compiled: CompiledPattern) -> bool:
+        return compiled.max_live <= DENSITY_MAX_LIVE
+
+    def _require_reach(self, compiled: CompiledPattern, extra: int = 0) -> None:
+        if compiled.max_live + extra > DENSITY_MAX_LIVE:
+            raise PatternError(
+                f"pattern needs {compiled.max_live + extra} live qubits, past "
+                f"the density engine's {DENSITY_MAX_LIVE}-qubit reach "
+                f"(4^n density amplitudes); use a trajectory backend"
+            )
+
+    # -- forced-branch execution --------------------------------------------
+    def _exec_forced(
+        self,
+        compiled: CompiledPattern,
+        rho: DensityMatrix,
+        forced: Mapping[int, int],
+        live: int,
+    ) -> float:
+        """Run ``compiled`` on ``rho`` (mutating) with every outcome pinned;
+        returns the exact branch probability.  Readout flips fold in as
+        two-term mixtures — the recorded (forced) bit may come from either
+        true outcome."""
+        weight = 1.0
+        outcomes: Dict[int, int] = {}
+        for op in compiled.ops:
+            tp = type(op)
+            if tp is PrepOp:
+                rho.add_qubit(op.state, position=live)
+                live += 1
+            elif tp is EntangleOp:
+                rho.apply_2q(CZ, *op.slots)
+            elif tp is ChannelOp:
+                rho.apply_kraus(op.kraus, op.slot, check=False)
+            elif tp is MeasureOp:
+                s = signal_parity(outcomes, op.s_domain)
+                t = signal_parity(outcomes, op.t_domain)
+                basis = op.bases[s + 2 * t]
+                r = forced[op.node]
+                dm, p = rho.measure_project(op.slot, basis, r)
+                tensor, prob = dm._t, p
+                if op.flip_p > 0.0:
+                    dm_w, p_w = rho.measure_project(op.slot, basis, r ^ 1)
+                    f = op.flip_p
+                    tensor = (1.0 - f) * tensor + f * dm_w._t
+                    prob = (1.0 - f) * p + f * p_w
+                if prob < _ZERO_PROB:
+                    raise ZeroProbabilityBranch(
+                        f"forced outcome {r} on node {op.node} has "
+                        f"probability ~0"
+                    )
+                rho._t = tensor / prob
+                rho._n = dm._n
+                weight *= prob
+                live -= 1
+                outcomes[op.node] = r
+            elif tp is ConditionalOp:
+                if signal_parity(outcomes, op.domain):
+                    rho.apply_1q(op.matrix, op.slot)
+            else:  # UnitaryOp
+                rho.apply_1q(op.matrix, op.slot)
+        return weight
+
+    def run_branch_batch(
+        self,
+        compiled: CompiledPattern,
+        inputs: np.ndarray,
+        forced_outcomes: Mapping[int, int],
+    ) -> BranchRun:
+        self._require_reach(compiled)
+        forced = _check_branch(compiled, forced_outcomes)
+        inputs = np.asarray(inputs, dtype=complex)
+        if inputs.ndim != 2 or inputs.shape[1] != 1 << compiled.num_inputs:
+            raise PatternError(
+                f"input block must have shape (B, {1 << compiled.num_inputs})"
+            )
+        raw: List[DensityOutput] = []
+        for row in inputs:
+            norm2 = float(np.real(np.vdot(row, row)))
+            if norm2 <= 0.0:
+                raise PatternError("input row has zero norm")
+            rho = DensityMatrix.from_pure(row / np.sqrt(norm2))
+            weight = norm2 * self._exec_forced(
+                compiled, rho, forced, compiled.num_inputs
+            )
+            rho.permute(compiled.out_perm)
+            raw.append(DensityOutput(rho, weight))
+        return BranchRun(
+            outcomes=forced,
+            weights=np.array([o.weight for o in raw]),
+            raw=tuple(raw),
+        )
+
+    def run_branch_choi(
+        self,
+        compiled: CompiledPattern,
+        forced_outcomes: Mapping[int, int],
+    ) -> DensityOutput:
+        """One forced branch on the Choi input: each pattern input is
+        maximally entangled with a spectator ancilla, so the returned state
+        (outputs in output order, then ancillas) encodes the branch *map*
+        with no global-phase ambiguity.  For input-free patterns this is a
+        plain forced branch run."""
+        k = compiled.num_inputs
+        self._require_reach(compiled, extra=k)
+        forced = _check_branch(compiled, forced_outcomes)
+        if k == 0:
+            rho = DensityMatrix.from_pure(_input_row(compiled, None))
+        else:
+            vec = np.zeros(1 << (2 * k), dtype=complex)
+            for x in range(1 << k):
+                vec[x | (x << k)] = 1.0
+            rho = DensityMatrix.from_pure(vec / np.sqrt(1 << k))
+        weight = self._exec_forced(compiled, rho, forced, k)
+        n_out = compiled.num_outputs
+        rho.permute(list(compiled.out_perm) + [n_out + j for j in range(k)])
+        return DensityOutput(rho, weight)
+
+    # -- trajectory sampling (exact channels, sampled outcomes) -------------
+    def sample_batch(
+        self,
+        compiled: CompiledPattern,
+        n_shots: int,
+        rng: SeedLike = None,
+        input_state: Optional[np.ndarray] = None,
+        forced_outcomes: Optional[Mapping[int, int]] = None,
+        noise: Optional[object] = None,
+    ) -> SampleRun:
+        if n_shots < 1:
+            raise ValueError("n_shots must be positive")
+        if noise is not None:
+            compiled = lower_noise(compiled, noise)
+        self._require_reach(compiled)
+        rng = ensure_rng(rng)
+        forced = dict(forced_outcomes or {})
+        row = _input_row(compiled, input_state)
+        row = row / np.linalg.norm(row)
+        raw: List[DensityOutput] = []
+        outs = np.zeros((n_shots, len(compiled.measured_nodes)), dtype=np.int8)
+        for j in range(n_shots):
+            rho = DensityMatrix.from_pure(row)
+            live = compiled.num_inputs
+            outcomes: Dict[int, int] = {}
+            for op in compiled.ops:
+                tp = type(op)
+                if tp is PrepOp:
+                    rho.add_qubit(op.state, position=live)
+                    live += 1
+                elif tp is EntangleOp:
+                    rho.apply_2q(CZ, *op.slots)
+                elif tp is ChannelOp:
+                    rho.apply_kraus(op.kraus, op.slot, check=False)
+                elif tp is MeasureOp:
+                    s = signal_parity(outcomes, op.s_domain)
+                    t = signal_parity(outcomes, op.t_domain)
+                    basis = op.bases[s + 2 * t]
+                    pinned = forced.get(op.node)
+                    try:
+                        out, _prob = rho.measure(
+                            op.slot, basis, rng=rng, force=pinned
+                        )
+                    except ValueError:
+                        if pinned is None:
+                            raise
+                        raise ZeroProbabilityBranch(
+                            f"forced outcome {pinned} on node {op.node} has "
+                            f"probability ~0"
+                        ) from None
+                    if op.flip_p > 0.0 and rng.random() < op.flip_p:
+                        out ^= 1  # readout flip corrupts downstream adaptivity
+                    outcomes[op.node] = out
+                    live -= 1
+                elif tp is ConditionalOp:
+                    if signal_parity(outcomes, op.domain):
+                        rho.apply_1q(op.matrix, op.slot)
+                else:  # UnitaryOp
+                    rho.apply_1q(op.matrix, op.slot)
+            rho.permute(compiled.out_perm)
+            raw.append(DensityOutput(rho, 1.0))
+            for i, node in enumerate(compiled.measured_nodes):
+                outs[j, i] = outcomes[node]
+        return SampleRun(nodes=compiled.measured_nodes, outcomes=outs, raw=tuple(raw))
+
+    # -- exact integration ---------------------------------------------------
+    def integrate(
+        self,
+        compiled: CompiledPattern,
+        noise: Optional[object] = None,
+        input_state: Optional[np.ndarray] = None,
+        prune_tol: float = _ZERO_PROB,
+        max_branches: int = DENSITY_MAX_BRANCHES,
+    ) -> DensityRun:
+        """Integrate the (noisy) pattern exactly over every outcome branch.
+
+        Returns the true output mixture ``ρ = Σ_m p(m) ρ_m`` — the
+        convergence reference for the Monte-Carlo trajectory estimator.
+        ``noise`` is lowered onto ``compiled`` if given (anything
+        :func:`~repro.mbqc.channels.as_channel_model` accepts; the program
+        may also already carry lowered channels).  Branches with weight
+        below ``prune_tol`` are dropped; the statically bounded branch
+        count must stay within ``max_branches``.
+        """
+        if noise is not None:
+            compiled = lower_noise(compiled, noise)
+        self._require_reach(compiled)
+        ops = compiled.ops
+        dead = _dead_records(ops)
+        bound = 1
+        for i, op in enumerate(ops):
+            if type(op) is MeasureOp and not dead[i]:
+                bound *= 4 if op.flip_p > 0.0 else 2
+                if bound > max_branches:
+                    raise PatternError(
+                        f"exact integration would explore > {max_branches} "
+                        f"outcome branches; reduce the pattern's measured "
+                        f"set (or readout-flip noise), raise max_branches, "
+                        f"or estimate by trajectories instead"
+                    )
+        row = _input_row(compiled, input_state)
+        row = row / np.linalg.norm(row)
+        n_out = compiled.num_outputs
+        acc: Optional[np.ndarray] = None
+        branches = 0
+
+        def finalize(rho: DensityMatrix) -> None:
+            nonlocal acc, branches
+            rho.permute(compiled.out_perm)
+            acc = rho._t if acc is None else acc + rho._t
+            branches += 1
+
+        def rec(start: int, rho: DensityMatrix, outcomes: Dict[int, int],
+                live: int) -> None:
+            # ``rho`` is owned by this frame and unnormalized: its trace is
+            # the branch weight accumulated so far.
+            for idx in range(start, len(ops)):
+                op = ops[idx]
+                tp = type(op)
+                if tp is PrepOp:
+                    rho.add_qubit(op.state, position=live)
+                    live += 1
+                elif tp is EntangleOp:
+                    rho.apply_2q(CZ, *op.slots)
+                elif tp is ChannelOp:
+                    rho.apply_kraus(op.kraus, op.slot, check=False)
+                elif tp is ConditionalOp:
+                    if signal_parity(outcomes, op.domain):
+                        rho.apply_1q(op.matrix, op.slot)
+                elif tp is UnitaryOp:
+                    rho.apply_1q(op.matrix, op.slot)
+                else:  # MeasureOp — the branch point
+                    s = signal_parity(outcomes, op.s_domain)
+                    t = signal_parity(outcomes, op.t_domain)
+                    basis = op.bases[s + 2 * t]
+                    if dead[idx]:
+                        # Record never read: the sum of both outcome
+                        # projections is the partial trace (in *any*
+                        # basis), so retire the qubit in place instead of
+                        # doubling the branch tree.
+                        rho.partial_trace(op.slot)
+                        outcomes[op.node] = 0  # dead record, never read
+                        live -= 1
+                        continue
+                    for o in (0, 1):
+                        dm, p = rho.measure_project(op.slot, basis, o)
+                        if p < prune_tol:
+                            continue
+                        if op.flip_p > 0.0:
+                            f = op.flip_p
+                            for r, fw in ((o, 1.0 - f), (o ^ 1, f)):
+                                if fw <= 0.0:
+                                    continue
+                                child = DensityMatrix(tensor=dm._t * fw)
+                                rec(idx + 1, child, {**outcomes, op.node: r},
+                                    live - 1)
+                        else:
+                            rec(idx + 1, dm, {**outcomes, op.node: o},
+                                live - 1)
+                    return
+            finalize(rho)
+
+        rec(0, DensityMatrix.from_pure(row), {}, compiled.num_inputs)
+        if acc is None:  # pragma: no cover - defensive (trace sums to 1)
+            raise PatternError("every outcome branch was pruned")
+        shape_n = n_out
+        rho_out = DensityMatrix(
+            tensor=acc if shape_n else np.asarray(acc, dtype=complex).reshape(1, 1)
+        )
+        return DensityRun(rho=rho_out, branches=branches)
+
+
+register_backend(DensityMatrixBackend())

@@ -20,9 +20,10 @@ per-column reference path for cross-checks and benchmarking
 
 Both entry points dispatch through the backend registry
 (:func:`repro.mbqc.backend.select_backend`): ``backend`` may be an engine
-instance, a registered name (``"statevector"``, ``"stabilizer"``), or
-``"auto"``/``None`` — the latter routes Clifford-angle patterns to the
-stabilizer-tableau fast path once the live register outgrows dense reach.
+instance, a registered name (``"statevector"``, ``"stabilizer"``,
+``"density"``), or ``"auto"``/``None`` — the latter routes Clifford-angle
+patterns to the stabilizer-tableau fast path once the live register
+outgrows dense reach.
 """
 
 from __future__ import annotations
@@ -32,10 +33,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.mbqc.backend import PatternBackend, resolve_backend
+from repro.linalg.gates import PAULI_X, PAULI_Y, PAULI_Z
+from repro.mbqc.backend import PatternBackend, draw_pauli_fault, resolve_backend
 from repro.mbqc.compile import (
     _CLIFFORD,
     _PREP,
+    ChannelOp,
     CompiledPattern,
     ConditionalOp,
     EntangleOp,
@@ -56,6 +59,8 @@ _PLANE_BASIS = {
     "YZ": MeasurementBasis.yz,
     "XZ": MeasurementBasis.xz,
 }
+
+_FAULT_PAULIS = (PAULI_X, PAULI_Y, PAULI_Z)
 
 
 @dataclass
@@ -161,12 +166,14 @@ def run_pattern(
         recompilation.
     backend:
         ``None`` keeps the in-process dense interpreter below (one
-        trajectory, no batch overhead).  A registry name (``"auto"``,
-        ``"statevector"``, ``"stabilizer"``) or engine instance dispatches
-        the trajectory through :meth:`PatternBackend.sample_batch`; the
-        returned state is then always normalized, and the output register
-        must stay densifiable (Clifford patterns with huge *measured* sets
-        are fine — only ``output_nodes`` are materialized).
+        trajectory, no batch overhead; noise-lowered programs execute
+        their Pauli channel ops and readout flips in place).  A registry
+        name (``"auto"``, ``"statevector"``, ``"stabilizer"``,
+        ``"density"``) or engine instance dispatches the trajectory
+        through :meth:`PatternBackend.sample_batch`; the returned state is
+        then always normalized, and the output register must stay
+        densifiable (Clifford patterns with huge *measured* sets are fine
+        — only ``output_nodes`` are materialized).
     """
     if compiled is None:
         compiled = compile_pattern(pattern, validate=validate)
@@ -217,10 +224,19 @@ def run_pattern(
                 remove=True,
                 renormalize=renormalize,
             )
+            if op.flip_p > 0.0 and rng.random() < op.flip_p:
+                out ^= 1  # readout flip corrupts downstream adaptivity
             outcomes[op.node] = out
         elif tp is ConditionalOp:
             if signal_parity(outcomes, op.domain):
                 sv.apply_1q(op.matrix, op.slot)
+        elif tp is ChannelOp:
+            # The interpreter is one trajectory: sample the shared noise
+            # program's Pauli mixtures (non-Pauli channels raise, pointing
+            # to the density engine).
+            i = draw_pauli_fault(op, rng)
+            if i is not None:
+                sv.apply_1q(_FAULT_PAULIS[i], op.slot)
         else:  # UnitaryOp
             sv.apply_1q(op.matrix, op.slot)
 

@@ -12,6 +12,7 @@ QAOA builders and the generic circuit→pattern compiler.
 """
 
 from repro.sim.circuit import Circuit, Gate
+from repro.sim.density import DensityMatrix, validate_kraus
 from repro.sim.statevector import (
     BatchedStateVector,
     MeasurementBasis,
@@ -24,6 +25,8 @@ __all__ = [
     "Gate",
     "StateVector",
     "BatchedStateVector",
+    "DensityMatrix",
+    "validate_kraus",
     "MeasurementBasis",
     "ZeroProbabilityBranch",
 ]

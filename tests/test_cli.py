@@ -109,6 +109,36 @@ class TestCommands:
         assert rc == 0
         assert "backend        stabilizer" in capsys.readouterr().out
 
+    def test_run_density_backend(self, capsys):
+        rc = main(["run", "ring:3", "--gamma", "0.4", "--beta", "0.7",
+                   "--shots", "32", "--backend", "density"])
+        assert rc == 0
+        assert "backend        density" in capsys.readouterr().out
+
+    def test_run_noisy_sampling(self, capsys):
+        rc = main(["run", "ring:3", "--gamma", "0.4", "--beta", "0.7",
+                   "--shots", "32", "--noise", "0.02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "noise          uniform rate 0.02" in out
+
+    def test_run_exact_integration(self, capsys):
+        rc = main(["run", "ring:3", "--gamma", "0.4", "--beta", "0.7",
+                   "--exact"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exact channel integration" in out
+        assert "outcome branches integrated" in out
+        assert "(exact, no sampling)" in out
+
+    def test_verify_density_backend(self, capsys):
+        rc = main(["verify", "ring:3", "--gamma", "0.4", "--beta", "0.7",
+                   "--max-branches", "8", "--backend", "density"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend        density" in out
+        assert "deterministic  yes" in out
+
     def test_param_length_error(self, capsys):
         rc = main(["compile", "ring:4", "--p", "2", "--gamma", "0.1",
                    "--beta", "0.2"])

@@ -1,0 +1,307 @@
+"""The exact density-matrix execution engine ("density" in the registry).
+
+Covers end-to-end noiseless agreement with the dense engine, exact channel
+integration vs the Monte-Carlo trajectory estimator (the E21 certification
+claim: agreement within ~3 standard errors), non-Pauli channels, the
+Choi-state determinism check, and solver wiring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_qaoa_pattern
+from repro.core.solver import MBQCQAOASolver
+from repro.core.verify import check_pattern_determinism
+from repro.linalg import allclose_up_to_global_phase
+from repro.mbqc import (
+    Pattern,
+    available_backends,
+    compile_pattern,
+    get_backend,
+    run_pattern,
+    select_backend,
+)
+from repro.mbqc.channels import Channel, ChannelNoiseModel
+from repro.mbqc.compile import lower_noise
+from repro.mbqc.noise import NoiseModel, average_fidelity
+from repro.mbqc.pattern import PatternError
+from repro.mbqc.runner import pattern_to_matrix
+from repro.problems import MaxCut
+from repro.sim import ZeroProbabilityBranch
+
+
+def j_pattern(alpha):
+    p = Pattern(input_nodes=[0], output_nodes=[1])
+    p.n(1).e(0, 1).m(0, "XY", -alpha).x(1, {0})
+    return p
+
+
+def j_chain(alphas):
+    """A chain of J(α) gadgets: one input, len(alphas) measurements."""
+    p = Pattern(input_nodes=[0], output_nodes=[len(alphas)])
+    for i, a in enumerate(alphas):
+        p.n(i + 1).e(i, i + 1).m(i, "XY", -a, s_domain=set())
+        p.x(i + 1, {i})
+    return p
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "density" in available_backends()
+        assert get_backend("density").name == "density"
+
+    def test_supports_within_reach(self):
+        compiled = compile_pattern(j_pattern(0.3))
+        assert get_backend("density").supports(compiled)
+
+    def test_auto_dispatch_picks_density_for_non_pauli(self):
+        compiled = lower_noise(
+            compile_pattern(j_pattern(0.3)),
+            ChannelNoiseModel(prep=Channel.amplitude_damping(0.2)),
+        )
+        assert select_backend(compiled).name == "density"
+
+
+class TestNoiselessAgreement:
+    def test_run_pattern_matches_statevector(self):
+        for alpha in (0.3, 1.1):
+            p = j_pattern(alpha)
+            ref = run_pattern(p, seed=0, forced_outcomes={0: 1}).state_array()
+            got = run_pattern(
+                p, seed=0, forced_outcomes={0: 1}, backend="density"
+            ).state_array()
+            assert allclose_up_to_global_phase(got, ref, atol=1e-9)
+
+    def test_branch_batch_matches_statevector(self):
+        p = j_chain([0.4, 0.9])
+        compiled = compile_pattern(p)
+        inputs = np.eye(2, dtype=complex)
+        for branch in ({0: 0, 1: 0}, {0: 1, 1: 0}, {0: 1, 1: 1}):
+            dense = get_backend("statevector").run_branch_batch(
+                compiled, inputs, branch
+            )
+            dm = get_backend("density").run_branch_batch(compiled, inputs, branch)
+            assert np.allclose(dense.weights, dm.weights, atol=1e-9)
+            for j in range(2):
+                assert allclose_up_to_global_phase(
+                    dense.dense_states()[j], dm.dense_states()[j], atol=1e-9
+                )
+
+    def test_pattern_to_matrix_columns(self):
+        p = j_pattern(0.7)
+        m_sv = pattern_to_matrix(p, {0: 0})
+        m_dm = pattern_to_matrix(p, {0: 0}, backend="density")
+        for j in range(2):
+            assert allclose_up_to_global_phase(m_sv[:, j], m_dm[:, j], atol=1e-9)
+
+    def test_integrate_noiseless_is_ideal_pure_state(self):
+        compiled = compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.4], [0.7])
+        program = compiled.executable()
+        run = get_backend("density").integrate(program)
+        ideal = run_pattern(compiled.pattern, seed=0).state_array()
+        assert run.fidelity_with_pure(ideal) == pytest.approx(1.0, abs=1e-9)
+        assert run.rho.trace() == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_probability_branch_raises(self):
+        # A |0>-prepared node measured in Z can never give outcome 1.
+        p = Pattern(output_nodes=[1])
+        p.n(0, state="zero").n(1).m(0, "YZ", 0.0)
+        compiled = compile_pattern(p)
+        with pytest.raises(ZeroProbabilityBranch):
+            get_backend("density").run_branch_batch(
+                compiled, np.ones((1, 1), dtype=complex), {0: 1}
+            )
+
+
+class TestExactVsTrajectory:
+    def test_depolarizing_convergence_3_sigma(self):
+        """The E21 certification on a bench-E15-class pattern: the batched
+        Monte-Carlo estimator at 1024 trajectories agrees with the exact
+        channel integral within 3 standard errors."""
+        compiled = compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.4], [0.7])
+        noise = NoiseModel(p_prep=0.01, p_ent=0.01)
+        exact = average_fidelity(compiled.pattern, noise, exact=True)
+        program = compile_pattern(compiled.pattern)
+        ideal = run_pattern(compiled.pattern, seed=0, compiled=program).state_array()
+        ref = ideal / np.linalg.norm(ideal)
+        run = get_backend("statevector").sample_batch(
+            program, 1024, rng=7, noise=noise
+        )
+        fids = np.abs(run.dense_states() @ ref.conj()) ** 2
+        sem = float(fids.std(ddof=1) / np.sqrt(fids.size))
+        assert abs(float(fids.mean()) - exact) <= 3.0 * sem + 1e-12
+
+    def test_random_patterns_converge(self):
+        """Property-style sweep: on small random j-chains with random
+        channel rates, the trajectory estimate stays within 3 standard
+        errors of the exact density-matrix fidelity."""
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            alphas = rng.uniform(-np.pi, np.pi, size=int(rng.integers(2, 5)))
+            noise = NoiseModel(
+                p_prep=float(rng.uniform(0, 0.05)),
+                p_ent=float(rng.uniform(0, 0.05)),
+                p_meas=float(rng.uniform(0, 0.05)),
+            )
+            pattern = j_chain(list(alphas))
+            exact = average_fidelity(pattern, noise, exact=True)
+            program = compile_pattern(pattern)
+            ideal = run_pattern(pattern, seed=0, compiled=program).state_array()
+            ref = ideal / np.linalg.norm(ideal)
+            run = get_backend("statevector").sample_batch(
+                program, 1500, rng=seed + 100, noise=noise
+            )
+            fids = np.abs(run.dense_states() @ ref.conj()) ** 2
+            sem = float(fids.std(ddof=1) / np.sqrt(fids.size))
+            assert abs(float(fids.mean()) - exact) <= 3.0 * sem + 1e-12, (
+                seed, float(fids.mean()), exact, sem,
+            )
+
+    def test_readout_flips_integrate_exactly(self):
+        """Readout flips branch the classical record: the exact integral
+        still matches a large trajectory average."""
+        pattern = j_chain([0.5, -0.8])
+        noise = NoiseModel(p_meas=0.15)
+        exact = average_fidelity(pattern, noise, exact=True)
+        traj = average_fidelity(pattern, noise, trajectories=20000, seed=5)
+        assert exact == pytest.approx(traj, abs=0.01)
+        assert exact < 1.0
+
+    def test_density_sample_batch_is_unbiased_estimator(self):
+        """Trajectories on the density engine itself (sampled outcomes,
+        exact channels) also average to the exact fidelity."""
+        pattern = j_pattern(0.9)
+        noise = NoiseModel(p_prep=0.1, p_ent=0.1)
+        exact = average_fidelity(pattern, noise, exact=True)
+        traj = average_fidelity(
+            pattern, noise, trajectories=400, seed=11, backend="density"
+        )
+        # Exact channels shrink per-shot variance: loose 3σ-style bound.
+        assert traj == pytest.approx(exact, abs=0.05)
+
+
+class TestNonPauliChannels:
+    def test_amplitude_damping_exact(self):
+        """Amplitude damping has no Pauli trajectory sampler: the exact
+        path integrates it, automatic dispatch routes the trajectory path
+        to the density engine (exact channels, sampled outcomes), and an
+        explicit trajectory backend fails loudly."""
+        pattern = j_chain([0.6])
+        model = ChannelNoiseModel(prep=Channel.amplitude_damping(0.3))
+        f = average_fidelity(pattern, model, exact=True)
+        assert 0.5 < f < 1.0
+        f_auto = average_fidelity(pattern, model, trajectories=64, seed=1)
+        assert f_auto == pytest.approx(f, abs=0.1)
+        with pytest.raises(PatternError):
+            average_fidelity(
+                pattern, model, trajectories=8, backend="statevector"
+            )
+
+    def test_solver_auto_routes_non_pauli_noise(self):
+        """The variational loop works with non-Pauli noise and the default
+        backend: lowering happens before dispatch, so auto-selection lands
+        on the density engine."""
+        solver = MBQCQAOASolver(
+            MaxCut.ring(3).to_qubo(), p=1, shots=16, runs_per_batch=2,
+            seed=0, noise=ChannelNoiseModel(prep=Channel.amplitude_damping(0.1)),
+        )
+        batch = solver.sample([0.4], [0.7])
+        assert batch.bitstrings.shape == (16,)
+
+    def test_dephasing_channel_model(self):
+        pattern = j_pattern(0.4)
+        model = ChannelNoiseModel(ent=Channel.dephasing(0.2))
+        exact = average_fidelity(pattern, model, exact=True)
+        traj = average_fidelity(pattern, model, trajectories=20000, seed=3)
+        assert exact == pytest.approx(traj, abs=0.01)
+
+
+class TestDeterminismChoi:
+    def test_deterministic_with_inputs(self):
+        assert check_pattern_determinism(j_chain([0.4, 1.2]), backend="density")
+
+    def test_deterministic_qaoa_pattern(self):
+        compiled = compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.3], [0.5])
+        assert check_pattern_determinism(
+            compiled.pattern, max_branches=16, seed=0, backend="density"
+        )
+
+    def test_broken_pattern_detected(self):
+        # Dropping the X correction makes the branch maps differ.
+        p = Pattern(input_nodes=[0], output_nodes=[1])
+        p.n(1).e(0, 1).m(0, "XY", -0.7)
+        assert not check_pattern_determinism(p, backend="density")
+
+    def test_deep_measured_set_compares_relatively(self):
+        """48 measured nodes give branch weights ~2^-48: the weight
+        comparison must be relative, not absolute, or every branch would
+        be skipped/vacuous (regression for the linear-domain cutoff)."""
+        compiled = compile_qaoa_pattern(
+            MaxCut.ring(8).to_qubo(), [0.0, 0.0], [0.0, 0.0]
+        )
+        assert check_pattern_determinism(
+            compiled.pattern, max_branches=2, seed=0, backend="density"
+        )
+
+
+class TestSolverWiring:
+    def test_exact_expectation_matches_ideal_distribution(self):
+        qubo = MaxCut.ring(3).to_qubo()
+        solver = MBQCQAOASolver(qubo, p=1, shots=16, seed=0)
+        gammas, betas = [0.4], [0.7]
+        exact = solver.exact_expectation(gammas, betas)
+        compiled = compile_qaoa_pattern(qubo, gammas, betas)
+        state = run_pattern(compiled.pattern, seed=1).state_array()
+        probs = np.abs(state) ** 2
+        probs /= probs.sum()
+        assert exact == pytest.approx(float(probs @ qubo.cost_vector()), abs=1e-9)
+
+    def test_exact_expectation_with_noise_brackets_sampling(self):
+        qubo = MaxCut.ring(3).to_qubo()
+        noise = NoiseModel(p_prep=0.05, p_ent=0.05)
+        solver = MBQCQAOASolver(
+            qubo, p=1, shots=2048, runs_per_batch=64, noise=noise, seed=2
+        )
+        gammas, betas = [0.4], [0.7]
+        exact = solver.exact_expectation(gammas, betas)
+        sampled = solver.expectation(gammas, betas)
+        assert sampled == pytest.approx(exact, abs=0.15)
+
+    def test_solver_runs_on_density_backend(self):
+        qubo = MaxCut.ring(3).to_qubo()
+        solver = MBQCQAOASolver(
+            qubo, p=1, shots=32, runs_per_batch=4, seed=0,
+            noise=NoiseModel(p_ent=0.05), backend="density",
+        )
+        batch = solver.sample([0.4], [0.7])
+        assert batch.bitstrings.shape == (32,)
+
+
+class TestGuards:
+    def test_reach_guard(self):
+        compiled = compile_qaoa_pattern(MaxCut.ring(12).to_qubo(), [0.3], [0.5])
+        program = compiled.executable()
+        if program.max_live > 10:
+            with pytest.raises(PatternError, match="reach"):
+                get_backend("density").integrate(program)
+
+    def test_branch_budget_guard(self):
+        compiled = compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.3], [0.5])
+        program = compiled.executable()
+        with pytest.raises(PatternError, match="branches"):
+            get_backend("density").integrate(
+                program, noise=NoiseModel(p_ent=0.01), max_branches=4
+            )
+
+    def test_mixed_output_refuses_densification(self):
+        compiled = compile_pattern(j_pattern(0.4))
+        run = get_backend("density").sample_batch(
+            compiled, 2, rng=0, noise=NoiseModel(p_ent=0.4)
+        )
+        rows = run.probability_rows()
+        assert rows.shape == (2, 2)
+        assert np.allclose(rows.sum(axis=1), 1.0)
+        mixed = [out for out in run.raw if out.rho.purity() < 1.0 - 1e-6]
+        if mixed:
+            with pytest.raises(ValueError, match="mixed"):
+                mixed[0].unit_statevector()

@@ -141,6 +141,123 @@ class TestChannels:
         assert np.allclose(acc, exact.to_matrix(), atol=0.03)
 
 
+class TestKrausValidation:
+    def test_non_trace_preserving_rejected(self):
+        dm = DensityMatrix(1)
+        with pytest.raises(ValueError, match="not trace-preserving"):
+            dm.apply_kraus([0.5 * np.eye(2, dtype=complex)], 0)
+
+    def test_offending_operator_named(self):
+        dm = DensityMatrix(2)
+        with pytest.raises(ValueError, match="operator 1"):
+            dm.apply_kraus([np.eye(2, dtype=complex), np.zeros((2, 3))], 0)
+
+    def test_check_false_skips_validation(self):
+        dm = DensityMatrix(1)
+        dm.apply_kraus([0.5 * np.eye(2, dtype=complex)], 0, check=False)
+        assert dm.trace() == pytest.approx(0.25)
+
+    def test_arity_mismatch_rejected(self):
+        dm = DensityMatrix(2)
+        with pytest.raises(ValueError, match="targets"):
+            dm.apply_kraus([np.eye(4, dtype=complex)], 0)
+        with pytest.raises(ValueError, match="duplicate"):
+            dm.apply_kraus([np.eye(4, dtype=complex)], (0, 0))
+
+
+class TestMultiQubitKraus:
+    def test_two_qubit_unitary_kraus_matches_apply_2q(self):
+        sv = random_sv(3, seed=11)
+        a = DensityMatrix.from_statevector(sv)
+        b = DensityMatrix.from_statevector(sv)
+        a.apply_2q(CNOT, 2, 0)
+        b.apply_kraus([CNOT], (2, 0))
+        assert np.allclose(a.to_matrix(), b.to_matrix(), atol=1e-10)
+
+    def test_two_qubit_mixture(self):
+        """Correlated two-qubit dephasing: Z⊗Z w.p. p."""
+        p = 0.25
+        zz = np.kron(np.diag([1, -1]), np.diag([1, -1])).astype(complex)
+        kraus = [np.sqrt(1 - p) * np.eye(4, dtype=complex), np.sqrt(p) * zz]
+        sv = random_sv(2, seed=12)
+        exact = DensityMatrix.from_statevector(sv)
+        exact.apply_kraus(kraus, (0, 1))
+        v = sv.to_array()
+        rho = np.outer(v, v.conj())
+        zz_le = np.kron(np.diag([1, -1]), np.diag([1, -1]))  # q1 ⊗ q0
+        expect = (1 - p) * rho + p * (zz_le @ rho @ zz_le)
+        assert np.allclose(exact.to_matrix(), expect, atol=1e-10)
+
+
+class TestRegisterDynamics:
+    def test_add_qubit_at_position(self):
+        dm = DensityMatrix(0)
+        dm.add_qubit(KET_0)          # qubit A at 0
+        dm.add_qubit(KET_PLUS, position=0)  # qubit B inserted before A
+        sv = StateVector(0)
+        sv.add_qubit(KET_PLUS)       # B first (little-endian qubit 0)
+        sv.add_qubit(KET_0)          # A second
+        v = sv.to_array()
+        assert np.allclose(dm.to_matrix(), np.outer(v, v.conj()), atol=1e-12)
+
+    def test_permute_matches_statevector_reorder(self):
+        sv = random_sv(3, seed=13)
+        dm = DensityMatrix.from_statevector(sv)
+        order = [2, 0, 1]
+        dm.permute(order)
+        v = sv.to_array().reshape((2, 2, 2)).transpose(2, 1, 0)
+        v = v.transpose(order).transpose(2, 1, 0).reshape(-1)
+        assert np.allclose(dm.to_matrix(), np.outer(v, v.conj()), atol=1e-12)
+
+    def test_permute_validates(self):
+        dm = DensityMatrix(2)
+        with pytest.raises(ValueError):
+            dm.permute([0, 0])
+
+    def test_partial_trace_bell_gives_mixed(self):
+        dm = DensityMatrix(2)
+        dm.apply_1q(HADAMARD, 0)
+        dm.apply_2q(CNOT, 0, 1)
+        dm.partial_trace(0)
+        assert dm.num_qubits == 1
+        assert np.allclose(dm.to_matrix(), np.eye(2) / 2, atol=1e-12)
+
+    def test_partial_trace_product_leaves_rest(self):
+        dm = DensityMatrix(0)
+        dm.add_qubit(KET_PLUS)
+        dm.add_qubit(KET_0)
+        dm.partial_trace(1)
+        assert np.allclose(dm.to_matrix(), np.full((2, 2), 0.5), atol=1e-12)
+
+
+class TestMeasureProject:
+    def test_outcomes_sum_to_dephased_state(self):
+        sv = random_sv(2, seed=14)
+        dm = DensityMatrix.from_statevector(sv)
+        basis = MeasurementBasis.xy(0.8)
+        dm0, p0 = dm.measure_project(0, basis, 0, remove=False)
+        dm1, p1 = dm.measure_project(0, basis, 1, remove=False)
+        assert p0 + p1 == pytest.approx(1.0)
+        # Unnormalized branch sum = measurement-dephased parent state.
+        both = dm0.to_matrix() + dm1.to_matrix()
+        assert np.trace(both) == pytest.approx(1.0)
+        # Parent untouched (non-mutating).
+        assert dm.purity() == pytest.approx(1.0)
+
+    def test_agrees_with_statevector_probability(self):
+        sv = random_sv(3, seed=15)
+        dm = DensityMatrix.from_statevector(sv)
+        basis = MeasurementBasis.xz(0.4)
+        _, p_sv = sv.copy().measure(1, basis, force=0)
+        _, p_dm = dm.measure_project(1, basis, 0)
+        assert p_dm == pytest.approx(p_sv)
+
+    def test_remove_drops_register(self):
+        dm = DensityMatrix(2)
+        out, p = dm.measure_project(0, MeasurementBasis.pauli("Z"), 0)
+        assert out.num_qubits == 1 and p == pytest.approx(1.0)
+
+
 class TestMeasurement:
     def test_z_measurement_statistics(self):
         dm = DensityMatrix(1)
@@ -178,3 +295,20 @@ class TestMeasurement:
         out_sv, p_sv = sv.copy().measure(1, MeasurementBasis.xy(0.4), force=0)
         out_dm, p_dm = dm.measure(1, MeasurementBasis.xy(0.4), force=0)
         assert p_dm == pytest.approx(p_sv)
+
+    def test_near_zero_branch_renormalizes(self):
+        """Forcing an outcome with tiny-but-nonzero probability must
+        return a unit-trace post-state, not an underflowed one."""
+        eps = 1e-5
+        amp = np.array([np.sqrt(1 - eps**2), eps], dtype=complex)
+        dm = DensityMatrix.from_pure(amp)
+        out, p = dm.measure(0, MeasurementBasis.pauli("Z"), force=1, remove=False)
+        assert out == 1
+        assert p == pytest.approx(eps**2, rel=1e-6)
+        assert dm.trace() == pytest.approx(1.0, abs=1e-9)
+        assert np.isclose(dm.to_matrix()[1, 1], 1.0)
+
+    def test_truly_zero_branch_raises(self):
+        dm = DensityMatrix.from_pure(np.array([1.0, 0.0], dtype=complex))
+        with pytest.raises(ValueError):
+            dm.measure(0, MeasurementBasis.pauli("Z"), force=1)
