@@ -174,7 +174,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     engine = select_backend(program, args.backend, dense_outputs=True)
     if noise is not None:
         runs = min(args.shots, 32)
-        batch = engine.sample_batch(program, runs, rng)
+        batch = engine.sample_batch(program, runs, rng, keep_raw=True)
         samples = batch.sample_bitstrings(args.shots, rng)
         outcomes_consumed = measured * runs
     else:

@@ -127,7 +127,11 @@ class MBQCQAOASolver:
         # the density engine, which no trajectory backend can replace).
         program = lower_noise(compiled.executable(), self.noise)
         engine = resolve_backend(self.backend, program, dense_outputs=True)
-        run = engine.sample_batch(program, self.runs_per_batch, self.rng)
+        # keep_raw: the resampling step below reads per-trajectory output
+        # distributions, so the engine must retain its per-shot outputs.
+        run = engine.sample_batch(
+            program, self.runs_per_batch, self.rng, keep_raw=True
+        )
         # Resample bitstrings from the per-trajectory distributions: |ψ|²
         # rows on pure-state engines, exact density diagonals on the
         # density engine (whose noisy trajectory outputs are mixed and

@@ -163,7 +163,9 @@ def _check_determinism_stabilizer(
     if reachable < 2 and len(branches) > 1:
         # The trajectories' own outputs are reachable branches already
         # executed — compare them directly, one per distinct outcome record.
-        run = engine.sample_batch(compiled, len(branches), rng=ensure_rng(seed))
+        run = engine.sample_batch(
+            compiled, len(branches), rng=ensure_rng(seed), keep_raw=True
+        )
         seen = set()
         for j, output in enumerate(run.raw):
             bits = run.outcomes[j].tobytes()

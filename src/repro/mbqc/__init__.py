@@ -44,11 +44,14 @@ from repro.mbqc.compile import (
 )
 from repro.mbqc.backend import (
     BranchRun,
+    PackedStabilizerOutput,
     PatternBackend,
     SampleRun,
     StabilizerBackend,
     StabilizerOutput,
     StatevectorBackend,
+    draw_pauli_fault,
+    draw_pauli_fault_batch,
     available_backends,
     default_backend,
     get_backend,
@@ -100,6 +103,9 @@ __all__ = [
     "StatevectorBackend",
     "StabilizerBackend",
     "StabilizerOutput",
+    "PackedStabilizerOutput",
+    "draw_pauli_fault",
+    "draw_pauli_fault_batch",
     "DensityMatrixBackend",
     "DensityOutput",
     "DensityRun",

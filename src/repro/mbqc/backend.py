@@ -20,6 +20,15 @@ dense reach.  Stabilizer outputs stay in tableau form
 (:class:`StabilizerOutput`) and densify only on demand, so graph-state and
 Pauli-measurement patterns verify at sizes far beyond ``2^n`` memory.
 
+Both engines vectorize ``sample_batch`` across the shot block: the dense
+engine over a :class:`~repro.sim.statevector.BatchedStateVector`, the
+stabilizer engine over a bit-packed
+:class:`~repro.stab.batched.BatchedTableau` (one shared GF(2) structure,
+per-shot packed sign bits) with a retained per-shot loop
+(``vectorize=False``) that consumes the identical whole-block draw
+schedule — seeded trajectories are bit-identical between the two stabilizer
+paths (benchmark E22).
+
 Noise enters as a compile-time channel program
 (:func:`repro.mbqc.compile.lower_noise` weaves ``ChannelOp``s and readout
 flips into the op stream), executed identically by every engine: the
@@ -54,6 +63,11 @@ from repro.sim.statevector import (
     KET_PLUS,
     StateVector,
     ZeroProbabilityBranch,
+)
+from repro.stab.batched import (
+    BatchedTableau,
+    pack_bits,
+    unpack_shot_bits,
 )
 from repro.stab.tableau import (
     ForcedOutcomeContradiction,
@@ -129,18 +143,93 @@ class StabilizerOutput:
 
     def unit_statevector(self) -> np.ndarray:
         """Dense little-endian output column at unit norm."""
-        n_out = len(self.out_cols)
-        if n_out > DENSE_EXTRACT_MAX:
-            raise ValueError(
-                f"cannot densify a {n_out}-qubit stabilizer output "
-                f"(cap {DENSE_EXTRACT_MAX}); compare canonical forms instead, "
-                f"or run on the statevector backend"
-            )
-        x, z, r = self.stabilizer_bits()
-        return statevector_from_generators(stab_rows_to_paulis(x, z, r), n_out)
+        return _densify_generator_bits(*self.stabilizer_bits(), len(self.out_cols))
 
     def to_statevector(self) -> np.ndarray:
         """Dense little-endian output column, scaled to ``‖·‖² = weight``."""
+        return np.sqrt(self.weight) * self.unit_statevector()
+
+
+def _densify_generator_bits(
+    x: np.ndarray, z: np.ndarray, r: np.ndarray, n_out: int
+) -> np.ndarray:
+    """Unit statevector from generator bits, with the densification cap."""
+    if n_out > DENSE_EXTRACT_MAX:
+        raise ValueError(
+            f"cannot densify a {n_out}-qubit stabilizer output "
+            f"(cap {DENSE_EXTRACT_MAX}); compare canonical forms instead, "
+            f"or run on the statevector backend"
+        )
+    return statevector_from_generators(stab_rows_to_paulis(x, z, r), n_out)
+
+
+class _BatchedExtraction:
+    """Shared, lazily computed output extraction of one batched run.
+
+    The Gaussian elimination that isolates the output generators runs once
+    on the batch's shared X/Z bits; every shot reuses it, differing only in
+    sign bits — so retaining per-shot outputs costs O(n_out) per shot, not
+    a full O(n²) tableau.
+    """
+
+    def __init__(self, tab: BatchedTableau, out_cols: Tuple[int, ...]):
+        self._tab = tab
+        self._out_cols = tuple(out_cols)
+        self._bits: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def log2_weight(self, shot: int) -> float:
+        return float(self._tab.log2_weight[shot])
+
+    def bits(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._bits is None:
+            if not self._out_cols:
+                empty = np.zeros((0, 0), dtype=bool)
+                self._bits = (
+                    empty,
+                    empty.copy(),
+                    np.zeros((self._tab.n_shots, 0), dtype=np.int8),
+                )
+            else:
+                self._bits = self._tab.extract_substate(self._out_cols)
+        return self._bits
+
+
+@dataclass
+class PackedStabilizerOutput:
+    """One shot's output view into a shared batched extraction.
+
+    Duck-type compatible with :class:`StabilizerOutput` (canonical keys,
+    exact log-2 branch weights, on-demand densification): the generator
+    X/Z bits — identical across shots — live once in the parent
+    :class:`_BatchedExtraction`; only the sign bits are per shot.
+    """
+
+    batch: _BatchedExtraction
+    shot: int
+
+    @property
+    def log2_weight(self) -> float:
+        return self.batch.log2_weight(self.shot)
+
+    @property
+    def weight(self) -> float:
+        return float(2.0 ** self.log2_weight)
+
+    def stabilizer_bits(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x, z, r = self.batch.bits()
+        return x, z, r[self.shot]
+
+    def canonical_key(self) -> bytes:
+        return canonical_stabilizer_key(*self.stabilizer_bits())
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.unit_statevector()) ** 2
+
+    def unit_statevector(self) -> np.ndarray:
+        x, z, r = self.stabilizer_bits()
+        return _densify_generator_bits(x, z, r, x.shape[1])
+
+    def to_statevector(self) -> np.ndarray:
         return np.sqrt(self.weight) * self.unit_statevector()
 
 
@@ -182,7 +271,11 @@ class SampleRun:
     ``outcomes[j, i]`` is element ``j``'s outcome for the ``i``-th measured
     node (order ``nodes`` = ``compiled.measured_nodes``).  Dense engines
     fill ``states`` with normalized output rows; non-dense engines fill
-    ``raw`` instead (densified on demand by :meth:`dense_states`).
+    ``raw`` instead (densified on demand by :meth:`dense_states`) — but only
+    when asked to via ``sample_batch(..., keep_raw=True)``: a run carrying
+    neither ``states`` nor ``raw`` is outcome-records-only, and the
+    state-consuming accessors raise a :class:`ValueError` pointing at the
+    flag (retaining one output per shot costs O(shots · output size)).
     """
 
     nodes: Tuple[int, ...]
@@ -209,7 +302,10 @@ class SampleRun:
         :meth:`probability_rows` or the raw density matrices instead."""
         if self.states is None:
             if self.raw is None:
-                raise ValueError("sample run carries neither states nor raw outputs")
+                raise ValueError(
+                    "sample run carries neither states nor raw outputs; "
+                    "request per-shot outputs with sample_batch(..., keep_raw=True)"
+                )
             self.states = np.stack([out.unit_statevector() for out in self.raw])
         return self.states
 
@@ -270,17 +366,33 @@ class PatternBackend(Protocol):
         input_state: Optional[np.ndarray] = None,
         forced_outcomes: Optional[Mapping[int, int]] = None,
         noise: Optional[object] = None,
+        keep_raw: bool = False,
     ) -> SampleRun:
         """Run ``n_shots`` independent trajectories from one input state,
         drawing measurement outcomes per element from the Born rule
         (``forced_outcomes`` pins a subset for every element).  ``noise``
         is an optional :class:`repro.mbqc.noise.NoiseModel`-like object
         (``p_prep``/``p_ent``/``p_meas``) injecting per-element Pauli
-        faults."""
+        faults.  ``keep_raw=True`` retains per-shot backend-native outputs;
+        the default ``False`` *permits* dropping them (outcome records
+        only — retaining costs O(shots · output size)), though engines
+        whose sweep materializes dense ``states`` anyway (the statevector
+        engine) always fill them.  Consumers that call ``dense_states``/
+        ``probability_rows`` must pass ``keep_raw=True`` to be
+        engine-generic."""
         ...
 
 
-def _input_row(compiled: CompiledPattern, input_state) -> np.ndarray:
+def _check_n_shots(n_shots: int, name: str) -> None:
+    if n_shots < 1:
+        raise ValueError(
+            f"the {name} engine needs a positive n_shots, got {n_shots}"
+        )
+
+
+def _input_row(
+    compiled: CompiledPattern, input_state, name: str = "pattern"
+) -> np.ndarray:
     """Coerce ``input_state`` to one little-endian amplitude row."""
     k = compiled.num_inputs
     if input_state is None:
@@ -294,7 +406,8 @@ def _input_row(compiled: CompiledPattern, input_state) -> np.ndarray:
         row = np.asarray(input_state, dtype=complex).reshape(-1)
     if row.size != 1 << k:
         raise PatternError(
-            f"input state has {row.size} amplitudes, pattern has {k} inputs"
+            f"the {name} engine got an input state of {row.size} amplitudes "
+            f"for a pattern with {k} inputs (expected {1 << k})"
         )
     return row
 
@@ -333,8 +446,9 @@ class StatevectorBackend:
         sv = BatchedStateVector.from_arrays(inputs)
         if sv.num_qubits != compiled.num_inputs:
             raise PatternError(
-                f"input block has {sv.num_qubits} qubits, "
-                f"pattern has {compiled.num_inputs} inputs"
+                f"the {self.name} engine expects an input block of shape "
+                f"(B, {1 << compiled.num_inputs}) for this pattern's "
+                f"{compiled.num_inputs} inputs, got {sv.num_qubits}-qubit rows"
             )
         weights = np.ones(sv.batch_size, dtype=float)
         outcomes: Dict[int, int] = {}
@@ -366,14 +480,17 @@ class StatevectorBackend:
         input_state: Optional[np.ndarray] = None,
         forced_outcomes: Optional[Mapping[int, int]] = None,
         noise: Optional[object] = None,
+        keep_raw: bool = False,
     ) -> SampleRun:
-        if n_shots < 1:
-            raise ValueError("n_shots must be positive")
+        # keep_raw is accepted for interface uniformity; the dense sweep
+        # materializes the state block either way, so there is nothing to
+        # drop and `states` is always filled.
+        _check_n_shots(n_shots, self.name)
         rng = ensure_rng(rng)
         forced = dict(forced_outcomes or {})
         if noise is not None:
             compiled = lower_noise(compiled, noise)
-        row = _input_row(compiled, input_state)
+        row = _input_row(compiled, input_state, self.name)
         sv = BatchedStateVector.from_arrays(np.tile(row, (n_shots, 1)))
         rec: Dict[int, np.ndarray] = {}  # node -> (B,) outcome bits
         since_renorm = 0
@@ -499,11 +616,13 @@ class StabilizerBackend:
     outcome raises :class:`~repro.sim.statevector.ZeroProbabilityBranch`
     (zero-weight branch), mirroring the dense engine's semantics.
 
-    Outputs are :class:`StabilizerOutput` tableaus; densification (which
-    loses only a global phase) happens on demand.  Input rows must be
-    stabilizer product rows the engine recognizes: computational basis
-    columns (what :func:`~repro.mbqc.runner.pattern_to_matrix` sends) or
-    the uniform ``|+>^k`` row (the default pattern input).
+    Branch outputs are :class:`StabilizerOutput` tableaus, vectorized
+    ``sample_batch`` outputs :class:`PackedStabilizerOutput` views into one
+    shared extraction; densification (which loses only a global phase)
+    happens on demand.  Input rows must be stabilizer product rows the
+    engine recognizes: computational basis columns (what
+    :func:`~repro.mbqc.runner.pattern_to_matrix` sends) or the uniform
+    ``|+>^k`` row (the default pattern input).
     """
 
     name = "stabilizer"
@@ -527,6 +646,25 @@ class StabilizerBackend:
             1 for op in compiled.ops if type(op) is PrepOp
         )
 
+    def _classify_input_row(self, row: np.ndarray) -> Tuple[str, int, float]:
+        """``row`` as a recognized stabilizer product: ``(kind, bits, log2w)``.
+
+        ``kind`` is ``"basis"`` (computational column ``bits``) or
+        ``"uniform"`` (the ``|+>^k`` row); ``log2w`` is the log-2 squared
+        input norm.  Shared by the scalar and the batched initializers so
+        the two execution paths cannot diverge on input acceptance.
+        """
+        nz = np.nonzero(np.abs(row) > 1e-12)[0]
+        if nz.size == 1:
+            return "basis", int(nz[0]), float(np.log2(abs(row[nz[0]]) ** 2))
+        if nz.size == row.size and np.allclose(row, row[0], atol=1e-12):
+            return "uniform", 0, float(np.log2(np.vdot(row, row).real))
+        raise PatternError(
+            f"the {self.name} engine accepts computational-basis or uniform "
+            f"|+>^k input rows only; use the statevector backend for general "
+            f"inputs"
+        )
+
     def _init_tableau(
         self, compiled: CompiledPattern, row: np.ndarray, n_total: int
     ) -> Tuple[Optional[StabilizerState], float]:
@@ -540,42 +678,39 @@ class StabilizerBackend:
         if n_total == 0:
             w = float(abs(row[0]) ** 2)
             if w <= 0.0:
-                raise PatternError("input row has zero norm")
+                raise PatternError(
+                    f"the {self.name} engine got an input row with zero norm"
+                )
             return None, float(np.log2(w))
+        kind, bits, log2_w = self._classify_input_row(row)
         st = StabilizerState(n_total)
-        if k == 0:
-            return st, 0.0
-        nz = np.nonzero(np.abs(row) > 1e-12)[0]
-        if nz.size == 1:
-            bits = int(nz[0])
+        if kind == "basis":
             for q in range(k):
                 if (bits >> q) & 1:
                     st.x_gate(q)
-            return st, float(np.log2(abs(row[nz[0]]) ** 2))
-        if nz.size == row.size and np.allclose(row, row[0], atol=1e-12):
+        else:
             for q in range(k):
                 st.h(q)
-            return st, float(np.log2(np.vdot(row, row).real))
-        raise PatternError(
-            "stabilizer backend accepts computational-basis or uniform |+>^k "
-            "input rows only; use the statevector backend for general inputs"
-        )
+        return st, log2_w
 
-    # -- execution ---------------------------------------------------------
+    # -- per-shot (scalar) execution ----------------------------------------
     def _run_one(
         self,
         compiled: CompiledPattern,
         st: Optional[StabilizerState],
         log2_weight: float,
-        rng,
+        draws,
         forced: Mapping[int, int],
     ) -> Tuple[StabilizerOutput, Dict[int, int]]:
         """Execute one trajectory/branch on one (preallocated) tableau.
 
         ``forced`` pins outcomes for the nodes it contains; the rest are
-        sampled with ``rng``.  Replays the compiled slot dynamics against
-        monotonically assigned tableau columns: ``slot_cols[s]`` is the
-        column of the node currently in slot ``s``.
+        sampled through ``draws`` (a :class:`_ShotDrawTable` view for
+        batch-applicable programs, :class:`_GeneratorDraws` otherwise —
+        branch runs, which force everything and are noiseless-checked, pass
+        ``None``).  Replays the compiled slot dynamics against monotonically
+        assigned tableau columns: ``slot_cols[s]`` is the column of the node
+        currently in slot ``s``.
         """
         next_col = compiled.num_inputs
         slot_cols = list(range(next_col))
@@ -596,7 +731,10 @@ class StabilizerBackend:
             elif tp is EntangleOp:
                 st.cz(slot_cols[op.slots[0]], slot_cols[op.slots[1]])
             elif tp is ChannelOp:
-                _sample_tableau_channel(st, slot_cols[op.slot], op, rng)
+                if draws is not None:
+                    i = draws.fault(op)
+                    if i >= 0:
+                        st.apply_named(_PAULI_GATES[i], (slot_cols[op.slot],))
             elif tp is MeasureOp:
                 s = signal_parity(outcomes, op.s_domain)
                 t = signal_parity(outcomes, op.t_domain)
@@ -606,7 +744,7 @@ class StabilizerBackend:
                 try:
                     tab_out, prob = st.measure_pauli_info(
                         col, label,
-                        rng=rng,
+                        rng=None if draws is None else draws.outcome,
                         force=None if pinned is None else pinned ^ flip,
                     )
                 except ForcedOutcomeContradiction:
@@ -617,7 +755,7 @@ class StabilizerBackend:
                 if prob == 0.5:  # random outcome; deterministic ones weigh 1
                     log2_weight -= 1.0
                 out = tab_out ^ flip
-                if op.flip_p > 0.0 and rng.random() < op.flip_p:
+                if op.flip_p > 0.0 and draws is not None and draws.flip(op.flip_p):
                     out ^= 1  # readout flip corrupts downstream adaptivity
                 outcomes[op.node] = out
             elif tp is ConditionalOp:
@@ -644,7 +782,9 @@ class StabilizerBackend:
         inputs = np.asarray(inputs, dtype=complex)
         if inputs.ndim != 2 or inputs.shape[1] != 1 << compiled.num_inputs:
             raise PatternError(
-                f"input block must have shape (B, {1 << compiled.num_inputs})"
+                f"the {self.name} engine expects an input block of shape "
+                f"(B, {1 << compiled.num_inputs}) for this pattern's "
+                f"{compiled.num_inputs} inputs, got {inputs.shape}"
             )
         n_total = self._total_nodes(compiled)
         raw: List[StabilizerOutput] = []
@@ -658,6 +798,7 @@ class StabilizerBackend:
             raw=tuple(raw),
         )
 
+    # -- trajectory sampling -------------------------------------------------
     def sample_batch(
         self,
         compiled: CompiledPattern,
@@ -666,31 +807,237 @@ class StabilizerBackend:
         input_state: Optional[np.ndarray] = None,
         forced_outcomes: Optional[Mapping[int, int]] = None,
         noise: Optional[object] = None,
+        keep_raw: bool = False,
+        vectorize: Optional[bool] = None,
     ) -> SampleRun:
-        if n_shots < 1:
-            raise ValueError("n_shots must be positive")
+        """Sample ``n_shots`` trajectories, vectorized across the shot block.
+
+        The default path advances one :class:`~repro.stab.batched
+        .BatchedTableau` — a shared bit-packed GF(2) structure with per-shot
+        packed sign bits — through a single compiled-op sweep (the tableau
+        analogue of the dense engine's ``measure_sampled``/
+        ``apply_1q_masked`` sweep).  ``vectorize=False`` forces the retained
+        per-shot loop; ``None`` falls back to it automatically when the
+        program cannot be batch-applied (empty register, a non-Pauli
+        conditional word, or a measurement whose effective bases span
+        several Pauli axes).  Both paths consume the parent generator
+        through the same sequence of whole-block vector draws, so seeded
+        trajectories are **bit-identical** between them (benchmark E22
+        asserts this).
+
+        ``keep_raw`` (default off) controls whether per-shot outputs are
+        retained: the vectorized path keeps them as O(n_out)-per-shot
+        :class:`PackedStabilizerOutput` views into one shared extraction,
+        the loop path as full :class:`StabilizerOutput` tableaus
+        (O(shots · n²) — the historical memory sink this flag retires).
+        """
+        _check_n_shots(n_shots, self.name)
         rng = ensure_rng(rng)
         forced = dict(forced_outcomes or {})
         if noise is not None:
             compiled = lower_noise(compiled, noise)
         self._require_clifford(compiled)
-        row = _input_row(compiled, input_state)
+        row = _input_row(compiled, input_state, self.name)
         n_total = self._total_nodes(compiled)
+        eligible = n_total > 0 and _batch_applicable(compiled)
+        if vectorize is None:
+            vectorize = eligible
+        elif vectorize and not eligible:
+            raise PatternError(
+                f"the {self.name} engine cannot vectorize this program "
+                f"(empty register, a non-Pauli conditional, or a measurement "
+                f"whose effective bases span several Pauli axes); pass "
+                f"vectorize=None for automatic fallback to the per-shot loop"
+            )
+        if vectorize:
+            return self._sample_batch_vectorized(
+                compiled, n_shots, rng, row, forced, keep_raw, n_total
+            )
+        return self._sample_batch_loop(
+            compiled, n_shots, rng, row, forced, keep_raw, n_total,
+            shared_table=eligible,
+        )
+
+    def _sample_batch_loop(
+        self,
+        compiled: CompiledPattern,
+        n_shots: int,
+        rng,
+        row: np.ndarray,
+        forced: Mapping[int, int],
+        keep_raw: bool,
+        n_total: int,
+        shared_table: bool = True,
+    ) -> SampleRun:
+        """Retained per-shot reference sampler: one scalar tableau per shot.
+
+        For batch-applicable programs (``shared_table=True``) randomness
+        comes from the same lazily-drawn vector table the vectorized path
+        consumes (one ``(n_shots,)`` draw per randomness-consuming op, in op
+        order — the schedule is shot-independent because it is a property of
+        the shared GF(2) structure), so the two paths produce bit-identical
+        seeded trajectories.  Programs the batched tableau cannot execute
+        (e.g. a hand-built non-Pauli conditional, whose firing diverges the
+        X/Z structure per shot and with it the draw schedule) fall back to
+        plain per-shot scalar draws in the historical order.
+        """
+        draws = (
+            _ShotDrawTable(rng, n_shots) if shared_table
+            else _GeneratorDraws(rng)
+        )
         raw: List[StabilizerOutput] = []
         outs = np.zeros((n_shots, len(compiled.measured_nodes)), dtype=np.int8)
         for j in range(n_shots):
+            draws.start_shot(j)
             st, log2_w = self._init_tableau(compiled, row, n_total)
-            out, outcomes = self._run_one(compiled, st, log2_w, rng, forced)
-            raw.append(out)
+            out, outcomes = self._run_one(compiled, st, log2_w, draws, forced)
+            if keep_raw:
+                raw.append(out)
             for i, node in enumerate(compiled.measured_nodes):
                 outs[j, i] = outcomes[node]
-        return SampleRun(nodes=compiled.measured_nodes, outcomes=outs, raw=tuple(raw))
+        return SampleRun(
+            nodes=compiled.measured_nodes,
+            outcomes=outs,
+            raw=tuple(raw) if keep_raw else None,
+        )
+
+    def _sample_batch_vectorized(
+        self,
+        compiled: CompiledPattern,
+        n_shots: int,
+        rng,
+        row: np.ndarray,
+        forced: Mapping[int, int],
+        keep_raw: bool,
+        n_total: int,
+    ) -> SampleRun:
+        """One compiled-op sweep over the whole shot block.
+
+        Unconditional Cliffords update the shared packed structure once;
+        per-shot divergence (adaptive corrections, Pauli faults, readout
+        flips, outcome records) lives entirely in packed shot words.
+        Grouped op runs (:attr:`CompiledPattern.grouped_ops`) keep the
+        Python dispatch per *run* of same-kind ops.
+        """
+        tab = BatchedTableau(n_total, n_shots)
+        kind, bits, log2_w = self._classify_input_row(row)
+        if kind == "basis":
+            for q in range(compiled.num_inputs):
+                if (bits >> q) & 1:
+                    tab.x_gate(q)
+        else:
+            for q in range(compiled.num_inputs):
+                tab.h(q)
+        tab.log2_weight += log2_w
+        wb = tab.wb
+        shot_mask = tab.shot_mask
+        rec: Dict[int, np.ndarray] = {}  # node -> packed per-shot outcome bits
+        next_col = compiled.num_inputs
+        slot_cols = list(range(next_col))
+        for tp, run in compiled.grouped_ops:
+            if tp is PrepOp:
+                for op in run:
+                    tab.prep_column(next_col, op.label)
+                    slot_cols.append(next_col)
+                    next_col += 1
+            elif tp is EntangleOp:
+                for op in run:
+                    tab.cz(slot_cols[op.slots[0]], slot_cols[op.slots[1]])
+            elif tp is ChannelOp:
+                for op in run:
+                    faults = draw_pauli_fault_batch(op, rng, n_shots)
+                    if faults is None:
+                        continue
+                    col = slot_cols[op.slot]
+                    for i, name in enumerate(_PAULI_GATES):
+                        mask = faults == i
+                        if mask.any():
+                            tab.apply_pauli_masked(name, col, pack_bits(mask))
+            elif tp is MeasureOp:
+                for op in run:
+                    s = _parity_words(rec, op.s_domain, wb)
+                    t = _parity_words(rec, op.t_domain, wb)
+                    label = op.pauli[0][0]  # one Pauli axis per basis table
+                    flip_words = _flip_table_words(op.pauli, s, t)
+                    col = slot_cols.pop(op.slot)
+                    pinned = forced.get(op.node)
+                    force_words = None
+                    if pinned is not None:
+                        force_words = ~flip_words if pinned else flip_words
+                    out_words, random_ = tab.measure_pauli(
+                        col,
+                        label,
+                        outcome_provider=lambda: pack_bits(
+                            _draw_outcomes(rng, n_shots).astype(bool)
+                        ),
+                        force_words=force_words,
+                    )
+                    if not random_ and force_words is not None:
+                        if ((out_words ^ force_words) & shot_mask).any():
+                            raise ZeroProbabilityBranch(
+                                f"forced outcome {pinned} on node {op.node} "
+                                f"has probability 0 (deterministic Pauli "
+                                f"measurement)"
+                            )
+                    out_words = out_words ^ flip_words
+                    if op.flip_p > 0.0:
+                        out_words = out_words ^ pack_bits(
+                            _draw_flips(rng, n_shots, op.flip_p)
+                        )
+                    rec[op.node] = out_words
+            elif tp is ConditionalOp:
+                for op in run:
+                    fire = _parity_words(rec, op.domain, wb)
+                    if not (fire & shot_mask).any():
+                        continue
+                    col = slot_cols[op.slot]
+                    for name in op.clifford:
+                        tab.apply_pauli_masked(name, col, fire)
+            else:  # UnitaryOp
+                for op in run:
+                    col = slot_cols[op.slot]
+                    for name in op.clifford:
+                        tab.apply_named(name, (col,))
+        out_cols = tuple(slot_cols[s] for s in compiled.out_perm)
+        outcomes = (
+            np.stack(
+                [
+                    unpack_shot_bits(rec[node], n_shots)
+                    for node in compiled.measured_nodes
+                ],
+                axis=1,
+            )
+            if compiled.measured_nodes
+            else np.zeros((n_shots, 0), dtype=np.int8)
+        )
+        raw = None
+        if keep_raw:
+            shared = _BatchedExtraction(tab, out_cols)
+            raw = tuple(
+                PackedStabilizerOutput(shared, j) for j in range(n_shots)
+            )
+        return SampleRun(
+            nodes=compiled.measured_nodes, outcomes=outcomes, raw=raw
+        )
 
 
 def draw_pauli_fault(op: ChannelOp, rng) -> Optional[int]:
     """Sample ``op``'s Pauli mixture once: X/Y/Z index, or ``None`` for
-    identity.  Shared by every single-trajectory executor (the stabilizer
-    engine and the in-process interpreter in :mod:`repro.mbqc.runner`)."""
+    identity.  The single-trajectory draw used by the in-process
+    interpreter (:mod:`repro.mbqc.runner`).
+
+    **Seeded-stream compatibility contract.**  This scalar path keeps the
+    historical draw order (for a uniform mixture: one ``rng.random()`` fire
+    draw, then — only when fired — one ``rng.integers(3)`` pick), so
+    seeded ``run_pattern`` trajectories reproduce across releases.  The
+    batched samplers instead consume :func:`draw_pauli_fault_batch` — one
+    ``(n_shots,)`` vector draw per channel op with a fixed threshold
+    layout — which is a *different* stream by design: a scalar trajectory
+    and element ``j`` of a batched run agree in distribution but not bit
+    for bit.  Within the batched world the contract is strict: the
+    vectorized sweep and the per-shot loop in
+    :meth:`StabilizerBackend.sample_batch` share the identical vector-draw
+    schedule and are bit-identical for a given seed."""
     _, px, py, pz = _require_pauli_channel(op)
     if px == py == pz:
         # Uniform (depolarizing) mixture: keep the historical draw pattern
@@ -708,11 +1055,184 @@ def draw_pauli_fault(op: ChannelOp, rng) -> Optional[int]:
     return None
 
 
-def _sample_tableau_channel(st: StabilizerState, col: int, op: ChannelOp, rng) -> None:
-    """Sample ``op``'s Pauli mixture as a fault on one tableau column."""
-    i = draw_pauli_fault(op, rng)
-    if i is not None:
-        st.apply_named(_PAULI_GATES[i], (col,))
+def draw_pauli_fault_batch(
+    op: ChannelOp, rng, n_shots: int
+) -> Optional[np.ndarray]:
+    """Sample ``op``'s Pauli mixture for a whole shot block in one RNG call.
+
+    Returns an ``(n_shots,)`` ``int8`` vector — ``-1`` identity, ``0``/
+    ``1``/``2`` = X/Y/Z — or ``None`` (no randomness consumed) when the
+    mixture carries no error weight.  The single ``rng.random(n_shots)``
+    draw is partitioned by the cumulative threshold layout
+    ``[identity | X | Y | Z]``, so the consumed stream is a fixed function
+    of the op — unlike the scalar :func:`draw_pauli_fault`, whose
+    second draw is conditional on firing (see the seeded-stream contract
+    there)."""
+    _, px, py, pz = _require_pauli_channel(op)
+    total = px + py + pz
+    if total <= 0.0:
+        return None
+    u = rng.random(n_shots)
+    faults = np.full(n_shots, -1, dtype=np.int8)
+    lo = 1.0 - total
+    for i, p in enumerate((px, py, pz)):
+        if p > 0.0:
+            faults[(u >= lo) & (u < lo + p)] = i
+        lo += p
+    return faults
+
+
+def _draw_outcomes(rng, n_shots: int) -> np.ndarray:
+    """One whole-block outcome draw — the shared call both stabilizer
+    sampling paths make, in the same op order, for bit-identical streams."""
+    return rng.integers(2, size=n_shots)
+
+
+def _draw_flips(rng, n_shots: int, p: float) -> np.ndarray:
+    """One whole-block readout-flip draw (see :func:`_draw_outcomes`)."""
+    return rng.random(n_shots) < p
+
+
+class _ShotDrawTable:
+    """Lazily drawn ``(n_shots,)`` randomness vectors shared across shots.
+
+    The per-shot loop pulls its randomness through this table: the first
+    shot to need the ``k``-th random quantity triggers one whole-block
+    vector draw (via the same ``_draw_*``/``draw_pauli_fault_batch`` calls
+    the vectorized sweep makes), later shots index into it.  Because the
+    draw schedule of a Clifford program is shot-independent — which
+    measurements are random, which ops flip or fault, is a property of the
+    shared GF(2) structure — the first shot's encounter order equals the
+    vectorized sweep's op order, making the two samplers consume the
+    parent generator identically and produce bit-identical trajectories.
+    """
+
+    def __init__(self, rng, n_shots: int):
+        self._rng = rng
+        self._n = n_shots
+        self._vecs: List[np.ndarray] = []
+        self._kinds: List[object] = []
+        self._shot = 0
+        self._cursor = 0
+
+    def start_shot(self, shot: int) -> None:
+        self._shot = shot
+        self._cursor = 0
+
+    def _pull(self, kind, drawer):
+        k = self._cursor
+        self._cursor += 1
+        if k == len(self._vecs):
+            self._vecs.append(drawer())
+            self._kinds.append(kind)
+        elif self._kinds[k] != kind:  # pragma: no cover - schedule invariant
+            raise RuntimeError(
+                "per-shot draw schedule diverged across shots; the Clifford "
+                "draw schedule should be a property of the shared structure"
+            )
+        return self._vecs[k][self._shot]
+
+    def outcome(self) -> int:
+        return int(self._pull("outcome", lambda: _draw_outcomes(self._rng, self._n)))
+
+    def flip(self, p: float) -> bool:
+        return bool(
+            self._pull(("flip", p), lambda: _draw_flips(self._rng, self._n, p))
+        )
+
+    def fault(self, op: ChannelOp) -> int:
+        """Fault index for the current shot (-1 = identity)."""
+        _, px, py, pz = _require_pauli_channel(op)
+        if px + py + pz <= 0.0:
+            return -1  # no randomness consumed, matching the batch draw
+        return int(
+            self._pull(
+                ("fault", op.label),
+                lambda: draw_pauli_fault_batch(op, self._rng, self._n),
+            )
+        )
+
+
+class _GeneratorDraws:
+    """Per-shot scalar draws straight from the generator, historical order.
+
+    The draw source for per-shot loops over programs the batched tableau
+    cannot execute: their draw schedule may be *shot-dependent* (a
+    non-Pauli conditional diverges the X/Z structure per shot, changing
+    which later measurements are random), so the shared vector table's
+    schedule invariant does not hold and plain sequential draws are the
+    only correct contract."""
+
+    def __init__(self, rng):
+        self._rng = rng
+
+    def start_shot(self, shot: int) -> None:
+        pass
+
+    def outcome(self) -> int:
+        return int(self._rng.integers(2))
+
+    def flip(self, p: float) -> bool:
+        return bool(self._rng.random() < p)
+
+    def fault(self, op: ChannelOp) -> int:
+        i = draw_pauli_fault(op, self._rng)
+        return -1 if i is None else i
+
+
+def _parity_words(
+    rec: Dict[int, np.ndarray], domain, wb: int
+) -> np.ndarray:
+    """Packed per-shot XOR of recorded outcome words over ``domain``."""
+    out = np.zeros(wb, dtype=np.uint64)
+    for node in domain:
+        out = out ^ rec[node]
+    return out
+
+
+def _flip_table_words(
+    pauli, s_words: np.ndarray, t_words: np.ndarray
+) -> np.ndarray:
+    """Per-shot flip bits of a Pauli measurement table, packed.
+
+    The four effective bases of one measurement share a Pauli axis; only
+    the ``flip`` bit is adaptive, a boolean function of the per-shot
+    ``(s, t)`` parities evaluated here with four word ops."""
+    out = np.zeros(s_words.shape, dtype=np.uint64)
+    flips = tuple(flip for _, flip in pauli)
+    if flips[0]:
+        out ^= ~s_words & ~t_words
+    if flips[1]:
+        out ^= s_words & ~t_words
+    if flips[2]:
+        out ^= ~s_words & t_words
+    if flips[3]:
+        out ^= s_words & t_words
+    return out
+
+
+def _batch_applicable(compiled: CompiledPattern) -> bool:
+    """Whether the batched tableau can execute ``compiled``.
+
+    Every per-shot-divergent op must act on sign bits only (a Pauli), and
+    each measurement's four effective bases must share one Pauli axis so
+    the adaptive part reduces to the flip bit.  All compiler-produced
+    Clifford programs qualify (corrections lower to X/Z, and negating an
+    angle or adding π preserves a Pauli axis); the guard protects against
+    hand-built op streams, which fall back to the per-shot loop."""
+    for op in compiled.ops:
+        tp = type(op)
+        if tp is MeasureOp:
+            if op.pauli is None or len({lab for lab, _ in op.pauli}) != 1:
+                return False
+        elif tp is ConditionalOp:
+            if op.clifford is None or any(
+                g not in _PAULI_GATES for g in op.clifford
+            ):
+                return False
+        elif tp is UnitaryOp and op.clifford is None:
+            return False
+    return True
 
 
 # -- registry ---------------------------------------------------------------

@@ -288,6 +288,25 @@ class CompiledPattern:
         return True
 
     @cached_property
+    def grouped_ops(self) -> Tuple[Tuple[type, Tuple[CompiledOp, ...]], ...]:
+        """``ops`` as runs of consecutive same-kind ops.
+
+        Batch-oriented executors dispatch per *run* instead of per op: a
+        prep run becomes one block of direct column initializations on the
+        batched tableau, an entangle run one block of CZ sweeps, and so on.
+        The flat ``ops`` tuple stays the canonical program — this is a
+        derived view, computed once per compiled pattern.
+        """
+        runs: List[Tuple[type, List[CompiledOp]]] = []
+        for op in self.ops:
+            tp = type(op)
+            if runs and runs[-1][0] is tp:
+                runs[-1][1].append(op)
+            else:
+                runs.append((tp, [op]))
+        return tuple((tp, tuple(ops)) for tp, ops in runs)
+
+    @cached_property
     def has_noise(self) -> bool:
         """True iff a noise program is lowered into ``ops`` (any channel op
         or a nonzero readout-flip probability)."""

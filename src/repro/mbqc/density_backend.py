@@ -41,6 +41,7 @@ from repro.mbqc.backend import (
     BranchRun,
     SampleRun,
     _check_branch,
+    _check_n_shots,
     _input_row,
     register_backend,
 )
@@ -237,13 +238,17 @@ class DensityMatrixBackend:
         inputs = np.asarray(inputs, dtype=complex)
         if inputs.ndim != 2 or inputs.shape[1] != 1 << compiled.num_inputs:
             raise PatternError(
-                f"input block must have shape (B, {1 << compiled.num_inputs})"
+                f"the {self.name} engine expects an input block of shape "
+                f"(B, {1 << compiled.num_inputs}) for this pattern's "
+                f"{compiled.num_inputs} inputs, got {inputs.shape}"
             )
         raw: List[DensityOutput] = []
         for row in inputs:
             norm2 = float(np.real(np.vdot(row, row)))
             if norm2 <= 0.0:
-                raise PatternError("input row has zero norm")
+                raise PatternError(
+                    f"the {self.name} engine got an input row with zero norm"
+                )
             rho = DensityMatrix.from_pure(row / np.sqrt(norm2))
             weight = norm2 * self._exec_forced(
                 compiled, rho, forced, compiled.num_inputs
@@ -290,15 +295,19 @@ class DensityMatrixBackend:
         input_state: Optional[np.ndarray] = None,
         forced_outcomes: Optional[Mapping[int, int]] = None,
         noise: Optional[object] = None,
+        keep_raw: bool = False,
     ) -> SampleRun:
-        if n_shots < 1:
-            raise ValueError("n_shots must be positive")
+        # Mixed trajectory outputs have no state vector, so the raw density
+        # matrices ARE the usable output — but the protocol-wide default
+        # stays off (outcome records only); consumers that read
+        # probability_rows()/run.raw pass keep_raw=True.
+        _check_n_shots(n_shots, self.name)
         if noise is not None:
             compiled = lower_noise(compiled, noise)
         self._require_reach(compiled)
         rng = ensure_rng(rng)
         forced = dict(forced_outcomes or {})
-        row = _input_row(compiled, input_state)
+        row = _input_row(compiled, input_state, self.name)
         row = row / np.linalg.norm(row)
         raw: List[DensityOutput] = []
         outs = np.zeros((n_shots, len(compiled.measured_nodes)), dtype=np.int8)
@@ -340,11 +349,16 @@ class DensityMatrixBackend:
                         rho.apply_1q(op.matrix, op.slot)
                 else:  # UnitaryOp
                     rho.apply_1q(op.matrix, op.slot)
-            rho.permute(compiled.out_perm)
-            raw.append(DensityOutput(rho, 1.0))
+            if keep_raw:
+                rho.permute(compiled.out_perm)
+                raw.append(DensityOutput(rho, 1.0))
             for i, node in enumerate(compiled.measured_nodes):
                 outs[j, i] = outcomes[node]
-        return SampleRun(nodes=compiled.measured_nodes, outcomes=outs, raw=tuple(raw))
+        return SampleRun(
+            nodes=compiled.measured_nodes,
+            outcomes=outs,
+            raw=tuple(raw) if keep_raw else None,
+        )
 
     # -- exact integration ---------------------------------------------------
     def integrate(

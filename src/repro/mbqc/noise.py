@@ -221,7 +221,8 @@ def average_fidelity(
     # error rather than silently dropping the channels.
     lowered = lower_noise(compiled, model)
     engine = resolve_backend(backend, lowered, dense_outputs=True)
-    run = engine.sample_batch(lowered, trajectories, rng)
+    # keep_raw: fidelities are read off per-trajectory outputs below.
+    run = engine.sample_batch(lowered, trajectories, rng, keep_raw=True)
     if run.states is None and run.raw and hasattr(run.raw[0], "rho"):
         # Density-engine trajectories are mixed states: fidelity per shot.
         return float(np.mean([out.rho.fidelity_with_pure(ref) for out in run.raw]))

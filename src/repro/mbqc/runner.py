@@ -189,7 +189,8 @@ def run_pattern(
             )
         engine = resolve_backend(backend, compiled, dense_outputs=True)
         run = engine.sample_batch(
-            compiled, 1, rng, input_state=input_state, forced_outcomes=forced
+            compiled, 1, rng, input_state=input_state, forced_outcomes=forced,
+            keep_raw=True,
         )
         state = StateVector.from_array(run.dense_states()[0])
         return PatternResult(

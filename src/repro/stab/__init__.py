@@ -4,9 +4,22 @@ Graph states — the MBQC resource states of Section II.B — are stabilizer
 states, and the Pauli-measurement patterns (e.g. the Appendix A Bell-state
 example) are entirely Clifford.  The Aaronson–Gottesman tableau simulator
 here verifies those at sizes far beyond statevector reach and cross-checks
-the dense simulator on random Clifford circuits.
+the dense simulator on random Clifford circuits.  The bit-packed
+:class:`~repro.stab.batched.BatchedTableau` advances a whole block of
+trajectories over one shared GF(2) structure (per-shot divergence — Pauli
+corrections, faults — lives purely in packed sign bits), which is what
+vectorizes the Clifford trajectory sampler.
 """
 
+from repro.stab.batched import (
+    BatchedTableau,
+    pack_bits,
+    packed_g,
+    packed_g2,
+    packed_rows_mul,
+    unpack_bits,
+    unpack_shot_bits,
+)
 from repro.stab.tableau import (
     ForcedOutcomeContradiction,
     StabilizerState,
@@ -18,11 +31,18 @@ from repro.stab.tableau import (
 )
 
 __all__ = [
+    "BatchedTableau",
     "ForcedOutcomeContradiction",
     "StabilizerState",
     "apply_pauli_string",
     "canonical_stabilizer_key",
     "graph_state_stabilizers",
+    "pack_bits",
+    "packed_g",
+    "packed_g2",
+    "packed_rows_mul",
     "stab_rows_to_paulis",
     "statevector_from_generators",
+    "unpack_bits",
+    "unpack_shot_bits",
 ]

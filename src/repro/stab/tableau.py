@@ -223,7 +223,16 @@ class StabilizerState:
             self.x[p] = False
             self.z[p] = False
             self.z[p, q] = True
-            outcome = int(ensure_rng(rng).integers(2)) if force is None else int(force)
+            if force is not None:
+                outcome = int(force)
+            elif callable(rng):
+                # A zero-argument draw source (e.g. the pattern backend's
+                # shared per-shot table) — invoked only when randomness is
+                # actually consumed, so vectorized and per-shot samplers
+                # stay on the identical generator stream.
+                outcome = int(rng())
+            else:
+                outcome = int(ensure_rng(rng).integers(2))
             self.r[p] = outcome
             return outcome, 0.5
         # Deterministic outcome: accumulate into scratch row.

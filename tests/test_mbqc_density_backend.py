@@ -296,7 +296,7 @@ class TestGuards:
     def test_mixed_output_refuses_densification(self):
         compiled = compile_pattern(j_pattern(0.4))
         run = get_backend("density").sample_batch(
-            compiled, 2, rng=0, noise=NoiseModel(p_ent=0.4)
+            compiled, 2, rng=0, noise=NoiseModel(p_ent=0.4), keep_raw=True
         )
         rows = run.probability_rows()
         assert rows.shape == (2, 2)

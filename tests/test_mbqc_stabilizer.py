@@ -378,7 +378,7 @@ class TestLongPatternNormStability:
                 p.z(i + 1, {i - 1})
         c = compile_pattern(p)
         run = get_backend("stabilizer").sample_batch(
-            c, 2, rng=np.random.default_rng(1)
+            c, 2, rng=np.random.default_rng(1), keep_raw=True
         )
         assert all(out.log2_weight == -n_steps for out in run.raw)
         states = run.dense_states()
@@ -529,6 +529,196 @@ class TestVerifyStabilizerPath:
         p.n(1).e(0, 1).m(0, "XY", 0.0).x(1, {0})
         with pytest.raises(PatternError, match="state-preparation"):
             check_pattern_determinism(p, backend="stabilizer")
+
+
+class TestBatchedTableauSampler:
+    """The vectorized (bit-packed batched tableau) sampler vs the retained
+    per-shot loop: same seed, same whole-block draw schedule — trajectories
+    must agree **bit for bit**, not just in distribution."""
+
+    def _both_paths(self, compiled, n_shots, seed, noise=None):
+        sb = get_backend("stabilizer")
+        vec = sb.sample_batch(
+            compiled, n_shots, rng=np.random.default_rng(seed), noise=noise,
+            keep_raw=True, vectorize=True,
+        )
+        loop = sb.sample_batch(
+            compiled, n_shots, rng=np.random.default_rng(seed), noise=noise,
+            keep_raw=True, vectorize=False,
+        )
+        return vec, loop
+
+    def _assert_identical(self, vec, loop):
+        assert np.array_equal(vec.outcomes, loop.outcomes)
+        assert len(vec.raw) == len(loop.raw)
+        for a, b in zip(vec.raw, loop.raw):
+            assert a.log2_weight == b.log2_weight
+            assert a.canonical_key() == b.canonical_key()
+            assert np.allclose(a.probabilities(), b.probabilities(), atol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_random_clifford_patterns_bit_identical(self, seed):
+        pattern = random_clifford_pattern(seed)
+        c = compile_pattern(pattern)
+        vec, loop = self._both_paths(c, 17, seed)
+        self._assert_identical(vec, loop)
+
+    def test_qaoa_ring_bit_identical(self):
+        qubo = MaxCut.ring(8).to_qubo()
+        c = compile_pattern(compile_qaoa_pattern(qubo, [0.0], [0.0]).pattern)
+        vec, loop = self._both_paths(c, 64, seed=3)
+        self._assert_identical(vec, loop)
+
+    def test_bit_identical_under_pauli_noise(self):
+        """Readout flips and channel faults ride the same whole-block draw
+        schedule on both paths (draw_pauli_fault_batch, one vector draw per
+        channel op) — bit-identity survives a noise-lowered program."""
+        from repro.mbqc.noise import NoiseModel
+
+        qubo = MaxCut.ring(5).to_qubo()
+        c = compile_pattern(compile_qaoa_pattern(qubo, [0.0], [0.0]).pattern)
+        noise = NoiseModel(p_prep=0.15, p_ent=0.05, p_meas=0.25)
+        vec, loop = self._both_paths(c, 40, seed=11, noise=noise)
+        self._assert_identical(vec, loop)
+        # Noise must actually randomize the record for this test to bite.
+        assert 0.0 < vec.outcomes.mean() < 1.0
+
+    def test_forced_outcomes_match_loop(self):
+        pattern = random_clifford_pattern(9)
+        c = compile_pattern(pattern)
+        branch = _reachable_branch(c)
+        sb = get_backend("stabilizer")
+        for vectorize in (True, False):
+            run = sb.sample_batch(
+                c, 5, rng=np.random.default_rng(0), forced_outcomes=branch,
+                vectorize=vectorize,
+            )
+            assert np.array_equal(
+                run.outcomes,
+                np.tile([branch[n] for n in c.measured_nodes], (5, 1)),
+            )
+
+    def test_vectorized_forced_contradiction_raises_zero_probability(self):
+        """A branch forcing against a deterministic Pauli measurement is
+        zero-weight on both paths."""
+        p = Pattern(input_nodes=[], output_nodes=[1])
+        p.n(0, "zero").n(1)
+        p.m(0, "YZ", 0.0)  # deterministic: only outcome 0 is reachable
+        c = compile_pattern(p)
+        sb = get_backend("stabilizer")
+        for vectorize in (True, False):
+            with pytest.raises(ZeroProbabilityBranch):
+                sb.sample_batch(
+                    c, 3, rng=np.random.default_rng(0),
+                    forced_outcomes={0: 1}, vectorize=vectorize,
+                )
+
+    def test_keep_raw_default_off(self):
+        """The memory fix: sample_batch no longer retains per-shot outputs
+        unless asked — and the accessors say how to ask."""
+        qubo = MaxCut.ring(4).to_qubo()
+        c = compile_pattern(compile_qaoa_pattern(qubo, [0.0], [0.0]).pattern)
+        run = get_backend("stabilizer").sample_batch(
+            c, 4, rng=np.random.default_rng(0)
+        )
+        assert run.raw is None
+        assert run.outcomes.shape[0] == 4
+        with pytest.raises(ValueError, match="keep_raw"):
+            run.dense_states()
+
+    def test_packed_outputs_share_extraction(self):
+        """keep_raw=True on the vectorized path yields per-shot views into
+        one shared extraction (O(n_out) per shot), equal to the loop path's
+        full StabilizerOutput tableaus."""
+        from repro.mbqc import PackedStabilizerOutput
+
+        qubo = MaxCut.ring(4).to_qubo()
+        c = compile_pattern(compile_qaoa_pattern(qubo, [0.0], [0.0]).pattern)
+        run = get_backend("stabilizer").sample_batch(
+            c, 6, rng=np.random.default_rng(2), keep_raw=True, vectorize=True
+        )
+        assert all(isinstance(out, PackedStabilizerOutput) for out in run.raw)
+        assert run.raw[0].batch is run.raw[1].batch
+        states = run.dense_states()
+        assert np.allclose(np.linalg.norm(states, axis=1), 1.0, atol=1e-9)
+
+    def test_non_batch_applicable_fallback_survives_shot_dependent_schedule(self):
+        """Regression: a hand-built Clifford program with a non-Pauli
+        conditional (H) diverges the X/Z structure per shot, so which later
+        measurements are random differs across shots — the automatic
+        per-shot fallback must draw per shot from the generator instead of
+        the shared vector table (whose schedule invariant would break)."""
+        from dataclasses import replace as dc_replace
+
+        from repro.linalg.gates import HADAMARD
+        from repro.mbqc.compile import ConditionalOp
+
+        p = Pattern(input_nodes=[], output_nodes=[2])
+        p.n(0).n(1).n(2).e(0, 1).e(1, 2)
+        p.m(0, "XY", 0.0).x(1, {0}).m(1, "XY", 0.0)
+        c = compile_pattern(p)
+        # Swap the Pauli-X correction for a conditional Hadamard: node 1's
+        # measurement is then random on some shots, deterministic on others.
+        ops = list(c.ops)
+        idx = next(
+            i for i, op in enumerate(ops) if type(op) is ConditionalOp
+        )
+        ops[idx] = ConditionalOp(
+            ops[idx].slot, ops[idx].domain, HADAMARD, ("h",)
+        )
+        hacked = dc_replace(c, ops=tuple(ops))
+        assert hacked.is_clifford
+        from repro.mbqc.backend import _batch_applicable
+
+        assert not _batch_applicable(hacked)
+        sb = get_backend("stabilizer")
+        from repro.mbqc.noise import NoiseModel
+
+        run = sb.sample_batch(
+            hacked, 64, rng=np.random.default_rng(0),
+            noise=NoiseModel(p_meas=0.2),
+        )
+        assert run.outcomes.shape == (64, 2)
+        # Forcing vectorization on such a program is refused loudly.
+        with pytest.raises(PatternError, match="vectorize"):
+            sb.sample_batch(hacked, 4, rng=0, vectorize=True)
+
+    def test_vectorize_true_rejects_empty_register(self):
+        p = Pattern(input_nodes=[], output_nodes=[])
+        c = compile_pattern(p)
+        with pytest.raises(PatternError, match="vectorize"):
+            get_backend("stabilizer").sample_batch(c, 2, rng=0, vectorize=True)
+
+    def test_engine_named_errors(self):
+        qubo = MaxCut.ring(3).to_qubo()
+        c = compile_pattern(compile_qaoa_pattern(qubo, [0.0], [0.0]).pattern)
+        with pytest.raises(ValueError, match="stabilizer"):
+            get_backend("stabilizer").sample_batch(c, 0)
+        with pytest.raises(ValueError, match="statevector"):
+            get_backend("statevector").sample_batch(c, -1)
+        branch = {node: 0 for node in c.measured_nodes}
+        with pytest.raises(PatternError, match="stabilizer"):
+            get_backend("stabilizer").run_branch_batch(
+                c, np.ones((1, 4), dtype=complex), branch
+            )
+
+    def test_sampled_distribution_matches_dense(self):
+        """The vectorized sampler still draws from the Born distribution:
+        cross-check empirical frequencies against the dense engine."""
+        qubo = MaxCut.ring(4).to_qubo()
+        c = compile_pattern(compile_qaoa_pattern(qubo, [0.0], [0.0]).pattern)
+        n_shots = 3000
+        sv_run = get_backend("statevector").sample_batch(
+            c, n_shots, rng=np.random.default_rng(21)
+        )
+        sb_run = get_backend("stabilizer").sample_batch(
+            c, n_shots, rng=np.random.default_rng(22), vectorize=True
+        )
+        # Compare marginal outcome frequencies per measured node.
+        assert np.allclose(
+            sv_run.outcomes.mean(axis=0), sb_run.outcomes.mean(axis=0), atol=0.06
+        )
 
 
 class TestSolverBatchedSampling:
