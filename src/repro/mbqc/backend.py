@@ -412,6 +412,19 @@ def _input_row(
     return row
 
 
+def _measure_vecs(op: MeasureOp, s, t) -> np.ndarray:
+    """Effective basis vectors of ``op`` for signal parities ``(s, t)``.
+
+    Scalar parities give one ``(2, 2)`` basis; per-element ``(B,)`` parity
+    vectors gather a ``(B, 2, 2)`` per-element block from the precompiled
+    ``basis_block`` (hand-built ops without the view get it rebuilt) — the
+    shared gather of the dense and density batched sweeps."""
+    block = op.basis_block
+    if block is None:
+        block = np.array([[b.b0, b.b1] for b in op.bases], dtype=complex)
+    return block[s + 2 * t]
+
+
 def _check_branch(compiled: CompiledPattern, forced_outcomes) -> Dict[int, int]:
     missing = [n for n in compiled.measured_nodes if n not in forced_outcomes]
     if missing:
@@ -503,10 +516,7 @@ class StatevectorBackend:
             elif tp is MeasureOp:
                 s = _parity_vec(rec, op.s_domain, n_shots)
                 t = _parity_vec(rec, op.t_domain, n_shots)
-                block = op.basis_block
-                if block is None:  # hand-built op without the prebuilt view
-                    block = np.array([[b.b0, b.b1] for b in op.bases], dtype=complex)
-                vecs = block[s + 2 * t]  # (B, 2, 2) per-element bases
+                vecs = _measure_vecs(op, s, t)  # (B, 2, 2) per-element bases
                 outs, _probs = sv.measure_sampled(
                     op.slot, vecs, rng=rng, force=forced.get(op.node),
                     renormalize=False,
@@ -1105,6 +1115,15 @@ class _ShotDrawTable:
     shared GF(2) structure — the first shot's encounter order equals the
     vectorized sweep's op order, making the two samplers consume the
     parent generator identically and produce bit-identical trajectories.
+
+    The density engine shares this table between *its* two sampling paths
+    (whose schedule is trivially shot-independent: channels are exact, so
+    only measurements and readout flips consume randomness): the per-shot
+    reference loop reads scalars (:meth:`uniform`/:meth:`flip`), the
+    chunked vectorized sweep reads the same whole-block vectors
+    (:meth:`uniform_vec`/:meth:`flip_vec` after :meth:`start_pass`) and
+    slices out its shot range — so seeded trajectories are bit-identical
+    between paths *and* across chunk sizes.
     """
 
     def __init__(self, rng, n_shots: int):
@@ -1119,7 +1138,12 @@ class _ShotDrawTable:
         self._shot = shot
         self._cursor = 0
 
-    def _pull(self, kind, drawer):
+    def start_pass(self) -> None:
+        """Begin a whole-block consumption pass (one chunk of a vectorized
+        sweep): block accessors replay the schedule from the top."""
+        self._cursor = 0
+
+    def _pull_vec(self, kind, drawer) -> np.ndarray:
         k = self._cursor
         self._cursor += 1
         if k == len(self._vecs):
@@ -1127,10 +1151,13 @@ class _ShotDrawTable:
             self._kinds.append(kind)
         elif self._kinds[k] != kind:  # pragma: no cover - schedule invariant
             raise RuntimeError(
-                "per-shot draw schedule diverged across shots; the Clifford "
-                "draw schedule should be a property of the shared structure"
+                "per-shot draw schedule diverged across shots; the draw "
+                "schedule should be a property of the shared structure"
             )
-        return self._vecs[k][self._shot]
+        return self._vecs[k]
+
+    def _pull(self, kind, drawer):
+        return self._pull_vec(kind, drawer)[self._shot]
 
     def outcome(self) -> int:
         return int(self._pull("outcome", lambda: _draw_outcomes(self._rng, self._n)))
@@ -1138,6 +1165,22 @@ class _ShotDrawTable:
     def flip(self, p: float) -> bool:
         return bool(
             self._pull(("flip", p), lambda: _draw_flips(self._rng, self._n, p))
+        )
+
+    def uniform(self) -> float:
+        """One uniform deviate for the current shot (Born-rule outcome
+        draws with non-1/2 probabilities; cf. the stabilizer engine's
+        :meth:`outcome`, whose random outcomes are exact coin flips)."""
+        return float(self._pull("uniform", lambda: self._rng.random(self._n)))
+
+    def uniform_vec(self) -> np.ndarray:
+        """The whole ``(n_shots,)`` uniform block at this schedule slot."""
+        return self._pull_vec("uniform", lambda: self._rng.random(self._n))
+
+    def flip_vec(self, p: float) -> np.ndarray:
+        """The whole ``(n_shots,)`` readout-flip block at this slot."""
+        return self._pull_vec(
+            ("flip", p), lambda: _draw_flips(self._rng, self._n, p)
         )
 
     def fault(self, op: ChannelOp) -> int:

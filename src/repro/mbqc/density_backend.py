@@ -7,7 +7,11 @@ an exact Kraus map.  Three execution modes:
 
 - :meth:`DensityMatrixBackend.sample_batch` — trajectories with *sampled*
   measurement outcomes but *exact* channels (each shot's output is the
-  conditional mixed state given its outcome record).
+  conditional mixed state given its outcome record), vectorized across the
+  shot block over a :class:`~repro.sim.density_batched.BatchedDensityMatrix`
+  (chunked against a byte budget; a retained per-shot loop shares the
+  identical whole-block draw schedule, so seeded trajectories are
+  bit-identical between paths — benchmark E23).
 - :meth:`DensityMatrixBackend.run_branch_batch` /
   :meth:`~DensityMatrixBackend.run_branch_choi` — one forced outcome
   branch, exactly; readout flips make the branch state a two-term mixture
@@ -43,6 +47,9 @@ from repro.mbqc.backend import (
     _check_branch,
     _check_n_shots,
     _input_row,
+    _measure_vecs,
+    _parity_vec,
+    _ShotDrawTable,
     register_backend,
 )
 from repro.mbqc.compile import (
@@ -58,6 +65,7 @@ from repro.mbqc.compile import (
 )
 from repro.mbqc.pattern import PatternError
 from repro.sim.density import DensityMatrix
+from repro.sim.density_batched import BatchedDensityMatrix
 from repro.sim.statevector import ZeroProbabilityBranch
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -69,7 +77,27 @@ DENSITY_MAX_LIVE = 10
 # the sum is better estimated by trajectories.
 DENSITY_MAX_BRANCHES = 1 << 18
 
+# Byte budget for one batched density block (B · 16 · 4^max_live bytes):
+# the vectorized sweeps chunk their batch so the steady-state block stays
+# under it.  64 MiB holds 4096 shots of a 5-live-qubit pattern but only 4
+# shots at the 10-qubit reach ceiling — the win is memory-bounded by
+# design.  Note the budget covers the *resident* block only: the kernels
+# (tensordot conjugations, projection pairs) materialize one or two
+# block-sized temporaries while the old block is still alive, so transient
+# peak memory is ~2-3x the budget — size it accordingly.
+DENSITY_BATCH_MAX_BYTES = 1 << 26
+
 _ZERO_PROB = 1e-12
+
+
+def _chunk_elements(n: int, max_live: int, max_block_bytes: Optional[int]) -> int:
+    """Largest batch chunk whose density block fits the byte budget."""
+    budget = (
+        DENSITY_BATCH_MAX_BYTES if max_block_bytes is None
+        else int(max_block_bytes)
+    )
+    per_element = 16 * (4 ** max_live)  # one complex128 density tensor
+    return max(1, min(n, budget // per_element))
 
 
 def _normalized_probs(rho: DensityMatrix) -> np.ndarray:
@@ -176,56 +204,63 @@ class DensityMatrixBackend:
             )
 
     # -- forced-branch execution --------------------------------------------
-    def _exec_forced(
+    def _exec_forced_block(
         self,
         compiled: CompiledPattern,
-        rho: DensityMatrix,
+        rho: BatchedDensityMatrix,
         forced: Mapping[int, int],
-        live: int,
-    ) -> float:
-        """Run ``compiled`` on ``rho`` (mutating) with every outcome pinned;
-        returns the exact branch probability.  Readout flips fold in as
-        two-term mixtures — the recorded (forced) bit may come from either
-        true outcome."""
-        weight = 1.0
+        live: Optional[int] = None,
+    ) -> np.ndarray:
+        """Run ``compiled`` on a whole batched block (mutating) with every
+        outcome pinned; returns the per-element exact branch probabilities.
+        The vectorized core of :meth:`run_branch_batch` (and, at B=1, of
+        :meth:`run_branch_choi`, whose ``live`` starts below the register
+        width — prepared nodes insert *before* the spectator ancillas) —
+        readout flips fold in as two-term mixtures via the batched flip-mix
+        kernel."""
+        b = rho.batch_size
+        weights = np.ones(b, dtype=float)
         outcomes: Dict[int, int] = {}
-        for op in compiled.ops:
-            tp = type(op)
+        if live is None:
+            live = compiled.num_inputs
+        for tp, run in compiled.grouped_ops:
             if tp is PrepOp:
-                rho.add_qubit(op.state, position=live)
-                live += 1
+                for op in run:
+                    rho.add_qubit(op.state, position=live)
+                    live += 1
             elif tp is EntangleOp:
-                rho.apply_2q(CZ, *op.slots)
+                for op in run:
+                    rho.apply_cz(*op.slots)
             elif tp is ChannelOp:
-                rho.apply_kraus(op.kraus, op.slot, check=False)
+                for op in run:
+                    rho.apply_kraus(op.kraus, op.slot, check=False)
             elif tp is MeasureOp:
-                s = signal_parity(outcomes, op.s_domain)
-                t = signal_parity(outcomes, op.t_domain)
-                basis = op.bases[s + 2 * t]
-                r = forced[op.node]
-                dm, p = rho.measure_project(op.slot, basis, r)
-                tensor, prob = dm._t, p
-                if op.flip_p > 0.0:
-                    dm_w, p_w = rho.measure_project(op.slot, basis, r ^ 1)
-                    f = op.flip_p
-                    tensor = (1.0 - f) * tensor + f * dm_w._t
-                    prob = (1.0 - f) * p + f * p_w
-                if prob < _ZERO_PROB:
-                    raise ZeroProbabilityBranch(
-                        f"forced outcome {r} on node {op.node} has "
-                        f"probability ~0"
-                    )
-                rho._t = tensor / prob
-                rho._n = dm._n
-                weight *= prob
-                live -= 1
-                outcomes[op.node] = r
+                for op in run:
+                    s = signal_parity(outcomes, op.s_domain)
+                    t = signal_parity(outcomes, op.t_domain)
+                    vecs = np.broadcast_to(_measure_vecs(op, s, t), (b, 2, 2))
+                    r = forced[op.node]
+                    try:
+                        probs = rho.measure_forced(
+                            op.slot, vecs, np.full(b, r, dtype=np.int8),
+                            flip_p=op.flip_p,
+                        )
+                    except ZeroProbabilityBranch:
+                        raise ZeroProbabilityBranch(
+                            f"forced outcome {r} on node {op.node} has "
+                            f"probability ~0"
+                        ) from None
+                    weights *= probs
+                    outcomes[op.node] = r
+                    live -= 1
             elif tp is ConditionalOp:
-                if signal_parity(outcomes, op.domain):
-                    rho.apply_1q(op.matrix, op.slot)
+                for op in run:
+                    if signal_parity(outcomes, op.domain):
+                        rho.apply_1q(op.matrix, op.slot)
             else:  # UnitaryOp
-                rho.apply_1q(op.matrix, op.slot)
-        return weight
+                for op in run:
+                    rho.apply_1q(op.matrix, op.slot)
+        return weights
 
     def run_branch_batch(
         self,
@@ -242,24 +277,26 @@ class DensityMatrixBackend:
                 f"(B, {1 << compiled.num_inputs}) for this pattern's "
                 f"{compiled.num_inputs} inputs, got {inputs.shape}"
             )
-        raw: List[DensityOutput] = []
-        for row in inputs:
-            norm2 = float(np.real(np.vdot(row, row)))
-            if norm2 <= 0.0:
-                raise PatternError(
-                    f"the {self.name} engine got an input row with zero norm"
-                )
-            rho = DensityMatrix.from_pure(row / np.sqrt(norm2))
-            weight = norm2 * self._exec_forced(
-                compiled, rho, forced, compiled.num_inputs
+        norms2 = np.einsum("bi,bi->b", inputs.conj(), inputs).real
+        if np.any(norms2 <= 0.0):
+            raise PatternError(
+                f"the {self.name} engine got an input row with zero norm"
             )
+        raw: List[DensityOutput] = []
+        weights = np.zeros(inputs.shape[0], dtype=float)
+        chunk = _chunk_elements(inputs.shape[0], compiled.max_live, None)
+        for lo in range(0, inputs.shape[0], chunk):
+            hi = min(lo + chunk, inputs.shape[0])
+            rows = inputs[lo:hi] / np.sqrt(norms2[lo:hi])[:, None]
+            rho = BatchedDensityMatrix.from_pure_rows(rows)
+            w = norms2[lo:hi] * self._exec_forced_block(compiled, rho, forced)
             rho.permute(compiled.out_perm)
-            raw.append(DensityOutput(rho, weight))
-        return BranchRun(
-            outcomes=forced,
-            weights=np.array([o.weight for o in raw]),
-            raw=tuple(raw),
-        )
+            weights[lo:hi] = w
+            raw.extend(
+                DensityOutput(rho.shot(j), float(w[j]))
+                for j in range(hi - lo)
+            )
+        return BranchRun(outcomes=forced, weights=weights, raw=tuple(raw))
 
     def run_branch_choi(
         self,
@@ -275,16 +312,17 @@ class DensityMatrixBackend:
         self._require_reach(compiled, extra=k)
         forced = _check_branch(compiled, forced_outcomes)
         if k == 0:
-            rho = DensityMatrix.from_pure(_input_row(compiled, None))
+            vec = _input_row(compiled, None)
         else:
             vec = np.zeros(1 << (2 * k), dtype=complex)
             for x in range(1 << k):
                 vec[x | (x << k)] = 1.0
-            rho = DensityMatrix.from_pure(vec / np.sqrt(1 << k))
-        weight = self._exec_forced(compiled, rho, forced, k)
+            vec = vec / np.sqrt(1 << k)
+        rho = BatchedDensityMatrix.from_pure_rows(vec[None, :])
+        weight = float(self._exec_forced_block(compiled, rho, forced, live=k)[0])
         n_out = compiled.num_outputs
         rho.permute(list(compiled.out_perm) + [n_out + j for j in range(k)])
-        return DensityOutput(rho, weight)
+        return DensityOutput(rho.shot(0), weight)
 
     # -- trajectory sampling (exact channels, sampled outcomes) -------------
     def sample_batch(
@@ -296,11 +334,36 @@ class DensityMatrixBackend:
         forced_outcomes: Optional[Mapping[int, int]] = None,
         noise: Optional[object] = None,
         keep_raw: bool = False,
+        vectorize: bool = True,
+        max_block_bytes: Optional[int] = None,
     ) -> SampleRun:
-        # Mixed trajectory outputs have no state vector, so the raw density
-        # matrices ARE the usable output — but the protocol-wide default
-        # stays off (outcome records only); consumers that read
-        # probability_rows()/run.raw pass keep_raw=True.
+        """Sample ``n_shots`` trajectories (exact channels, sampled
+        outcomes), vectorized across the shot block.
+
+        The default path advances one
+        :class:`~repro.sim.density_batched.BatchedDensityMatrix` — ``B``
+        whole per-shot density tensors — through a single compiled-op sweep
+        (:attr:`CompiledPattern.grouped_ops`), chunking the shot block so
+        the resident ``B · 4^max_live`` tensor stays under
+        ``max_block_bytes`` (default :data:`DENSITY_BATCH_MAX_BYTES`;
+        kernel temporaries transiently add ~2x on top of the budget).
+        ``vectorize=False`` keeps the per-shot scalar loop.  Both paths —
+        and every chunking of the vectorized one — consume the parent
+        generator through the same whole-block draw schedule (one uniform
+        vector per unpinned measurement, one flip vector per noisy readout,
+        in op order), so seeded trajectories are **bit-identical** between
+        them (benchmark E23 asserts this).  The two paths are deliberately
+        *distinct implementations* (scalar tensordot chain vs batched
+        einsum) cross-checking each other, so the record identity rests on
+        their Born probabilities agreeing to well under one uniform-deviate
+        ULP — exact chunking invariance, by contrast, holds by construction
+        (same kernels, per-shot-independent contractions).
+
+        Mixed trajectory outputs have no state vector, so the raw density
+        matrices ARE the usable output — but the protocol-wide default
+        stays off (outcome records only); consumers that read
+        ``probability_rows()``/``run.raw`` pass ``keep_raw=True``.
+        """
         _check_n_shots(n_shots, self.name)
         if noise is not None:
             compiled = lower_noise(compiled, noise)
@@ -309,9 +372,33 @@ class DensityMatrixBackend:
         forced = dict(forced_outcomes or {})
         row = _input_row(compiled, input_state, self.name)
         row = row / np.linalg.norm(row)
+        # Channels are exact, so the draw schedule is shot-independent by
+        # construction: both paths share one whole-block vector table.
+        draws = _ShotDrawTable(rng, n_shots)
+        if vectorize:
+            return self._sample_batch_vectorized(
+                compiled, n_shots, row, forced, draws, keep_raw,
+                max_block_bytes,
+            )
+        return self._sample_batch_loop(
+            compiled, n_shots, row, forced, draws, keep_raw
+        )
+
+    def _sample_batch_loop(
+        self,
+        compiled: CompiledPattern,
+        n_shots: int,
+        row: np.ndarray,
+        forced: Mapping[int, int],
+        draws: _ShotDrawTable,
+        keep_raw: bool,
+    ) -> SampleRun:
+        """Retained per-shot reference sampler: one scalar density matrix
+        per shot, randomness via the shared whole-block draw table."""
         raw: List[DensityOutput] = []
         outs = np.zeros((n_shots, len(compiled.measured_nodes)), dtype=np.int8)
         for j in range(n_shots):
+            draws.start_shot(j)
             rho = DensityMatrix.from_pure(row)
             live = compiled.num_inputs
             outcomes: Dict[int, int] = {}
@@ -329,9 +416,10 @@ class DensityMatrixBackend:
                     t = signal_parity(outcomes, op.t_domain)
                     basis = op.bases[s + 2 * t]
                     pinned = forced.get(op.node)
+                    u = draws.uniform() if pinned is None else None
                     try:
                         out, _prob = rho.measure(
-                            op.slot, basis, rng=rng, force=pinned
+                            op.slot, basis, u=u, force=pinned
                         )
                     except ValueError:
                         if pinned is None:
@@ -340,7 +428,7 @@ class DensityMatrixBackend:
                             f"forced outcome {pinned} on node {op.node} has "
                             f"probability ~0"
                         ) from None
-                    if op.flip_p > 0.0 and rng.random() < op.flip_p:
+                    if op.flip_p > 0.0 and draws.flip(op.flip_p):
                         out ^= 1  # readout flip corrupts downstream adaptivity
                     outcomes[op.node] = out
                     live -= 1
@@ -354,6 +442,91 @@ class DensityMatrixBackend:
                 raw.append(DensityOutput(rho, 1.0))
             for i, node in enumerate(compiled.measured_nodes):
                 outs[j, i] = outcomes[node]
+        return SampleRun(
+            nodes=compiled.measured_nodes,
+            outcomes=outs,
+            raw=tuple(raw) if keep_raw else None,
+        )
+
+    def _sample_batch_vectorized(
+        self,
+        compiled: CompiledPattern,
+        n_shots: int,
+        row: np.ndarray,
+        forced: Mapping[int, int],
+        draws: _ShotDrawTable,
+        keep_raw: bool,
+        max_block_bytes: Optional[int],
+    ) -> SampleRun:
+        """One compiled-op sweep per shot chunk over a batched density block.
+
+        Per-shot divergence — adaptive bases, sampled outcomes, conditional
+        corrections, readout flips — rides the batch axis (per-shot basis
+        gathers, masked 1q conjugations); channels apply once per chunk as
+        exact Kraus maps.  Each chunk replays the draw schedule from the
+        top (``start_pass``) and slices its shot range out of the shared
+        whole-block vectors, so records are seed-identical to the unchunked
+        block and to the per-shot loop."""
+        chunk = _chunk_elements(n_shots, compiled.max_live, max_block_bytes)
+        outs = np.zeros((n_shots, len(compiled.measured_nodes)), dtype=np.int8)
+        raw: List[DensityOutput] = []
+        rho0 = DensityMatrix.from_pure(row)
+        for lo in range(0, n_shots, chunk):
+            hi = min(lo + chunk, n_shots)
+            b = hi - lo
+            draws.start_pass()
+            rho = BatchedDensityMatrix.from_replicas(rho0, b)
+            rec: Dict[int, np.ndarray] = {}  # node -> (b,) outcome bits
+            live = compiled.num_inputs
+            for tp, run in compiled.grouped_ops:
+                if tp is PrepOp:
+                    for op in run:
+                        rho.add_qubit(op.state, position=live)
+                        live += 1
+                elif tp is EntangleOp:
+                    for op in run:
+                        rho.apply_cz(*op.slots)
+                elif tp is ChannelOp:
+                    for op in run:
+                        rho.apply_kraus(op.kraus, op.slot, check=False)
+                elif tp is MeasureOp:
+                    for op in run:
+                        s = _parity_vec(rec, op.s_domain, b)
+                        t = _parity_vec(rec, op.t_domain, b)
+                        vecs = _measure_vecs(op, s, t)
+                        pinned = forced.get(op.node)
+                        u = (
+                            draws.uniform_vec()[lo:hi]
+                            if pinned is None else None
+                        )
+                        try:
+                            outs_vec, _probs = rho.measure_sampled(
+                                op.slot, vecs, u=u, force=pinned
+                            )
+                        except ZeroProbabilityBranch:
+                            raise ZeroProbabilityBranch(
+                                f"forced outcome {pinned} on node {op.node} "
+                                f"has probability ~0"
+                            ) from None
+                        if op.flip_p > 0.0:
+                            flips = draws.flip_vec(op.flip_p)[lo:hi]
+                            outs_vec = outs_vec ^ flips.astype(np.int8)
+                        rec[op.node] = outs_vec
+                        live -= 1
+                elif tp is ConditionalOp:
+                    for op in run:
+                        fire = _parity_vec(rec, op.domain, b).astype(bool)
+                        rho.apply_1q_masked(op.matrix, op.slot, fire)
+                else:  # UnitaryOp
+                    for op in run:
+                        rho.apply_1q(op.matrix, op.slot)
+            for i, node in enumerate(compiled.measured_nodes):
+                outs[lo:hi, i] = rec[node]
+            if keep_raw:
+                rho.permute(compiled.out_perm)
+                raw.extend(
+                    DensityOutput(rho.shot(j), 1.0) for j in range(b)
+                )
         return SampleRun(
             nodes=compiled.measured_nodes,
             outcomes=outs,

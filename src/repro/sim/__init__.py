@@ -6,13 +6,17 @@ simulation tractable: a measurement pattern on ``p(|E|+3|V|)`` total nodes
 only ever holds the live subset in memory when ancillas are measured eagerly
 (see ``repro.core.reuse``).  :class:`~repro.sim.statevector.BatchedStateVector`
 evolves ``B`` independent states in one tensor — the substrate of the batched
-pattern-execution engine (``repro.mbqc.backend``).
+pattern-execution engine (``repro.mbqc.backend``) — and
+:class:`~repro.sim.density_batched.BatchedDensityMatrix` is its open-system
+counterpart: ``B`` whole density operators in lockstep, the substrate of the
+vectorized density-engine trajectory sampler.
 :class:`~repro.sim.circuit.Circuit` is a minimal gate-model IR used by the
 QAOA builders and the generic circuit→pattern compiler.
 """
 
 from repro.sim.circuit import Circuit, Gate
 from repro.sim.density import DensityMatrix, validate_kraus
+from repro.sim.density_batched import BatchedDensityMatrix
 from repro.sim.statevector import (
     BatchedStateVector,
     MeasurementBasis,
@@ -26,6 +30,7 @@ __all__ = [
     "StateVector",
     "BatchedStateVector",
     "DensityMatrix",
+    "BatchedDensityMatrix",
     "validate_kraus",
     "MeasurementBasis",
     "ZeroProbabilityBranch",

@@ -367,8 +367,14 @@ class DensityMatrix:
         rng: SeedLike = None,
         force: Optional[int] = None,
         remove: bool = True,
+        u: Optional[float] = None,
     ) -> Tuple[int, float]:
-        """Projective measurement; returns ``(outcome, probability)``."""
+        """Projective measurement; returns ``(outcome, probability)``.
+
+        ``u`` is an optional pre-drawn uniform deviate deciding the outcome
+        (0 iff ``u < p0``) in place of an ``rng`` draw — the hook that lets
+        the density engine's per-shot reference loop consume the identical
+        whole-block draw schedule as its vectorized sweep."""
         self._check(q)
         n = self._n
         b0, b1 = basis.vectors()
@@ -387,7 +393,9 @@ class DensityMatrix:
             raise ValueError("zero-trace state")
         p0 = probs[0] / total
         if force is None:
-            outcome = 0 if ensure_rng(rng).random() < p0 else 1
+            if u is None:
+                u = ensure_rng(rng).random()
+            outcome = 0 if u < p0 else 1
         else:
             outcome = int(force)
             if (p0 if outcome == 0 else 1 - p0) < 1e-12:

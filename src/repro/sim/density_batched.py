@@ -1,0 +1,481 @@
+"""Batched dense density-matrix simulator — B whole mixed states in lockstep.
+
+:class:`BatchedDensityMatrix` carries ``B`` independent density operators in
+one ndarray of shape ``(B, 2, ..., 2, 2, ..., 2)``: batch on axis 0, ket
+(row) axes ``1..n``, bra (column) axes ``n+1..2n``, little-endian flattening
+as everywhere else in the library.  It is the open-system analogue of
+:class:`~repro.sim.statevector.BatchedStateVector` and the substrate of the
+vectorized density-engine trajectory sampler
+(:meth:`repro.mbqc.density_backend.DensityMatrixBackend.sample_batch`).
+
+Unlike the batched stabilizer tableau — where per-shot divergence is
+Pauli-only and the GF(2) structure is shared — exact Kraus application
+diverges the *full* state per shot, so the batch axis must carry whole
+density tensors and memory is the binding constraint: ``B · 4^n`` complex
+amplitudes.  Callers bound ``B`` accordingly (the density engine chunks the
+shot block against a byte budget).
+
+The per-shot primitives mirror the dense batched sampler's:
+
+- channels apply as exact Kraus maps to every shot at once (the operator
+  set is shot-independent — channels are *exact* here, never sampled);
+- adaptive measurement takes a ``(B, 2, 2)`` per-shot basis block and
+  per-shot sampled (or forced) outcomes, einsum-contracted the way
+  :meth:`BatchedStateVector.measure_sampled` does;
+- conditional corrections and sampled Pauli faults enter as masked
+  per-shot 1q/2q unitaries;
+- forced-branch execution mixes readout flips in place
+  (:meth:`measure_forced`), two projections per measurement instead of a
+  branch split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sim.density import DensityMatrix, validate_kraus
+from repro.sim.statevector import ZeroProbabilityBranch
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _batch_traces(t: np.ndarray, n: int) -> np.ndarray:
+    """Per-shot traces of a ``(B,) + (2,)*2n`` density block, shape ``(B,)``."""
+    if n == 0:
+        return np.real(np.asarray(t))
+    k = list(range(1, n + 1))
+    return np.real(np.einsum(t, [0] + k + k, [0]))
+
+
+class BatchedDensityMatrix:
+    """``B`` independent n-qubit density operators evolved in lockstep.
+
+    All batch elements share one register layout and undergo the same op
+    sequence; amplitudes (and, under masked/sampled ops, the states
+    themselves) evolve independently per element.
+    """
+
+    def __init__(
+        self,
+        batch_size: int,
+        num_qubits: int = 0,
+        tensor: Optional[np.ndarray] = None,
+    ):
+        if tensor is not None:
+            tensor = np.asarray(tensor, dtype=complex)
+            if tensor.ndim < 1 or (tensor.ndim - 1) % 2:
+                raise ValueError("tensor must have shape (B,) + (2,)*2n")
+            n = (tensor.ndim - 1) // 2
+            if tensor.shape != (tensor.shape[0],) + (2,) * (2 * n):
+                raise ValueError("tensor must have shape (B,) + (2,)*2n")
+            if tensor.shape[0] != batch_size:
+                raise ValueError(
+                    f"batch_size {batch_size} contradicts the tensor's "
+                    f"leading dimension {tensor.shape[0]}"
+                )
+            self._t = tensor
+            self._n = n
+        else:
+            if batch_size < 1:
+                raise ValueError("batch_size must be positive")
+            if num_qubits < 0:
+                raise ValueError("num_qubits must be non-negative")
+            t = np.zeros((batch_size,) + (2,) * (2 * num_qubits), dtype=complex)
+            t.reshape(batch_size, -1)[:, 0] = 1.0
+            self._t = t
+            self._n = num_qubits
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def from_pure_rows(mat: np.ndarray) -> "BatchedDensityMatrix":
+        """``B`` pure states from a ``(B, 2**n)`` little-endian amplitude
+        block: shot ``j`` becomes ``|mat[j]><mat[j]|`` (not necessarily
+        unit — the trace carries the squared row norm)."""
+        mat = np.asarray(mat, dtype=complex)
+        if mat.ndim != 2 or mat.shape[0] < 1 or mat.shape[1] < 1:
+            raise ValueError("need a 2-D (B, 2**n) amplitude block")
+        b, m = mat.shape
+        n = int(np.round(np.log2(m)))
+        if m != 1 << n:
+            raise ValueError("row length must be a power of two")
+        t = np.einsum("bi,bj->bij", mat, mat.conj())
+        if n == 0:
+            return BatchedDensityMatrix(b, tensor=t.reshape(b))
+        t = t.reshape((b,) + (2,) * (2 * n))
+        # Row-major reshape puts the high qubit first: reverse each group.
+        perm = (0,) + tuple(range(n, 0, -1)) + tuple(range(2 * n, n, -1))
+        return BatchedDensityMatrix(
+            b, tensor=np.ascontiguousarray(t.transpose(perm))
+        )
+
+    @staticmethod
+    def from_replicas(rho: DensityMatrix, batch_size: int) -> "BatchedDensityMatrix":
+        """``batch_size`` copies of one scalar density operator."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        n = rho.num_qubits
+        base = rho._t if n else np.asarray(rho._t).reshape(())
+        t = np.broadcast_to(base, (batch_size,) + base.shape).copy()
+        return BatchedDensityMatrix(batch_size, tensor=t)
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        return self._t.shape[0]
+
+    @property
+    def num_qubits(self) -> int:
+        return self._n
+
+    def copy(self) -> "BatchedDensityMatrix":
+        return BatchedDensityMatrix(self.batch_size, tensor=self._t.copy())
+
+    def traces(self) -> np.ndarray:
+        """Per-shot traces, shape ``(B,)``."""
+        return _batch_traces(self._t, self._n).copy()
+
+    def shot(self, j: int) -> DensityMatrix:
+        """Shot ``j`` as an independent scalar :class:`DensityMatrix`."""
+        t = np.asarray(self._t[j]).copy()
+        if self._n == 0:
+            t = t.reshape(1, 1)
+        return DensityMatrix(tensor=t)
+
+    def to_matrices(self) -> np.ndarray:
+        """``(B, 2**n, 2**n)`` little-endian dense matrices (copy)."""
+        b, n = self.batch_size, self._n
+        if n == 0:
+            return self._t.reshape(b, 1, 1).copy()
+        perm = (0,) + tuple(range(n, 0, -1)) + tuple(range(2 * n, n, -1))
+        return self._t.transpose(perm).reshape(b, 1 << n, 1 << n).copy()
+
+    def probability_rows(self) -> np.ndarray:
+        """Per-shot computational-basis probabilities, ``(B, 2**n)`` (the
+        little-endian diagonals, clipped at 0)."""
+        b, n = self.batch_size, self._n
+        if n == 0:
+            return np.clip(np.real(self._t).reshape(b, 1), 0.0, None).copy()
+        k = list(range(1, n + 1))
+        d = np.einsum(self._t, [0] + k + k, [0] + k)
+        d = d.transpose((0,) + tuple(range(n, 0, -1))).reshape(b, -1)
+        return np.clip(np.real(d), 0.0, None)
+
+    # -- register management -------------------------------------------------
+    def _check(self, *qs: int) -> None:
+        for q in qs:
+            if not 0 <= q < self._n:
+                raise ValueError(f"qubit {q} out of range")
+        if len(set(qs)) != len(qs):
+            raise ValueError("duplicate qubit indices")
+
+    def _check_mask(self, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.batch_size,):
+            raise ValueError("mask must have shape (batch_size,)")
+        return mask
+
+    def add_qubit(self, state: np.ndarray, position: Optional[int] = None) -> int:
+        """Insert a fresh qubit in pure ``state`` into every shot; returns
+        its index.  ``position`` defaults to the end of the register."""
+        state = np.asarray(state, dtype=complex)
+        if state.shape != (2,):
+            raise ValueError("single-qubit state must have shape (2,)")
+        pure = np.outer(state, state.conj())  # (ket, bra)
+        n = self._n
+        pos = n if position is None else int(position)
+        if not 0 <= pos <= n:
+            raise ValueError(f"position {pos} out of range for {n} qubits")
+        if n == 0:
+            self._t = self._t.reshape(-1, 1, 1) * pure
+            self._n = 1
+            return 0
+        t = np.multiply.outer(self._t, pure)  # batch, kets, bras, ket, bra
+        t = np.moveaxis(t, 2 * n + 1, 1 + pos)
+        t = np.moveaxis(t, 2 * n + 2, 1 + (n + 1) + pos)
+        self._t = t
+        self._n = n + 1
+        return pos
+
+    def permute(self, order: Sequence[int]) -> None:
+        """Reorder qubits: new qubit ``i`` is old qubit ``order[i]``."""
+        n = self._n
+        order = [int(q) for q in order]
+        if sorted(order) != list(range(n)):
+            raise ValueError(f"order must be a permutation of 0..{n - 1}")
+        if n:
+            perm = (0,) + tuple(1 + q for q in order) + tuple(
+                1 + n + q for q in order
+            )
+            self._t = self._t.transpose(perm)
+
+    def discard(self, q: int) -> None:
+        """Trace out qubit ``q`` of every shot (the batched partial trace),
+        retiring it from the register."""
+        self._check(q)
+        n = self._n
+        self._t = np.trace(self._t, axis1=1 + q, axis2=1 + n + q)
+        self._n = n - 1
+
+    # -- unitaries -----------------------------------------------------------
+    def _conjugate_1q(self, t: np.ndarray, u: np.ndarray, q: int) -> np.ndarray:
+        """``U · U†`` on one qubit of a ``(B,)+(2,)*2n`` block ``t``."""
+        n = self._n
+        out = np.tensordot(u, t, axes=([1], [1 + q]))
+        out = np.moveaxis(out, 0, 1 + q)
+        out = np.tensordot(u.conj(), out, axes=([1], [1 + n + q]))
+        return np.moveaxis(out, 0, 1 + n + q)
+
+    def _conjugate_2q(
+        self, t: np.ndarray, op: np.ndarray, q0: int, q1: int
+    ) -> np.ndarray:
+        n = self._n
+        out = np.tensordot(op, t, axes=([2, 3], [1 + q1, 1 + q0]))
+        out = np.moveaxis(out, [0, 1], [1 + q1, 1 + q0])
+        out = np.tensordot(op.conj(), out, axes=([2, 3], [1 + n + q1, 1 + n + q0]))
+        return np.moveaxis(out, [0, 1], [1 + n + q1, 1 + n + q0])
+
+    def apply_1q(self, u: np.ndarray, q: int) -> None:
+        """``ρ ← U ρ U†`` on qubit ``q`` of every shot."""
+        self._check(q)
+        self._t = self._conjugate_1q(self._t, np.asarray(u, dtype=complex), q)
+
+    def apply_1q_masked(self, u: np.ndarray, q: int, mask: np.ndarray) -> None:
+        """``ρ ← U ρ U†`` on qubit ``q`` of the masked shots only — the
+        primitive behind per-shot conditional corrections and sampled Pauli
+        faults."""
+        self._check(q)
+        mask = self._check_mask(mask)
+        if not mask.any():
+            return
+        self._t[mask] = self._conjugate_1q(
+            self._t[mask], np.asarray(u, dtype=complex), q
+        )
+
+    def apply_cz(self, q0: int, q1: int) -> None:
+        """Batched controlled-Z: ``CZ ρ CZ†`` is a pure sign pattern — flip
+        the ``|11>`` slice of the ket group and of the bra group in place,
+        no tensordot needed (the entangler fast path of the compiled-op
+        sweep)."""
+        self._check(q0, q1)
+        n = self._n
+        for a0, a1 in ((1 + q0, 1 + q1), (1 + n + q0, 1 + n + q1)):
+            idx = [slice(None)] * self._t.ndim
+            idx[a0] = 1
+            idx[a1] = 1
+            self._t[tuple(idx)] *= -1.0
+
+    def apply_2q(self, u: np.ndarray, q0: int, q1: int) -> None:
+        """``ρ ← U ρ U†`` for a two-qubit ``u`` (``4x4``, little-endian)."""
+        self._check(q0, q1)
+        op = np.asarray(u, dtype=complex).reshape(2, 2, 2, 2)
+        self._t = self._conjugate_2q(self._t, op, q0, q1)
+
+    def apply_2q_masked(
+        self, u: np.ndarray, q0: int, q1: int, mask: np.ndarray
+    ) -> None:
+        """Two-qubit conjugation on the masked shots only.
+
+        Substrate-only today: the density engine's channels are exact, so
+        its sweeps mask 1q corrections only — this is the 2q counterpart
+        for consumers sampling per-shot two-qubit divergence (e.g. a
+        future correlated-fault injector)."""
+        self._check(q0, q1)
+        mask = self._check_mask(mask)
+        if not mask.any():
+            return
+        op = np.asarray(u, dtype=complex).reshape(2, 2, 2, 2)
+        self._t[mask] = self._conjugate_2q(self._t[mask], op, q0, q1)
+
+    def apply_kraus(
+        self,
+        kraus: Sequence[np.ndarray],
+        qubits: Union[int, Sequence[int]],
+        check: bool = True,
+    ) -> None:
+        """``ρ ← Σ_k K ρ K†`` on every shot (one or more qubits,
+        little-endian).  The operator set is shot-independent — exact
+        channels never diverge the schedule, only the amplitudes."""
+        qs = (qubits,) if isinstance(qubits, (int, np.integer)) else tuple(qubits)
+        self._check(*qs)
+        if check:
+            ops = validate_kraus(kraus, where=f"Kraus set on qubits {qs}")
+        else:
+            ops = tuple(np.asarray(k, dtype=complex) for k in kraus)
+        a = len(qs)
+        if ops[0].shape[0] != 1 << a:
+            raise ValueError(
+                f"Kraus operators act on {ops[0].shape[0].bit_length() - 1} "
+                f"qubits, got {a} targets"
+            )
+        n = self._n
+        # Collapse the whole set into one superoperator acting jointly on
+        # the (ket, bra) axis pair: S[i,j,a,b] = Σ_k K[i,a]·K*[j,b].  One
+        # tensordot over the full batch replaces 2·len(kraus) passes — the
+        # channel einsum that makes exact noise affordable per chunk.
+        d = 1 << a
+        ks = np.stack([k.reshape(d, d) for k in ops])
+        s = np.einsum("kia,kjb->ijab", ks, ks.conj())
+        s = s.reshape((2,) * (4 * a))
+        # Row-major reshape puts the high (last) qubit first in each index
+        # group, so the tensor axes pair with the targets reversed.
+        rq = [1 + q for q in reversed(qs)]
+        bq = [1 + n + q for q in reversed(qs)]
+        t = np.tensordot(
+            s, self._t, axes=(list(range(2 * a, 4 * a)), rq + bq)
+        )
+        self._t = np.moveaxis(t, list(range(2 * a)), rq + bq)
+
+    # -- measurement ---------------------------------------------------------
+    def _check_vecs(self, vecs: np.ndarray) -> np.ndarray:
+        vecs = np.asarray(vecs, dtype=complex)
+        if vecs.shape != (self.batch_size, 2, 2):
+            raise ValueError("vecs must have shape (batch_size, 2, 2)")
+        return vecs
+
+    def _project_one(self, q: int, sel: np.ndarray) -> np.ndarray:
+        """One per-shot projection of qubit ``q`` onto ``sel`` (``(B, 2)``,
+        one basis vector per shot): returns the ``(B,)+(2,)*2(n-1)`` block
+        with qubit ``q`` removed, higher slots shifted down."""
+        n = self._n
+        t = np.moveaxis(self._t, 1 + q, -1)  # ket q last
+        r = np.einsum("b...i,bi->b...", t, sel.conj())
+        # With ket q gone, bra q sits at axis n + q.
+        return np.einsum("b...i,bi->b...", np.moveaxis(r, n + q, -1), sel)
+
+    def _project_both(
+        self, q: int, vecs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Both outcome projections of qubit ``q`` under per-shot bases.
+
+        ``vecs`` is a ``(B, 2, 2)`` block (``vecs[j, m]`` is shot ``j``'s
+        basis vector for outcome ``m``).  Returns ``(t0, t1, n0, n1)``:
+        the two projected blocks and their per-shot traces.
+        """
+        t0 = self._project_one(q, vecs[:, 0])
+        t1 = self._project_one(q, vecs[:, 1])
+        n0 = _batch_traces(t0, self._n - 1)
+        n1 = _batch_traces(t1, self._n - 1)
+        return t0, t1, n0, n1
+
+    def _scale_rows(self, t: np.ndarray, denom: np.ndarray) -> np.ndarray:
+        return t / np.maximum(denom, 1e-300).reshape(
+            (-1,) + (1,) * (t.ndim - 1)
+        )
+
+    def measure_sampled(
+        self,
+        q: int,
+        vecs: np.ndarray,
+        u: Optional[np.ndarray] = None,
+        rng: SeedLike = None,
+        force: Optional[int] = None,
+        renormalize: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-shot adaptive measurement of qubit ``q`` (removing it).
+
+        ``vecs`` is a ``(B, 2, 2)`` per-shot basis block (each shot can
+        measure in its own basis — what keeps shots with different signal
+        parities in one lockstep sweep).  Outcomes are drawn per shot from
+        the Born rule: shot ``j`` records 0 iff ``u[j] < p0[j]``, where
+        ``u`` is a pre-drawn ``(B,)`` uniform block (the whole-block draw
+        schedule shared with the per-shot reference loop) or, when omitted,
+        one ``rng.random(B)`` call.  ``force`` pins every shot's outcome
+        instead (raising :class:`ZeroProbabilityBranch` for ~zero-weight
+        shots, no randomness consumed).  Returns ``(outcomes, probs)`` as
+        ``(B,)`` arrays; with ``renormalize`` each post-state keeps unit
+        trace.
+        """
+        self._check(q)
+        b = self.batch_size
+        t0, t1, n0, n1 = self._project_both(q, self._check_vecs(vecs))
+        total = n0 + n1
+        if np.any(total < 1e-300):
+            raise ValueError("cannot measure a zero-trace state")
+        p0 = n0 / total
+        if force is None:
+            if u is None:
+                u = ensure_rng(rng).random(b)
+            else:
+                u = np.asarray(u, dtype=float)
+                if u.shape != (b,):
+                    raise ValueError("u must have shape (batch_size,)")
+            outcomes = (u >= p0).astype(np.int8)
+        else:
+            if force not in (0, 1):
+                raise ValueError("forced outcome must be 0 or 1")
+            outcomes = np.full(b, force, dtype=np.int8)
+        probs = np.where(outcomes == 0, p0, 1.0 - p0)
+        if force is not None and np.any(probs < 1e-12):
+            bad = int(np.argmin(probs))
+            raise ZeroProbabilityBranch(
+                f"forced outcome {force} on qubit {q} has probability ~0 "
+                f"for batch element {bad}"
+            )
+        pick = outcomes.astype(bool).reshape((b,) + (1,) * (t0.ndim - 1))
+        t = np.where(pick, t1, t0)
+        if renormalize:
+            t = self._scale_rows(t, np.where(outcomes == 0, n0, n1))
+        self._t = t
+        self._n -= 1
+        return outcomes, probs
+
+    def measure_forced(
+        self,
+        q: int,
+        vecs: np.ndarray,
+        outcomes: np.ndarray,
+        flip_p: float = 0.0,
+        renormalize: bool = True,
+    ) -> np.ndarray:
+        """Project qubit ``q`` of each shot onto its *recorded* outcome,
+        folding readout flips in as a two-term mixture.
+
+        ``outcomes[j]`` is shot ``j``'s recorded bit.  With ``flip_p`` > 0
+        the recorded bit may come from either true outcome, so the
+        post-state is ``(1-f)·ρ_r + f·ρ_{r⊕1}`` with branch probability
+        ``(1-f)·p_r + f·p_{r⊕1}`` — the batched form of the forced-branch
+        readout mixing in the scalar density engine.  Returns the per-shot
+        branch probabilities (relative to each shot's incoming trace);
+        ~zero-probability shots raise :class:`ZeroProbabilityBranch`.
+        """
+        self._check(q)
+        b = self.batch_size
+        vecs = self._check_vecs(vecs)
+        outcomes = np.asarray(outcomes, dtype=np.int8)
+        if outcomes.shape != (b,):
+            raise ValueError("outcomes must have shape (batch_size,)")
+        if np.any((outcomes != 0) & (outcomes != 1)):
+            raise ValueError("outcomes must be 0 or 1")
+        if not 0.0 <= flip_p <= 1.0:
+            raise ValueError("flip_p must be a probability")
+        if flip_p > 0.0:
+            t0, t1, n0, n1 = self._project_both(q, vecs)
+            total = n0 + n1
+            pick = outcomes.astype(bool).reshape((b,) + (1,) * (t0.ndim - 1))
+            t = (1.0 - flip_p) * np.where(pick, t1, t0)
+            t += flip_p * np.where(pick, t0, t1)
+            probs = (1.0 - flip_p) * np.where(outcomes == 0, n0, n1)
+            probs += flip_p * np.where(outcomes == 0, n1, n0)
+        else:
+            # Without flip mixing only the recorded outcome's projection is
+            # needed: gather each shot's basis vector and project once (the
+            # incoming trace supplies the normalizer) — half the contraction
+            # work on the forced-branch hot path.
+            total = _batch_traces(self._t, self._n)
+            t = self._project_one(q, vecs[np.arange(b), outcomes])
+            probs = _batch_traces(t, self._n - 1)
+        if np.any(total < 1e-300):
+            raise ValueError("cannot measure a zero-trace state")
+        rel = probs / total
+        if np.any(rel < 1e-12):
+            bad = int(np.argmin(rel))
+            raise ZeroProbabilityBranch(
+                f"forced outcome {int(outcomes[bad])} on qubit {q} has "
+                f"probability ~0 for batch element {bad}"
+            )
+        if renormalize:
+            t = self._scale_rows(t, probs)
+        self._t = t
+        self._n -= 1
+        return rel

@@ -1,0 +1,70 @@
+"""Shared statistical-certification helpers for the engine test suites.
+
+The E21 certification pattern — a Monte-Carlo trajectory estimator must
+agree with an exact reference within ``k`` standard errors — recurs across
+the statevector, stabilizer, and density suites.  These helpers make the
+check reusable so every engine certifies against the same contract instead
+of each suite hand-rolling its own tolerance.
+"""
+
+import numpy as np
+
+
+def sem(samples: np.ndarray, axis=0) -> np.ndarray:
+    """Standard error of the mean along ``axis`` (ddof=1)."""
+    samples = np.asarray(samples, dtype=float)
+    n = samples.shape[axis]
+    return samples.std(axis=axis, ddof=1) / np.sqrt(n)
+
+
+def assert_mean_within_sigma(samples, exact, k=3.0, tol=1e-12, context=None):
+    """The scalar certification: ``mean(samples)`` within ``k`` standard
+    errors of ``exact`` (``tol`` absorbs the zero-variance case)."""
+    samples = np.asarray(samples, dtype=float)
+    mean = float(samples.mean())
+    bound = k * float(sem(samples)) + tol
+    assert abs(mean - exact) <= bound, (
+        f"estimator {mean} vs exact {exact}: off by {abs(mean - exact):.3e} "
+        f"> {k} standard errors ({bound:.3e})"
+        + (f" [{context}]" if context else "")
+    )
+
+
+def assert_rows_within_sigma(rows, exact, k=3.0, tol=1e-9, context=None):
+    """The vector certification: per-column means of a ``(shots, m)`` block
+    of per-trajectory rows (e.g. ``SampleRun.probability_rows()``) within
+    ``k`` standard errors of the exact ``(m,)`` reference, every column."""
+    rows = np.asarray(rows, dtype=float)
+    exact = np.asarray(exact, dtype=float)
+    assert rows.ndim == 2 and rows.shape[1] == exact.shape[0], (
+        rows.shape, exact.shape,
+    )
+    mean = rows.mean(axis=0)
+    bound = k * sem(rows) + tol
+    off = np.abs(mean - exact)
+    bad = np.nonzero(off > bound)[0]
+    assert bad.size == 0, (
+        f"columns {bad.tolist()} off by more than {k} standard errors: "
+        f"estimate {mean[bad]} vs exact {exact[bad]} (bound {bound[bad]})"
+        + (f" [{context}]" if context else "")
+    )
+
+
+def assert_bit_marginals_agree(outcomes_a, outcomes_b, k=3.0, tol=1e-12,
+                               context=None):
+    """Two independent ``(shots, m)`` outcome-bit samples drawn from the
+    same distribution: per-bit marginal frequencies must agree within ``k``
+    combined (two-sample binomial) standard errors."""
+    a = np.asarray(outcomes_a, dtype=float)
+    b = np.asarray(outcomes_b, dtype=float)
+    assert a.shape[1] == b.shape[1], (a.shape, b.shape)
+    pa, pb = a.mean(axis=0), b.mean(axis=0)
+    var = pa * (1 - pa) / a.shape[0] + pb * (1 - pb) / b.shape[0]
+    bound = k * np.sqrt(var) + tol
+    off = np.abs(pa - pb)
+    bad = np.nonzero(off > bound)[0]
+    assert bad.size == 0, (
+        f"bit marginals {bad.tolist()} disagree beyond {k} standard errors: "
+        f"{pa[bad]} vs {pb[bad]} (bound {bound[bad]})"
+        + (f" [{context}]" if context else "")
+    )

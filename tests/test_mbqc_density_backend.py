@@ -3,11 +3,18 @@
 Covers end-to-end noiseless agreement with the dense engine, exact channel
 integration vs the Monte-Carlo trajectory estimator (the E21 certification
 claim: agreement within ~3 standard errors), non-Pauli channels, the
-Choi-state determinism check, and solver wiring.
+Choi-state determinism check, solver wiring, and the vectorized trajectory
+sampler (seeded bit-identity between the batched sweep and the per-shot
+loop, and across shot chunkings — the PR 4 contract extended to the third
+engine).
 """
 
 import numpy as np
 import pytest
+from stat_helpers import (
+    assert_mean_within_sigma,
+    assert_rows_within_sigma,
+)
 
 from repro.core import compile_qaoa_pattern
 from repro.core.solver import MBQCQAOASolver
@@ -128,8 +135,7 @@ class TestExactVsTrajectory:
             program, 1024, rng=7, noise=noise
         )
         fids = np.abs(run.dense_states() @ ref.conj()) ** 2
-        sem = float(fids.std(ddof=1) / np.sqrt(fids.size))
-        assert abs(float(fids.mean()) - exact) <= 3.0 * sem + 1e-12
+        assert_mean_within_sigma(fids, exact)
 
     def test_random_patterns_converge(self):
         """Property-style sweep: on small random j-chains with random
@@ -152,10 +158,7 @@ class TestExactVsTrajectory:
                 program, 1500, rng=seed + 100, noise=noise
             )
             fids = np.abs(run.dense_states() @ ref.conj()) ** 2
-            sem = float(fids.std(ddof=1) / np.sqrt(fids.size))
-            assert abs(float(fids.mean()) - exact) <= 3.0 * sem + 1e-12, (
-                seed, float(fids.mean()), exact, sem,
-            )
+            assert_mean_within_sigma(fids, exact, context=f"seed {seed}")
 
     def test_readout_flips_integrate_exactly(self):
         """Readout flips branch the classical record: the exact integral
@@ -275,6 +278,193 @@ class TestSolverWiring:
         )
         batch = solver.sample([0.4], [0.7])
         assert batch.bitstrings.shape == (32,)
+
+
+class TestBatchedDensitySampler:
+    """The vectorized (batched density tensor) sampler vs the retained
+    per-shot loop: same seed, same whole-block draw schedule — outcome
+    records must agree **bit for bit**, not just in distribution (the PR 4
+    stabilizer contract, extended to the third engine)."""
+
+    def _both_paths(self, compiled, n_shots, seed, noise=None, forced=None):
+        dm = get_backend("density")
+        vec = dm.sample_batch(
+            compiled, n_shots, rng=np.random.default_rng(seed), noise=noise,
+            forced_outcomes=forced, keep_raw=True, vectorize=True,
+        )
+        loop = dm.sample_batch(
+            compiled, n_shots, rng=np.random.default_rng(seed), noise=noise,
+            forced_outcomes=forced, keep_raw=True, vectorize=False,
+        )
+        return vec, loop
+
+    def _assert_identical(self, vec, loop):
+        assert np.array_equal(vec.outcomes, loop.outcomes)
+        assert len(vec.raw) == len(loop.raw)
+        for a, b in zip(vec.raw, loop.raw):
+            assert np.allclose(
+                a.rho.to_matrix(), b.rho.to_matrix(), atol=1e-9
+            )
+
+    def test_noiseless_chain_bit_identical(self):
+        c = compile_pattern(j_chain([0.4, -1.1, 0.8]))
+        vec, loop = self._both_paths(c, 33, seed=2)
+        self._assert_identical(vec, loop)
+        # Generic angles randomize outcomes; the check must bite.
+        assert 0.0 < vec.outcomes.mean() < 1.0
+
+    def test_qaoa_ring_bit_identical(self):
+        c = compile_pattern(
+            compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.4], [0.7]).pattern
+        )
+        vec, loop = self._both_paths(c, 40, seed=9)
+        self._assert_identical(vec, loop)
+
+    def test_bit_identical_under_pauli_channels_and_flips(self):
+        """Readout flips and depolarizing channels ride the same draw
+        schedule on both paths (channels are exact — only measurements and
+        flips consume randomness)."""
+        c = compile_pattern(
+            compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.4], [0.7]).pattern
+        )
+        noise = NoiseModel(p_prep=0.1, p_ent=0.05, p_meas=0.2)
+        vec, loop = self._both_paths(c, 48, seed=17, noise=noise)
+        self._assert_identical(vec, loop)
+
+    def test_bit_identical_under_amplitude_damping(self):
+        """Non-Pauli channels are the density engine's reason to exist: the
+        batched Kraus einsum and the scalar loop must still produce seeded
+        bit-identical records."""
+        model = ChannelNoiseModel(
+            prep=Channel.amplitude_damping(0.25),
+            ent=Channel.dephasing(0.1),
+            meas_flip=0.15,
+        )
+        c = compile_pattern(j_chain([0.5, 1.3]))
+        vec, loop = self._both_paths(c, 32, seed=23, noise=model)
+        self._assert_identical(vec, loop)
+        mixed = [out for out in vec.raw if out.rho.purity() < 1.0 - 1e-9]
+        assert mixed, "damping should leave trajectory outputs mixed"
+
+    def test_forced_subset_bit_identical(self):
+        """Pinning a subset of outcomes skips those draws identically on
+        both paths; the rest stay sampled."""
+        c = compile_pattern(j_chain([0.4, -0.9, 1.2]))
+        node = c.measured_nodes[1]
+        vec, loop = self._both_paths(c, 21, seed=31, forced={node: 1})
+        self._assert_identical(vec, loop)
+        i = c.measured_nodes.index(node)
+        assert np.all(vec.outcomes[:, i] == 1)
+
+    def test_forced_all_equals_branch_run(self):
+        """Pinning every outcome makes sample_batch a (normalized) branch
+        run — per-shot states must match run_branch_batch on both paths."""
+        c = compile_pattern(j_chain([0.7, 0.3]))
+        branch = {n: 0 for n in c.measured_nodes}
+        dm = get_backend("density")
+        plus_row = np.ones((1, 2), dtype=complex) / np.sqrt(2)
+        forced = dm.run_branch_batch(c, plus_row, branch)
+        ref = forced.raw[0].rho.to_matrix()
+        ref = ref / np.real(np.trace(ref))
+        vec, loop = self._both_paths(c, 3, seed=1, forced=branch)
+        for run in (vec, loop):
+            assert np.array_equal(
+                run.outcomes,
+                np.tile([branch[n] for n in c.measured_nodes], (3, 1)),
+            )
+            for out in run.raw:
+                assert np.allclose(out.rho.to_matrix(), ref, atol=1e-9)
+
+    def test_forced_zero_probability_raises_on_both_paths(self):
+        p = Pattern(output_nodes=[1])
+        p.n(0, state="zero").n(1).m(0, "YZ", 0.0)
+        c = compile_pattern(p)
+        dm = get_backend("density")
+        for vectorize in (True, False):
+            with pytest.raises(ZeroProbabilityBranch, match="node 0"):
+                dm.sample_batch(
+                    c, 3, rng=np.random.default_rng(0),
+                    forced_outcomes={0: 1}, vectorize=vectorize,
+                )
+
+    def test_keep_raw_default_off(self):
+        c = compile_pattern(j_pattern(0.4))
+        run = get_backend("density").sample_batch(c, 4, rng=0)
+        assert run.raw is None and run.states is None
+        with pytest.raises(ValueError, match="keep_raw"):
+            run.probability_rows()
+
+    def test_trajectories_converge_to_exact_integration(self):
+        """Cross-engine statistical regression (the E21 certification,
+        generalized): batched density trajectories at 1024 shots converge
+        to the exact branch-integrated probabilities within 3 standard
+        errors, per basis state."""
+        c = compile_pattern(j_chain([0.6, -1.0]))
+        noise = NoiseModel(p_prep=0.05, p_ent=0.05, p_meas=0.1)
+        program = lower_noise(c, noise)
+        dm = get_backend("density")
+        exact = dm.integrate(program).probabilities()
+        run = dm.sample_batch(
+            program, 1024, rng=np.random.default_rng(41), keep_raw=True
+        )
+        assert_rows_within_sigma(run.probability_rows(), exact)
+
+
+class TestShotChunking:
+    """Chunking the vectorized sweep against the memory budget must be
+    invisible in the records: every chunk size replays the same whole-block
+    draw schedule."""
+
+    def _records(self, c, n_shots, seed, max_block_bytes=None, noise=None):
+        return get_backend("density").sample_batch(
+            c, n_shots, rng=np.random.default_rng(seed), noise=noise,
+            keep_raw=True, max_block_bytes=max_block_bytes,
+        )
+
+    def _assert_identical(self, a, b):
+        assert np.array_equal(a.outcomes, b.outcomes)
+        assert len(a.raw) == len(b.raw)
+        for x, y in zip(a.raw, b.raw):
+            assert np.allclose(x.rho.to_matrix(), y.rho.to_matrix(), atol=1e-12)
+
+    def test_indivisible_shot_count(self):
+        """37 shots at a 5-shot chunk: full chunks plus a ragged tail."""
+        c = compile_pattern(j_chain([0.4, 0.9]))
+        noise = NoiseModel(p_ent=0.1, p_meas=0.1)
+        per_shot = 16 * 4 ** c.max_live
+        ref = self._records(c, 37, seed=3, noise=noise)
+        chunked = self._records(
+            c, 37, seed=3, noise=noise, max_block_bytes=5 * per_shot
+        )
+        self._assert_identical(ref, chunked)
+
+    def test_chunk_size_one(self):
+        c = compile_pattern(j_chain([0.4, 0.9]))
+        ref = self._records(c, 7, seed=5)
+        single = self._records(c, 7, seed=5, max_block_bytes=1)
+        self._assert_identical(ref, single)
+
+    def test_max_live_just_past_budget_degrades_to_single_shot(self):
+        """A budget one byte short of one shot's tensor still runs (chunk
+        clamps to 1) and stays seed-identical to the unchunked block."""
+        c = compile_pattern(j_chain([0.8, -0.3]))
+        per_shot = 16 * 4 ** c.max_live
+        ref = self._records(c, 9, seed=7)
+        tight = self._records(c, 9, seed=7, max_block_bytes=per_shot - 1)
+        self._assert_identical(ref, tight)
+
+    def test_chunked_matches_loop_path(self):
+        """Chunk boundaries and the per-shot loop are the same stream."""
+        c = compile_pattern(j_chain([0.2, 1.4, -0.6]))
+        per_shot = 16 * 4 ** c.max_live
+        chunked = self._records(c, 11, seed=13, max_block_bytes=2 * per_shot)
+        loop = get_backend("density").sample_batch(
+            c, 11, rng=np.random.default_rng(13), keep_raw=True,
+            vectorize=False,
+        )
+        assert np.array_equal(chunked.outcomes, loop.outcomes)
+        for x, y in zip(chunked.raw, loop.raw):
+            assert np.allclose(x.rho.to_matrix(), y.rho.to_matrix(), atol=1e-9)
 
 
 class TestGuards:

@@ -1,0 +1,389 @@
+"""Batched density-matrix substrate: every kernel vs scalar replicas.
+
+The contract under test is the one the vectorized density-engine sampler
+rests on: a :class:`~repro.sim.density_batched.BatchedDensityMatrix`
+evolving ``B`` whole density tensors in lockstep must reproduce ``B``
+independent scalar :class:`~repro.sim.density.DensityMatrix` evolutions —
+kernel for kernel (Kraus einsum, masked Paulis, ``measure_sampled``,
+``discard``, readout-flip mixing), with trace preservation, Hermiticity,
+and positivity holding after each op.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.gates import CZ, HADAMARD, PAULI_X, PAULI_Z
+from repro.sim import (
+    BatchedDensityMatrix,
+    DensityMatrix,
+    MeasurementBasis,
+    ZeroProbabilityBranch,
+)
+from repro.sim.density import amplitude_damping_kraus, depolarizing_kraus
+
+ATOL = 1e-10
+
+
+def random_rows(rng, b, n):
+    """``b`` random unit amplitude rows on ``n`` qubits."""
+    rows = rng.normal(size=(b, 1 << n)) + 1j * rng.normal(size=(b, 1 << n))
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+def random_batch(rng, b, n, mixed=True):
+    """A batched state plus its ``b`` independent scalar replicas."""
+    batch = BatchedDensityMatrix.from_pure_rows(random_rows(rng, b, n))
+    if mixed and n:
+        # Mix the states so the kernels are exercised off the pure manifold.
+        batch.apply_kraus(depolarizing_kraus(0.3), int(rng.integers(n)))
+    return batch, [batch.shot(j) for j in range(b)]
+
+
+def random_unitary(rng, dim):
+    m = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(m)
+    return q * (np.diagonal(r) / np.abs(np.diagonal(r)))
+
+
+def random_basis(rng):
+    plane = ("xy", "yz", "xz")[int(rng.integers(3))]
+    return getattr(MeasurementBasis, plane)(float(rng.uniform(-np.pi, np.pi)))
+
+
+def assert_matches_replicas(batch, replicas):
+    """Batched rows equal the scalar replicas and are physical states."""
+    mats = batch.to_matrices()
+    assert len(replicas) == batch.batch_size
+    for j, rep in enumerate(replicas):
+        assert np.allclose(mats[j], rep.to_matrix(), atol=ATOL)
+    for m in mats:
+        assert np.allclose(m, m.conj().T, atol=ATOL), "lost Hermiticity"
+        assert np.linalg.eigvalsh(m).min() >= -1e-8, "lost positivity"
+    assert np.allclose(batch.traces(), [r.trace() for r in replicas], atol=ATOL)
+
+
+class TestConstruction:
+    @given(
+        b=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_from_pure_rows_matches_scalar_outer(self, b, n, seed):
+        rows = random_rows(np.random.default_rng(seed), b, n)
+        batch = BatchedDensityMatrix.from_pure_rows(rows)
+        assert batch.batch_size == b and batch.num_qubits == n
+        assert_matches_replicas(
+            batch, [DensityMatrix.from_pure(row) for row in rows]
+        )
+        assert np.allclose(batch.traces(), 1.0, atol=ATOL)
+
+    def test_from_replicas_tiles_one_state(self):
+        rng = np.random.default_rng(0)
+        rho = DensityMatrix.from_pure(random_rows(rng, 1, 2)[0])
+        rho.apply_kraus(amplitude_damping_kraus(0.4), 1)
+        batch = BatchedDensityMatrix.from_replicas(rho, 3)
+        assert_matches_replicas(batch, [rho, rho, rho])
+
+    def test_probability_rows_match_scalar(self):
+        rng = np.random.default_rng(1)
+        batch, reps = random_batch(rng, 4, 3)
+        rows = batch.probability_rows()
+        for j, rep in enumerate(reps):
+            assert np.allclose(rows[j], rep.probabilities(), atol=ATOL)
+
+    def test_default_state_is_zero_projector(self):
+        batch = BatchedDensityMatrix(3, 2)
+        rows = batch.probability_rows()
+        assert np.allclose(rows[:, 0], 1.0) and np.allclose(rows[:, 1:], 0.0)
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BatchedDensityMatrix.from_pure_rows(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="positive"):
+            BatchedDensityMatrix(0, 1)
+        with pytest.raises(ValueError, match="2-D"):
+            BatchedDensityMatrix.from_pure_rows(np.ones(4))
+
+
+class TestRegisterManagement:
+    @given(
+        pos=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_positional_add_qubit(self, pos, seed):
+        rng = np.random.default_rng(seed)
+        batch, reps = random_batch(rng, 3, 2)
+        state = random_rows(rng, 1, 1)[0]
+        batch.add_qubit(state, position=pos)
+        for rep in reps:
+            rep.add_qubit(state, position=pos)
+        assert_matches_replicas(batch, reps)
+
+    def test_add_qubit_to_empty_register(self):
+        batch = BatchedDensityMatrix(2, 0)
+        batch.add_qubit(np.array([1.0, 0.0]))
+        assert batch.num_qubits == 1
+        assert np.allclose(batch.traces(), 1.0)
+
+    def test_permute_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        batch, reps = random_batch(rng, 3, 3)
+        order = [2, 0, 1]
+        batch.permute(order)
+        for rep in reps:
+            rep.permute(order)
+        assert_matches_replicas(batch, reps)
+
+    @given(
+        q=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_discard_is_batched_partial_trace(self, q, seed):
+        batch, reps = random_batch(np.random.default_rng(seed), 3, 3)
+        batch.discard(q)
+        for rep in reps:
+            rep.partial_trace(q)
+        assert batch.num_qubits == 2
+        assert_matches_replicas(batch, reps)
+
+    def test_discard_last_qubit_keeps_traces(self):
+        batch, _ = random_batch(np.random.default_rng(4), 2, 1)
+        before = batch.traces()
+        batch.discard(0)
+        assert batch.num_qubits == 0
+        assert np.allclose(batch.traces(), before, atol=ATOL)
+
+    def test_range_checks(self):
+        batch = BatchedDensityMatrix(2, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            batch.discard(2)
+        with pytest.raises(ValueError, match="out of range"):
+            batch.add_qubit(np.array([1.0, 0.0]), position=5)
+        with pytest.raises(ValueError, match="permutation"):
+            batch.permute([0, 0])
+
+
+class TestUnitaries:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_apply_1q_and_2q_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        batch, reps = random_batch(rng, 3, 3)
+        u = random_unitary(rng, 2)
+        q = int(rng.integers(3))
+        batch.apply_1q(u, q)
+        for rep in reps:
+            rep.apply_1q(u, q)
+        u2 = random_unitary(rng, 4)
+        q0, q1 = rng.permutation(3)[:2]
+        batch.apply_2q(u2, int(q0), int(q1))
+        for rep in reps:
+            rep.apply_2q(u2, int(q0), int(q1))
+        assert_matches_replicas(batch, reps)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_masked_paulis_touch_only_masked_shots(self, seed):
+        """The masked-1q kernel behind per-shot conditional corrections and
+        sampled Pauli faults: masked shots get the gate, the rest must be
+        left bit-for-bit untouched."""
+        rng = np.random.default_rng(seed)
+        batch, reps = random_batch(rng, 5, 2)
+        mask = rng.random(5) < 0.5
+        for gate in (PAULI_X, PAULI_Z, HADAMARD):
+            q = int(rng.integers(2))
+            before = batch.to_matrices()
+            batch.apply_1q_masked(gate, q, mask)
+            after = batch.to_matrices()
+            for j, rep in enumerate(reps):
+                if mask[j]:
+                    rep.apply_1q(gate, q)
+                else:
+                    assert np.array_equal(before[j], after[j])
+        assert_matches_replicas(batch, reps)
+
+    def test_masked_2q_matches_selective_scalar(self):
+        rng = np.random.default_rng(7)
+        batch, reps = random_batch(rng, 4, 2)
+        mask = np.array([True, False, True, False])
+        batch.apply_2q_masked(CZ, 0, 1, mask)
+        for j, rep in enumerate(reps):
+            if mask[j]:
+                rep.apply_2q(CZ, 0, 1)
+        assert_matches_replicas(batch, reps)
+
+    def test_all_false_mask_is_identity(self):
+        batch, reps = random_batch(np.random.default_rng(8), 3, 2)
+        before = batch.to_matrices()
+        batch.apply_1q_masked(PAULI_X, 0, np.zeros(3, dtype=bool))
+        assert np.array_equal(batch.to_matrices(), before)
+
+    def test_bad_mask_shape_raises(self):
+        batch = BatchedDensityMatrix(3, 1)
+        with pytest.raises(ValueError, match="mask"):
+            batch.apply_1q_masked(PAULI_X, 0, np.zeros(2, dtype=bool))
+
+
+class TestKraus:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_1q_channels_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        batch, reps = random_batch(rng, 3, 2)
+        for kraus in (
+            depolarizing_kraus(float(rng.uniform(0, 1))),
+            amplitude_damping_kraus(float(rng.uniform(0, 1))),
+        ):
+            q = int(rng.integers(2))
+            batch.apply_kraus(kraus, q)
+            for rep in reps:
+                rep.apply_kraus(kraus, q)
+            assert_matches_replicas(batch, reps)
+
+    def test_2q_kraus_matches_scalar(self):
+        """Multi-qubit Kraus einsum: a two-qubit unitary-conjugation channel
+        plus a genuinely mixing rank-2 set."""
+        rng = np.random.default_rng(11)
+        batch, reps = random_batch(rng, 3, 3)
+        u = random_unitary(rng, 4)
+        kraus = [np.sqrt(0.7) * u, np.sqrt(0.3) * np.eye(4)]
+        batch.apply_kraus(kraus, (2, 0))
+        for rep in reps:
+            rep.apply_kraus(kraus, (2, 0))
+        assert_matches_replicas(batch, reps)
+        assert np.allclose(batch.traces(), [r.trace() for r in reps], atol=ATOL)
+
+    def test_kraus_validation_matches_scalar_contract(self):
+        batch = BatchedDensityMatrix(2, 2)
+        with pytest.raises(ValueError, match="trace-preserving"):
+            batch.apply_kraus([0.5 * np.eye(2)], 0)
+        with pytest.raises(ValueError, match="duplicate"):
+            batch.apply_kraus([np.eye(4)], (1, 1))
+        with pytest.raises(ValueError, match="targets"):
+            batch.apply_kraus([np.eye(4)], 0)
+
+
+class TestMeasureSampled:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_per_shot_bases_and_predrawn_uniforms_match_scalar(self, seed):
+        """The sampler kernel: per-shot bases, per-shot outcomes decided by
+        one pre-drawn uniform block — outcomes, probabilities, and the
+        renormalized post-states must equal B scalar measurements fed the
+        same deviates."""
+        rng = np.random.default_rng(seed)
+        b, n = 4, 3
+        batch, reps = random_batch(rng, b, n)
+        q = int(rng.integers(n))
+        bases = [random_basis(rng) for _ in range(b)]
+        vecs = np.stack([np.stack(bas.vectors()) for bas in bases])
+        u = rng.random(b)
+        outs, probs = batch.measure_sampled(q, vecs, u=u)
+        assert batch.num_qubits == n - 1
+        for j, rep in enumerate(reps):
+            out_ref, prob_ref = rep.measure(q, bases[j], u=float(u[j]))
+            assert out_ref == int(outs[j])
+            assert prob_ref == pytest.approx(float(probs[j]), abs=ATOL)
+        assert_matches_replicas(batch, reps)
+        assert np.allclose(batch.traces(), 1.0, atol=1e-8)
+
+    def test_forced_outcome_no_randomness(self):
+        rng = np.random.default_rng(5)
+        batch, reps = random_batch(rng, 3, 2)
+        basis = MeasurementBasis.xy(0.3)
+        vecs = np.broadcast_to(np.stack(basis.vectors()), (3, 2, 2))
+        outs, probs = batch.measure_sampled(0, vecs, force=1)
+        assert np.array_equal(outs, [1, 1, 1])
+        for j, rep in enumerate(reps):
+            out_ref, prob_ref = rep.measure(0, basis, force=1)
+            assert out_ref == 1
+            assert prob_ref == pytest.approx(float(probs[j]), abs=ATOL)
+        assert_matches_replicas(batch, reps)
+
+    def test_forced_zero_probability_raises(self):
+        batch = BatchedDensityMatrix.from_pure_rows(
+            np.array([[1.0, 0.0], [1.0, 0.0]], dtype=complex)
+        )
+        vecs = np.broadcast_to(
+            np.stack(MeasurementBasis.pauli("Z").vectors()), (2, 2, 2)
+        )
+        with pytest.raises(ZeroProbabilityBranch, match="probability ~0"):
+            batch.measure_sampled(0, vecs, force=1)
+
+    def test_bad_vec_and_u_shapes_raise(self):
+        batch = BatchedDensityMatrix(2, 1)
+        good = np.broadcast_to(
+            np.stack(MeasurementBasis.pauli("Z").vectors()), (2, 2, 2)
+        )
+        with pytest.raises(ValueError, match="vecs"):
+            batch.measure_sampled(0, good[:1])
+        with pytest.raises(ValueError, match="u must"):
+            batch.measure_sampled(0, good, u=np.zeros(3))
+
+
+class TestMeasureForcedFlipMix:
+    @given(
+        flip_p=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flip_mix_equals_scalar_projection_pair(self, flip_p, seed):
+        """Readout-flip mixing: the post-state must be the two-term mixture
+        ``(1-f)·ρ_r + f·ρ_{r⊕1}`` with probability ``(1-f)p_r + f·p_{r⊕1}``
+        — checked against scalar ``measure_project`` pairs per shot."""
+        rng = np.random.default_rng(seed)
+        b = 3
+        batch, reps = random_batch(rng, b, 2)
+        basis = random_basis(rng)
+        vecs = np.broadcast_to(np.stack(basis.vectors()), (b, 2, 2))
+        recorded = (rng.random(b) < 0.5).astype(np.int8)
+        probs = batch.measure_forced(0, vecs, recorded, flip_p=flip_p)
+        mats = batch.to_matrices()
+        for j, rep in enumerate(reps):
+            r = int(recorded[j])
+            dm_r, p_r = rep.measure_project(0, basis, r)
+            dm_w, p_w = rep.measure_project(0, basis, r ^ 1)
+            t = (1.0 - flip_p) * dm_r._t + flip_p * dm_w._t
+            p = (1.0 - flip_p) * p_r + flip_p * p_w
+            assert probs[j] == pytest.approx(p, abs=ATOL)
+            expect = DensityMatrix(tensor=np.asarray(t) / p).to_matrix()
+            assert np.allclose(mats[j], expect, atol=1e-8)
+        assert np.allclose(batch.traces(), 1.0, atol=1e-8)
+
+    def test_zero_flip_equals_plain_projection(self):
+        rng = np.random.default_rng(13)
+        batch, reps = random_batch(rng, 2, 2)
+        ref = batch.copy()
+        basis = MeasurementBasis.xy(0.8)
+        vecs = np.broadcast_to(np.stack(basis.vectors()), (2, 2, 2))
+        rec = np.array([0, 1], dtype=np.int8)
+        p_mix = batch.measure_forced(1, vecs, rec, flip_p=0.0)
+        outs, p_plain = ref.measure_sampled(1, vecs, u=np.array([0.0, 1.0 - 1e-16]))
+        assert np.array_equal(outs, rec)
+        assert np.allclose(p_mix, p_plain, atol=ATOL)
+        assert np.allclose(batch.to_matrices(), ref.to_matrices(), atol=ATOL)
+
+    def test_impossible_recorded_outcome_raises(self):
+        batch = BatchedDensityMatrix(2, 1)  # |0><0| per shot
+        vecs = np.broadcast_to(
+            np.stack(MeasurementBasis.pauli("Z").vectors()), (2, 2, 2)
+        )
+        with pytest.raises(ZeroProbabilityBranch):
+            batch.measure_forced(0, vecs, np.array([0, 1], dtype=np.int8))
+
+    def test_validation(self):
+        batch = BatchedDensityMatrix(2, 1)
+        vecs = np.broadcast_to(
+            np.stack(MeasurementBasis.pauli("Z").vectors()), (2, 2, 2)
+        )
+        with pytest.raises(ValueError, match="0 or 1"):
+            batch.measure_forced(0, vecs, np.array([0, 2], dtype=np.int8))
+        with pytest.raises(ValueError, match="probability"):
+            batch.measure_forced(
+                0, vecs, np.zeros(2, dtype=np.int8), flip_p=1.5
+            )
