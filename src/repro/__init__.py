@@ -28,6 +28,7 @@ __all__ = ["__version__"]
 # Re-exports are appended as subsystems come online; guarded so that partial
 # installs (e.g. docs builds) still import the package metadata.
 try:  # pragma: no cover - import plumbing
+    from repro.analysis import analyze
     from repro.core.compiler import compile_qaoa_pattern
     from repro.core.resources import ResourceReport, estimate_resources
     from repro.mbqc.runner import run_pattern
@@ -35,6 +36,7 @@ try:  # pragma: no cover - import plumbing
     from repro.qaoa.simulator import qaoa_expectation, qaoa_state
 
     __all__ += [
+        "analyze",
         "compile_qaoa_pattern",
         "ResourceReport",
         "estimate_resources",

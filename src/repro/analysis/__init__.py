@@ -1,0 +1,68 @@
+"""Static analysis over the compiled MBQC IR — no simulation required.
+
+Three analyzers share the :class:`Diagnostic` framework:
+
+- :func:`verify_compiled` — dataflow verifier over ``CompiledPattern.ops``
+  (slot lifetimes, signal flow, noise-IR validity).
+- :func:`estimate_compiled` — static resource estimator (peak bytes per
+  backend, exact-integration branch bound, shot-chunk sizes).
+- :func:`lint_tree` — repo-level seeded-stream contract linter (stdlib
+  ``ast`` walk; codes ``C001``–``C003``).
+
+:func:`analyze` is the front door: verifier + estimator in one
+:class:`AnalysisReport`.  ``compile_pattern(..., verify_ir=True)`` gates
+on it, ``select_backend`` consults the estimate before allocating, and
+``repro lint`` prints the whole report.
+"""
+
+from repro.analysis.contracts import (
+    format_contract_report,
+    lint_paths,
+    lint_source,
+    lint_tree,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    format_diagnostics,
+)
+from repro.analysis.resources import (
+    ResourceEstimate,
+    budget_diagnostic_message,
+    estimate_compiled,
+    format_bytes,
+)
+from repro.analysis.verifier import verify_compiled
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "Diagnostic",
+    "ResourceEstimate",
+    "Severity",
+    "analyze",
+    "budget_diagnostic_message",
+    "estimate_compiled",
+    "format_bytes",
+    "format_contract_report",
+    "format_diagnostics",
+    "lint_paths",
+    "lint_source",
+    "lint_tree",
+    "verify_compiled",
+]
+
+
+def analyze(compiled) -> AnalysisReport:
+    """Statically analyze a :class:`~repro.mbqc.compile.CompiledPattern`.
+
+    Runs the dataflow verifier and the resource estimator; never executes
+    the pattern.  The returned report's ``ok``/``raise_if_errors`` are the
+    gates ``verify_ir=True`` and ``repro lint`` use.
+    """
+    return AnalysisReport(
+        diagnostics=tuple(verify_compiled(compiled)),
+        resources=estimate_compiled(compiled),
+    )

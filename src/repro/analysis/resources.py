@@ -1,0 +1,248 @@
+"""Static resource estimation over the compiled-pattern IR.
+
+:func:`estimate_compiled` walks a
+:class:`~repro.mbqc.compile.CompiledPattern` once — no amplitudes, no
+simulation — and returns a :class:`ResourceEstimate`: the peak per-shot
+bytes of each registered engine family, the exact-integration branch
+bound, and the shot-chunk sizes a byte budget implies (the PR 5 chunking
+formula ``chunk = budget // per_shot_bytes``, clamped to 1).
+
+Per-shot byte formulas (complex128 = 16 bytes):
+
+- ``statevector`` — ``16 · 2^max_live`` amplitudes per batch element.
+- ``density``     — ``16 · 4^max_live`` (one density tensor per element;
+  kernel temporaries transiently add ~2x on top, see
+  :data:`repro.mbqc.density_backend.DENSITY_BATCH_MAX_BYTES`).
+- ``stabilizer``  — ``4·n² + 2·n`` bool/int8 tableau bytes over
+  ``n = total_nodes`` (the per-shot scalar tableau; the bit-packed batched
+  path amortizes the GF(2) structure across shots and is strictly
+  cheaper).
+
+The branch bound reproduces the density engine's integration tree:
+measurements whose record is never read downstream are merged by
+dephase + partial trace (cost 1), live records contribute a factor 2, and
+4 when a readout flip makes the recorded bit differ from the projected
+one.
+
+:func:`repro.mbqc.backend.select_backend` consults this estimate to emit
+an actionable ``R101`` diagnostic *before* committing to an allocation
+that would OOM; ``repro lint`` prints the full report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.mbqc.compile import (
+    ChannelOp,
+    CompiledPattern,
+    ConditionalOp,
+    MeasureOp,
+    PrepOp,
+)
+
+#: Branch bounds beyond this are reported as "> cap" — the tree is far past
+#: any exact integration anyway (cf. DENSITY_MAX_BRANCHES = 2^18).
+BRANCH_BOUND_CAP = 1 << 62
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (binary units)."""
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB", "PiB"):
+        if size < 1024.0 or unit == "PiB":
+            if unit == "B":
+                return f"{int(size)} {unit}"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Static per-backend resource footprint of one compiled pattern."""
+
+    max_live: int
+    total_nodes: int
+    n_inputs: int
+    n_outputs: int
+    n_measured: int
+    n_ops: int
+    n_channels: int
+    has_noise: bool
+    is_clifford: bool
+    has_non_pauli_channel: bool
+    statevector_bytes_per_shot: int
+    density_bytes_per_shot: int
+    tableau_bytes_per_shot: int
+    branch_bound: int
+    """Exact-integration leaf count (dead records merged, readout flips
+    quadrupling live measurements), capped at :data:`BRANCH_BOUND_CAP`."""
+    branch_bound_capped: bool
+
+    def bytes_per_shot(self, backend: str) -> int:
+        """Peak resident bytes one shot/batch element costs on ``backend``
+        (keyed by registered engine name)."""
+        if backend == "statevector":
+            return self.statevector_bytes_per_shot
+        if backend == "density":
+            return self.density_bytes_per_shot
+        if backend == "stabilizer":
+            return self.tableau_bytes_per_shot
+        raise ValueError(
+            f"no byte model for backend {backend!r}; known: "
+            f"statevector, stabilizer, density"
+        )
+
+    def peak_bytes(self, backend: str, n_shots: int = 1) -> int:
+        """Peak resident bytes of an ``n_shots``-element batch."""
+        return self.bytes_per_shot(backend) * max(1, int(n_shots))
+
+    def chunk_shots(self, backend: str, budget: int) -> int:
+        """Largest shot chunk whose batch block fits ``budget`` bytes —
+        the PR 5 byte-budget chunking formula, clamped to 1 so a single
+        shot always proceeds."""
+        return max(1, int(budget) // max(1, self.bytes_per_shot(backend)))
+
+    def format(self, budget: int = 1 << 26) -> str:
+        """The resource report as an aligned text block (``repro lint``)."""
+        bb = (
+            f"> {BRANCH_BOUND_CAP}" if self.branch_bound_capped
+            else str(self.branch_bound)
+        )
+        flags: List[str] = []
+        if self.is_clifford:
+            flags.append("clifford")
+        if self.has_noise:
+            flags.append("noisy")
+        if self.has_non_pauli_channel:
+            flags.append("non-pauli-channels")
+        rows = [
+            ("pattern", f"{self.total_nodes} nodes, {self.n_measured} measured, "
+                        f"{self.n_inputs} in / {self.n_outputs} out, "
+                        f"{self.n_ops} ops ({self.n_channels} channels)"
+                        + (f" [{', '.join(flags)}]" if flags else "")),
+            ("peak live", f"{self.max_live} qubits"),
+            ("statevector", f"{format_bytes(self.statevector_bytes_per_shot)}"
+                            f"/shot (2^{self.max_live} amplitudes)"),
+            ("density", f"{format_bytes(self.density_bytes_per_shot)}"
+                        f"/shot (4^{self.max_live} amplitudes)"),
+            ("tableau", f"{format_bytes(self.tableau_bytes_per_shot)}"
+                        f"/shot ({self.total_nodes}-node scalar tableau)"),
+            ("exact branches", bb),
+            (f"chunk @{format_bytes(budget)}",
+             f"statevector={self.chunk_shots('statevector', budget)}, "
+             f"density={self.chunk_shots('density', budget)}, "
+             f"stabilizer={self.chunk_shots('stabilizer', budget)}"),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def _live_records(compiled: CompiledPattern) -> List[bool]:
+    """``live[i]`` is True when op ``i`` is a measurement whose record is
+    read by some later signal domain (the branch points of exact
+    integration; cf. ``repro.mbqc.density_backend._dead_records``)."""
+    ops = compiled.ops
+    live = [False] * len(ops)
+    referenced: set = set()
+    for i in reversed(range(len(ops))):
+        op = ops[i]
+        tp = type(op)
+        if tp is MeasureOp:
+            live[i] = op.node in referenced
+            referenced |= set(op.s_domain) | set(op.t_domain)
+        elif tp is ConditionalOp:
+            referenced |= set(op.domain)
+    return live
+
+
+def estimate_compiled(compiled: CompiledPattern) -> ResourceEstimate:
+    """Estimate ``compiled``'s execution footprint without running it."""
+    ops = compiled.ops
+    n_prep = sum(1 for op in ops if type(op) is PrepOp)
+    n_channels = sum(1 for op in ops if type(op) is ChannelOp)
+    total_nodes = compiled.num_inputs + n_prep
+    m = compiled.max_live
+
+    live = _live_records(compiled)
+    branch_bound = 1
+    capped = False
+    for i, op in enumerate(ops):
+        if type(op) is MeasureOp and live[i]:
+            branch_bound *= 4 if op.flip_p > 0.0 else 2
+            if branch_bound > BRANCH_BOUND_CAP:
+                branch_bound = BRANCH_BOUND_CAP
+                capped = True
+                break
+
+    return ResourceEstimate(
+        max_live=m,
+        total_nodes=total_nodes,
+        n_inputs=compiled.num_inputs,
+        n_outputs=compiled.num_outputs,
+        n_measured=len(compiled.measured_nodes),
+        n_ops=len(ops),
+        n_channels=n_channels,
+        has_noise=compiled.has_noise,
+        is_clifford=compiled.is_clifford,
+        has_non_pauli_channel=compiled.has_non_pauli_channel,
+        statevector_bytes_per_shot=16 * (1 << m),
+        density_bytes_per_shot=16 * (1 << (2 * m)),
+        tableau_bytes_per_shot=4 * total_nodes * total_nodes + 2 * total_nodes,
+        branch_bound=branch_bound,
+        branch_bound_capped=capped,
+    )
+
+
+def budget_diagnostic_message(
+    est: ResourceEstimate, backend: str, budget: int
+) -> str:
+    """The actionable R101 message ``select_backend`` raises instead of
+    letting a ``2^max_live`` (or ``4^max_live``) allocation OOM."""
+    per = est.bytes_per_shot(backend)
+    lines = [
+        f"R101: backend {backend!r} needs {format_bytes(per)} per batch "
+        f"element for this pattern (peak live register {est.max_live} "
+        f"qubits), over the {format_bytes(budget)} budget.",
+        "Options:",
+    ]
+    if est.is_clifford and backend != "stabilizer":
+        lines.append(
+            f"  - the pattern is Clifford: the 'stabilizer' engine needs "
+            f"only {format_bytes(est.tableau_bytes_per_shot)} per shot"
+        )
+    if backend == "density" and not est.has_non_pauli_channel:
+        lines.append(
+            "  - every lowered channel is a Pauli mixture: trajectory "
+            "engines can sample this program"
+        )
+    if backend != "statevector" and est.statevector_bytes_per_shot <= budget:
+        lines.append(
+            f"  - the 'statevector' engine fits at "
+            f"{format_bytes(est.statevector_bytes_per_shot)} per shot"
+        )
+    lines.append(
+        "  - raise the budget via select_backend(..., max_bytes=...) or "
+        "disable the check with max_bytes=0"
+    )
+    lines.append(
+        "  - inspect the full estimate with repro.analysis.estimate_compiled "
+        "or `repro lint`"
+    )
+    return "\n".join(lines)
+
+
+def estimate_report_rows(est: ResourceEstimate) -> Tuple[Tuple[str, str], ...]:
+    """Structured ``(field, value)`` rows for machine consumption (CLI
+    ``--json`` style consumers; mirrors :meth:`ResourceEstimate.format`)."""
+    return (
+        ("max_live", str(est.max_live)),
+        ("total_nodes", str(est.total_nodes)),
+        ("n_measured", str(est.n_measured)),
+        ("statevector_bytes_per_shot", str(est.statevector_bytes_per_shot)),
+        ("density_bytes_per_shot", str(est.density_bytes_per_shot)),
+        ("tableau_bytes_per_shot", str(est.tableau_bytes_per_shot)),
+        ("branch_bound", str(est.branch_bound)),
+    )

@@ -1,0 +1,381 @@
+"""Static dataflow verifier over the compiled-pattern IR.
+
+:func:`verify_compiled` replays the slot dynamics of a
+:class:`~repro.mbqc.compile.CompiledPattern` — the same register discipline
+the compiler and every engine use: prepared nodes append a slot, measured
+slots compact away, slots above shift down — **without simulating
+anything**, and cross-checks every op against the replayed register:
+
+- **slot lifetimes** — no entangle/measure/correct/channel on a dead or
+  out-of-range slot (``R001`` use-after-discard), preparations append in
+  order (``R002``), each measurement's recorded node is the node actually
+  living in its slot (``R004``), ``out_perm`` maps exactly onto the
+  surviving output slots (``R006``), and ``max_live`` equals the recomputed
+  peak register width (``R005``).
+- **signal flow** — measurement records are the only signal writers;
+  ``ConditionalOp`` domains and ``MeasureOp`` s/t domains are the readers.
+  Reads of never-written signals are dangling (``R010``); empty-domain
+  corrections can never fire and should have been dead-code-eliminated
+  (``R011``, warning); written-never-read records are advisory dead signals
+  (``R012``, info — final-layer outcomes are legitimately unread).
+- **noise IR** — every ``ChannelOp`` must be a single-qubit channel on a
+  live slot (``R020``), its Kraus set must be trace preserving (``R021``
+  via :func:`repro.sim.density.validate_kraus`), its ``pauli_probs``
+  classification must match the operators (``R023`` — trajectory engines
+  sample that table), and readout flips must be probabilities (``R022``).
+
+The verifier is best-effort on corrupted streams: a finding never aborts
+the walk, so one `analyze` run reports every independent defect it can
+still attribute.  All checks are pure IR inspection — ``O(ops + signals)``
+time, no amplitudes allocated — so they are cheap enough for the opt-in
+``compile_pattern(verify_ir=True)`` gate and the ``repro lint`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.mbqc.compile import (
+    ChannelOp,
+    CompiledPattern,
+    ConditionalOp,
+    EntangleOp,
+    MeasureOp,
+    PrepOp,
+    UnitaryOp,
+)
+from repro.sim.density import validate_kraus
+
+_ATOL = 1e-9
+
+
+def _channel_pauli_probs(kraus) -> Optional[tuple]:
+    """Reclassify a Kraus set as a Pauli mixture (see
+    :attr:`repro.mbqc.channels.Channel.pauli_probs`); ``None`` when it is
+    not one.  Local reimplementation so the verifier never trusts the very
+    field it is checking."""
+    from repro.linalg.gates import IDENTITY, PAULI_X, PAULI_Y, PAULI_Z
+
+    if kraus[0].shape != (2, 2):
+        return None
+    probs = [0.0, 0.0, 0.0, 0.0]
+    for k in kraus:
+        for i, pauli in enumerate((IDENTITY, PAULI_X, PAULI_Y, PAULI_Z)):
+            m = pauli.conj().T @ np.asarray(k, dtype=complex)
+            if (
+                abs(m[0, 1]) < 1e-12
+                and abs(m[1, 0]) < 1e-12
+                and abs(m[0, 0] - m[1, 1]) < 1e-12
+            ):
+                probs[i] += float(np.real(np.vdot(k, k))) / 2.0
+                break
+        else:
+            return None
+    return tuple(probs)
+
+
+class _Walk:
+    """Mutable replay state + diagnostic sink for one verification run."""
+
+    def __init__(self, compiled: CompiledPattern):
+        self.compiled = compiled
+        self.diags: List[Diagnostic] = []
+        self.live: List[int] = list(compiled.input_nodes)
+        self.measured: Set[int] = set()
+        self.measured_order: List[int] = []
+        self.read_signals: Set[int] = set()
+        self.max_live = len(self.live)
+
+    def emit(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        op_index: Optional[int] = None,
+        node: Optional[int] = None,
+    ) -> None:
+        self.diags.append(Diagnostic(code, severity, message, op_index, node))
+
+    def error(self, code: str, message: str, op_index=None, node=None) -> None:
+        self.emit(code, Severity.ERROR, message, op_index, node)
+
+    def check_slot(self, slot: int, i: int, what: str) -> bool:
+        """True iff ``slot`` is a live register index; emits R001 otherwise."""
+        if 0 <= slot < len(self.live):
+            return True
+        self.error(
+            "R001",
+            f"{what} targets slot {slot}, but only slots "
+            f"0..{len(self.live) - 1} are live at op {i} "
+            f"(use of a discarded or never-existing slot)",
+            op_index=i,
+        )
+        return False
+
+    def check_domain(self, domain, i: int, owner: int, what: str) -> None:
+        """Signal-flow read check: every domain entry must have been
+        written (measured) strictly earlier in the stream."""
+        self.read_signals.update(domain)
+        dangling = [n for n in domain if n not in self.measured]
+        if dangling:
+            self.error(
+                "R010",
+                f"{what} for node {owner} reads signals {sorted(dangling)} "
+                f"that are never written before op {i} (dangling signal)",
+                op_index=i,
+                node=owner,
+            )
+
+
+def verify_compiled(compiled: CompiledPattern) -> List[Diagnostic]:
+    """Statically verify ``compiled``'s op stream; returns all findings.
+
+    Never raises on a malformed stream — defects come back as
+    :class:`~repro.analysis.diagnostics.Diagnostic` records (see the module
+    docstring for the code map).  An empty error set means every engine can
+    execute the program without tripping a deep kernel error on IR shape.
+    """
+    w = _Walk(compiled)
+
+    if len(set(compiled.input_nodes)) != len(compiled.input_nodes):
+        w.error("R008", "duplicate input node declarations")
+    if len(set(compiled.output_nodes)) != len(compiled.output_nodes):
+        w.error("R008", "duplicate output node declarations")
+
+    for i, op in enumerate(compiled.ops):
+        tp = type(op)
+        if tp is PrepOp:
+            _verify_prep(w, op, i)
+        elif tp is EntangleOp:
+            _verify_entangle(w, op, i)
+        elif tp is MeasureOp:
+            _verify_measure(w, op, i)
+        elif tp is ConditionalOp:
+            _verify_conditional(w, op, i)
+        elif tp is UnitaryOp:
+            w.check_slot(op.slot, i, "unitary")
+        elif tp is ChannelOp:
+            _verify_channel(w, op, i)
+        else:
+            w.error("R001", f"unknown op kind {tp.__name__}", op_index=i)
+
+    _verify_epilogue(w)
+    return w.diags
+
+
+def _verify_prep(w: _Walk, op: PrepOp, i: int) -> None:
+    if op.node in w.live:
+        w.error(
+            "R002",
+            f"node {op.node} prepared while already live",
+            op_index=i, node=op.node,
+        )
+    elif op.node in w.measured:
+        w.error(
+            "R002",
+            f"node {op.node} re-prepared after being measured",
+            op_index=i, node=op.node,
+        )
+    if op.slot != len(w.live):
+        w.error(
+            "R002",
+            f"preparation of node {op.node} claims slot {op.slot}, but "
+            f"appends must land in slot {len(w.live)}",
+            op_index=i, node=op.node,
+        )
+    w.live.append(op.node)
+    w.max_live = max(w.max_live, len(w.live))
+
+
+def _verify_entangle(w: _Walk, op: EntangleOp, i: int) -> None:
+    a, b = op.slots
+    ok = w.check_slot(a, i, "entangler") & w.check_slot(b, i, "entangler")
+    if ok and a == b:
+        w.error(
+            "R003",
+            f"entangler targets slot {a} twice (CZ needs two distinct qubits)",
+            op_index=i,
+        )
+
+
+def _verify_measure(w: _Walk, op: MeasureOp, i: int) -> None:
+    if op.node in w.measured:
+        w.error(
+            "R001",
+            f"node {op.node} measured twice (second measurement reads a "
+            f"discarded qubit)",
+            op_index=i, node=op.node,
+        )
+    if w.check_slot(op.slot, i, "measurement"):
+        if w.live[op.slot] != op.node:
+            w.error(
+                "R004",
+                f"measurement of node {op.node} targets slot {op.slot}, "
+                f"which holds node {w.live[op.slot]}",
+                op_index=i, node=op.node,
+            )
+        w.live.pop(op.slot)  # compaction: slots above shift down
+    w.check_domain(op.s_domain, i, op.node, "s-domain")
+    w.check_domain(op.t_domain, i, op.node, "t-domain")
+    if len(op.bases) != 4:
+        w.error(
+            "R009",
+            f"measurement of node {op.node} carries {len(op.bases)} bases; "
+            f"the (s, t)-indexed table needs exactly 4",
+            op_index=i, node=op.node,
+        )
+    if op.pauli is not None and len(op.pauli) != 4:
+        w.error(
+            "R009",
+            f"measurement of node {op.node} carries a {len(op.pauli)}-entry "
+            f"Pauli table; need 4 (or None)",
+            op_index=i, node=op.node,
+        )
+    if not 0.0 <= op.flip_p <= 1.0:
+        w.error(
+            "R022",
+            f"measurement of node {op.node} has readout flip probability "
+            f"{op.flip_p}, outside [0, 1]",
+            op_index=i, node=op.node,
+        )
+    w.measured.add(op.node)
+    w.measured_order.append(op.node)
+
+
+def _verify_conditional(w: _Walk, op: ConditionalOp, i: int) -> None:
+    w.check_slot(op.slot, i, "correction")
+    if not op.domain:
+        w.emit(
+            "R011",
+            Severity.WARNING,
+            f"correction at op {i} has an empty signal domain and can never "
+            f"fire; the compiler's dead-code elimination should have "
+            f"removed it",
+            op_index=i,
+        )
+    else:
+        owner = w.live[op.slot] if 0 <= op.slot < len(w.live) else -1
+        w.check_domain(op.domain, i, owner, "correction domain")
+
+
+def _verify_channel(w: _Walk, op: ChannelOp, i: int) -> None:
+    try:
+        kraus = validate_kraus(op.kraus, where=f"channel {op.label!r}")
+    except ValueError as exc:
+        w.error("R021", f"op {i}: {exc}", op_index=i)
+        return
+    arity = kraus[0].shape[0].bit_length() - 1
+    if arity != 1:
+        w.error(
+            "R020",
+            f"channel {op.label!r} acts on {arity} qubits, but the lowered "
+            f"noise IR applies each channel to a single live slot "
+            f"({len(w.live)} live at op {i})",
+            op_index=i,
+        )
+        return
+    w.check_slot(op.slot, i, f"channel {op.label!r}")
+    if op.pauli_probs is not None:
+        probs = op.pauli_probs
+        bad_range = len(probs) != 4 or any(
+            not 0.0 <= float(p) <= 1.0 + _ATOL for p in probs
+        )
+        actual = _channel_pauli_probs(kraus)
+        if bad_range or actual is None or not np.allclose(
+            probs, actual, atol=1e-6
+        ):
+            w.error(
+                "R023",
+                f"channel {op.label!r} declares pauli_probs {tuple(probs)} "
+                f"but its Kraus operators give "
+                f"{actual if actual is not None else 'a non-Pauli channel'}; "
+                f"trajectory engines would sample the wrong fault "
+                f"distribution",
+                op_index=i,
+            )
+
+
+def _verify_epilogue(w: _Walk) -> None:
+    """Post-walk consistency: out_perm, max_live, measured_nodes, dead
+    signals."""
+    compiled = w.compiled
+
+    if w.max_live != compiled.max_live:
+        w.error(
+            "R005",
+            f"compiled.max_live is {compiled.max_live} but the op stream's "
+            f"peak register width is {w.max_live}; backend selection and "
+            f"byte budgeting would mis-size the register",
+        )
+
+    if tuple(w.measured_order) != tuple(compiled.measured_nodes):
+        w.error(
+            "R007",
+            f"compiled.measured_nodes {tuple(compiled.measured_nodes)} does "
+            f"not match the MeasureOp stream order "
+            f"{tuple(w.measured_order)}",
+        )
+
+    _verify_out_perm(w)
+
+    # Advisory: outcomes written but never read by any signal domain.
+    for node in w.measured_order:
+        if node not in w.read_signals:
+            w.emit(
+                "R012",
+                Severity.INFO,
+                f"outcome of node {node} is never read by any signal domain",
+                node=node,
+            )
+
+
+def _verify_out_perm(w: _Walk) -> None:
+    compiled = w.compiled
+    perm = compiled.out_perm
+    outs = compiled.output_nodes
+    if len(perm) != len(outs):
+        w.error(
+            "R006",
+            f"out_perm has {len(perm)} entries for {len(outs)} output nodes",
+        )
+        return
+    seen: Dict[int, int] = {}
+    ok = True
+    for j, p in enumerate(perm):
+        if not 0 <= p < len(w.live):
+            w.error(
+                "R006",
+                f"out_perm[{j}] = {p} is outside the surviving register "
+                f"(slots 0..{len(w.live) - 1})",
+                node=outs[j],
+            )
+            ok = False
+            continue
+        if p in seen:
+            w.error(
+                "R006",
+                f"out_perm maps outputs {outs[seen[p]]} and {outs[j]} to the "
+                f"same slot {p}",
+                node=outs[j],
+            )
+            ok = False
+            continue
+        seen[p] = j
+        if w.live[p] != outs[j]:
+            w.error(
+                "R006",
+                f"out_perm[{j}] = {p} holds node {w.live[p]}, not output "
+                f"node {outs[j]}",
+                node=outs[j],
+            )
+            ok = False
+    if ok and len(w.live) != len(outs):
+        leftover = [n for n in w.live if n not in set(outs)]
+        w.error(
+            "R006",
+            f"{len(leftover)} non-output nodes survive unmeasured: "
+            f"{leftover[:8]}{'...' if len(leftover) > 8 else ''}",
+        )

@@ -8,6 +8,10 @@ Subcommands
 ``resources``  print the Section III.A resource table for a problem at
                several depths
 ``solve``      run the iterative (Section V) solver to a concrete assignment
+``lint``       static analysis: verify the compiled IR, print the resource
+               estimate, and/or run the seeded-stream contract linter over
+               a source tree (``--contracts``); exits 1 on error-severity
+               diagnostics (see README's diagnostic code table)
 
 ``run`` and ``verify`` take ``--backend {auto,statevector,stabilizer,
 density}``: ``auto`` dispatches Clifford-angle patterns (e.g. ``--gamma 0
@@ -48,6 +52,7 @@ from repro.problems.qubo import QUBO
 from repro.qaoa import grid_search_p1, optimize_qaoa
 from repro.qaoa.iterative import iterative_quantum_optimize
 from repro.utils import int_to_bitstring
+from repro.utils.rng import ensure_rng
 
 
 def parse_problem(spec: str) -> Tuple[str, QUBO, object]:
@@ -140,7 +145,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     cost = qubo.cost_vector()
     n = qubo.num_variables
     measured = len(compiled.pattern.measured_nodes())
-    rng = np.random.default_rng(args.seed)
+    rng = ensure_rng(args.seed)
 
     if args.exact:
         if args.backend not in ("auto", "density"):
@@ -253,6 +258,55 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze, format_contract_report, lint_tree
+
+    failed = False
+    ran = False
+
+    if args.problem is not None or args.pattern_json is not None:
+        ran = True
+        if args.pattern_json is not None:
+            from repro.mbqc.compile import compile_pattern
+            from repro.mbqc.serialize import pattern_from_json
+
+            with open(args.pattern_json, encoding="utf-8") as fh:
+                pattern = pattern_from_json(fh.read())
+            program = compile_pattern(pattern)
+            name = args.pattern_json
+        else:
+            name, qubo, _ = parse_problem(args.problem)
+            gammas, betas = _resolve_params(
+                qubo, args.p, args.gamma, args.beta, args.optimize, args.seed
+            )
+            program = compile_qaoa_pattern(qubo, gammas, betas).executable()
+        if args.noise:
+            noise = NoiseModel(
+                p_prep=args.noise, p_ent=args.noise, p_meas=args.noise
+            )
+            program = lower_noise(program, noise)
+        report = analyze(program)
+        print(f"lint           {name}")
+        print(report.format(budget=args.budget))
+        if not report.ok or (args.strict and report.warnings):
+            failed = True
+
+    if args.contracts is not None:
+        ran = True
+        diags = lint_tree(args.contracts)
+        print(f"contracts      {args.contracts}")
+        print(format_contract_report(diags))
+        if diags:
+            failed = True
+
+    if not ran:
+        raise ValueError(
+            "nothing to lint: pass a problem spec, --pattern-json, or "
+            "--contracts [PATH]"
+        )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -311,6 +365,36 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("problem")
     pv.add_argument("--stop-at", type=int, default=3, dest="stop_at")
     pv.set_defaults(func=cmd_solve)
+
+    pl = sub.add_parser(
+        "lint",
+        help="static IR verification, resource estimate, contract linter",
+    )
+    pl.add_argument("problem", nargs="?", default=None,
+                    help="problem spec to compile and analyze (optional "
+                    "when --pattern-json or --contracts is given)")
+    pl.add_argument("--p", type=int, default=1, help="QAOA depth")
+    pl.add_argument("--gamma", type=float, nargs="*", default=None)
+    pl.add_argument("--beta", type=float, nargs="*", default=None)
+    pl.add_argument("--optimize", action="store_true",
+                    help="local-optimize parameters instead of grid search")
+    pl.add_argument("--seed", type=int, default=0)
+    pl.add_argument("--noise", type=float, default=0.0,
+                    help="lower this uniform error rate into the channel IR "
+                    "before analyzing (exercises the noise-IR checks)")
+    pl.add_argument("--pattern-json", default=None, dest="pattern_json",
+                    help="analyze a serialized pattern file instead of "
+                    "compiling a problem")
+    pl.add_argument("--budget", type=int, default=1 << 26,
+                    help="byte budget for the shot-chunk row of the "
+                    "resource report (default 64 MiB)")
+    pl.add_argument("--contracts", nargs="?", const="src", default=None,
+                    metavar="PATH",
+                    help="also run the seeded-stream contract linter over "
+                    "PATH (default: src)")
+    pl.add_argument("--strict", action="store_true",
+                    help="treat warning-severity diagnostics as failures")
+    pl.set_defaults(func=cmd_lint)
     return parser
 
 

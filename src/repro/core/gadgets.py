@@ -39,8 +39,8 @@ mid-pattern corrections required.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.mbqc.pattern import Pattern
 

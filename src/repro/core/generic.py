@@ -23,7 +23,7 @@ overhead claim (experiment E12).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.core.gadgets import WireTracker
 from repro.mbqc.pattern import Pattern

@@ -16,9 +16,8 @@ claim with a runnable, branch-verified protocol.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
-from repro.core.compiler import CompiledQAOA
 from repro.core.gadgets import WireTracker
 from repro.mbqc.pattern import Pattern, standardize
 from repro.problems.pubo import PUBO

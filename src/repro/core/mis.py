@@ -19,7 +19,7 @@ in experiment E9.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.core.generic import circuit_to_pattern
 from repro.mbqc.pattern import Pattern

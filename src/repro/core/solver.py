@@ -19,7 +19,7 @@ loop (benchmarked in ``benchmarks/bench_e20_stabilizer_backend.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -174,7 +174,6 @@ class MBQCQAOASolver:
         found is returned')."""
         p = self.p
         best_seen: Tuple[int, float] = (-1, np.inf)
-        tracked: Dict[str, float] = {}
 
         def objective(theta: np.ndarray) -> float:
             nonlocal best_seen

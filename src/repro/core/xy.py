@@ -13,7 +13,7 @@ partial mixers for one-hot encodings (graph coloring, Max-k-Cut).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.core.gadgets import WireTracker
 from repro.mbqc.pattern import Pattern

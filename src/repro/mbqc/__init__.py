@@ -73,6 +73,12 @@ from repro.mbqc.flow import OpenGraph, find_causal_flow, find_gflow
 from repro.mbqc.noise import NoiseModel, average_fidelity, run_pattern_noisy
 from repro.mbqc.extract import ExtractionError, extract_circuit, extractable
 from repro.mbqc.serialize import (
+    channel_from_dict,
+    channel_to_dict,
+    noise_model_from_dict,
+    noise_model_from_json,
+    noise_model_to_dict,
+    noise_model_to_json,
     pattern_from_dict,
     pattern_from_json,
     pattern_to_dict,
@@ -126,6 +132,12 @@ __all__ = [
     "ExtractionError",
     "extract_circuit",
     "extractable",
+    "channel_from_dict",
+    "channel_to_dict",
+    "noise_model_from_dict",
+    "noise_model_from_json",
+    "noise_model_to_dict",
+    "noise_model_to_json",
     "pattern_from_dict",
     "pattern_from_json",
     "pattern_to_dict",

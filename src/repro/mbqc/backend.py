@@ -96,6 +96,12 @@ DENSE_AUTO_MAX_LIVE = 16
 # dense outputs must not be auto-dispatched to the stabilizer engine past it.
 DENSE_EXTRACT_MAX = 20
 
+# Default per-shot byte budget for backend selection (2 GiB).  Routing a
+# pattern whose statically-estimated footprint exceeds this raises an
+# actionable PatternError (diagnostic R101) instead of letting numpy OOM
+# mid-allocation; select_backend(..., max_bytes=0) disables the check.
+PEAK_BYTE_BUDGET = 1 << 31
+
 _PAULI_GATES = ("x", "y", "z")
 
 
@@ -1303,10 +1309,34 @@ def get_backend(name: str) -> PatternBackend:
         ) from None
 
 
+def _check_byte_budget(
+    compiled: CompiledPattern, backend_name: str, max_bytes: Optional[int]
+) -> None:
+    """Raise an actionable R101 diagnostic when ``backend_name`` would
+    allocate more than the per-shot budget for this pattern (instead of
+    the raw numpy MemoryError the allocation itself would produce)."""
+    budget = PEAK_BYTE_BUDGET if max_bytes is None else int(max_bytes)
+    if budget <= 0:
+        return
+    from repro.analysis.resources import (
+        budget_diagnostic_message,
+        estimate_compiled,
+    )
+
+    est = estimate_compiled(compiled)
+    try:
+        per_shot = est.bytes_per_shot(backend_name)
+    except ValueError:
+        return  # externally registered engine with no byte model
+    if per_shot > budget:
+        raise PatternError(budget_diagnostic_message(est, backend_name, budget))
+
+
 def select_backend(
     compiled: CompiledPattern,
     prefer: Union[str, PatternBackend, None] = "auto",
     dense_outputs: bool = False,
+    max_bytes: Optional[int] = None,
 ) -> PatternBackend:
     """Pick an engine for ``compiled``.
 
@@ -1317,6 +1347,12 @@ def select_backend(
     ``"auto"``/``None``: dense statevector while the peak register fits in
     ``DENSE_AUTO_MAX_LIVE`` qubits, the stabilizer fast path beyond that
     for Clifford-classified patterns.
+
+    The selected engine's statically-estimated per-shot footprint (see
+    :func:`repro.analysis.estimate_compiled`) is checked against
+    ``max_bytes`` (default :data:`PEAK_BYTE_BUDGET`; ``0`` disables): an
+    over-budget route raises :class:`PatternError` carrying the ``R101``
+    diagnostic with concrete alternatives, rather than OOMing later.
 
     Automatic dispatch only picks the stabilizer engine for
     state-preparation patterns (no inputs): tableau columns carry no global
@@ -1348,12 +1384,14 @@ def select_backend(
                     else ""
                 )
             )
+        _check_byte_budget(compiled, backend.name, max_bytes)
         return backend
     if compiled.has_non_pauli_channel:
         # Non-Pauli channels cannot be trajectory-sampled: the density
         # engine is the only one that executes such a program (exactly).
         dens = _REGISTRY.get("density")
         if dens is not None and dens.supports(compiled):
+            _check_byte_budget(compiled, dens.name, max_bytes)
             return dens
         raise PatternError(
             "pattern carries non-Pauli channels beyond the density engine's "
@@ -1366,8 +1404,11 @@ def select_backend(
     ):
         stab = _REGISTRY.get("stabilizer")
         if stab is not None and stab.supports(compiled):
+            _check_byte_budget(compiled, stab.name, max_bytes)
             return stab
-    return get_backend("statevector")
+    backend = get_backend("statevector")
+    _check_byte_budget(compiled, backend.name, max_bytes)
+    return backend
 
 
 def resolve_backend(

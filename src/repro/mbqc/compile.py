@@ -379,13 +379,22 @@ def _pauli_table(plane: str, angle: float) -> Optional[Tuple[Tuple[str, int], ..
     return tuple(entries)
 
 
-def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
+def compile_pattern(
+    pattern: Pattern, validate: bool = True, verify_ir: bool = False
+) -> CompiledPattern:
     """Lower ``pattern`` to a :class:`CompiledPattern`.
 
     With ``validate=True`` the full well-formedness check runs first; even
     without it, the compile walk raises :class:`PatternError` on commands
     referencing unknown or already-measured nodes and on signal domains
     over not-yet-measured nodes.
+
+    With ``verify_ir=True`` the emitted op stream is additionally replayed
+    through the static dataflow verifier
+    (:func:`repro.analysis.analyze`) and a :class:`PatternError` listing
+    every error-severity diagnostic is raised if the IR is malformed — an
+    end-to-end compiler self-check, useful when developing new lowering
+    passes.
     """
     if validate:
         pattern.validate()
@@ -470,7 +479,7 @@ def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
             raise PatternError(f"unknown command {cmd!r}")
 
     out_perm = tuple(live_slot(node, "output") for node in pattern.output_nodes)
-    return CompiledPattern(
+    compiled = CompiledPattern(
         input_nodes=tuple(pattern.input_nodes),
         output_nodes=tuple(pattern.output_nodes),
         measured_nodes=tuple(measured_order),
@@ -478,6 +487,12 @@ def compile_pattern(pattern: Pattern, validate: bool = True) -> CompiledPattern:
         out_perm=out_perm,
         max_live=max_live,
     )
+    if verify_ir:
+        # Deferred import: repro.analysis sits above the IR in the layering.
+        from repro.analysis import analyze
+
+        analyze(compiled).raise_if_errors()
+    return compiled
 
 
 def lower_noise(compiled: CompiledPattern, noise: object) -> CompiledPattern:

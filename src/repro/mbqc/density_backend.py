@@ -563,10 +563,12 @@ class DensityMatrixBackend:
                 bound *= 4 if op.flip_p > 0.0 else 2
                 if bound > max_branches:
                     raise PatternError(
-                        f"exact integration would explore > {max_branches} "
-                        f"outcome branches; reduce the pattern's measured "
-                        f"set (or readout-flip noise), raise max_branches, "
-                        f"or estimate by trajectories instead"
+                        f"R102: exact integration would explore > "
+                        f"{max_branches} outcome branches; reduce the "
+                        f"pattern's measured set (or readout-flip noise), "
+                        f"raise max_branches, or estimate by trajectories "
+                        f"instead (repro.analysis.estimate_compiled reports "
+                        f"the exact bound)"
                     )
         row = _input_row(compiled, input_state)
         row = row / np.linalg.norm(row)

@@ -19,9 +19,9 @@ unitary is proportional to the pattern's branch map — verified in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
-from repro.mbqc.flow import CausalFlow, OpenGraph, find_causal_flow
+from repro.mbqc.flow import OpenGraph, find_causal_flow
 from repro.mbqc.pattern import CommandM, Pattern
 from repro.sim.circuit import Circuit
 

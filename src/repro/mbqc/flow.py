@@ -199,7 +199,7 @@ def _solve_gf2(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
         x[c] = b[rr]
         rr += 1
     # Verify (matrix was fully reduced, but free columns may interact).
-    if not np.array_equal((a_mul := (a @ x.astype(np.int64)) % 2).astype(bool), b):
+    if not np.array_equal(((a @ x.astype(np.int64)) % 2).astype(bool), b):
         # a was mutated by elimination; recompute with original is needed —
         # elimination preserves solution sets, so this check is still valid.
         return None

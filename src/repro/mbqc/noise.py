@@ -31,7 +31,7 @@ reference path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.mbqc.channels import (
     ChannelNoiseModel,
     as_channel_model,
 )
-from repro.mbqc.compile import compile_pattern, lower_noise
+from repro.mbqc.compile import _CLIFFORD, _PREP, compile_pattern, lower_noise
 from repro.mbqc.pattern import (
     CommandC,
     CommandE,
@@ -55,8 +55,6 @@ from repro.mbqc.pattern import (
 from repro.mbqc.runner import (
     PatternResult,
     run_pattern,
-    _PREP,
-    _CLIFFORD,
     _PLANE_BASIS,
     _Register,
     _reorder_output,

@@ -29,7 +29,7 @@ These entries are verified against the simulator in
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple, Union
 
 PLANES = ("XY", "YZ", "XZ")
 

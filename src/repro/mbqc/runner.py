@@ -29,15 +29,13 @@ outgrows dense reach.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.linalg.gates import PAULI_X, PAULI_Y, PAULI_Z
 from repro.mbqc.backend import PatternBackend, draw_pauli_fault, resolve_backend
 from repro.mbqc.compile import (
-    _CLIFFORD,
-    _PREP,
     ChannelOp,
     CompiledPattern,
     ConditionalOp,

@@ -1,16 +1,23 @@
-"""Pattern (de)serialization.
+"""Pattern and noise-model (de)serialization.
 
 Compiled MBQC protocols are artefacts a lab would archive and replay; this
 module round-trips :class:`~repro.mbqc.pattern.Pattern` objects through
 plain JSON-compatible dictionaries (and strings), preserving command order,
-planes, angles, and signal domains exactly.
+planes, angles, and signal domains exactly.  Noise is part of the replayed
+artifact too: :func:`noise_model_to_dict` / :func:`noise_model_from_dict`
+round-trip a :class:`~repro.mbqc.channels.ChannelNoiseModel` (Kraus
+operators as nested ``[re, im]`` pairs), so an archived pattern + model
+pair re-lowers to the identical ``ChannelOp`` stream.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+import numpy as np
+
+from repro.mbqc.channels import Channel, ChannelNoiseModel
 from repro.mbqc.pattern import (
     CommandC,
     CommandE,
@@ -99,3 +106,58 @@ def pattern_to_json(pattern: Pattern, indent: int = 0) -> str:
 
 def pattern_from_json(text: str) -> Pattern:
     return pattern_from_dict(json.loads(text))
+
+
+def channel_to_dict(channel: Channel) -> Dict[str, Any]:
+    """Plain-data Kraus form: complex entries become ``[re, im]`` pairs."""
+    return {
+        "name": channel.name,
+        "kraus": [
+            [[[float(z.real), float(z.imag)] for z in row] for row in np.asarray(k)]
+            for k in channel.kraus
+        ],
+    }
+
+
+def channel_from_dict(data: Dict[str, Any]) -> Channel:
+    """Inverse of :func:`channel_to_dict`; re-validates the Kraus set."""
+    kraus = tuple(
+        np.array([[complex(re, im) for re, im in row] for row in k], dtype=complex)
+        for k in data["kraus"]
+    )
+    return Channel(str(data.get("name", "custom")), kraus)
+
+
+def noise_model_to_dict(model: ChannelNoiseModel) -> Dict[str, Any]:
+    """Plain-data representation of a channel noise model."""
+    return {
+        "version": 1,
+        "prep": channel_to_dict(model.prep) if model.prep is not None else None,
+        "ent": channel_to_dict(model.ent) if model.ent is not None else None,
+        "meas_flip": float(model.meas_flip),
+    }
+
+
+def noise_model_from_dict(data: Dict[str, Any]) -> ChannelNoiseModel:
+    """Inverse of :func:`noise_model_to_dict`; validation happens in the
+    :class:`~repro.mbqc.channels.ChannelNoiseModel` constructor."""
+    if data.get("version") != 1:
+        raise PatternError(
+            f"unsupported noise model format version {data.get('version')!r}"
+        )
+
+    def load(key: str) -> Optional[Channel]:
+        rec = data.get(key)
+        return channel_from_dict(rec) if rec is not None else None
+
+    return ChannelNoiseModel(
+        prep=load("prep"), ent=load("ent"), meas_flip=float(data.get("meas_flip", 0.0))
+    )
+
+
+def noise_model_to_json(model: ChannelNoiseModel, indent: int = 0) -> str:
+    return json.dumps(noise_model_to_dict(model), indent=indent or None)
+
+
+def noise_model_from_json(text: str) -> ChannelNoiseModel:
+    return noise_model_from_dict(json.loads(text))

@@ -14,7 +14,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.problems.qubo import QUBO, _bits_matrix
+from repro.problems.qubo import _bits_matrix
 from repro.utils.graphs import Edge, normalize_edges
 
 

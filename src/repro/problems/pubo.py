@@ -13,7 +13,7 @@ interface the QAOA stack consumes.  The compiler side is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
@@ -143,7 +143,6 @@ class MaxThreeSat:
     def max_satisfiable(self) -> int:
         n = self.num_variables
         bits = _bits_matrix(n)
-        best = 0
         # Vectorized clause evaluation.
         sat = np.zeros(1 << n, dtype=np.int64)
         for clause in self.clauses:

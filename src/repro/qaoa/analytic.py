@@ -21,7 +21,7 @@ large graphs (evaluation is O(|E|), no 2^n vectors).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -13,7 +13,7 @@ circuit implements ``e^{-iγC}`` with ``C = Σ J Z Z + Σ h Z`` exactly
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.problems.qubo import QUBO, IsingModel
 from repro.sim.circuit import Circuit

@@ -10,7 +10,7 @@ approximation ratios and best-solution extraction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize as spopt

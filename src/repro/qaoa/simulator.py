@@ -22,7 +22,7 @@ Alternative mixers (Sections IV–V):
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 

@@ -31,7 +31,7 @@ The per-shot primitives mirror the dense batched sampler's:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 

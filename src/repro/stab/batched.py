@@ -43,7 +43,7 @@ equivalence of the two is property-tested bit for bit in
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -332,12 +332,10 @@ class StabilizerState:
         gx = self.x[self.n:].copy()
         gz = self.z[self.n:].copy()
         gr = self.r[self.n:].copy().astype(np.int64)
-        used = np.zeros(self.n, dtype=bool)
         sx = np.zeros(self.n, dtype=bool)
         sz = np.zeros(self.n, dtype=bool)
         two_r = 0
         # Eliminate column by column (X part then Z part).
-        row_of_pivot: Dict[Tuple[str, int], int] = {}
         rows = list(range(self.n))
         # Forward elimination to row-echelon over the symplectic bits.
         pivots: List[Tuple[int, Tuple[str, int]]] = []
@@ -514,18 +512,22 @@ def apply_pauli_string(pauli: PauliString, vec: np.ndarray, n: int) -> np.ndarra
     return signs * vec[src]
 
 
-def statevector_from_generators(gens: Sequence[PauliString], n: int) -> np.ndarray:
+def statevector_from_generators(
+    gens: Sequence[PauliString], n: int, seed: SeedLike = 12345
+) -> np.ndarray:
     """Dense unit statevector stabilized by ``gens`` (little-endian).
 
     Projector-product construction (``(I + g)/2`` per generator, applied
     matrix-free via :func:`apply_pauli_string`); ``n`` is capped at 20
-    because the vector itself is ``2^n`` amplitudes.
+    because the vector itself is ``2^n`` amplitudes.  ``seed`` randomizes
+    the pre-projection vector; the fixed default keeps extraction
+    bit-reproducible (any seed yields the same state up to global phase).
     """
     if n > 20:
         raise ValueError("dense extraction is for small n only")
     if n == 0:
         return np.ones(1, dtype=complex)
-    rng = np.random.default_rng(12345)
+    rng = ensure_rng(seed)
     vec = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
     for g in gens:
         vec = (vec + apply_pauli_string(g, vec, n)) / 2.0

@@ -8,7 +8,7 @@ scripts reproducible with a single integer.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -18,7 +18,7 @@ All semantics up to global scalar.
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import List
 
 from repro.sim.circuit import Circuit, Gate
 from repro.zx.diagram import Diagram, EdgeType, VertexType

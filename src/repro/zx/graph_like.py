@@ -24,7 +24,7 @@ import math
 from typing import List, Set, Tuple
 
 from repro.zx.diagram import Diagram, EdgeType, VertexType, phases_equal
-from repro.zx.rules import color_change, fuse_all, remove_identities, remove_parallel_pair
+from repro.zx.rules import color_change, fuse_all, remove_parallel_pair
 
 _SPIDERS = (VertexType.Z, VertexType.X)
 

@@ -10,9 +10,9 @@ a phase-0 X-spider hub on wires u,v with an arity-1 Z(±2γ) spider attached.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from repro.zx.diagram import Diagram, EdgeType, VertexType
+from repro.zx.diagram import Diagram, EdgeType
 
 
 def graph_state_diagram(n: int, edges: Sequence[Tuple[int, int]]) -> Diagram:

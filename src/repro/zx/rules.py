@@ -161,12 +161,6 @@ def remove_identities(d: Diagram) -> int:
                 and d.degree(v) == 2
                 and len(set(d.incident_edges(v))) == 2
             ):
-                n1 = _other_endpoint(d, d.incident_edges(v)[0], v)
-                n2 = _other_endpoint(d, d.incident_edges(v)[1], v)
-                # Skip if removal would leave a floating boundary-boundary
-                # wire ambiguity — those are fine actually; only skip when
-                # both neighbors are the *same* boundary (impossible) —
-                # proceed unconditionally.
                 remove_identity(d, v)
                 count += 1
                 progress = True

@@ -11,7 +11,7 @@ hardware.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Sequence
 
 from repro.zx.diagram import Diagram, EdgeType, VertexType
 

@@ -26,9 +26,8 @@ from __future__ import annotations
 
 import cmath
 import math
-from typing import List, Tuple
 
-from repro.zx.diagram import Diagram, EdgeType, VertexType
+from repro.zx.diagram import Diagram, EdgeType
 
 
 def controlled_phase_hbox_diagram(num_wires: int, phi: float) -> Diagram:

@@ -1,0 +1,142 @@
+"""`repro lint` smoke over every pattern the examples and E19–E23
+benchmarks build: zero error-severity diagnostics anywhere (the CI gate)."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.cli import main
+from repro.core import compile_qaoa_pattern
+from repro.mbqc import lower_noise
+from repro.mbqc.channels import Channel, ChannelNoiseModel
+from repro.mbqc.compile import compile_pattern
+from repro.mbqc.noise import NoiseModel
+from repro.problems import MaxCut, MaximumIndependentSet, NumberPartitioning
+from repro.utils import cycle_graph, grid_graph
+
+
+def e19_cases():
+    # bench_e19_batched_runner: open-input unitary patterns
+    for name, qubo in [
+        ("ring-4", MaxCut.ring(4).to_qubo()),
+        ("ring-5", MaxCut.ring(5).to_qubo()),
+        ("3reg-6", MaxCut.random_regular(3, 6, seed=3).to_qubo()),
+    ]:
+        yield f"e19-{name}", compile_qaoa_pattern(
+            qubo, [0.37], [0.52], open_inputs=True
+        ).executable()
+    yield "e19-triangle", compile_qaoa_pattern(
+        MaxCut(3, [(0, 1), (1, 2), (0, 2)]).to_qubo(), [0.41], [0.23]
+    ).executable()
+
+
+def e20_e22_cases():
+    # Clifford graph-state patterns (γ = β = 0) for the tableau engines
+    for n in (4, 6, 8):
+        yield f"e20-ring-{n}", compile_qaoa_pattern(
+            MaxCut.ring(n).to_qubo(), [0.0], [0.0]
+        ).executable()
+
+
+def e21_cases():
+    # density engine: probability-bag noise lowered to channels
+    compiled = compile_qaoa_pattern(
+        MaxCut.ring(3).to_qubo(), [0.4], [0.7]
+    ).executable()
+    yield "e21-ring-3-noisy", lower_noise(
+        compiled, NoiseModel(p_prep=0.01, p_ent=0.01)
+    )
+
+
+def e23_cases():
+    # batched density: explicit channel model incl. readout flips
+    compiled = compile_qaoa_pattern(
+        MaxCut.ring(3).to_qubo(), [0.4], [0.7]
+    ).executable()
+    model = ChannelNoiseModel(
+        prep=Channel.depolarizing(0.02),
+        ent=Channel.dephasing(0.01),
+        meas_flip=0.03,
+    )
+    yield "e23-ring-3-channels", lower_noise(compiled, model)
+    yield "e23-amp-damp", lower_noise(
+        compiled, ChannelNoiseModel(prep=Channel.amplitude_damping(0.06))
+    )
+
+
+def example_cases():
+    # quickstart: ring-5 state preparation
+    yield "ex-quickstart", compile_qaoa_pattern(
+        MaxCut.ring(5).to_qubo(), [0.35], [0.6]
+    ).executable()
+    # depth_study: 3-regular-8, p = 2
+    yield "ex-depth-study", compile_qaoa_pattern(
+        MaxCut.random_regular(3, 8, seed=21).to_qubo(), [0.3, 0.2], [0.6, 0.4]
+    ).executable()
+    # resource_planning: grid and complete graphs
+    n_grid, e_grid = grid_graph(3, 3)
+    yield "ex-grid-3x3", compile_qaoa_pattern(
+        MaxCut(n_grid, e_grid).to_qubo(), [0.4], [0.7]
+    ).executable()
+    yield "ex-complete-5", compile_qaoa_pattern(
+        MaxCut.complete(5).to_qubo(), [0.4], [0.7]
+    ).executable()
+    # mis_hard_constraints: penalty QUBO
+    yield "ex-mis-ring-5", compile_qaoa_pattern(
+        MaximumIndependentSet(*cycle_graph(5)).to_penalty_qubo(), [0.4], [0.7]
+    ).executable()
+    yield "ex-partition-4", compile_qaoa_pattern(
+        NumberPartitioning.random(4, seed=0).to_qubo(), [0.4], [0.7]
+    ).executable()
+    # graph-first scheduling variant
+    yield "ex-graph-first", compile_qaoa_pattern(
+        MaxCut.ring(4).to_qubo(), [0.4], [0.7], schedule="graph-first"
+    ).executable()
+
+
+ALL_CASES = [
+    *e19_cases(), *e20_e22_cases(), *e21_cases(), *e23_cases(),
+    *example_cases(),
+]
+
+
+@pytest.mark.parametrize(
+    "compiled", [c for _, c in ALL_CASES], ids=[n for n, _ in ALL_CASES]
+)
+def test_no_error_diagnostics(compiled):
+    report = analyze(compiled)
+    assert report.ok, report.format()
+    assert not report.warnings, report.format()
+
+
+def test_verify_ir_accepts_every_case():
+    # the compile-time gate agrees with the standalone analyzer
+    pattern = compile_qaoa_pattern(
+        MaxCut.ring(4).to_qubo(), [0.4], [0.7]
+    ).pattern
+    compile_pattern(pattern, verify_ir=True)
+
+
+class TestCliGate:
+    """The exact invocations the CI lint job runs."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["lint", "ring:6", "--gamma", "0.4", "--beta", "0.7"],
+            ["lint", "ring:8", "--gamma", "0.0", "--beta", "0.0"],
+            ["lint", "regular:3,8", "--gamma", "0.37", "--beta", "0.52"],
+            ["lint", "ring:4", "--gamma", "0.4", "--beta", "0.7",
+             "--noise", "0.05"],
+            ["lint", "mis-ring:5", "--gamma", "0.4", "--beta", "0.7"],
+        ],
+    )
+    def test_ci_invocations_green(self, argv, capsys):
+        assert main(argv) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_contracts_over_repo_src(self, capsys):
+        import pathlib
+
+        src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        assert main(["lint", "--contracts", src]) == 0
+        assert "contracts clean" in capsys.readouterr().out

@@ -1,0 +1,270 @@
+"""Static IR verifier: seeded corruptions are caught, valid IR is clean."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import CODES, Diagnostic, Severity, analyze, verify_compiled
+from repro.core import compile_qaoa_pattern
+from repro.mbqc import Pattern, PatternError, lower_noise
+from repro.mbqc.channels import Channel, ChannelNoiseModel
+from repro.mbqc.compile import (
+    ChannelOp,
+    ConditionalOp,
+    EntangleOp,
+    MeasureOp,
+    compile_pattern,
+)
+from repro.problems import MaxCut, MaximumIndependentSet, NumberPartitioning
+from repro.utils import cycle_graph
+
+
+def ring_compiled(n=4, open_inputs=False):
+    qubo = MaxCut.ring(n).to_qubo()
+    return compile_qaoa_pattern(
+        qubo, [0.37], [0.52], open_inputs=open_inputs
+    ).executable()
+
+
+def noisy_compiled(n=3):
+    model = ChannelNoiseModel(
+        prep=Channel.depolarizing(0.02),
+        ent=Channel.dephasing(0.01),
+        meas_flip=0.05,
+    )
+    return lower_noise(ring_compiled(n), model)
+
+
+def replace_op(compiled, index, **changes):
+    ops = list(compiled.ops)
+    ops[index] = dataclasses.replace(ops[index], **changes)
+    return dataclasses.replace(compiled, ops=tuple(ops))
+
+
+def codes_of(diags):
+    return {d.code for d in diags}
+
+
+def first_index(compiled, tp):
+    return next(i for i, op in enumerate(compiled.ops) if type(op) is tp)
+
+
+def last_index(compiled, tp):
+    return max(i for i, op in enumerate(compiled.ops) if type(op) is tp)
+
+
+class TestSeededCorruptions:
+    def test_use_after_discard_measure_slot(self):
+        c = ring_compiled()
+        i = last_index(c, MeasureOp)
+        bad = replace_op(c, i, slot=99)
+        assert "R001" in codes_of(verify_compiled(bad))
+
+    def test_use_after_discard_entangler(self):
+        c = ring_compiled()
+        i = last_index(c, EntangleOp)
+        bad = replace_op(c, i, slots=(0, 98))
+        assert "R001" in codes_of(verify_compiled(bad))
+
+    def test_self_entangler(self):
+        c = ring_compiled()
+        i = first_index(c, EntangleOp)
+        bad = replace_op(c, i, slots=(0, 0))
+        assert "R003" in codes_of(verify_compiled(bad))
+
+    def test_dangling_signal(self):
+        c = ring_compiled()
+        i = last_index(c, MeasureOp)
+        bad = replace_op(c, i, s_domain=(9999,))
+        assert "R010" in codes_of(verify_compiled(bad))
+
+    def test_dangling_correction_domain(self):
+        c = ring_compiled()
+        i = last_index(c, ConditionalOp)
+        bad = replace_op(c, i, domain=(12345,))
+        assert "R010" in codes_of(verify_compiled(bad))
+
+    def test_dead_correction_warns(self):
+        c = ring_compiled()
+        i = last_index(c, ConditionalOp)
+        bad = replace_op(c, i, domain=())
+        diags = verify_compiled(bad)
+        dead = [d for d in diags if d.code == "R011"]
+        assert dead and all(d.severity == Severity.WARNING for d in dead)
+
+    def test_wrong_max_live(self):
+        c = ring_compiled()
+        bad = dataclasses.replace(c, max_live=c.max_live + 3)
+        assert "R005" in codes_of(verify_compiled(bad))
+
+    def test_wrong_measured_nodes(self):
+        c = ring_compiled()
+        bad = dataclasses.replace(
+            c, measured_nodes=tuple(reversed(c.measured_nodes))
+        )
+        assert "R007" in codes_of(verify_compiled(bad))
+
+    def test_out_perm_out_of_range(self):
+        c = ring_compiled()
+        perm = (77,) + c.out_perm[1:]
+        bad = dataclasses.replace(c, out_perm=perm)
+        assert "R006" in codes_of(verify_compiled(bad))
+
+    def test_out_perm_duplicate_slot(self):
+        c = ring_compiled()
+        perm = (c.out_perm[0], c.out_perm[0]) + c.out_perm[2:]
+        bad = dataclasses.replace(c, out_perm=perm)
+        assert "R006" in codes_of(verify_compiled(bad))
+
+    def test_slot_node_binding_mismatch(self):
+        c = ring_compiled()
+        i = first_index(c, MeasureOp)
+        # keep the slot live but claim a different node is being measured
+        bad = replace_op(c, i, node=c.ops[i].node + 5000)
+        assert "R004" in codes_of(verify_compiled(bad))
+
+    def test_bad_channel_arity(self):
+        c = noisy_compiled()
+        i = first_index(c, ChannelOp)
+        two_qubit = (np.eye(4, dtype=complex),)
+        bad = replace_op(c, i, kraus=two_qubit, pauli_probs=None)
+        assert "R020" in codes_of(verify_compiled(bad))
+
+    def test_incomplete_kraus(self):
+        c = noisy_compiled()
+        i = first_index(c, ChannelOp)
+        bad = replace_op(
+            c, i, kraus=(0.5 * np.eye(2, dtype=complex),), pauli_probs=None
+        )
+        assert "R021" in codes_of(verify_compiled(bad))
+
+    def test_flip_p_out_of_range(self):
+        c = noisy_compiled()
+        i = first_index(c, MeasureOp)
+        bad = replace_op(c, i, flip_p=1.5)
+        assert "R022" in codes_of(verify_compiled(bad))
+
+    def test_pauli_probs_mismatch(self):
+        c = noisy_compiled()
+        i = first_index(c, ChannelOp)
+        bad = replace_op(c, i, pauli_probs=(0.1, 0.3, 0.3, 0.3))
+        assert "R023" in codes_of(verify_compiled(bad))
+
+    def test_multiple_defects_all_reported(self):
+        c = ring_compiled()
+        bad = dataclasses.replace(
+            replace_op(c, last_index(c, MeasureOp), s_domain=(9999,)),
+            max_live=c.max_live + 1,
+        )
+        found = codes_of(verify_compiled(bad))
+        assert {"R005", "R010"} <= found
+
+
+MUTATIONS = ["slot", "s_domain", "max_live", "out_perm", "measured"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(MUTATIONS),
+    which=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=3, max_value=5),
+)
+def test_property_mutated_patterns_are_flagged(kind, which, n):
+    """Any single mutation of a valid compiled pattern draws ≥1 error."""
+    c = ring_compiled(n)
+    if kind == "slot":
+        idxs = [i for i, op in enumerate(c.ops) if type(op) is MeasureOp]
+        i = idxs[which % len(idxs)]
+        bad = replace_op(c, i, slot=c.max_live + 7)
+    elif kind == "s_domain":
+        idxs = [i for i, op in enumerate(c.ops) if type(op) is MeasureOp]
+        i = idxs[which % len(idxs)]
+        bad = replace_op(c, i, s_domain=(10_000 + which,))
+    elif kind == "max_live":
+        bad = dataclasses.replace(c, max_live=c.max_live + 1 + which % 5)
+    elif kind == "out_perm":
+        bad = dataclasses.replace(
+            c, out_perm=tuple(p + 50 for p in c.out_perm)
+        )
+    else:
+        bad = dataclasses.replace(
+            c, measured_nodes=c.measured_nodes + (99_000 + which,)
+        )
+    report = analyze(bad)
+    assert not report.ok
+
+
+class TestZeroFalsePositives:
+    @pytest.mark.parametrize(
+        "compiled",
+        [
+            ring_compiled(3),
+            ring_compiled(5),
+            ring_compiled(4, open_inputs=True),
+            compile_qaoa_pattern(
+                MaxCut.ring(3).to_qubo(), [0.3, 0.5], [0.7, 0.2]
+            ).executable(),
+            compile_qaoa_pattern(
+                MaxCut.random_regular(3, 6, seed=3).to_qubo(), [0.37], [0.52]
+            ).executable(),
+            compile_qaoa_pattern(
+                MaximumIndependentSet(*cycle_graph(5)).to_penalty_qubo(),
+                [0.4],
+                [0.6],
+            ).executable(),
+            compile_qaoa_pattern(
+                NumberPartitioning.random(4, seed=0).to_qubo(), [0.2], [0.9]
+            ).executable(),
+            noisy_compiled(),
+            lower_noise(
+                ring_compiled(3),
+                ChannelNoiseModel(
+                    prep=Channel.amplitude_damping(0.07), meas_flip=0.02
+                ),
+            ),
+        ],
+        ids=[
+            "ring3", "ring5", "ring4-open", "ring3-p2", "3regular6",
+            "mis-ring5", "partition4", "noisy-pauli", "noisy-amp-damp",
+        ],
+    )
+    def test_compiler_output_is_clean(self, compiled):
+        report = analyze(compiled)
+        assert report.ok
+        assert not report.warnings
+        # only advisory infos (dead final-layer signals) may appear
+        assert all(d.severity == Severity.INFO for d in report.diagnostics)
+
+
+class TestGateAndFramework:
+    def test_verify_ir_clean_compile(self):
+        p = Pattern(input_nodes=[0], output_nodes=[1])
+        p.n(1).e(0, 1).m(0)
+        compiled = compile_pattern(p, verify_ir=True)
+        assert compiled.max_live == 2
+
+    def test_raise_if_errors_lists_codes(self):
+        c = ring_compiled()
+        bad = dataclasses.replace(c, max_live=c.max_live + 1)
+        report = analyze(bad)
+        with pytest.raises(PatternError, match="R005"):
+            report.raise_if_errors()
+
+    def test_diagnostic_code_registry(self):
+        d = Diagnostic("R001", Severity.ERROR, "boom", op_index=3, node=7)
+        assert "R001" in d.format() and "op 3" in d.format()
+        with pytest.raises(ValueError):
+            Diagnostic("R999", Severity.ERROR, "no such code")
+        assert all(len(code) == 4 for code in CODES)
+
+    def test_report_format_orders_by_severity(self):
+        c = noisy_compiled()
+        i = first_index(c, ChannelOp)
+        j = last_index(c, ConditionalOp)
+        bad = replace_op(replace_op(c, i, pauli_probs=(1.0, 0, 0, 0)), j, domain=())
+        report = analyze(bad)
+        text = report.format()
+        assert text.index("R023") < text.index("R011")  # error before warning

@@ -147,3 +147,50 @@ class TestCommands:
 
     def test_bad_problem_error(self, capsys):
         assert main(["compile", "nope:3"]) == 2
+
+
+class TestLintCommand:
+    def test_lint_problem(self, capsys):
+        rc = main(["lint", "ring:4", "--gamma", "0.4", "--beta", "0.7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no diagnostics" in out
+        assert "peak live" in out
+        assert "statevector" in out
+
+    def test_lint_with_noise(self, capsys):
+        rc = main(["lint", "ring:3", "--gamma", "0.4", "--beta", "0.7",
+                   "--noise", "0.05"])
+        assert rc == 0
+        assert "channels" in capsys.readouterr().out
+
+    def test_lint_budget_changes_chunk_row(self, capsys):
+        assert main(["lint", "ring:4", "--gamma", "0.4", "--beta", "0.7",
+                     "--budget", str(1 << 20)]) == 0
+        assert "chunk @1.0 MiB" in capsys.readouterr().out
+
+    def test_lint_pattern_json(self, tmp_path, capsys):
+        from repro.core import compile_qaoa_pattern
+        from repro.mbqc.serialize import pattern_to_json
+
+        compiled = compile_qaoa_pattern(MaxCut.ring(3).to_qubo(), [0.4], [0.7])
+        f = tmp_path / "pattern.json"
+        f.write_text(pattern_to_json(compiled.pattern))
+        assert main(["lint", "--pattern-json", str(f)]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_lint_contracts_clean_tree(self, tmp_path, capsys):
+        good = tmp_path / "ok.py"
+        good.write_text("from repro.utils.rng import ensure_rng\n")
+        assert main(["lint", "--contracts", str(tmp_path)]) == 0
+        assert "contracts clean" in capsys.readouterr().out
+
+    def test_lint_contracts_flags_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(3)\n")
+        assert main(["lint", "--contracts", str(tmp_path)]) == 1
+        assert "C002" in capsys.readouterr().out
+
+    def test_lint_nothing_to_do_errors(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err

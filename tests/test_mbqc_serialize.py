@@ -87,3 +87,101 @@ class TestMBQCCorrelationOracle:
         sampled, _ = mbqc_correlation_oracle(p=1, shots=3000, runs_per_batch=2, seed=4)(ising)
         for key in exact:
             assert sampled[key] == pytest.approx(exact[key], abs=0.12)
+
+
+class TestNoiseModelRoundTrip:
+    """Noise-lowered patterns (ChannelOps + flip_p) survive archival."""
+
+    def model(self):
+        from repro.mbqc.channels import Channel, ChannelNoiseModel
+
+        return ChannelNoiseModel(
+            prep=Channel.amplitude_damping(0.07),
+            ent=Channel.depolarizing(0.02),
+            meas_flip=0.05,
+        )
+
+    def test_channel_round_trip(self):
+        from repro.mbqc.channels import Channel
+        from repro.mbqc.serialize import channel_from_dict, channel_to_dict
+
+        ch = Channel.amplitude_damping(0.3)
+        back = channel_from_dict(channel_to_dict(ch))
+        assert back.name == ch.name
+        assert len(back.kraus) == len(ch.kraus)
+        for a, b in zip(back.kraus, ch.kraus):
+            assert np.allclose(a, b)
+        assert back.pauli_probs == ch.pauli_probs  # both None (non-Pauli)
+
+    def test_noise_model_json_round_trip(self):
+        from repro.mbqc.serialize import (
+            noise_model_from_json,
+            noise_model_to_json,
+        )
+
+        model = self.model()
+        text = noise_model_to_json(model, indent=2)
+        json.loads(text)  # valid JSON
+        back = noise_model_from_json(text)
+        assert back.meas_flip == model.meas_flip
+        assert back.prep.name == model.prep.name
+        assert back.ent.pauli_probs == pytest.approx(model.ent.pauli_probs)
+
+    def test_lowered_op_streams_identical(self):
+        from repro.mbqc import lower_noise
+        from repro.mbqc.compile import ChannelOp, MeasureOp
+        from repro.mbqc.serialize import (
+            noise_model_from_dict,
+            noise_model_to_dict,
+        )
+
+        compiled = compile_qaoa_pattern(
+            MaxCut.ring(3).to_qubo(), [0.4], [0.7]
+        ).executable()
+        model = self.model()
+        a = lower_noise(compiled, model)
+        b = lower_noise(compiled, noise_model_from_dict(noise_model_to_dict(model)))
+        assert len(a.ops) == len(b.ops)
+        for x, y in zip(a.ops, b.ops):
+            assert type(x) is type(y)
+            if isinstance(x, ChannelOp):
+                assert x.slot == y.slot and x.label == y.label
+                assert x.pauli_probs == y.pauli_probs
+                for k1, k2 in zip(x.kraus, y.kraus):
+                    assert np.allclose(k1, k2)
+            elif isinstance(x, MeasureOp):
+                assert x.flip_p == y.flip_p
+
+    def test_round_tripped_model_executes_identically(self):
+        from repro.mbqc import get_backend, lower_noise
+        from repro.mbqc.channels import Channel, ChannelNoiseModel
+        from repro.mbqc.serialize import (
+            noise_model_from_json,
+            noise_model_to_json,
+        )
+
+        compiled = compile_qaoa_pattern(
+            MaxCut.ring(3).to_qubo(), [0.4], [0.7]
+        ).executable()
+        # flip-free: readout flips quadruple the exact-integration tree
+        model = ChannelNoiseModel(prep=Channel.amplitude_damping(0.07))
+        back = noise_model_from_json(noise_model_to_json(model))
+        engine = get_backend("density")
+        pa = engine.integrate(lower_noise(compiled, model)).probabilities()
+        pb = engine.integrate(lower_noise(compiled, back)).probabilities()
+        assert np.allclose(pa, pb, atol=1e-12)
+
+    def test_unsupported_version_rejected(self):
+        from repro.mbqc.serialize import noise_model_from_dict
+
+        with pytest.raises(PatternError):
+            noise_model_from_dict({"version": 99})
+
+    def test_invalid_kraus_rejected_on_load(self):
+        from repro.mbqc.serialize import channel_from_dict
+
+        with pytest.raises(ValueError):
+            channel_from_dict(
+                {"name": "broken", "kraus": [[[[0.5, 0.0], [0.0, 0.0]],
+                                              [[0.0, 0.0], [0.5, 0.0]]]]}
+            )
