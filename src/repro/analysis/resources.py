@@ -18,11 +18,14 @@ Per-shot byte formulas (complex128 = 16 bytes):
   path amortizes the GF(2) structure across shots and is strictly
   cheaper).
 
-The branch bound reproduces the density engine's integration tree:
-measurements whose record is never read downstream are merged by
-dephase + partial trace (cost 1), live records contribute a factor 2, and
-4 when a readout flip makes the recorded bit differ from the projected
-one.
+Two branch bounds reproduce the density engine's integration costs, both
+derived from one :func:`repro.mbqc.compile.signal_liveness` pass:
+``branch_bound`` is the raw scalar-path leaf count (dead records merged by
+dephase + partial trace at cost 1, live records a factor 2, and 4 when a
+readout flip makes the recorded bit differ from the projected one), and
+``merged_branch_bound`` is the frontier integrator's peak width — at most
+``2^rank`` distinguishable future-read parity patterns at any measurement,
+usually far below the raw bound (readout flips do not enter it at all).
 
 :func:`repro.mbqc.backend.select_backend` consults this estimate to emit
 an actionable ``R101`` diagnostic *before* committing to an allocation
@@ -37,9 +40,9 @@ from typing import List, Tuple
 from repro.mbqc.compile import (
     ChannelOp,
     CompiledPattern,
-    ConditionalOp,
     MeasureOp,
     PrepOp,
+    signal_liveness,
 )
 
 #: Branch bounds beyond this are reported as "> cap" — the tree is far past
@@ -77,9 +80,15 @@ class ResourceEstimate:
     density_bytes_per_shot: int
     tableau_bytes_per_shot: int
     branch_bound: int
-    """Exact-integration leaf count (dead records merged, readout flips
-    quadrupling live measurements), capped at :data:`BRANCH_BOUND_CAP`."""
+    """Raw exact-integration leaf count — the scalar reference path (dead
+    records merged, readout flips quadrupling live measurements), capped
+    at :data:`BRANCH_BOUND_CAP`."""
     branch_bound_capped: bool
+    merged_branch_bound: int
+    """Peak frontier width of the default (vectorized) integrator after
+    live-parity merging — ``DensityRun.branches`` equals it exactly on
+    noiseless patterns.  Also capped at :data:`BRANCH_BOUND_CAP`."""
+    merged_branch_bound_capped: bool
 
     def bytes_per_shot(self, backend: str) -> int:
         """Peak resident bytes one shot/batch element costs on ``backend``
@@ -111,6 +120,10 @@ class ResourceEstimate:
             f"> {BRANCH_BOUND_CAP}" if self.branch_bound_capped
             else str(self.branch_bound)
         )
+        mb = (
+            f"> {BRANCH_BOUND_CAP}" if self.merged_branch_bound_capped
+            else str(self.merged_branch_bound)
+        )
         flags: List[str] = []
         if self.is_clifford:
             flags.append("clifford")
@@ -130,7 +143,7 @@ class ResourceEstimate:
                         f"/shot (4^{self.max_live} amplitudes)"),
             ("tableau", f"{format_bytes(self.tableau_bytes_per_shot)}"
                         f"/shot ({self.total_nodes}-node scalar tableau)"),
-            ("exact branches", bb),
+            ("exact branches", f"{mb} merged frontier (raw {bb})"),
             (f"chunk @{format_bytes(budget)}",
              f"statevector={self.chunk_shots('statevector', budget)}, "
              f"density={self.chunk_shots('density', budget)}, "
@@ -138,24 +151,6 @@ class ResourceEstimate:
         ]
         width = max(len(k) for k, _ in rows)
         return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
-
-
-def _live_records(compiled: CompiledPattern) -> List[bool]:
-    """``live[i]`` is True when op ``i`` is a measurement whose record is
-    read by some later signal domain (the branch points of exact
-    integration; cf. ``repro.mbqc.density_backend._dead_records``)."""
-    ops = compiled.ops
-    live = [False] * len(ops)
-    referenced: set = set()
-    for i in reversed(range(len(ops))):
-        op = ops[i]
-        tp = type(op)
-        if tp is MeasureOp:
-            live[i] = op.node in referenced
-            referenced |= set(op.s_domain) | set(op.t_domain)
-        elif tp is ConditionalOp:
-            referenced |= set(op.domain)
-    return live
 
 
 def estimate_compiled(compiled: CompiledPattern) -> ResourceEstimate:
@@ -166,16 +161,20 @@ def estimate_compiled(compiled: CompiledPattern) -> ResourceEstimate:
     total_nodes = compiled.num_inputs + n_prep
     m = compiled.max_live
 
-    live = _live_records(compiled)
+    lv = signal_liveness(ops)
     branch_bound = 1
     capped = False
     for i, op in enumerate(ops):
-        if type(op) is MeasureOp and live[i]:
+        if type(op) is MeasureOp and not lv.dead[i]:
             branch_bound *= 4 if op.flip_p > 0.0 else 2
             if branch_bound > BRANCH_BOUND_CAP:
                 branch_bound = BRANCH_BOUND_CAP
                 capped = True
                 break
+    merged = lv.merged_bound
+    merged_capped = merged > BRANCH_BOUND_CAP
+    if merged_capped:
+        merged = BRANCH_BOUND_CAP
 
     return ResourceEstimate(
         max_live=m,
@@ -193,6 +192,8 @@ def estimate_compiled(compiled: CompiledPattern) -> ResourceEstimate:
         tableau_bytes_per_shot=4 * total_nodes * total_nodes + 2 * total_nodes,
         branch_bound=branch_bound,
         branch_bound_capped=capped,
+        merged_branch_bound=merged,
+        merged_branch_bound_capped=merged_capped,
     )
 
 
@@ -245,4 +246,5 @@ def estimate_report_rows(est: ResourceEstimate) -> Tuple[Tuple[str, str], ...]:
         ("density_bytes_per_shot", str(est.density_bytes_per_shot)),
         ("tableau_bytes_per_shot", str(est.tableau_bytes_per_shot)),
         ("branch_bound", str(est.branch_bound)),
+        ("merged_branch_bound", str(est.merged_branch_bound)),
     )

@@ -17,7 +17,10 @@ anything**, and cross-checks every op against the replayed register:
   Reads of never-written signals are dangling (``R010``); empty-domain
   corrections can never fire and should have been dead-code-eliminated
   (``R011``, warning); written-never-read records are advisory dead signals
-  (``R012``, info — final-layer outcomes are legitimately unread).
+  (``R012``, info — final-layer outcomes are legitimately unread).  The
+  dangling/read sets come from :func:`repro.mbqc.compile.signal_liveness`,
+  the same analysis that drives the density engine's branch merging and
+  the resource estimator's branch bounds.
 - **noise IR** — every ``ChannelOp`` must be a single-qubit channel on a
   live slot (``R020``), its Kraus set must be trace preserving (``R021``
   via :func:`repro.sim.density.validate_kraus`), its ``pauli_probs``
@@ -46,6 +49,7 @@ from repro.mbqc.compile import (
     MeasureOp,
     PrepOp,
     UnitaryOp,
+    signal_liveness,
 )
 from repro.sim.density import validate_kraus
 
@@ -86,8 +90,14 @@ class _Walk:
         self.live: List[int] = list(compiled.input_nodes)
         self.measured: Set[int] = set()
         self.measured_order: List[int] = []
-        self.read_signals: Set[int] = set()
         self.max_live = len(self.live)
+        # Shared signal-dataflow analysis: R010 dangling sets and the R012
+        # read-node set come from the same pass the density integrator and
+        # resource estimator consume.
+        self.liveness = signal_liveness(compiled.ops)
+        self.reads_by_key = {
+            (r.op_index, r.kind): r for r in self.liveness.reads
+        }
 
     def emit(
         self,
@@ -115,16 +125,17 @@ class _Walk:
         )
         return False
 
-    def check_domain(self, domain, i: int, owner: int, what: str) -> None:
+    def check_domain(self, i: int, kind: str, owner: int, what: str) -> None:
         """Signal-flow read check: every domain entry must have been
-        written (measured) strictly earlier in the stream."""
-        self.read_signals.update(domain)
-        dangling = [n for n in domain if n not in self.measured]
-        if dangling:
+        written (measured) strictly earlier in the stream.  The dangling
+        set is precomputed by :func:`signal_liveness`."""
+        read = self.reads_by_key[(i, kind)]
+        if read.dangling:
             self.error(
                 "R010",
-                f"{what} for node {owner} reads signals {sorted(dangling)} "
-                f"that are never written before op {i} (dangling signal)",
+                f"{what} for node {owner} reads signals "
+                f"{sorted(read.dangling)} that are never written before "
+                f"op {i} (dangling signal)",
                 op_index=i,
                 node=owner,
             )
@@ -218,8 +229,8 @@ def _verify_measure(w: _Walk, op: MeasureOp, i: int) -> None:
                 op_index=i, node=op.node,
             )
         w.live.pop(op.slot)  # compaction: slots above shift down
-    w.check_domain(op.s_domain, i, op.node, "s-domain")
-    w.check_domain(op.t_domain, i, op.node, "t-domain")
+    w.check_domain(i, "s", op.node, "s-domain")
+    w.check_domain(i, "t", op.node, "t-domain")
     if len(op.bases) != 4:
         w.error(
             "R009",
@@ -258,7 +269,7 @@ def _verify_conditional(w: _Walk, op: ConditionalOp, i: int) -> None:
         )
     else:
         owner = w.live[op.slot] if 0 <= op.slot < len(w.live) else -1
-        w.check_domain(op.domain, i, owner, "correction domain")
+        w.check_domain(i, "cond", owner, "correction domain")
 
 
 def _verify_channel(w: _Walk, op: ChannelOp, i: int) -> None:
@@ -323,7 +334,7 @@ def _verify_epilogue(w: _Walk) -> None:
 
     # Advisory: outcomes written but never read by any signal domain.
     for node in w.measured_order:
-        if node not in w.read_signals:
+        if node not in w.liveness.read_nodes:
             w.emit(
                 "R012",
                 Severity.INFO,

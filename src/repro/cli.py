@@ -162,7 +162,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"problem        {name}")
         print(f"backend        {engine.name} (exact channel integration)")
         print(f"pattern        {compiled.num_nodes()} nodes, {measured} measured, "
-              f"{run.branches} outcome branches integrated")
+              f"{run.branches} merged outcome branches integrated")
         if noise is not None:
             print(f"noise          uniform rate {args.noise:g} (prep/ent depolarizing"
                   f" + readout flips)")

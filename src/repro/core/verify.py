@@ -96,18 +96,20 @@ def _check_determinism_density(
     caveat (entanglement with the ancillas keeps relative input phases).
 
     Unreachable branches (forcing against a deterministic measurement —
-    the engine raises on the ~0 conditional probability) are skipped,
+    ~0 conditional probability) come back as ``None`` and are skipped,
     mirroring the stabilizer path.  Branch weights are ~``2^-m`` for ``m``
     random measurements, so they compare *relatively* — an absolute
     tolerance would be vacuous past ~27 measured nodes (cf. the log-domain
     comparison on the stabilizer path).
+
+    All sampled branches run in one ``run_branch_choi_batch`` call — the
+    cross-branch batched sweep, one batch element per outcome record —
+    instead of one full Choi integration per branch.
     """
     ref: Optional[np.ndarray] = None
     ref_weight = 0.0
-    for branch in branches:
-        try:
-            out = engine.run_branch_choi(compiled, branch)
-        except ZeroProbabilityBranch:
+    for out in engine.run_branch_choi_batch(compiled, branches):
+        if out is None:
             continue
         mat = out.rho.to_matrix()
         if ref is None:

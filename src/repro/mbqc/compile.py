@@ -545,3 +545,155 @@ def signal_parity(outcomes: Dict[int, int], domain: Tuple[int, ...]) -> int:
     for node in domain:
         parity ^= outcomes[node]
     return parity
+
+
+# -- signal-liveness analysis -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SignalRead:
+    """One signal-domain read in a compiled op stream.
+
+    ``kind`` is ``"s"``/``"t"`` for the two :class:`MeasureOp` domains (the
+    reading op's node is ``owner``) and ``"cond"`` for a
+    :class:`ConditionalOp` domain (``owner`` is -1 — the corrected node is a
+    register property, not an IR one).  ``dangling`` lists domain entries
+    not measured strictly before ``op_index`` (the R010 defect set; empty
+    for compiler-emitted streams).
+    """
+
+    op_index: int
+    kind: str
+    owner: int
+    domain: Tuple[int, ...]
+    dangling: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class SignalLiveness:
+    """Signal dataflow of one compiled op stream.
+
+    The single source of truth for every consumer of "who reads which
+    outcome record": the density engine's exact integrator (dead-record
+    merging and live-parity branch merging), the static resource
+    estimator's branch bounds, and the IR verifier's R010-R012 signal-flow
+    checks all derive from this one forward/backward walk.
+
+    - ``reads`` lists every domain read in op order (``s`` before ``t``
+      within one measurement); a read's position in the tuple is its
+      **read id**, the column index of the frontier integrator's
+      per-branch parity table.
+    - ``dead[i]`` is True when op ``i`` is a measurement whose record is
+      never read by any later domain — its branch pair merges by
+      dephase + partial trace instead of exploring.
+    - ``touch[node]`` are the read ids whose domain contains ``node``
+      (every such read happens after the node's measurement).
+    - ``read_nodes`` is the union of all domains (R012: a measured node
+      outside it has a written-never-read record).
+    - ``merged_bound`` bounds the post-merge branch frontier: at each
+      measurement position the future-referenced partial parities span a
+      GF(2) space of dimension ``rank``, so at most ``2^rank`` branch
+      signatures are distinguishable; the bound is the maximum over
+      positions.  Readout flips do not enter — flip children share their
+      recorded bit and merge immediately.
+    """
+
+    reads: Tuple[SignalRead, ...]
+    dead: Tuple[bool, ...]
+    touch: Dict[int, Tuple[int, ...]]
+    read_nodes: frozenset
+    merged_bound: int
+
+    def future_read_ids(self, op_index: int) -> Tuple[int, ...]:
+        """Read ids consumed strictly after op ``op_index`` — the signature
+        columns live-parity merging compares after that op executes."""
+        return tuple(
+            rid for rid, read in enumerate(self.reads)
+            if read.op_index > op_index
+        )
+
+
+def _gf2_rank(vectors: List[int]) -> int:
+    """Rank of GF(2) row vectors packed as ints (xor-basis elimination)."""
+    basis: List[int] = []
+    for v in vectors:
+        for b in basis:
+            v = min(v, v ^ b)
+        if v:
+            basis.append(v)
+    return len(basis)
+
+
+def signal_liveness(ops: Tuple[CompiledOp, ...]) -> SignalLiveness:
+    """Analyze the signal dataflow of a compiled op stream.
+
+    One forward walk collects every domain read (with its dangling set) and
+    the node→reads index; one backward walk marks dead records; one
+    rank sweep bounds the merged branch frontier.  Pure IR inspection —
+    no amplitudes, ``O(ops · reads)`` worst case — so it is cheap enough
+    for the verifier, the resource estimator, and every ``integrate`` call.
+    """
+    reads: List[SignalRead] = []
+    touch: Dict[int, List[int]] = {}
+    measured: set = set()
+    meas_pos: Dict[int, int] = {}  # node -> bit position, in measure order
+
+    def record_read(i: int, kind: str, owner: int, domain) -> None:
+        domain = tuple(domain)
+        rid = len(reads)
+        reads.append(
+            SignalRead(
+                i, kind, owner, domain,
+                tuple(n for n in domain if n not in measured),
+            )
+        )
+        for node in domain:
+            touch.setdefault(node, []).append(rid)
+
+    for i, op in enumerate(ops):
+        tp = type(op)
+        if tp is MeasureOp:
+            record_read(i, "s", op.node, op.s_domain)
+            record_read(i, "t", op.node, op.t_domain)
+            measured.add(op.node)
+            meas_pos[op.node] = len(meas_pos)
+        elif tp is ConditionalOp:
+            record_read(i, "cond", -1, op.domain)
+
+    read_nodes = frozenset(touch)
+    dead = [False] * len(ops)
+    for i, op in enumerate(ops):
+        if type(op) is MeasureOp:
+            dead[i] = not any(
+                reads[rid].op_index > i for rid in touch.get(op.node, ())
+            )
+
+    # Each read's domain as a GF(2) vector over nodes in measure order;
+    # restricting to "measured so far" is a low-bits mask.
+    full_masks = [
+        sum(1 << meas_pos[n] for n in r.domain if n in meas_pos)
+        for r in reads
+    ]
+    merged_bound = 1
+    k = 0
+    for i, op in enumerate(ops):
+        if type(op) is not MeasureOp:
+            continue
+        k += 1
+        lim = (1 << k) - 1
+        rank = _gf2_rank(
+            [
+                full_masks[rid] & lim
+                for rid, r in enumerate(reads)
+                if r.op_index > i
+            ]
+        )
+        merged_bound = max(merged_bound, 1 << rank)
+
+    return SignalLiveness(
+        reads=tuple(reads),
+        dead=tuple(dead),
+        touch={node: tuple(rids) for node, rids in touch.items()},
+        read_nodes=read_nodes,
+        merged_bound=merged_bound,
+    )

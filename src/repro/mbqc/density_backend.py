@@ -23,10 +23,18 @@ an exact Kraus map.  Three execution modes:
   outcome branches, weighting each by its exact probability.  The result
   is the true noisy output state ``ρ = Σ_m p(m) ρ_m``, the convergence
   reference that certifies the Monte-Carlo trajectory estimator
-  (``average_fidelity(..., exact=True)``, benchmark E21).  Cost is
-  ``O(2^m)`` branches (``4^m`` with readout flips on live outcomes);
-  measurements whose record is never read downstream are retired by a
-  basis dephase + partial trace instead of branching.
+  (``average_fidelity(..., exact=True)``, benchmarks E21/E24).  The
+  default engine is a level-by-level **frontier** over the op stream:
+  all live branches ride one batched density tensor (cross-branch
+  batching, chunked under the byte budget), and after every measurement
+  branches whose records agree on every *future-referenced* signal
+  parity are merged by summing their unnormalized tensors (live-parity
+  merging, :func:`repro.mbqc.compile.signal_liveness`) — so cost scales
+  with the number of distinguishable future-read parity patterns, not
+  raw ``2^m``.  ``shards=N`` splits the post-prefix frontier across
+  worker processes; ``vectorize=False`` retains the scalar recursive
+  reference (merging only dead records), which the frontier path is
+  certified against.
 
 Everything dispatches over the same compiled op stream as the other
 engines — noise enters through :func:`repro.mbqc.compile.lower_noise`, so
@@ -35,8 +43,9 @@ all three backends execute the identical noise program.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,11 +70,12 @@ from repro.mbqc.compile import (
     PrepOp,
     UnitaryOp,
     lower_noise,
+    signal_liveness,
     signal_parity,
 )
 from repro.mbqc.pattern import PatternError
 from repro.sim.density import DensityMatrix
-from repro.sim.density_batched import BatchedDensityMatrix
+from repro.sim.density_batched import BatchedDensityMatrix, _batch_traces
 from repro.sim.statevector import ZeroProbabilityBranch
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -151,14 +161,31 @@ class DensityOutput:
 class DensityRun:
     """Result of exact channel integration over all outcome branches.
 
-    ``rho`` is the exact noisy output state (trace ≈ 1 up to branch
-    pruning); ``branches`` counts the leaves actually explored.
+    ``rho`` is the exact noisy output state; ``branches`` counts the
+    branch work actually done — the peak post-merge frontier width on the
+    default vectorized path, or the leaves explored by the retained scalar
+    recursion (``vectorize=False``), whose count matches the raw
+    per-measurement product bound.  Pruning is observable instead of
+    silent: ``trace`` is ``Tr ρ`` as integrated (1.0 exactly when nothing
+    was pruned, up to float error) and ``dropped_weight`` is the total
+    probability mass of branches discarded by ``prune_tol``, so
+    ``trace + dropped_weight ≈ 1``.
     """
 
     rho: DensityMatrix
     branches: int
+    trace: float = 1.0
+    dropped_weight: float = 0.0
 
     def probabilities(self) -> np.ndarray:
+        """Computational-basis probabilities of the integrated output.
+
+        Normalization contract: the returned vector is renormalized to
+        unit sum — pruned branch mass (``dropped_weight``) is spread
+        proportionally over the surviving branches, not reported as
+        missing probability.  Consumers that need the unnormalized
+        diagonal (summing to ``trace``) read ``rho.probabilities()``.
+        """
         return _normalized_probs(self.rho)
 
     def expectation_diagonal(self, diag: np.ndarray) -> float:
@@ -170,21 +197,295 @@ class DensityRun:
         return self.rho.fidelity_with_pure(vec)
 
 
-def _dead_records(ops: Tuple[object, ...]) -> List[bool]:
-    """``dead[i]`` is True when op ``i`` is a measurement whose recorded
-    outcome is never referenced by any later signal domain — its branch
-    pair can be merged (dephase + partial trace) instead of explored."""
-    dead = [False] * len(ops)
-    referenced: set = set()
-    for i in reversed(range(len(ops))):
+# -- frontier integration machinery -------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FrontierPlan:
+    """Static per-op schedule driving the frontier integrator: which
+    parity-table column each measurement/conditional reads, which columns
+    any *future* op will read (the merge signature after each
+    measurement), and which records are dead — all derived from one
+    :func:`~repro.mbqc.compile.signal_liveness` pass."""
+
+    n_reads: int
+    s_col: Dict[int, int]               # MeasureOp index -> s_domain column
+    t_col: Dict[int, int]               # MeasureOp index -> t_domain column
+    cond_col: Dict[int, int]            # ConditionalOp index -> domain column
+    touch: Dict[int, Tuple[int, ...]]   # node -> columns containing it
+    future_cols: Dict[int, np.ndarray]  # MeasureOp index -> signature columns
+    dead: Tuple[bool, ...]
+    merged_bound: int
+
+
+def _frontier_plan(compiled: CompiledPattern) -> _FrontierPlan:
+    lv = signal_liveness(compiled.ops)
+    s_col: Dict[int, int] = {}
+    t_col: Dict[int, int] = {}
+    cond_col: Dict[int, int] = {}
+    for rid, read in enumerate(lv.reads):
+        if read.kind == "s":
+            s_col[read.op_index] = rid
+        elif read.kind == "t":
+            t_col[read.op_index] = rid
+        else:
+            cond_col[read.op_index] = rid
+    future_cols = {
+        i: np.asarray(lv.future_read_ids(i), dtype=np.intp)
+        for i, op in enumerate(compiled.ops)
+        if type(op) is MeasureOp
+    }
+    return _FrontierPlan(
+        n_reads=len(lv.reads),
+        s_col=s_col,
+        t_col=t_col,
+        cond_col=cond_col,
+        touch=lv.touch,
+        future_cols=future_cols,
+        dead=lv.dead,
+        merged_bound=lv.merged_bound,
+    )
+
+
+def _raw_branch_bound(ops: Tuple[object, ...], dead: Tuple[bool, ...]) -> int:
+    """Scalar-path leaf count: the per-measurement product bound (2 per
+    live record, 4 with readout flips) that the frontier's merged bound
+    replaces.  The resource estimator reports both."""
+    bound = 1
+    for i, op in enumerate(ops):
+        if type(op) is MeasureOp and not dead[i]:
+            bound *= 4 if op.flip_p > 0.0 else 2
+    return bound
+
+
+@dataclass
+class _FrontierState:
+    """Resumable frontier snapshot: the op cursor, the stacked branch
+    tensor ``(B,) + (2,)*2·live``, the per-branch parity table ``bits``
+    (one int8 column per signal read), and the running accounting.  Plain
+    arrays and ints so a shard worker can receive one slice by pickle."""
+
+    op_index: int
+    tensor: np.ndarray
+    bits: np.ndarray
+    live: int
+    peak: int
+    dropped: float
+
+
+def _merge_frontier(
+    t: np.ndarray, bits: np.ndarray, cols: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sum branches whose parity tables agree on the signature ``cols``.
+
+    Two merged branches are *exactly* interchangeable from here on: every
+    future basis choice, conditional fire, and merge signature reads only
+    the signature columns, so summing their unnormalized tensors commutes
+    with the rest of the integration.  Deterministic and order-stable:
+    groups keep first-occurrence order and each group sums its members in
+    frontier order (``np.add.reduceat`` after a stable sort), making the
+    result a pure function of the incoming frontier — reruns and shard
+    joins are bit-identical.
+    """
+    b = t.shape[0]
+    if b <= 1:
+        return t, bits
+    if cols.size == 0:
+        # No future reads at all: every branch is indistinguishable.
+        return t.sum(axis=0, keepdims=True), bits[:1].copy()
+    sig = bits[:, cols]
+    uniq, first, inv = np.unique(
+        sig, axis=0, return_index=True, return_inverse=True
+    )
+    inv = inv.reshape(-1)  # numpy >= 2.1 returns it shaped (b, 1)
+    g = uniq.shape[0]
+    if g == b:
+        return t, bits
+    order = np.argsort(first, kind="stable")  # lexicographic -> first-seen
+    pos = np.empty(g, dtype=np.intp)
+    pos[order] = np.arange(g, dtype=np.intp)
+    group = pos[inv]
+    sort_idx = np.argsort(group, kind="stable")
+    starts = np.searchsorted(group[sort_idx], np.arange(g))
+    merged = np.add.reduceat(t[sort_idx], starts, axis=0)
+    return merged, bits[sort_idx[starts]].copy()
+
+
+def _chunked_kernel(t, live, max_block_bytes, apply) -> np.ndarray:
+    """Run ``apply(view, lo, hi)`` over byte-budget-sized slices of the
+    frontier tensor, writing each slice's result back; returns the
+    (possibly replaced) tensor.  Keeps kernel temporaries — not the
+    resident frontier, which is gated by ``max_branches`` — under the
+    block budget."""
+    b = t.shape[0]
+    chunk = _chunk_elements(b, live, max_block_bytes)
+    if chunk >= b:
+        view = BatchedDensityMatrix(b, tensor=t)
+        apply(view, 0, b)
+        return view._t
+    for lo in range(0, b, chunk):
+        hi = min(lo + chunk, b)
+        view = BatchedDensityMatrix(hi - lo, tensor=t[lo:hi])
+        apply(view, lo, hi)
+        t[lo:hi] = view._t
+    return t
+
+
+def _frontier_measure(
+    plan: _FrontierPlan,
+    op: MeasureOp,
+    i: int,
+    t: np.ndarray,
+    bits: np.ndarray,
+    live: int,
+    prune_tol: float,
+    max_block_bytes: Optional[int],
+    dropped: float,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """One branch point: chunked both-outcome projection, readout-flip
+    mixing, pruning, parity-table update, live-parity merge.  Returns the
+    new ``(tensor, bits, dropped_weight)``."""
+    b = t.shape[0]
+    s = bits[:, plan.s_col[i]]
+    tt = bits[:, plan.t_col[i]]
+    vecs = _measure_vecs(op, s, tt)
+    chunk = _chunk_elements(b, live, max_block_bytes)
+    parts: List[np.ndarray] = []
+    for lo in range(0, b, chunk):
+        hi = min(lo + chunk, b)
+        view = BatchedDensityMatrix(hi - lo, tensor=t[lo:hi])
+        view.measure_split(op.slot, vecs[lo:hi])
+        parts.append(view._t)
+    children = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+    traces = _batch_traces(children, live - 1)
+    rec = np.tile(np.array([0, 1], dtype=np.int8), b)
+    child_bits = np.repeat(bits, 2, axis=0)
+    if op.flip_p > 0.0:
+        # A flipped child's recorded bit equals its sibling's, so both
+        # flip contributions land on an already-existing child: mix the
+        # sibling pair in place instead of branching — readout flips cost
+        # nothing here, where the scalar path pays 4^m.
+        zero = traces < prune_tol
+        dropped += float(traces[zero].sum())
+        if zero.any():
+            children[zero] = 0.0
+        pair = children.reshape((b, 2) + children.shape[1:])
+        f = op.flip_p
+        mixed = np.empty_like(pair)
+        mixed[:, 0] = (1.0 - f) * pair[:, 0] + f * pair[:, 1]
+        mixed[:, 1] = (1.0 - f) * pair[:, 1] + f * pair[:, 0]
+        children = mixed.reshape(children.shape)
+        keep = _batch_traces(children, live - 1) > 0.0
+    else:
+        keep = traces >= prune_tol
+        dropped += float(traces[~keep].sum())
+    if not keep.all():
+        children = children[keep]
+        rec = rec[keep]
+        child_bits = child_bits[keep]
+    if children.shape[0] == 0:
+        raise PatternError("every outcome branch was pruned")
+    for rid in plan.touch.get(op.node, ()):
+        child_bits[:, rid] ^= rec
+    children, child_bits = _merge_frontier(
+        children, child_bits, plan.future_cols[i]
+    )
+    return children, child_bits, dropped
+
+
+def _frontier_advance(
+    compiled: CompiledPattern,
+    plan: _FrontierPlan,
+    state: _FrontierState,
+    prune_tol: float,
+    max_block_bytes: Optional[int],
+    stop_width: Optional[int] = None,
+) -> _FrontierState:
+    """Drive the frontier from ``state`` to the end of the op stream — or,
+    when ``stop_width`` is given, suspend as soon as a post-merge frontier
+    reaches that width (the shard fan-out point)."""
+    ops = compiled.ops
+    t, bits, live = state.tensor, state.bits, state.live
+    peak, dropped = state.peak, state.dropped
+    i = state.op_index
+    while i < len(ops):
         op = ops[i]
         tp = type(op)
-        if tp is MeasureOp:
-            dead[i] = op.node not in referenced
-            referenced |= set(op.s_domain) | set(op.t_domain)
+        if tp is PrepOp:
+            rho = BatchedDensityMatrix(t.shape[0], tensor=t)
+            rho.add_qubit(op.state, position=live)
+            t = rho._t
+            live += 1
+        elif tp is EntangleOp:
+            # apply_cz mutates the tensor in place (pure sign flips).
+            BatchedDensityMatrix(t.shape[0], tensor=t).apply_cz(*op.slots)
+        elif tp is ChannelOp:
+            kraus, slot = op.kraus, op.slot
+            t = _chunked_kernel(
+                t, live, max_block_bytes,
+                lambda v, lo, hi: v.apply_kraus(kraus, slot, check=False),
+            )
+        elif tp is UnitaryOp:
+            mat, slot = op.matrix, op.slot
+            t = _chunked_kernel(
+                t, live, max_block_bytes,
+                lambda v, lo, hi: v.apply_1q(mat, slot),
+            )
         elif tp is ConditionalOp:
-            referenced |= set(op.domain)
-    return dead
+            fire = bits[:, plan.cond_col[i]].astype(bool)
+            mat, slot = op.matrix, op.slot
+            t = _chunked_kernel(
+                t, live, max_block_bytes,
+                lambda v, lo, hi: v.apply_1q_masked(mat, slot, fire[lo:hi]),
+            )
+        else:  # MeasureOp
+            if plan.dead[i]:
+                # Record never read: both outcome projections sum to the
+                # partial trace (in any basis) — retire the qubit across
+                # the whole frontier instead of splitting it.
+                rho = BatchedDensityMatrix(t.shape[0], tensor=t)
+                rho.discard(op.slot)
+                t = rho._t
+            else:
+                t, bits, dropped = _frontier_measure(
+                    plan, op, i, t, bits, live, prune_tol,
+                    max_block_bytes, dropped,
+                )
+                peak = max(peak, t.shape[0])
+            live -= 1
+            if stop_width is not None and t.shape[0] >= stop_width:
+                i += 1
+                break
+        i += 1
+    return _FrontierState(i, t, bits, live, peak, dropped)
+
+
+def _frontier_collapse(compiled: CompiledPattern, tensor: np.ndarray) -> np.ndarray:
+    """Permute each branch to output order and sum the frontier — the
+    integrated (unnormalized) output tensor."""
+    rho = BatchedDensityMatrix(tensor.shape[0], tensor=tensor)
+    rho.permute(compiled.out_perm)
+    return rho._t.sum(axis=0)
+
+
+def _integrate_shard(
+    compiled: CompiledPattern,
+    op_index: int,
+    tensor: np.ndarray,
+    bits: np.ndarray,
+    live: int,
+    prune_tol: float,
+    max_block_bytes: Optional[int],
+) -> Tuple[np.ndarray, int, float]:
+    """Worker entry for ``integrate(..., shards=N)``: resume one suspended
+    frontier slice to completion and return its collapsed partial sum plus
+    accounting.  Module-level (picklable) and plan-rebuilding, so the
+    payload is just the compiled pattern and the slice arrays; with no
+    randomness anywhere in integration, the join is deterministic."""
+    plan = _frontier_plan(compiled)
+    state = _FrontierState(op_index, tensor, bits, live, tensor.shape[0], 0.0)
+    state = _frontier_advance(compiled, plan, state, prune_tol, max_block_bytes)
+    return _frontier_collapse(compiled, state.tensor), state.peak, state.dropped
 
 
 class DensityMatrixBackend:
@@ -323,6 +624,104 @@ class DensityMatrixBackend:
         n_out = compiled.num_outputs
         rho.permute(list(compiled.out_perm) + [n_out + j for j in range(k)])
         return DensityOutput(rho.shot(0), weight)
+
+    def _exec_forced_vec(
+        self,
+        compiled: CompiledPattern,
+        rho: BatchedDensityMatrix,
+        forced_list: Sequence[Mapping[int, int]],
+        live: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Forced-branch sweep with *per-element* outcome records — the
+        cross-branch generalization of :meth:`_exec_forced_block` (which
+        pins one shared record): element ``j`` runs ``forced_list[j]``.
+        Zero-probability elements survive as dead weight
+        (``measure_forced(..., allow_zero=True)``) instead of aborting the
+        block; returns ``(weights, alive)``."""
+        b = rho.batch_size
+        weights = np.ones(b, dtype=float)
+        alive = np.ones(b, dtype=bool)
+        rec: Dict[int, np.ndarray] = {}
+        if live is None:
+            live = compiled.num_inputs
+        for tp, run in compiled.grouped_ops:
+            if tp is PrepOp:
+                for op in run:
+                    rho.add_qubit(op.state, position=live)
+                    live += 1
+            elif tp is EntangleOp:
+                for op in run:
+                    rho.apply_cz(*op.slots)
+            elif tp is ChannelOp:
+                for op in run:
+                    rho.apply_kraus(op.kraus, op.slot, check=False)
+            elif tp is MeasureOp:
+                for op in run:
+                    s = _parity_vec(rec, op.s_domain, b)
+                    t = _parity_vec(rec, op.t_domain, b)
+                    vecs = _measure_vecs(op, s, t)
+                    outs = np.array(
+                        [f[op.node] for f in forced_list], dtype=np.int8
+                    )
+                    rel = rho.measure_forced(
+                        op.slot, vecs, outs, flip_p=op.flip_p,
+                        allow_zero=True,
+                    )
+                    weights *= rel
+                    alive &= rel >= 1e-12
+                    rec[op.node] = outs
+                    live -= 1
+            elif tp is ConditionalOp:
+                for op in run:
+                    fire = _parity_vec(rec, op.domain, b).astype(bool)
+                    rho.apply_1q_masked(op.matrix, op.slot, fire)
+            else:  # UnitaryOp
+                for op in run:
+                    rho.apply_1q(op.matrix, op.slot)
+        return weights, alive
+
+    def run_branch_choi_batch(
+        self,
+        compiled: CompiledPattern,
+        branches: Sequence[Mapping[int, int]],
+    ) -> List[Optional[DensityOutput]]:
+        """Choi runs of many forced branches in one cross-branch batched
+        sweep — the vectorized form of looping :meth:`run_branch_choi`
+        over a pattern's outcome records (the density determinism check's
+        hot path).  Entries whose record has ~zero probability come back
+        as ``None`` instead of raising: the whole block executes with
+        zero-tolerant projections and unreachable elements are filtered by
+        weight afterwards.  Chunked against the batch byte budget like
+        every other cross-element sweep."""
+        k = compiled.num_inputs
+        self._require_reach(compiled, extra=k)
+        checked = [_check_branch(compiled, b) for b in branches]
+        if not checked:
+            return []
+        if k == 0:
+            vec = _input_row(compiled, None)
+        else:
+            vec = np.zeros(1 << (2 * k), dtype=complex)
+            for x in range(1 << k):
+                vec[x | (x << k)] = 1.0
+            vec = vec / np.sqrt(1 << k)
+        n_out = compiled.num_outputs
+        perm = list(compiled.out_perm) + [n_out + j for j in range(k)]
+        outputs: List[Optional[DensityOutput]] = [None] * len(checked)
+        chunk = _chunk_elements(len(checked), compiled.max_live + k, None)
+        for lo in range(0, len(checked), chunk):
+            sub = checked[lo:lo + chunk]
+            rho = BatchedDensityMatrix.from_pure_rows(
+                np.broadcast_to(vec, (len(sub), vec.size))
+            )
+            weights, alive = self._exec_forced_vec(compiled, rho, sub, live=k)
+            rho.permute(perm)
+            for j in range(len(sub)):
+                if alive[j]:
+                    outputs[lo + j] = DensityOutput(
+                        rho.shot(j), float(weights[j])
+                    )
+        return outputs
 
     # -- trajectory sampling (exact channels, sampled outcomes) -------------
     def sample_batch(
@@ -541,6 +940,9 @@ class DensityMatrixBackend:
         input_state: Optional[np.ndarray] = None,
         prune_tol: float = _ZERO_PROB,
         max_branches: int = DENSITY_MAX_BRANCHES,
+        vectorize: bool = True,
+        max_block_bytes: Optional[int] = None,
+        shards: int = 1,
     ) -> DensityRun:
         """Integrate the (noisy) pattern exactly over every outcome branch.
 
@@ -548,33 +950,125 @@ class DensityMatrixBackend:
         convergence reference for the Monte-Carlo trajectory estimator.
         ``noise`` is lowered onto ``compiled`` if given (anything
         :func:`~repro.mbqc.channels.as_channel_model` accepts; the program
-        may also already carry lowered channels).  Branches with weight
-        below ``prune_tol`` are dropped; the statically bounded branch
-        count must stay within ``max_branches``.
+        may also already carry lowered channels).
+
+        The default path is the batched **frontier** integrator: all live
+        branches advance level-by-level in one stacked density tensor
+        (kernel temporaries chunked under ``max_block_bytes``, default
+        :data:`DENSITY_BATCH_MAX_BYTES`), and after every measurement,
+        branches whose records agree on each *future-referenced* signal
+        parity merge by summing — so the frontier is bounded by the
+        **merged bound** (distinguishable future-read parity patterns,
+        :func:`~repro.mbqc.compile.signal_liveness`), typically far below
+        the raw ``2^m``.  ``shards=N`` forks the frontier across ``N``
+        worker processes once it is at least ``N`` wide — opt-in, and
+        deterministic because integration draws no randomness.
+        ``vectorize=False`` retains the scalar recursive reference (merges
+        dead records only, explores the raw bound, ``shards`` not
+        supported), which the frontier path is certified against (E24).
+
+        Branches whose weight falls below ``prune_tol`` are dropped — the
+        lost mass is reported as ``DensityRun.dropped_weight``, never
+        silently folded in.  The static branch bound for the chosen path
+        must stay within ``max_branches`` (R102).
         """
         if noise is not None:
             compiled = lower_noise(compiled, noise)
         self._require_reach(compiled)
-        ops = compiled.ops
-        dead = _dead_records(ops)
-        bound = 1
-        for i, op in enumerate(ops):
-            if type(op) is MeasureOp and not dead[i]:
-                bound *= 4 if op.flip_p > 0.0 else 2
-                if bound > max_branches:
-                    raise PatternError(
-                        f"R102: exact integration would explore > "
-                        f"{max_branches} outcome branches; reduce the "
-                        f"pattern's measured set (or readout-flip noise), "
-                        f"raise max_branches, or estimate by trajectories "
-                        f"instead (repro.analysis.estimate_compiled reports "
-                        f"the exact bound)"
-                    )
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards > 1 and not vectorize:
+            raise PatternError(
+                "shards requires the vectorized frontier integrator; drop "
+                "shards or drop vectorize=False"
+            )
+        plan = _frontier_plan(compiled)
+        raw_bound = _raw_branch_bound(compiled.ops, plan.dead)
+        bound = plan.merged_bound if vectorize else raw_bound
+        if bound > max_branches:
+            raise PatternError(
+                f"R102: exact integration would explore > {max_branches} "
+                f"outcome branches (merged frontier bound "
+                f"{plan.merged_bound}, raw scalar bound {raw_bound}); "
+                f"reduce the pattern's measured set (or, on the scalar "
+                f"path, its readout-flip noise), raise max_branches, or "
+                f"estimate by trajectories instead "
+                f"(repro.analysis.estimate_compiled reports both bounds)"
+            )
         row = _input_row(compiled, input_state)
         row = row / np.linalg.norm(row)
-        n_out = compiled.num_outputs
+        if vectorize:
+            return self._integrate_frontier(
+                compiled, plan, row, prune_tol, max_block_bytes, shards
+            )
+        return self._integrate_scalar(compiled, plan, row, prune_tol)
+
+    def _integrate_frontier(
+        self,
+        compiled: CompiledPattern,
+        plan: _FrontierPlan,
+        row: np.ndarray,
+        prune_tol: float,
+        max_block_bytes: Optional[int],
+        shards: int,
+    ) -> DensityRun:
+        """Frontier-driven integration (see :meth:`integrate`); with
+        ``shards > 1`` the shared prefix runs in-process, then contiguous
+        frontier slices finish in a :class:`ProcessPoolExecutor` and their
+        partial sums join in slice order."""
+        t0 = BatchedDensityMatrix.from_pure_rows(row[None, :])._t
+        bits = np.zeros((1, plan.n_reads), dtype=np.int8)
+        state = _FrontierState(0, t0, bits, compiled.num_inputs, 1, 0.0)
+        state = _frontier_advance(
+            compiled, plan, state, prune_tol, max_block_bytes,
+            stop_width=shards if shards > 1 else None,
+        )
+        if state.op_index >= len(compiled.ops):
+            # Ran to completion in-process (shards == 1, or the frontier
+            # never got wide enough to be worth forking).
+            acc = _frontier_collapse(compiled, state.tensor)
+            branches, dropped = state.peak, state.dropped
+        else:
+            b = state.tensor.shape[0]
+            cuts = np.array_split(np.arange(b), shards)
+            cuts = [c for c in cuts if c.size]
+            with ProcessPoolExecutor(max_workers=len(cuts)) as pool:
+                futures = [
+                    pool.submit(
+                        _integrate_shard, compiled, state.op_index,
+                        state.tensor[c], state.bits[c], state.live,
+                        prune_tol, max_block_bytes,
+                    )
+                    for c in cuts
+                ]
+                results = [f.result() for f in futures]
+            acc = results[0][0]
+            for part, _, _ in results[1:]:
+                acc = acc + part
+            # Shards hit their peaks at roughly the same op level, so the
+            # concurrently-resident branch count is the sum of shard peaks
+            # (or the prefix peak, whichever is larger).
+            branches = max(state.peak, sum(peak for _, peak, _ in results))
+            dropped = state.dropped + sum(d for _, _, d in results)
+        return self._finish_run(compiled, acc, branches, dropped)
+
+    def _integrate_scalar(
+        self,
+        compiled: CompiledPattern,
+        plan: _FrontierPlan,
+        row: np.ndarray,
+        prune_tol: float,
+    ) -> DensityRun:
+        """Retained scalar reference integrator: recursive depth-first
+        branch exploration, one :class:`DensityMatrix` at a time, merging
+        dead records only — the independent implementation the frontier
+        path is certified against."""
+        ops = compiled.ops
+        dead = plan.dead
         acc: Optional[np.ndarray] = None
         branches = 0
+        dropped = 0.0
 
         def finalize(rho: DensityMatrix) -> None:
             nonlocal acc, branches
@@ -586,6 +1080,7 @@ class DensityMatrixBackend:
                 live: int) -> None:
             # ``rho`` is owned by this frame and unnormalized: its trace is
             # the branch weight accumulated so far.
+            nonlocal dropped
             for idx in range(start, len(ops)):
                 op = ops[idx]
                 tp = type(op)
@@ -617,6 +1112,7 @@ class DensityMatrixBackend:
                     for o in (0, 1):
                         dm, p = rho.measure_project(op.slot, basis, o)
                         if p < prune_tol:
+                            dropped += p
                             continue
                         if op.flip_p > 0.0:
                             f = op.flip_p
@@ -635,11 +1131,25 @@ class DensityMatrixBackend:
         rec(0, DensityMatrix.from_pure(row), {}, compiled.num_inputs)
         if acc is None:  # pragma: no cover - defensive (trace sums to 1)
             raise PatternError("every outcome branch was pruned")
-        shape_n = n_out
+        return self._finish_run(compiled, acc, branches, dropped)
+
+    def _finish_run(
+        self,
+        compiled: CompiledPattern,
+        acc: np.ndarray,
+        branches: int,
+        dropped: float,
+    ) -> DensityRun:
         rho_out = DensityMatrix(
-            tensor=acc if shape_n else np.asarray(acc, dtype=complex).reshape(1, 1)
+            tensor=acc if compiled.num_outputs
+            else np.asarray(acc, dtype=complex).reshape(1, 1)
         )
-        return DensityRun(rho=rho_out, branches=branches)
+        return DensityRun(
+            rho=rho_out,
+            branches=branches,
+            trace=rho_out.trace(),
+            dropped_weight=dropped,
+        )
 
 
 register_backend(DensityMatrixBackend())

@@ -420,6 +420,29 @@ class BatchedDensityMatrix:
         self._n -= 1
         return outcomes, probs
 
+    def measure_split(self, q: int, vecs: np.ndarray) -> np.ndarray:
+        """Project qubit ``q`` of each shot onto **both** outcomes, doubling
+        the batch axis — the branch-point kernel of the frontier integrator
+        (:meth:`repro.mbqc.density_backend.DensityMatrixBackend.integrate`).
+
+        Children interleave parent-major/outcome-minor: new element ``2j``
+        is parent ``j``'s outcome-0 projection, ``2j + 1`` its outcome-1
+        projection — the depth-first leaf order of the scalar recursion.
+        Projections stay **unnormalized** (each child's trace is the
+        parent's incoming branch weight times the outcome probability), so
+        summing children back together reconstructs the parent exactly.
+        Returns the ``(2B,)`` child traces.
+        """
+        self._check(q)
+        vecs = self._check_vecs(vecs)
+        t0 = self._project_one(q, vecs[:, 0])
+        t1 = self._project_one(q, vecs[:, 1])
+        b = self.batch_size
+        t = np.stack((t0, t1), axis=1).reshape((2 * b,) + t0.shape[1:])
+        self._t = t
+        self._n -= 1
+        return _batch_traces(t, self._n)
+
     def measure_forced(
         self,
         q: int,
@@ -427,6 +450,7 @@ class BatchedDensityMatrix:
         outcomes: np.ndarray,
         flip_p: float = 0.0,
         renormalize: bool = True,
+        allow_zero: bool = False,
     ) -> np.ndarray:
         """Project qubit ``q`` of each shot onto its *recorded* outcome,
         folding readout flips in as a two-term mixture.
@@ -437,7 +461,10 @@ class BatchedDensityMatrix:
         ``(1-f)·p_r + f·p_{r⊕1}`` — the batched form of the forced-branch
         readout mixing in the scalar density engine.  Returns the per-shot
         branch probabilities (relative to each shot's incoming trace);
-        ~zero-probability shots raise :class:`ZeroProbabilityBranch`.
+        ~zero-probability shots raise :class:`ZeroProbabilityBranch` unless
+        ``allow_zero`` (the cross-branch Choi batch runs *all* records of a
+        pattern at once and filters unreachable ones by weight afterwards —
+        their elements stay identically zero instead of aborting the block).
         """
         self._check(q)
         b = self.batch_size
@@ -465,10 +492,10 @@ class BatchedDensityMatrix:
             total = _batch_traces(self._t, self._n)
             t = self._project_one(q, vecs[np.arange(b), outcomes])
             probs = _batch_traces(t, self._n - 1)
-        if np.any(total < 1e-300):
+        if not allow_zero and np.any(total < 1e-300):
             raise ValueError("cannot measure a zero-trace state")
-        rel = probs / total
-        if np.any(rel < 1e-12):
+        rel = probs / np.maximum(total, 1e-300)
+        if not allow_zero and np.any(rel < 1e-12):
             bad = int(np.argmin(rel))
             raise ZeroProbabilityBranch(
                 f"forced outcome {int(outcomes[bad])} on qubit {q} has "

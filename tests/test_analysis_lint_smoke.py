@@ -1,4 +1,4 @@
-"""`repro lint` smoke over every pattern the examples and E19–E23
+"""`repro lint` smoke over every pattern the examples and E19–E24
 benchmarks build: zero error-severity diagnostics anywhere (the CI gate)."""
 
 import pytest
@@ -63,6 +63,25 @@ def e23_cases():
     )
 
 
+def e24_cases():
+    # frontier exact integration: the bench_e24 gadget-ring family, whose
+    # merged branch bound collapses to 2 while the raw leaf count is 2^m
+    from repro.mbqc import Pattern
+
+    m = 8
+    p = Pattern(input_nodes=[0], output_nodes=[m])
+    p.n(1).e(0, 1)
+    for i in range(1, m):
+        p.n(i + 1).e(i, i + 1)
+        p.m(i, "XY", -0.3 * i).x(i + 1, {i})
+    p.e(0, m)
+    p.m(0, "XY", 0.4).x(m, {0})
+    model = ChannelNoiseModel(
+        prep=Channel.amplitude_damping(0.05), ent=Channel.dephasing(0.02)
+    )
+    yield "e24-gadget-8", lower_noise(compile_pattern(p), model)
+
+
 def example_cases():
     # quickstart: ring-5 state preparation
     yield "ex-quickstart", compile_qaoa_pattern(
@@ -95,7 +114,7 @@ def example_cases():
 
 ALL_CASES = [
     *e19_cases(), *e20_e22_cases(), *e21_cases(), *e23_cases(),
-    *example_cases(),
+    *e24_cases(), *example_cases(),
 ]
 
 

@@ -53,10 +53,13 @@ class TestEstimate:
     def test_branch_bound_matches_exact_integration(self):
         c = ring_compiled(3)
         est = estimate_compiled(c)
+        # scalar path: leaves explored == raw bound (noiseless, no pruning)
+        scalar = get_backend("density").integrate(c, vectorize=False)
+        assert scalar.branches == est.branch_bound
+        # frontier path: peak merged width == merged bound
         run = get_backend("density").integrate(c)
-        assert run.branches <= est.branch_bound
-        # noiseless: bound is exactly 2^(live measurements)
-        assert est.branch_bound == run.branches
+        assert run.branches == est.merged_branch_bound
+        assert est.merged_branch_bound <= est.branch_bound
 
     def test_branch_bound_flips_quadruple(self):
         c = ring_compiled(3)
@@ -68,8 +71,11 @@ class TestEstimate:
             if type(op) is MeasureOp
         )
         assert est.branch_bound >= base.branch_bound
-        # every live measurement's factor goes 2 -> 4
+        # every live measurement's factor goes 2 -> 4 on the raw bound...
         assert est.branch_bound == base.branch_bound ** 2
+        # ...but flip children share their recorded bit and merge on the
+        # frontier, so the merged bound does not move at all
+        assert est.merged_branch_bound == base.merged_branch_bound
 
     def test_report_format_mentions_each_backend(self):
         text = estimate_compiled(ring_compiled()).format()

@@ -495,3 +495,206 @@ class TestGuards:
         if mixed:
             with pytest.raises(ValueError, match="mixed"):
                 mixed[0].unit_statevector()
+
+
+class TestFrontierIntegration:
+    """The frontier integrator (live-parity merging + cross-branch
+    batching) certified against the retained scalar reference path."""
+
+    def _both(self, program, **kw):
+        eng = get_backend("density")
+        return (
+            eng.integrate(program, vectorize=False),
+            eng.integrate(program, **kw),
+        )
+
+    def _ring_program(self, n=3, noise=None):
+        program = compile_qaoa_pattern(
+            MaxCut.ring(n).to_qubo(), [0.4], [0.7]
+        ).executable()
+        return lower_noise(program, noise) if noise else program
+
+    def test_noiseless_matches_scalar(self):
+        scalar, frontier = self._both(self._ring_program())
+        assert np.abs(scalar.rho._t - frontier.rho._t).max() < 1e-12
+        # merging pays: the frontier peak sits strictly below the leaf count
+        assert frontier.branches < scalar.branches
+
+    def test_channel_noise_matches_scalar(self):
+        program = self._ring_program(noise=ChannelNoiseModel(
+            prep=Channel.amplitude_damping(0.05), ent=Channel.dephasing(0.02)
+        ))
+        scalar, frontier = self._both(program)
+        assert np.abs(scalar.rho._t - frontier.rho._t).max() < 1e-12
+        assert frontier.trace == pytest.approx(scalar.trace, abs=1e-12)
+
+    def test_readout_flips_match_scalar_without_quadrupling(self):
+        base = compile_pattern(j_chain([0.4, 0.9, 1.3]))
+        noisy = lower_noise(base, ChannelNoiseModel(meas_flip=0.08))
+        scalar, frontier = self._both(noisy)
+        assert np.abs(scalar.rho._t - frontier.rho._t).max() < 1e-12
+        # scalar pays 4^m with flips; flip children share their recorded
+        # bit and merge immediately, so the frontier width doesn't move
+        _, clean = self._both(compile_pattern(j_chain([0.4, 0.9, 1.3])))
+        assert scalar.branches == 4 ** 3
+        assert frontier.branches == clean.branches
+
+    def test_property_merging_preserves_exact_rho(self):
+        # random angles x random channel noise: the live-parity merge must
+        # be invisible in the integrated output
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            alphas = [float(a) for a in rng.uniform(-np.pi, np.pi, size=4)]
+            model = ChannelNoiseModel(
+                prep=Channel.depolarizing(float(rng.uniform(0.0, 0.1))),
+                ent=Channel.dephasing(float(rng.uniform(0.0, 0.1))),
+                meas_flip=float(rng.uniform(0.0, 0.1)),
+            )
+            noisy = lower_noise(compile_pattern(j_chain(alphas)), model)
+            scalar, frontier = self._both(noisy)
+            assert np.abs(scalar.rho._t - frontier.rho._t).max() < 1e-12
+            assert frontier.trace == pytest.approx(1.0, abs=1e-9)
+
+    def test_chunk_sizes_bitwise_invariant(self):
+        program = self._ring_program(noise=ChannelNoiseModel(
+            prep=Channel.amplitude_damping(0.05), meas_flip=0.03
+        ))
+        eng = get_backend("density")
+        base = eng.integrate(program)
+        for mb in (1, 4096, 1 << 20):
+            run = eng.integrate(program, max_block_bytes=mb)
+            assert np.array_equal(run.rho._t, base.rho._t)
+            assert run.branches == base.branches
+
+    def test_max_branches_enforced_on_merged_bound(self):
+        # ring(3): merged bound 64, raw bound 512 — a cap between the two
+        # gates the scalar path but lets the frontier through
+        program = self._ring_program()
+        eng = get_backend("density")
+        run = eng.integrate(program, max_branches=100)
+        assert run.branches <= 100
+        with pytest.raises(PatternError, match="R102"):
+            eng.integrate(program, max_branches=100, vectorize=False)
+        with pytest.raises(PatternError, match="R102"):
+            eng.integrate(program, max_branches=32)
+
+    def test_prune_tol_reports_dropped_weight(self):
+        noisy = lower_noise(
+            compile_pattern(j_chain([0.4, 1.1])),
+            ChannelNoiseModel(prep=Channel.amplitude_damping(0.6)),
+        )
+        scalar, frontier = self._both(noisy, prune_tol=0.2)
+        eng = get_backend("density")
+        scalar = eng.integrate(noisy, prune_tol=0.2, vectorize=False)
+        assert frontier.dropped_weight > 0.0
+        assert frontier.trace + frontier.dropped_weight == pytest.approx(
+            1.0, abs=1e-9
+        )
+        assert frontier.dropped_weight == pytest.approx(
+            scalar.dropped_weight, abs=1e-12
+        )
+        # default run prunes nothing and says so
+        clean = eng.integrate(noisy)
+        assert clean.dropped_weight == 0.0
+        assert clean.trace == pytest.approx(1.0, abs=1e-9)
+
+    def test_frontier_at_3_sigma_on_deep_chain(self):
+        # past scalar comfort: 8 measured nodes, certified against the
+        # trajectory sampler statistically (the E21 contract, reversed)
+        rng = np.random.default_rng(5)
+        alphas = [float(a) for a in rng.uniform(-np.pi, np.pi, size=8)]
+        noisy = lower_noise(
+            compile_pattern(j_chain(alphas)),
+            ChannelNoiseModel(ent=Channel.dephasing(0.05), meas_flip=0.02),
+        )
+        exact = get_backend("density").integrate(noisy)
+        run = get_backend("density").sample_batch(
+            noisy, 1500, rng=11, keep_raw=True
+        )
+        assert_rows_within_sigma(
+            run.probability_rows(), exact.probabilities()
+        )
+
+
+class TestShardedIntegration:
+    def _noisy_ring(self):
+        program = compile_qaoa_pattern(
+            MaxCut.ring(3).to_qubo(), [0.4], [0.7]
+        ).executable()
+        return lower_noise(program, ChannelNoiseModel(
+            prep=Channel.amplitude_damping(0.05), meas_flip=0.03
+        ))
+
+    def test_sharded_matches_unsharded_and_scalar(self):
+        program = self._noisy_ring()
+        eng = get_backend("density")
+        base = eng.integrate(program)
+        scalar = eng.integrate(program, vectorize=False)
+        for shards in (2, 3):
+            run = eng.integrate(program, shards=shards)
+            assert np.abs(run.rho._t - base.rho._t).max() < 1e-12
+            # the scalar run prunes ~1e-10 of weight across 4^m leaves,
+            # so the cross-path comparison carries that looseness
+            assert np.abs(run.rho._t - scalar.rho._t).max() < 1e-9
+
+    def test_sharded_rerun_bit_identical(self):
+        program = self._noisy_ring()
+        eng = get_backend("density")
+        a = eng.integrate(program, shards=2)
+        b = eng.integrate(program, shards=2)
+        assert np.array_equal(a.rho._t, b.rho._t)
+        assert a.branches == b.branches
+
+    def test_narrow_frontier_completes_in_process(self):
+        # merged bound 2 < shards: the fan-out point is never reached and
+        # the run finishes in-process, still exact
+        noisy = lower_noise(
+            compile_pattern(j_chain([0.4, 0.9, 1.3])),
+            ChannelNoiseModel(ent=Channel.dephasing(0.05)),
+        )
+        eng = get_backend("density")
+        run = eng.integrate(noisy, shards=4)
+        base = eng.integrate(noisy, vectorize=False)
+        assert np.abs(run.rho._t - base.rho._t).max() < 1e-12
+
+    def test_shards_require_vectorized_path(self):
+        with pytest.raises(PatternError, match="shards"):
+            get_backend("density").integrate(
+                self._noisy_ring(), shards=2, vectorize=False
+            )
+        with pytest.raises(ValueError, match="shards"):
+            get_backend("density").integrate(self._noisy_ring(), shards=0)
+
+
+class TestChoiBatch:
+    def test_matches_scalar_choi_runs(self):
+        compiled = compile_pattern(j_chain([0.4, 0.9]))
+        eng = get_backend("density")
+        nodes = sorted(compiled.measured_nodes)
+        branches = [
+            {nodes[0]: a, nodes[1]: b} for a in (0, 1) for b in (0, 1)
+        ]
+        outs = eng.run_branch_choi_batch(compiled, branches)
+        assert len(outs) == 4
+        for branch, out in zip(branches, outs):
+            ref = eng.run_branch_choi(compiled, branch)
+            assert out is not None
+            assert out.weight == pytest.approx(ref.weight, abs=1e-12)
+            assert np.allclose(
+                out.rho.to_matrix(), ref.rho.to_matrix(), atol=1e-10
+            )
+
+    def test_unreachable_branches_come_back_none(self):
+        # a |0>-prepared node measured in Z can never record 1
+        p = Pattern(output_nodes=[1])
+        p.n(0, state="zero").n(1).m(0, "YZ", 0.0)
+        compiled = compile_pattern(p)
+        outs = get_backend("density").run_branch_choi_batch(
+            compiled, [{0: 0}, {0: 1}]
+        )
+        assert outs[0] is not None
+        assert outs[1] is None
+
+    def test_empty_batch(self):
+        compiled = compile_pattern(j_chain([0.4]))
+        assert get_backend("density").run_branch_choi_batch(compiled, []) == []

@@ -387,3 +387,70 @@ class TestMeasureForcedFlipMix:
             batch.measure_forced(
                 0, vecs, np.zeros(2, dtype=np.int8), flip_p=1.5
             )
+
+
+class TestMeasureSplit:
+    """The frontier integrator's branch-point kernel: both-outcome
+    projection doubling the batch axis, unnormalized."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_children_match_scalar_projections(self, seed):
+        rng = np.random.default_rng(seed)
+        batch, reps = random_batch(rng, 3, 2)
+        basis = random_basis(rng)
+        vecs = np.broadcast_to(np.stack(basis.vectors()), (3, 2, 2))
+        q = int(rng.integers(2))
+        traces = batch.measure_split(q, vecs)
+        assert batch.batch_size == 6 and batch.num_qubits == 1
+        mats = batch.to_matrices()
+        for j, rep in enumerate(reps):
+            for o in (0, 1):
+                dm, p = rep.measure_project(q, basis, o)
+                # children interleave parent-major/outcome-minor and stay
+                # unnormalized: the trace IS the outcome probability
+                assert traces[2 * j + o] == pytest.approx(p, abs=ATOL)
+                assert np.allclose(mats[2 * j + o], dm.to_matrix(), atol=ATOL)
+
+    def test_children_sum_back_to_parent_trace(self):
+        rng = np.random.default_rng(3)
+        batch, reps = random_batch(rng, 4, 2)
+        before = batch.traces()
+        vecs = np.broadcast_to(
+            np.stack(MeasurementBasis.xy(0.3).vectors()), (4, 2, 2)
+        )
+        traces = batch.measure_split(0, vecs)
+        assert np.allclose(
+            traces.reshape(4, 2).sum(axis=1), before, atol=ATOL
+        )
+
+    def test_vec_shape_validated(self):
+        batch = BatchedDensityMatrix(2, 1)
+        with pytest.raises(ValueError, match="batch_size"):
+            batch.measure_split(0, np.ones((3, 2, 2), dtype=complex))
+
+
+class TestMeasureForcedAllowZero:
+    def test_zero_probability_elements_survive(self):
+        batch = BatchedDensityMatrix(2, 1)  # |0><0| per shot
+        vecs = np.broadcast_to(
+            np.stack(MeasurementBasis.pauli("Z").vectors()), (2, 2, 2)
+        )
+        rec = np.array([0, 1], dtype=np.int8)
+        rel = batch.measure_forced(0, vecs, rec, allow_zero=True)
+        assert rel[0] == pytest.approx(1.0, abs=ATOL)
+        assert rel[1] == pytest.approx(0.0, abs=ATOL)
+        # the impossible element's state is identically zero, not NaN
+        assert np.all(np.isfinite(batch.to_matrices()))
+
+    def test_allow_zero_matches_default_on_reachable_blocks(self):
+        rng = np.random.default_rng(11)
+        batch, _ = random_batch(rng, 3, 2)
+        ref = batch.copy()
+        basis = MeasurementBasis.xy(0.4)
+        vecs = np.broadcast_to(np.stack(basis.vectors()), (3, 2, 2))
+        rec = np.array([0, 1, 0], dtype=np.int8)
+        a = batch.measure_forced(0, vecs, rec, flip_p=0.05, allow_zero=True)
+        b = ref.measure_forced(0, vecs, rec, flip_p=0.05)
+        assert np.array_equal(a, b)
+        assert np.array_equal(batch.to_matrices(), ref.to_matrices())
