@@ -3,20 +3,20 @@
 :func:`estimate_compiled` walks a
 :class:`~repro.mbqc.compile.CompiledPattern` once — no amplitudes, no
 simulation — and returns a :class:`ResourceEstimate`: the peak per-shot
-bytes of each registered engine family, the exact-integration branch
-bound, and the shot-chunk sizes a byte budget implies (the PR 5 chunking
+bytes of every registered engine, the exact-integration branch bound,
+and the shot-chunk sizes a byte budget implies (the PR 5 chunking
 formula ``chunk = budget // per_shot_bytes``, clamped to 1).
 
-Per-shot byte formulas (complex128 = 16 bytes):
-
-- ``statevector`` — ``16 · 2^max_live`` amplitudes per batch element.
-- ``density``     — ``16 · 4^max_live`` (one density tensor per element;
-  kernel temporaries transiently add ~2x on top, see
-  :data:`repro.mbqc.density_backend.DENSITY_BATCH_MAX_BYTES`).
-- ``stabilizer``  — ``4·n² + 2·n`` bool/int8 tableau bytes over
-  ``n = total_nodes`` (the per-shot scalar tableau; the bit-packed batched
-  path amortizes the GF(2) structure across shots and is strictly
-  cheaper).
+Per-engine byte models come from the backend registry: any registered
+engine exposing a ``bytes_per_shot(compiled)`` hook contributes a row
+(:func:`repro.mbqc.backend.list_backends` names them), so a newly
+registered engine appears in estimates, reports, and the R101 budget
+gate without touching this module.  The built-in models:
+``16 · 2^max_live`` dense amplitudes (statevector), ``16 · 4^max_live``
+(density, with ~2x transient kernel temporaries), ``4·n² + 2·n`` tableau
+bytes over ``n = total_nodes`` (stabilizer scalar path; the bit-packed
+batched path is strictly cheaper), and the bonded ``2 · n · chi² · 16``
+estimate (mps).
 
 Two branch bounds reproduce the density engine's integration costs, both
 derived from one :func:`repro.mbqc.compile.signal_liveness` pass:
@@ -34,6 +34,7 @@ that would OOM; ``repro lint`` prints the full report.
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -89,20 +90,41 @@ class ResourceEstimate:
     live-parity merging — ``DensityRun.branches`` equals it exactly on
     noiseless patterns.  Also capped at :data:`BRANCH_BOUND_CAP`."""
     merged_branch_bound_capped: bool
+    engine_bytes: Tuple[Tuple[str, int, str], ...] = ()
+    """``(engine_name, bytes_per_shot, note)`` rows gathered from every
+    registered backend exposing the ``bytes_per_shot(compiled)`` hook —
+    the single source for :meth:`bytes_per_shot`, :meth:`format`, and the
+    R101 budget gate.  Engines without the hook simply contribute no row
+    (and :meth:`bytes_per_shot` raises for them)."""
+
+    def engine_row(self, backend: str) -> Tuple[str, int, str]:
+        """The ``(name, bytes, note)`` row for one registered engine."""
+        for row in self._rows():
+            if row[0] == backend:
+                return row
+        known = ", ".join(row[0] for row in self._rows())
+        raise ValueError(
+            f"no byte model for backend {backend!r}; known: {known}"
+        )
+
+    def _rows(self) -> Tuple[Tuple[str, int, str], ...]:
+        """Engine rows, falling back to the built-in trio for estimates
+        constructed by hand without ``engine_bytes``."""
+        if self.engine_bytes:
+            return self.engine_bytes
+        return (
+            ("density", self.density_bytes_per_shot,
+             f"4^{self.max_live} amplitudes"),
+            ("stabilizer", self.tableau_bytes_per_shot,
+             f"{self.total_nodes}-node scalar tableau"),
+            ("statevector", self.statevector_bytes_per_shot,
+             f"2^{self.max_live} amplitudes"),
+        )
 
     def bytes_per_shot(self, backend: str) -> int:
         """Peak resident bytes one shot/batch element costs on ``backend``
         (keyed by registered engine name)."""
-        if backend == "statevector":
-            return self.statevector_bytes_per_shot
-        if backend == "density":
-            return self.density_bytes_per_shot
-        if backend == "stabilizer":
-            return self.tableau_bytes_per_shot
-        raise ValueError(
-            f"no byte model for backend {backend!r}; known: "
-            f"statevector, stabilizer, density"
-        )
+        return self.engine_row(backend)[1]
 
     def peak_bytes(self, backend: str, n_shots: int = 1) -> int:
         """Peak resident bytes of an ``n_shots``-element batch."""
@@ -137,20 +159,41 @@ class ResourceEstimate:
                         f"{self.n_ops} ops ({self.n_channels} channels)"
                         + (f" [{', '.join(flags)}]" if flags else "")),
             ("peak live", f"{self.max_live} qubits"),
-            ("statevector", f"{format_bytes(self.statevector_bytes_per_shot)}"
-                            f"/shot (2^{self.max_live} amplitudes)"),
-            ("density", f"{format_bytes(self.density_bytes_per_shot)}"
-                        f"/shot (4^{self.max_live} amplitudes)"),
-            ("tableau", f"{format_bytes(self.tableau_bytes_per_shot)}"
-                        f"/shot ({self.total_nodes}-node scalar tableau)"),
-            ("exact branches", f"{mb} merged frontier (raw {bb})"),
-            (f"chunk @{format_bytes(budget)}",
-             f"statevector={self.chunk_shots('statevector', budget)}, "
-             f"density={self.chunk_shots('density', budget)}, "
-             f"stabilizer={self.chunk_shots('stabilizer', budget)}"),
         ]
+        for name, nbytes, note in self._rows():
+            detail = f" ({note})" if note else ""
+            rows.append((name, f"{format_bytes(nbytes)}/shot{detail}"))
+        rows.append(("exact branches", f"{mb} merged frontier (raw {bb})"))
+        rows.append((
+            f"chunk @{format_bytes(budget)}",
+            ", ".join(
+                f"{name}={self.chunk_shots(name, budget)}"
+                for name, _, _ in self._rows()
+            ),
+        ))
         width = max(len(k) for k, _ in rows)
         return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def _registry_engine_bytes(
+    compiled: CompiledPattern,
+) -> Tuple[Tuple[str, int, str], ...]:
+    """One ``(name, bytes_per_shot, note)`` row per registered engine that
+    exposes the ``bytes_per_shot(compiled)`` hook.  Imported lazily (and
+    dynamically — the engine modules predate typing) so the analysis layer
+    stays importable without pulling them in at module-import time."""
+    _backends = importlib.import_module("repro.mbqc.backend")
+
+    rows: List[Tuple[str, int, str]] = []
+    for name in _backends.list_backends():
+        engine = _backends.get_backend(name)
+        hook = getattr(engine, "bytes_per_shot", None)
+        if hook is None:
+            continue
+        rows.append(
+            (name, int(hook(compiled)), getattr(engine, "byte_model_note", ""))
+        )
+    return tuple(rows)
 
 
 def estimate_compiled(compiled: CompiledPattern) -> ResourceEstimate:
@@ -194,14 +237,21 @@ def estimate_compiled(compiled: CompiledPattern) -> ResourceEstimate:
         branch_bound_capped=capped,
         merged_branch_bound=merged,
         merged_branch_bound_capped=merged_capped,
+        engine_bytes=_registry_engine_bytes(compiled),
     )
 
 
 def budget_diagnostic_message(
-    est: ResourceEstimate, backend: str, budget: int
+    est: ResourceEstimate, backend: str, budget: int, compiled=None
 ) -> str:
     """The actionable R101 message ``select_backend`` raises instead of
-    letting a ``2^max_live`` (or ``4^max_live``) allocation OOM."""
+    letting a ``2^max_live`` (or ``4^max_live``) allocation OOM.
+
+    Every *other* registered engine whose estimated per-shot bytes fit
+    ``budget`` gets its own option line; pass the ``compiled`` pattern to
+    additionally filter those suggestions through each engine's
+    ``supports`` check (engines that cannot execute the pattern are then
+    not suggested)."""
     per = est.bytes_per_shot(backend)
     lines = [
         f"R101: backend {backend!r} needs {format_bytes(per)} per batch "
@@ -219,10 +269,18 @@ def budget_diagnostic_message(
             "  - every lowered channel is a Pauli mixture: trajectory "
             "engines can sample this program"
         )
-    if backend != "statevector" and est.statevector_bytes_per_shot <= budget:
+    for name, nbytes, _ in est._rows():
+        if name == backend or nbytes > budget:
+            continue
+        if compiled is not None:
+            try:
+                _backends = importlib.import_module("repro.mbqc.backend")
+                if not _backends.get_backend(name).supports(compiled):
+                    continue
+            except Exception:
+                pass
         lines.append(
-            f"  - the 'statevector' engine fits at "
-            f"{format_bytes(est.statevector_bytes_per_shot)} per shot"
+            f"  - the {name!r} engine fits at {format_bytes(nbytes)} per shot"
         )
     lines.append(
         "  - raise the budget via select_backend(..., max_bytes=...) or "
@@ -238,13 +296,13 @@ def budget_diagnostic_message(
 def estimate_report_rows(est: ResourceEstimate) -> Tuple[Tuple[str, str], ...]:
     """Structured ``(field, value)`` rows for machine consumption (CLI
     ``--json`` style consumers; mirrors :meth:`ResourceEstimate.format`)."""
-    return (
+    rows: List[Tuple[str, str]] = [
         ("max_live", str(est.max_live)),
         ("total_nodes", str(est.total_nodes)),
         ("n_measured", str(est.n_measured)),
-        ("statevector_bytes_per_shot", str(est.statevector_bytes_per_shot)),
-        ("density_bytes_per_shot", str(est.density_bytes_per_shot)),
-        ("tableau_bytes_per_shot", str(est.tableau_bytes_per_shot)),
-        ("branch_bound", str(est.branch_bound)),
-        ("merged_branch_bound", str(est.merged_branch_bound)),
-    )
+    ]
+    for name, nbytes, _ in est._rows():
+        rows.append((f"{name}_bytes_per_shot", str(nbytes)))
+    rows.append(("branch_bound", str(est.branch_bound)))
+    rows.append(("merged_branch_bound", str(est.merged_branch_bound)))
+    return tuple(rows)

@@ -13,11 +13,16 @@ Subcommands
                a source tree (``--contracts``); exits 1 on error-severity
                diagnostics (see README's diagnostic code table)
 
-``run`` and ``verify`` take ``--backend {auto,statevector,stabilizer,
-density}``: ``auto`` dispatches Clifford-angle patterns (e.g. ``--gamma 0
---beta 0``) to the stabilizer-tableau engine once the live register
-outgrows dense reach; forcing ``stabilizer`` on a non-Clifford pattern
-fails with a clear error.  ``run`` additionally takes ``--noise RATE``
+``run``, ``verify``, and ``lint`` take ``--backend`` with choices drawn
+from the engine registry at parse time (``auto`` plus every registered
+engine — ``density``, ``mps``, ``stabilizer``, ``statevector``):
+``auto`` dispatches Clifford-angle patterns (e.g. ``--gamma 0 --beta 0``)
+to the stabilizer-tableau engine once the live register outgrows dense
+reach, and bounded-interaction-width non-Clifford patterns to the
+matrix-product-state engine; forcing ``stabilizer`` on a non-Clifford
+pattern fails with a clear error.  ``lint --backend NAME`` additionally
+pre-flights the choice: it reports whether that engine supports the
+pattern and fits ``--budget``, failing with the R101 diagnostic when not.  ``run`` additionally takes ``--noise RATE``
 (uniform per-operation depolarizing + readout flips, the E15 model) and
 ``--exact``, which integrates the channels exactly on the density-matrix
 engine — the reported ``<cost>`` is then the true noisy expectation, no
@@ -45,7 +50,14 @@ from repro.core import compile_qaoa_pattern, estimate_resources
 from repro.core.resources import format_table, resource_table
 from repro.core.reuse import reuse_summary
 from repro.core.verify import check_pattern_determinism
-from repro.mbqc import get_backend, lower_noise, run_pattern, select_backend
+from repro.mbqc import (
+    PatternError,
+    get_backend,
+    list_backends,
+    lower_noise,
+    run_pattern,
+    select_backend,
+)
 from repro.mbqc.noise import NoiseModel
 from repro.problems import MaxCut, MaximumIndependentSet, NumberPartitioning
 from repro.problems.qubo import QUBO
@@ -290,6 +302,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(report.format(budget=args.budget))
         if not report.ok or (args.strict and report.warnings):
             failed = True
+        try:
+            engine = select_backend(
+                program, prefer=args.backend, max_bytes=args.budget
+            )
+            print(f"backend        {engine.name} fits the budget")
+        except PatternError as exc:
+            print(f"backend        {args.backend}: {exc}")
+            failed = True
 
     if args.contracts is not None:
         ran = True
@@ -329,11 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
     pc.set_defaults(func=cmd_compile)
 
     backend_kwargs = dict(
-        choices=["auto", "statevector", "stabilizer", "density"],
+        choices=["auto", *list_backends()],
         default="auto",
         help="pattern-execution engine (auto dispatches Clifford patterns "
-        "to the stabilizer tableau beyond dense reach; density evolves "
-        "the full density operator, integrating channels exactly)",
+        "to the stabilizer tableau beyond dense reach and bounded-"
+        "interaction-width non-Clifford patterns to the mps engine; "
+        "density evolves the full density operator, integrating channels "
+        "exactly)",
     )
 
     pr = sub.add_parser("run", help="compile, execute, and sample")
@@ -388,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--budget", type=int, default=1 << 26,
                     help="byte budget for the shot-chunk row of the "
                     "resource report (default 64 MiB)")
+    pl.add_argument("--backend", **backend_kwargs)
     pl.add_argument("--contracts", nargs="?", const="src", default=None,
                     metavar="PATH",
                     help="also run the seeded-stream contract linter over "

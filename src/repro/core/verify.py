@@ -14,7 +14,10 @@ name, or ``None`` for automatic dispatch: Clifford-angle patterns beyond
 dense reach route to the stabilizer-tableau engine, where
 :func:`check_pattern_determinism` compares canonical stabilizer forms and
 branch weights instead of densifying — graph-state and Pauli-measurement
-patterns verify at dozens of measured nodes.
+patterns verify at dozens of measured nodes.  On the matrix-product-state
+engine, truncated branch samples are stratified over future-read parity
+classes (:func:`~repro.mbqc.compile.signal_liveness`) so the budget covers
+distinct correction pathways instead of revisiting merged ones.
 """
 
 from __future__ import annotations
@@ -60,6 +63,48 @@ def _sample_branches(
     return [
         {node: (bits >> i) & 1 for i, node in enumerate(measured)} for bits in bit_sets
     ]
+
+
+def _parity_stratified_branches(
+    compiled, max_branches: Optional[int], seed: SeedLike
+) -> List[Dict[int, int]]:
+    """Branch subsets stratified by the future-read parity signature.
+
+    When ``max_branches`` truncates the ``2^m`` branch space, uniformly
+    drawn subsets mostly revisit outcome records that merge to the same
+    correction pathway — only outcomes some later op actually *reads*
+    (:func:`~repro.mbqc.compile.signal_liveness`, the frontier-merge
+    observation of the exact integrator) select different conditional
+    corrections.  So the budget goes to the live bits first: their
+    assignments are enumerated (or sampled, ``keep_zero`` as usual) with
+    dead bits pinned to 0, and only leftover budget varies the dead bits,
+    which exercise nothing but the projector choice of measurements no
+    future op consults.
+    """
+    from repro.mbqc.compile import MeasureOp, signal_liveness
+
+    measured = list(compiled.measured_nodes)
+    m = len(measured)
+    if max_branches is None or (m < 63 and (1 << m) <= max_branches):
+        return _sample_branches(measured, max_branches, seed, keep_zero=True)
+    lv = signal_liveness(compiled.ops)
+    live = [
+        op.node
+        for i, op in enumerate(compiled.ops)
+        if type(op) is MeasureOp and not lv.dead[i]
+    ]
+    dead = [n for n in measured if n not in set(live)]
+    base = _sample_branches(live, max_branches, seed, keep_zero=True)
+    branches = [dict(b, **{n: 0 for n in dead}) for b in base]
+    if not dead:
+        return branches
+    rng = ensure_rng(seed)
+    while len(branches) < max_branches:
+        extra = dict(base[len(branches) % len(base)])
+        for n in dead:
+            extra[n] = int(rng.integers(0, 2))
+        branches.append(extra)
+    return branches
 
 
 def branch_unitaries(
@@ -222,10 +267,27 @@ def check_pattern_determinism(
             list(compiled.measured_nodes), max_branches, seed, keep_zero=True
         )
         return _check_determinism_stabilizer(compiled, engine, branches, atol, seed)
-    maps = branch_unitaries(
-        pattern, max_branches=max_branches, seed=seed, backend=engine,
-        compiled=compiled,
-    )
+    if engine.name == "mps":
+        # Dense branch-map comparison, but with the truncated branch sample
+        # stratified over future-read parity classes (the PR 7 frontier
+        # merge applied to branch *selection*): at hundreds of measured
+        # nodes a uniform 2^m subset would almost never cover two branches
+        # that differ in a correction pathway.
+        branches = _parity_stratified_branches(compiled, max_branches, seed)
+        try:
+            maps = [
+                (b, pattern_to_matrix(pattern, b, backend=engine, compiled=compiled))
+                for b in branches
+            ]
+        except (PatternError, ZeroProbabilityBranch):
+            # A forced branch with ~0 probability: a measurement is
+            # deterministic, so outcome branches are not uniform.
+            return False
+    else:
+        maps = branch_unitaries(
+            pattern, max_branches=max_branches, seed=seed, backend=engine,
+            compiled=compiled,
+        )
     _, ref = maps[0]
     ref_norm = np.linalg.norm(ref)
     if ref_norm < 1e-12:

@@ -55,9 +55,11 @@ from repro.mbqc.backend import (
     available_backends,
     default_backend,
     get_backend,
+    list_backends,
     register_backend,
     select_backend,
 )
+from repro.mbqc.mps_backend import MPSBackend, MPSOutput
 from repro.mbqc.density_backend import (
     DensityMatrixBackend,
     DensityOutput,
@@ -115,9 +117,12 @@ __all__ = [
     "DensityMatrixBackend",
     "DensityOutput",
     "DensityRun",
+    "MPSBackend",
+    "MPSOutput",
     "available_backends",
     "default_backend",
     "get_backend",
+    "list_backends",
     "register_backend",
     "select_backend",
     "pattern_to_matrix",

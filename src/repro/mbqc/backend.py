@@ -102,6 +102,13 @@ DENSE_EXTRACT_MAX = 20
 # mid-allocation; select_backend(..., max_bytes=0) disables the check.
 PEAK_BYTE_BUDGET = 1 << 31
 
+#: Auto-dispatch picks the MPS engine past dense reach only while the
+#: compile-time interaction-width statistic stays this small: line/ring
+#: cluster patterns compile to width ≤ 1 (bounded entanglement, bond
+#: dimensions stay tiny), dense interaction graphs to ~max_live (an MPS
+#: would truncate heavily).  Explicit ``prefer="mps"`` is never gated.
+MPS_AUTO_MAX_WIDTH = 2
+
 _PAULI_GATES = ("x", "y", "z")
 
 
@@ -449,9 +456,15 @@ class StatevectorBackend:
     trajectory-sampled — those need the density engine)."""
 
     name = "statevector"
+    byte_model_note = "2^max_live dense amplitudes"
 
     def supports(self, compiled: CompiledPattern) -> bool:
         return not compiled.has_non_pauli_channel
+
+    def bytes_per_shot(self, compiled: CompiledPattern) -> int:
+        """``16 · 2^max_live`` amplitudes per batch element — the registry
+        hook the resource estimator builds its per-engine rows from."""
+        return 16 * (1 << compiled.max_live)
 
     def run_branch_batch(
         self,
@@ -642,9 +655,17 @@ class StabilizerBackend:
     """
 
     name = "stabilizer"
+    byte_model_note = "total-nodes scalar tableau"
 
     def supports(self, compiled: CompiledPattern) -> bool:
         return compiled.is_clifford
+
+    def bytes_per_shot(self, compiled: CompiledPattern) -> int:
+        """``4·n² + 2·n`` tableau bytes over ``n = total_nodes`` (the
+        scalar per-shot tableau; the bit-packed batched path is strictly
+        cheaper) — the resource-estimator registry hook."""
+        n = self._total_nodes(compiled)
+        return 4 * n * n + 2 * n
 
     def _require_clifford(self, compiled: CompiledPattern) -> None:
         if not compiled.is_clifford:
@@ -1201,6 +1222,18 @@ class _ShotDrawTable:
             )
         )
 
+    def fault_vec(self, op: ChannelOp) -> Optional[np.ndarray]:
+        """The whole ``(n_shots,)`` fault block at this slot (``None`` when
+        the channel is weightless and consumes no randomness) — same kind
+        key as :meth:`fault`, so scalar and block readers share one draw."""
+        _, px, py, pz = _require_pauli_channel(op)
+        if px + py + pz <= 0.0:
+            return None
+        return self._pull_vec(
+            ("fault", op.label),
+            lambda: draw_pauli_fault_batch(op, self._rng, self._n),
+        )
+
 
 class _GeneratorDraws:
     """Per-shot scalar draws straight from the generator, historical order.
@@ -1299,6 +1332,13 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def list_backends() -> Tuple[str, ...]:
+    """Registered engine names — the stable consumer-facing alias the CLI
+    derives its ``--backend`` choices from at parse time, so a newly
+    registered engine appears everywhere without touching ``cli.py``."""
+    return available_backends()
+
+
 def get_backend(name: str) -> PatternBackend:
     """Look up a registered engine by name."""
     try:
@@ -1329,7 +1369,9 @@ def _check_byte_budget(
     except ValueError:
         return  # externally registered engine with no byte model
     if per_shot > budget:
-        raise PatternError(budget_diagnostic_message(est, backend_name, budget))
+        raise PatternError(
+            budget_diagnostic_message(est, backend_name, budget, compiled)
+        )
 
 
 def select_backend(
@@ -1346,7 +1388,10 @@ def select_backend(
     a non-Clifford pattern forced onto the stabilizer engine), or
     ``"auto"``/``None``: dense statevector while the peak register fits in
     ``DENSE_AUTO_MAX_LIVE`` qubits, the stabilizer fast path beyond that
-    for Clifford-classified patterns.
+    for Clifford-classified patterns, and the MPS engine beyond that for
+    non-Clifford patterns whose compile-time ``interaction_width`` stays
+    within :data:`MPS_AUTO_MAX_WIDTH` (bounded-entanglement line/ring
+    patterns at bond-dimension cost).
 
     The selected engine's statically-estimated per-shot footprint (see
     :func:`repro.analysis.estimate_compiled`) is checked against
@@ -1406,6 +1451,13 @@ def select_backend(
         if stab is not None and stab.supports(compiled):
             _check_byte_budget(compiled, stab.name, max_bytes)
             return stab
+        # Non-Clifford past dense reach: bounded interaction width means a
+        # matrix-product chain executes it at bond-dimension cost.
+        if compiled.interaction_width <= MPS_AUTO_MAX_WIDTH:
+            mps = _REGISTRY.get("mps")
+            if mps is not None and mps.supports(compiled):
+                _check_byte_budget(compiled, mps.name, max_bytes)
+                return mps
     backend = get_backend("statevector")
     _check_byte_budget(compiled, backend.name, max_bytes)
     return backend
@@ -1435,3 +1487,6 @@ register_backend(StabilizerBackend())
 # The density-matrix engine lives in its own module (it pulls in the
 # repro.sim.density substrate) and registers itself on import.
 import repro.mbqc.density_backend  # noqa: E402,F401  (registers "density")
+
+# The matrix-product-state engine likewise registers itself on import.
+import repro.mbqc.mps_backend  # noqa: E402,F401  (registers "mps")

@@ -254,6 +254,15 @@ class CompiledPattern:
     ops: Tuple[CompiledOp, ...]
     out_perm: Tuple[int, ...]
     max_live: int
+    interaction_width: int = 0
+    """Peak slot distance across entanglers in compiled order, counting
+    only entanglers both of whose operands have already interacted: a
+    freshly prepared node is still a known product state, so a linear-chain
+    engine can place it adjacent to its partner for free, and its first
+    entangler costs nothing regardless of raw slot distance.  Line/ring
+    cluster patterns compile to width ≤ 1, dense interaction graphs to
+    ~``max_live`` — the statistic :func:`repro.mbqc.backend.select_backend`
+    gates MPS auto-dispatch on."""
     noise: Optional[ChannelNoiseModel] = None
     """The channel model lowered into ``ops`` (``None`` for a noiseless
     program).  Set by :func:`lower_noise`."""
@@ -408,6 +417,8 @@ def compile_pattern(
     measured_order: List[int] = []
     ops: List[CompiledOp] = []
     max_live = len(order)
+    fresh: set = set()  # prepared but not yet entangled: known product states
+    interaction_width = 0
 
     def live_slot(node: int, what: str) -> int:
         try:
@@ -432,10 +443,15 @@ def compile_pattern(
             slots[cmd.node] = slot
             order.append(cmd.node)
             max_live = max(max_live, len(order))
+            fresh.add(cmd.node)
             ops.append(PrepOp(cmd.node, slot, _PREP[cmd.state], cmd.state))
         elif isinstance(cmd, CommandE):
             s0 = live_slot(cmd.nodes[0], "entangler")
             s1 = live_slot(cmd.nodes[1], "entangler")
+            if cmd.nodes[0] not in fresh and cmd.nodes[1] not in fresh:
+                interaction_width = max(interaction_width, abs(s0 - s1))
+            fresh.discard(cmd.nodes[0])
+            fresh.discard(cmd.nodes[1])
             ops.append(EntangleOp((s0, s1)))
         elif isinstance(cmd, CommandM):
             slot = live_slot(cmd.node, "measurement")
@@ -486,6 +502,7 @@ def compile_pattern(
         ops=tuple(ops),
         out_perm=out_perm,
         max_live=max_live,
+        interaction_width=interaction_width,
     )
     if verify_ir:
         # Deferred import: repro.analysis sits above the IR in the layering.

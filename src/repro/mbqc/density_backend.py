@@ -492,9 +492,16 @@ class DensityMatrixBackend:
     """Exact open-system execution over :class:`repro.sim.density`."""
 
     name = "density"
+    byte_model_note = "4^max_live density tensor"
 
     def supports(self, compiled: CompiledPattern) -> bool:
         return compiled.max_live <= DENSITY_MAX_LIVE
+
+    def bytes_per_shot(self, compiled: CompiledPattern) -> int:
+        """``16 · 4^max_live`` density amplitudes per batch element (kernel
+        temporaries transiently add ~2x) — the resource-estimator registry
+        hook."""
+        return 16 * (1 << (2 * compiled.max_live))
 
     def _require_reach(self, compiled: CompiledPattern, extra: int = 0) -> None:
         if compiled.max_live + extra > DENSITY_MAX_LIVE:

@@ -10,6 +10,9 @@ pattern-execution engine (``repro.mbqc.backend``) — and
 :class:`~repro.sim.density_batched.BatchedDensityMatrix` is its open-system
 counterpart: ``B`` whole density operators in lockstep, the substrate of the
 vectorized density-engine trajectory sampler.
+:class:`~repro.sim.mps.MPSState` is an open-boundary matrix-product state
+over the same grow/shrink slot register — bounded-entanglement patterns at
+``O(n · chi²)`` memory instead of ``2^n`` — and
 :class:`~repro.sim.circuit.Circuit` is a minimal gate-model IR used by the
 QAOA builders and the generic circuit→pattern compiler.
 """
@@ -17,6 +20,7 @@ QAOA builders and the generic circuit→pattern compiler.
 from repro.sim.circuit import Circuit, Gate
 from repro.sim.density import DensityMatrix, validate_kraus
 from repro.sim.density_batched import BatchedDensityMatrix
+from repro.sim.mps import MPSState
 from repro.sim.statevector import (
     BatchedStateVector,
     MeasurementBasis,
@@ -31,6 +35,7 @@ __all__ = [
     "BatchedStateVector",
     "DensityMatrix",
     "BatchedDensityMatrix",
+    "MPSState",
     "validate_kraus",
     "MeasurementBasis",
     "ZeroProbabilityBranch",

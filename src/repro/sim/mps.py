@@ -1,0 +1,488 @@
+"""Open-boundary matrix-product-state simulation over a slot register.
+
+:class:`MPSState` mirrors the positional register API of
+:class:`repro.sim.statevector.StateVector` — ``add_qubit`` appends at the
+top slot, measurement removes the measured slot so slots above shift
+down, ``permute`` relabels slots — but stores the state as a chain of
+``(D_left, 2, D_right)`` site tensors in mixed-canonical form.  Memory
+and gate cost scale with the *bond dimension* ``chi`` (the Schmidt rank
+across chain cuts) instead of ``2^n``, which is what opens
+bounded-entanglement patterns at hundreds of qubits.
+
+Slots and sites are decoupled: a slot is the simulator-facing register
+position (what compiled ops address), a site is the physical position in
+the chain.  Two-qubit gates act on adjacent sites only; distant pairs
+are routed together first — a still-product operand (both bonds 1) is
+relocated next to its partner as a free list move (the tensor factor
+commutes past everything), an entangled operand is walked over site by
+site with SWAP contractions.  Routing leaves qubits where they end; the
+slot→site map absorbs the shuffle.
+
+Every two-site contraction is refactored by a truncated SVD under
+``chi_max`` and a relative singular-value ``cutoff``; the discarded
+relative weight ``Σ s_dropped² / Σ s²`` accumulates in
+:attr:`MPSState.truncation_error` (zero means the run was numerically
+exact, the contract the MPS backend surfaces on its outputs).
+
+All randomness enters through pre-drawn uniform deviates (the ``u``
+argument of :meth:`MPSState.measure`, same ``outcome = 0 iff u < p0``
+convention as :meth:`repro.sim.density.DensityMatrix.measure`) so callers
+own the draw schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.sim.statevector import MeasurementBasis, ZeroProbabilityBranch
+
+#: Densification guard: ``to_array`` on more qubits than this raises
+#: instead of materializing an out-of-budget ``2^n`` block.
+MPS_DENSIFY_MAX = 24
+
+
+def _as_basis_block(basis: Union[MeasurementBasis, np.ndarray]) -> np.ndarray:
+    """Coerce a basis to a ``(2, 2)`` block of row vectors ``(b0, b1)``.
+
+    Building the block from a :class:`MeasurementBasis` reproduces the
+    exact floats of the compiler's precomputed ``basis_block`` gather, so
+    scalar and chunked samplers see bit-identical projectors."""
+    if isinstance(basis, MeasurementBasis):
+        return np.array([basis.b0, basis.b1], dtype=complex)
+    block = np.asarray(basis, dtype=complex)
+    if block.shape != (2, 2):
+        raise ValueError(f"expected a (2, 2) basis block, got {block.shape}")
+    return block
+
+
+class MPSState:
+    """A pure state as an open-boundary MPS with a slot-indexed API."""
+
+    def __init__(self, chi_max: Optional[int] = None, cutoff: float = 1e-12):
+        if chi_max is not None and chi_max < 1:
+            raise ValueError("chi_max must be at least 1")
+        self.chi_max = chi_max
+        self.cutoff = float(cutoff)
+        self._tensors: List[np.ndarray] = []  # site -> (Dl, 2, Dr)
+        self._slot_at: List[int] = []  # site -> slot
+        self._site_of: List[int] = []  # slot -> site
+        self._center = -1  # orthogonality-center site (-1: no qubits)
+        self._amp = 1.0 + 0.0j  # amplitude of the zero-qubit state
+        self.truncation_error = 0.0
+
+    # -- bookkeeping --------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self._tensors)
+
+    def bond_dims(self) -> Tuple[int, ...]:
+        """The inner bond dimensions, left to right."""
+        return tuple(t.shape[2] for t in self._tensors[:-1])
+
+    @property
+    def max_bond(self) -> int:
+        """Peak current bond dimension (1 for product states)."""
+        return max(self.bond_dims(), default=1)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the site tensors."""
+        return sum(t.nbytes for t in self._tensors)
+
+    def _rebuild_site_of(self) -> None:
+        self._site_of = [0] * len(self._slot_at)
+        for site, slot in enumerate(self._slot_at):
+            self._site_of[slot] = site
+
+    def _site(self, slot: int, what: str) -> int:
+        if not 0 <= slot < len(self._site_of):
+            raise ValueError(
+                f"{what} targets slot {slot} of a {self.num_qubits}-qubit state"
+            )
+        return self._site_of[slot]
+
+    def copy(self) -> "MPSState":
+        dup = MPSState(chi_max=self.chi_max, cutoff=self.cutoff)
+        dup._tensors = [t.copy() for t in self._tensors]
+        dup._slot_at = list(self._slot_at)
+        dup._site_of = list(self._site_of)
+        dup._center = self._center
+        dup._amp = self._amp
+        dup.truncation_error = self.truncation_error
+        return dup
+
+    # -- canonical-form plumbing --------------------------------------------
+
+    def _shift_center_right(self) -> None:
+        c = self._center
+        a = self._tensors[c]
+        dl, _, dr = a.shape
+        q, r = np.linalg.qr(a.reshape(dl * 2, dr))
+        self._tensors[c] = q.reshape(dl, 2, -1)
+        self._tensors[c + 1] = np.tensordot(r, self._tensors[c + 1], axes=(1, 0))
+        self._center = c + 1
+
+    def _shift_center_left(self) -> None:
+        c = self._center
+        a = self._tensors[c]
+        dl, _, dr = a.shape
+        q, r = np.linalg.qr(a.reshape(dl, 2 * dr).conj().T)
+        self._tensors[c] = q.conj().T.reshape(-1, 2, dr)
+        self._tensors[c - 1] = np.tensordot(
+            self._tensors[c - 1], r.conj().T, axes=(2, 0)
+        )
+        self._center = c - 1
+
+    def _move_center(self, site: int) -> None:
+        while self._center < site:
+            self._shift_center_right()
+        while self._center > site:
+            self._shift_center_left()
+
+    def _split_pair(self, theta: np.ndarray, k: int) -> None:
+        """Refactor a two-site block ``theta`` (``(Dl, 2, 2, Dr)``) back
+        into sites ``k``/``k+1`` by truncated SVD; center lands on ``k+1``."""
+        dl, _, _, dr = theta.shape
+        u, s, vh = np.linalg.svd(
+            theta.reshape(dl * 2, 2 * dr), full_matrices=False
+        )
+        keep = s.size
+        if s[0] > 0.0:
+            keep = int(np.count_nonzero(s > self.cutoff * s[0]))
+        if self.chi_max is not None:
+            keep = min(keep, self.chi_max)
+        keep = max(1, keep)
+        if keep < s.size:
+            weights = s * s
+            total = float(weights.sum())
+            if total > 0.0:
+                self.truncation_error += float(weights[keep:].sum()) / total
+        self._tensors[k] = u[:, :keep].reshape(dl, 2, keep)
+        self._tensors[k + 1] = (s[:keep, None] * vh[:keep]).reshape(keep, 2, dr)
+        self._center = k + 1
+
+    def _is_product_site(self, site: int) -> bool:
+        dl, _, dr = self._tensors[site].shape
+        return dl == 1 and dr == 1
+
+    def _relocate(self, src: int, dst: int) -> None:
+        """Move the (unentangled, unit-norm) site ``src`` to index ``dst``.
+
+        A product factor commutes past the chain, so this is exact and
+        truncation-free: the tensor is re-expressed as ``v ⊗ I_D`` over the
+        bond it lands on (an isometry from both sides, so the canonical
+        structure survives), at no SVD cost."""
+        if self._center == src:
+            if len(self._tensors) > 1:
+                if src + 1 < len(self._tensors):
+                    self._shift_center_right()
+                else:
+                    self._shift_center_left()
+        t = self._tensors.pop(src)
+        slot = self._slot_at.pop(src)
+        vec = t.reshape(2)
+        cut = 1 if dst == 0 else self._tensors[dst - 1].shape[2]
+        self._tensors.insert(
+            dst,
+            np.einsum("lr,p->lpr", np.eye(cut, dtype=complex), vec),
+        )
+        self._slot_at.insert(dst, slot)
+        c = self._center
+        if c != src:
+            if src < c:
+                c -= 1
+            if dst <= c:
+                c += 1
+        else:  # single-site state: center rides along
+            c = dst
+        self._center = c
+        self._rebuild_site_of()
+
+    def _swap_sites(self, k: int) -> None:
+        """Exchange the qubits at sites ``k`` and ``k+1`` (SWAP routing)."""
+        if self._center < k:
+            self._move_center(k)
+        elif self._center > k + 1:
+            self._move_center(k + 1)
+        theta = np.tensordot(self._tensors[k], self._tensors[k + 1], axes=(2, 0))
+        self._split_pair(theta.transpose(0, 2, 1, 3), k)
+        self._slot_at[k], self._slot_at[k + 1] = (
+            self._slot_at[k + 1],
+            self._slot_at[k],
+        )
+        self._rebuild_site_of()
+
+    def _route_adjacent(self, s0: int, s1: int) -> Tuple[int, int]:
+        """Bring the qubits of slots ``s0``/``s1`` onto adjacent sites and
+        return their site indices (in slot-argument order)."""
+        i, j = self._site_of[s0], self._site_of[s1]
+        if abs(i - j) == 1:
+            return i, j
+        # A still-product operand relocates next to its partner for free.
+        if self._is_product_site(j):
+            self._relocate(j, (i if j < i else i + 1) - (1 if j < i else 0))
+            return self._site_of[s0], self._site_of[s1]
+        if self._is_product_site(i):
+            self._relocate(i, (j if i < j else j + 1) - (1 if i < j else 0))
+            return self._site_of[s0], self._site_of[s1]
+        # Both entangled: walk the smaller tensor over with SWAP gates.
+        size_i = self._tensors[i].shape[0] * self._tensors[i].shape[2]
+        size_j = self._tensors[j].shape[0] * self._tensors[j].shape[2]
+        lo, hi = min(i, j), max(i, j)
+        move_lo = (size_i < size_j) == (i == lo)
+        if move_lo:
+            for k in range(lo, hi - 1):
+                self._swap_sites(k)
+        else:
+            for k in range(hi - 1, lo, -1):
+                self._swap_sites(k)
+        return self._site_of[s0], self._site_of[s1]
+
+    # -- register operations ------------------------------------------------
+
+    def add_qubit(self, state) -> None:
+        """Append one qubit in ``state`` (length-2, normalized) at the top
+        slot — the :class:`~repro.mbqc.compile.PrepOp` contract."""
+        vec = np.asarray(state, dtype=complex).reshape(2)
+        nrm = float(np.linalg.norm(vec))
+        if nrm == 0.0:
+            raise ValueError("cannot append a zero state")
+        if self._tensors:
+            # Fold any non-unit norm into the center so the appended site
+            # is a valid right-canonical tensor.
+            if abs(nrm - 1.0) > 1e-12:
+                self._tensors[self._center] = self._tensors[self._center] * nrm
+                vec = vec / nrm
+            self._tensors.append(vec.reshape(1, 2, 1))
+        else:
+            self._tensors.append((self._amp * vec).reshape(1, 2, 1))
+            self._amp = 1.0 + 0.0j
+            self._center = 0
+        self._slot_at.append(len(self._site_of))
+        self._site_of.append(len(self._tensors) - 1)
+
+    def permute(self, order) -> None:
+        """Relabel slots: new slot ``j`` holds what old slot ``order[j]``
+        held.  Pure bookkeeping — no tensor work."""
+        order = list(order)
+        if sorted(order) != list(range(self.num_qubits)):
+            raise ValueError(
+                f"permutation {order!r} is not over {self.num_qubits} slots"
+            )
+        self._site_of = [self._site_of[s] for s in order]
+        for slot, site in enumerate(self._site_of):
+            self._slot_at[site] = slot
+
+    def apply_1q(self, mat: np.ndarray, slot: int) -> None:
+        """Apply a single-qubit operator (local contraction; canonical
+        structure survives for unitaries, which is all compiled ops use)."""
+        site = self._site(slot, "1q gate")
+        self._tensors[site] = np.tensordot(
+            np.asarray(mat, dtype=complex), self._tensors[site], axes=(1, 1)
+        ).transpose(1, 0, 2)
+
+    def apply_2q(self, mat: np.ndarray, slot0: int, slot1: int) -> None:
+        """Apply a two-qubit gate (``4×4``, little-endian on
+        ``(slot0, slot1)``) — route adjacent, contract, truncated-SVD split."""
+        if slot0 == slot1:
+            raise ValueError("2q gate needs two distinct slots")
+        self._site(slot0, "2q gate")
+        self._site(slot1, "2q gate")
+        i, j = self._route_adjacent(slot0, slot1)
+        k = min(i, j)
+        if self._center < k:
+            self._move_center(k)
+        elif self._center > k + 1:
+            self._move_center(k + 1)
+        gate = np.asarray(mat, dtype=complex).reshape(2, 2, 2, 2)
+        theta = np.tensordot(self._tensors[k], self._tensors[k + 1], axes=(2, 0))
+        if i < j:  # site k holds slot0: G[y1, y0, x1, x0], theta (l, x0, x1, r)
+            theta = np.einsum("dcba,labr->lcdr", gate, theta)
+        else:  # site k holds slot1
+            theta = np.einsum("dcba,lbar->ldcr", gate, theta)
+        self._split_pair(theta, k)
+
+    def apply_cz(self, slot0: int, slot1: int) -> None:
+        """Controlled-Z between two slots (symmetric)."""
+        self.apply_2q(np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex), slot0, slot1)
+
+    def measure(
+        self,
+        slot: int,
+        basis: Union[MeasurementBasis, np.ndarray],
+        u: Optional[float] = None,
+        rng=None,
+        force: Optional[int] = None,
+        renormalize: bool = True,
+    ) -> Tuple[int, float]:
+        """Measure ``slot`` in ``basis`` and remove it from the register.
+
+        Returns ``(outcome, probability)``.  ``u`` is an optional
+        pre-drawn uniform deviate deciding the outcome (``0`` iff
+        ``u < p0``, the shared trajectory-engine convention); ``force``
+        pins the branch and raises :class:`ZeroProbabilityBranch` when its
+        probability is below ``1e-12``.  The probability is always exact
+        relative to the current (possibly truncated) state."""
+        site = self._site(slot, "measurement")
+        self._move_center(site)
+        block = _as_basis_block(basis)
+        a = self._tensors[site]
+        nrm2 = float(np.real(np.vdot(a, a)))
+        if nrm2 <= 0.0:
+            raise ZeroProbabilityBranch("state has zero norm")
+        amp0 = np.tensordot(block[0].conj(), a, axes=(0, 1))
+        p0 = float(np.real(np.vdot(amp0, amp0))) / nrm2
+        p0 = min(1.0, max(0.0, p0))
+        if force is not None:
+            outcome = int(force)
+            prob = p0 if outcome == 0 else 1.0 - p0
+            if prob < 1e-12:
+                raise ZeroProbabilityBranch(
+                    f"forced outcome {outcome} has probability ~0"
+                )
+        else:
+            if u is None:
+                if rng is None:
+                    raise ValueError("measure needs u=, rng=, or force=")
+                u = float(rng.random())
+            outcome = 0 if u < p0 else 1
+            prob = p0 if outcome == 0 else 1.0 - p0
+        reduced = (
+            amp0 if outcome == 0
+            else np.tensordot(block[1].conj(), a, axes=(0, 1))
+        )
+        n = len(self._tensors)
+        if n == 1:
+            self._amp = self._amp * complex(reduced[0, 0])
+            self._center = -1
+            if renormalize and abs(self._amp) > 0.0:
+                self._amp = self._amp / abs(self._amp)
+        elif site > 0:
+            self._tensors[site - 1] = np.tensordot(
+                self._tensors[site - 1], reduced, axes=(2, 0)
+            )
+            self._center = site - 1
+        else:
+            self._tensors[1] = np.tensordot(reduced, self._tensors[1], axes=(1, 0))
+            self._center = 1  # becomes site 0 after the drop below
+        # Remove the measured site; slots above shift down.
+        del self._tensors[site]
+        del self._site_of[slot]
+        del self._slot_at[site]
+        self._site_of = [s - 1 if s > site else s for s in self._site_of]
+        self._slot_at = [s - 1 if s > slot else s for s in self._slot_at]
+        if self._center > site:
+            self._center -= 1
+        if renormalize and self._tensors:
+            c = self._tensors[self._center]
+            cn = float(np.linalg.norm(c))
+            if cn > 0.0:
+                self._tensors[self._center] = c / cn
+        return outcome, prob
+
+    def discard(self, slot: int) -> None:
+        """Drop an *unentangled* qubit (both bonds 1) from the register.
+
+        Discarding an entangled qubit would leave a mixed state, which an
+        MPS cannot represent — that raises instead."""
+        site = self._site(slot, "discard")
+        if not self._is_product_site(site):
+            raise ValueError(
+                f"slot {slot} is entangled (bond dims "
+                f"{self._tensors[site].shape[0]}x{self._tensors[site].shape[2]}); "
+                f"only product qubits can be discarded"
+            )
+        factor = float(np.linalg.norm(self._tensors[site]))
+        n = len(self._tensors)
+        if n == 1:
+            self._amp = self._amp * factor
+            self._tensors = []
+            self._slot_at = []
+            self._site_of = []
+            self._center = -1
+            return
+        if self._center == site:
+            # Hand the norm to a neighbor, which becomes the new center.
+            nb = site - 1 if site > 0 else 1
+            self._tensors[nb] = self._tensors[nb] * factor
+            self._center = nb
+        del self._tensors[site]
+        del self._site_of[slot]
+        del self._slot_at[site]
+        self._site_of = [s - 1 if s > site else s for s in self._site_of]
+        self._slot_at = [s - 1 if s > slot else s for s in self._slot_at]
+        if self._center > site:
+            self._center -= 1
+
+    # -- dense interchange --------------------------------------------------
+
+    def norm(self) -> float:
+        """``sqrt(<ψ|ψ>)`` — read off the center tensor in canonical form."""
+        if not self._tensors:
+            return abs(self._amp)
+        return float(np.linalg.norm(self._tensors[self._center]))
+
+    def to_array(self) -> np.ndarray:
+        """Little-endian amplitudes in slot order (slot 0 least
+        significant), matching :meth:`StateVector.to_array`."""
+        n = self.num_qubits
+        if n == 0:
+            return np.array([self._amp], dtype=complex)
+        if n > MPS_DENSIFY_MAX:
+            raise ValueError(
+                f"refusing to densify a {n}-qubit MPS "
+                f"(cap {MPS_DENSIFY_MAX}); read amplitudes locally instead"
+            )
+        res = self._tensors[0]
+        for t in self._tensors[1:]:
+            res = np.tensordot(res, t, axes=(res.ndim - 1, 0))
+        res = res.reshape((2,) * n)  # axis per site
+        res = res.transpose([self._site_of[s] for s in range(n)])  # axis per slot
+        return self._amp * res.transpose(tuple(reversed(range(n)))).reshape(-1)
+
+    @classmethod
+    def from_dense_row(
+        cls,
+        row: np.ndarray,
+        chi_max: Optional[int] = None,
+        cutoff: float = 1e-12,
+    ) -> "MPSState":
+        """Build an MPS from a little-endian amplitude row (``2^k``) by a
+        left-to-right cascade of truncated SVDs; slot ``i`` lands on site
+        ``i``."""
+        row = np.asarray(row, dtype=complex).reshape(-1)
+        k = int(row.size).bit_length() - 1
+        if 1 << k != row.size:
+            raise ValueError(f"amplitude row of size {row.size} is not 2^k")
+        mps = cls(chi_max=chi_max, cutoff=cutoff)
+        if k == 0:
+            mps._amp = complex(row[0])
+            return mps
+        # Axis per qubit, slot order (inverse of to_array's flattening).
+        rem = row.reshape((2,) * k).transpose(tuple(reversed(range(k))))
+        dl = 1
+        for site in range(k - 1):
+            m = rem.reshape(dl * 2, -1)
+            u, s, vh = np.linalg.svd(m, full_matrices=False)
+            keep = s.size
+            if s[0] > 0.0:
+                keep = int(np.count_nonzero(s > cutoff * s[0]))
+            if chi_max is not None:
+                keep = min(keep, chi_max)
+            keep = max(1, keep)
+            if keep < s.size:
+                weights = s * s
+                total = float(weights.sum())
+                if total > 0.0:
+                    mps.truncation_error += float(weights[keep:].sum()) / total
+            mps._tensors.append(u[:, :keep].reshape(dl, 2, keep))
+            rem = s[:keep, None] * vh[:keep]
+            dl = keep
+        mps._tensors.append(rem.reshape(dl, 2, 1))
+        mps._center = k - 1
+        mps._slot_at = list(range(k))
+        mps._site_of = list(range(k))
+        return mps

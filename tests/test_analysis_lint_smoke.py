@@ -82,6 +82,27 @@ def e24_cases():
     yield "e24-gadget-8", lower_noise(compile_pattern(p), model)
 
 
+def e25_cases():
+    # MPS engine: the bench_e25 bounded-interaction-width family — a ring
+    # past dense reach and a pure line (width 0), noiseless and with the
+    # Pauli-mixture noise the fault stream lowers
+    yield "e25-ring-20", compile_qaoa_pattern(
+        MaxCut.ring(20).to_qubo(), [0.37], [0.81]
+    ).executable()
+    line = MaxCut(12, [(i, i + 1) for i in range(11)])
+    yield "e25-line-12", compile_qaoa_pattern(
+        line.to_qubo(), [0.42], [0.63]
+    ).executable()
+    model = ChannelNoiseModel(
+        prep=Channel.depolarizing(0.03), meas_flip=0.02
+    )
+    yield "e25-ring-8-noisy", lower_noise(
+        compile_qaoa_pattern(MaxCut.ring(8).to_qubo(), [0.4], [0.7])
+        .executable(),
+        model,
+    )
+
+
 def example_cases():
     # quickstart: ring-5 state preparation
     yield "ex-quickstart", compile_qaoa_pattern(
@@ -114,7 +135,7 @@ def example_cases():
 
 ALL_CASES = [
     *e19_cases(), *e20_e22_cases(), *e21_cases(), *e23_cases(),
-    *e24_cases(), *example_cases(),
+    *e24_cases(), *e25_cases(), *example_cases(),
 ]
 
 

@@ -140,3 +140,78 @@ class TestByteBudgetGate:
         )
         with pytest.raises(PatternError, match="R102"):
             get_backend("density").integrate(noisy, max_branches=8)
+
+
+class TestSelectBackendEdgeCases:
+    def test_unsupporting_prefer_instance_raises(self):
+        """A backend *instance* that cannot execute the pattern is
+        rejected with the same clarity as a registered name."""
+
+        class NopeBackend:
+            name = "nope"
+
+            def supports(self, compiled):
+                return False
+
+        with pytest.raises(PatternError, match="cannot execute"):
+            select_backend(ring_compiled(), prefer=NopeBackend())
+
+    def test_supporting_prefer_instance_returned_unregistered(self):
+        """An unregistered instance passes straight through (no byte gate
+        — there is no registry byte model to consult for it)."""
+
+        class YepBackend:
+            name = "yep"
+
+            def supports(self, compiled):
+                return True
+
+        eng = YepBackend()
+        assert select_backend(ring_compiled(), prefer=eng) is eng
+
+    def test_r101_names_every_fitting_engine(self):
+        """The diagnostic suggests *each* registered engine that both fits
+        the budget and supports the pattern — not a hard-coded pair."""
+        from repro.mbqc import list_backends
+
+        c = ring_compiled(40)
+        est = estimate_compiled(c)
+        # Budget below the (astronomical 2^41-amplitude) statevector
+        # footprint but above every other supporting engine's: all of
+        # them must be named as options.
+        budget = est.bytes_per_shot("statevector") - 1
+        fitting = [
+            name
+            for name in list_backends()
+            if name != "statevector"
+            and est.bytes_per_shot(name) <= budget
+            and get_backend(name).supports(c)
+        ]
+        assert "mps" in fitting  # the ring is bounded-width: mps must fit
+        with pytest.raises(PatternError) as err:
+            select_backend(c, "statevector", max_bytes=budget)
+        msg = str(err.value)
+        for name in fitting:
+            assert f"'{name}' engine fits" in msg
+
+    def test_r101_omits_unsupporting_engines(self):
+        """A non-Clifford pattern never gets the stabilizer engine
+        suggested by the generic fits loop, however cheap its tableau."""
+        c = ring_compiled()
+        assert not c.is_clifford
+        with pytest.raises(PatternError) as err:
+            select_backend(
+                c, "statevector",
+                max_bytes=estimate_compiled(c).bytes_per_shot("statevector") - 1,
+            )
+        assert "'stabilizer' engine fits" not in str(err.value)
+
+    def test_estimate_rows_cover_every_registered_engine(self):
+        from repro.mbqc import list_backends
+
+        est = estimate_compiled(ring_compiled())
+        assert tuple(name for name, _, _ in est.engine_bytes) == list_backends()
+        for name, nbytes, _ in est.engine_bytes:
+            assert nbytes == get_backend(name).bytes_per_shot(
+                ring_compiled()
+            ) or nbytes > 0

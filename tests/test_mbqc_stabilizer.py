@@ -143,9 +143,16 @@ class TestRegistry:
         assert select_backend(c).name == "stabilizer"
 
     def test_auto_keeps_dense_for_big_non_clifford(self):
-        qubo = MaxCut.ring(18).to_qubo()
+        """A wide-interaction non-Clifford pattern fits no structured
+        engine (not Clifford, interaction width ~n), so auto dispatch
+        stays dense; a bounded-width one now routes to mps instead."""
+        qubo = MaxCut.complete(6).to_qubo()
         c = compile_pattern(compile_qaoa_pattern(qubo, [0.3], [0.1]).pattern)
         assert select_backend(c).name == "statevector"
+        ring = compile_pattern(
+            compile_qaoa_pattern(MaxCut.ring(18).to_qubo(), [0.3], [0.1]).pattern
+        )
+        assert select_backend(ring).name == "mps"
 
     def test_auto_keeps_dense_for_open_input_clifford(self):
         """Tableau columns carry no global phase, so multi-column branch

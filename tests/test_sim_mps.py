@@ -1,0 +1,223 @@
+"""MPSState vs the dense StateVector reference.
+
+The MPS simulator must agree with the dense register *exactly* (up to
+float error) whenever no truncation happens — chi_max unbounded, cutoff at
+machine noise — because every split is then a full-rank SVD.  These tests
+drive both simulators through identical random programs (grow / gate /
+entangle / measure / shrink) and compare amplitudes, probabilities, and
+branch weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import MeasurementBasis, MPSState, StateVector, ZeroProbabilityBranch
+from repro.sim.mps import MPS_DENSIFY_MAX
+
+
+def random_unitary(rng, d=2):
+    m = rng.normal(size=(d, d)) + 1j * rng.normal(size=(d, d))
+    q, r = np.linalg.qr(m)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+def random_state(rng):
+    v = rng.normal(size=2) + 1j * rng.normal(size=2)
+    return v / np.linalg.norm(v)
+
+
+def random_basis(rng):
+    return MeasurementBasis.xy(float(rng.uniform(-np.pi, np.pi)))
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuit_amplitudes(self, seed):
+        """Grow to 6 qubits, apply random 1q/2q layers, compare dense."""
+        rng = np.random.default_rng(seed)
+        mps = MPSState()
+        sv = StateVector()
+        for _ in range(6):
+            s = random_state(rng)
+            mps.add_qubit(s)
+            sv.add_qubit(s)
+        for _ in range(25):
+            if rng.random() < 0.5:
+                q = int(rng.integers(0, 6))
+                u = random_unitary(rng)
+                mps.apply_1q(u, q)
+                sv.apply_1q(u, q)
+            else:
+                q0, q1 = map(int, rng.choice(6, size=2, replace=False))
+                if rng.random() < 0.5:
+                    mps.apply_cz(q0, q1)
+                    sv.apply_cz(q0, q1)
+                else:
+                    u = random_unitary(rng, 4)
+                    mps.apply_2q(u, q0, q1)
+                    sv.apply_2q(u, q0, q1)
+        assert mps.truncation_error < 1e-20  # sub-cutoff machine noise only
+        np.testing.assert_allclose(mps.to_array(), sv.to_array(), atol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_forced_measurements_match_probabilities(self, seed):
+        """Forced branches: identical probabilities and post-states, down
+        to the empty register (weight lives in the scalar amplitude)."""
+        rng = np.random.default_rng(100 + seed)
+        mps = MPSState()
+        sv = StateVector()
+        for _ in range(5):
+            s = random_state(rng)
+            mps.add_qubit(s)
+            sv.add_qubit(s)
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]:
+            mps.apply_cz(a, b)
+            sv.apply_cz(a, b)
+        for k in range(5):
+            slot = int(rng.integers(0, 5 - k))
+            basis = random_basis(rng)
+            force = int(rng.integers(0, 2))
+            out_m, p_m = mps.measure(slot, basis, force=force)
+            out_s, p_s = sv.measure(slot, basis, force=force)
+            assert out_m == out_s == force
+            assert p_m == pytest.approx(p_s, abs=1e-10)
+            if mps.num_qubits:
+                np.testing.assert_allclose(
+                    mps.to_array(), sv.to_array(), atol=1e-10
+                )
+        assert mps.num_qubits == 0
+        # Norm of the empty register is the (renormalized) branch phase.
+        assert mps.norm() == pytest.approx(1.0, abs=1e-10)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sampled_measurement_shares_the_u_convention(self, seed):
+        """With the same pre-drawn deviate both simulators take the same
+        branch: outcome 0 iff u < p0 (the shared trajectory convention)."""
+        rng = np.random.default_rng(200 + seed)
+        mps = MPSState()
+        sv = StateVector()
+        for _ in range(4):
+            s = random_state(rng)
+            mps.add_qubit(s)
+            sv.add_qubit(s)
+        mps.apply_cz(0, 1)
+        sv.apply_cz(0, 1)
+        mps.apply_cz(2, 3)
+        sv.apply_cz(2, 3)
+        for _ in range(4):
+            basis = random_basis(rng)
+            u = float(rng.random())
+            out_m, p_m = mps.measure(0, basis, u=u)
+            p0 = sv.measure_probability(0, basis, 0)
+            expected = 0 if u < p0 else 1
+            sv.measure(0, basis, force=expected)
+            assert out_m == expected
+            assert p_m == pytest.approx(p0 if expected == 0 else 1 - p0, abs=1e-10)
+            np.testing.assert_allclose(mps.to_array(), sv.to_array(), atol=1e-10)
+
+
+class TestRegisterOps:
+    def test_permute_is_pure_relabel(self):
+        states = [random_state(np.random.default_rng(i)) for i in range(3)]
+        mps = MPSState()
+        for s in states:
+            mps.add_qubit(s)
+        mps.permute([2, 0, 1])  # new slot j holds old slot order[j]
+        # Little-endian: slot 0 is the least-significant (rightmost kron).
+        expected = np.kron(np.kron(states[1], states[0]), states[2])
+        np.testing.assert_allclose(mps.to_array(), expected, atol=1e-12)
+
+    def test_permute_rejects_non_permutations(self):
+        mps = MPSState()
+        mps.add_qubit([1, 0])
+        mps.add_qubit([0, 1])
+        with pytest.raises(ValueError, match="permutation"):
+            mps.permute([0, 0])
+
+    def test_discard_product_qubit(self):
+        rng = np.random.default_rng(7)
+        s0, s1, s2 = (random_state(rng) for _ in range(3))
+        mps = MPSState()
+        sv = StateVector()
+        for s in (s0, s1, s2):
+            mps.add_qubit(s)
+            sv.add_qubit(s)
+        mps.apply_cz(0, 2)
+        sv.apply_cz(0, 2)
+        mps.discard(1)
+        ref = StateVector()
+        ref.add_qubit(s0)
+        ref.add_qubit(s2)
+        ref.apply_cz(0, 1)
+        np.testing.assert_allclose(mps.to_array(), ref.to_array(), atol=1e-10)
+
+    def test_discard_entangled_raises(self):
+        mps = MPSState()
+        mps.add_qubit(np.array([1, 1]) / np.sqrt(2))
+        mps.add_qubit(np.array([1, 1]) / np.sqrt(2))
+        mps.apply_cz(0, 1)
+        with pytest.raises(ValueError, match="entangled"):
+            mps.discard(0)
+
+    def test_densify_cap(self):
+        mps = MPSState()
+        for _ in range(MPS_DENSIFY_MAX + 1):
+            mps.add_qubit([1, 0])
+        with pytest.raises(ValueError, match="densify"):
+            mps.to_array()
+
+
+class TestTruncation:
+    def test_chi_cap_accumulates_error(self):
+        """chi_max=1 cannot hold a CZ-entangled |++> pair: the split keeps
+        one singular value and records the discarded weight."""
+        mps = MPSState(chi_max=1)
+        plus = np.array([1, 1]) / np.sqrt(2)
+        mps.add_qubit(plus)
+        mps.add_qubit(plus)
+        mps.apply_cz(0, 1)
+        assert mps.max_bond == 1
+        assert mps.truncation_error > 0.1
+        assert np.linalg.norm(mps.to_array()) < 1.0
+
+    def test_unbounded_chi_is_exact(self):
+        mps = MPSState()
+        plus = np.array([1, 1]) / np.sqrt(2)
+        for _ in range(4):
+            mps.add_qubit(plus)
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            mps.apply_cz(a, b)
+        assert mps.truncation_error < 1e-20
+        assert np.linalg.norm(mps.to_array()) == pytest.approx(1.0, abs=1e-10)
+
+    def test_copy_is_independent(self):
+        mps = MPSState()
+        plus = np.array([1, 1]) / np.sqrt(2)
+        mps.add_qubit(plus)
+        mps.add_qubit(plus)
+        mps.apply_cz(0, 1)
+        snap = mps.copy()
+        mps.measure(0, MeasurementBasis.xy(0.3), force=0)
+        assert snap.num_qubits == 2
+        assert mps.num_qubits == 1
+
+
+class TestDenseInterchange:
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_from_dense_row_round_trip(self, k):
+        rng = np.random.default_rng(40 + k)
+        row = rng.normal(size=1 << k) + 1j * rng.normal(size=1 << k)
+        row /= np.linalg.norm(row)
+        mps = MPSState.from_dense_row(row)
+        assert mps.truncation_error == 0.0
+        np.testing.assert_allclose(mps.to_array(), row, atol=1e-10)
+
+    def test_from_dense_row_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="2\\^k"):
+            MPSState.from_dense_row(np.ones(3))
+
+    def test_zero_probability_branch_raises(self):
+        mps = MPSState()
+        mps.add_qubit([1, 0])  # |0>
+        with pytest.raises(ZeroProbabilityBranch):
+            mps.measure(0, MeasurementBasis.pauli("Z"), force=1)
