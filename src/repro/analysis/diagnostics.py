@@ -62,6 +62,9 @@ CODES = {
     "R023": "pauli_probs inconsistent with the channel's Kraus operators",
     "R101": "estimated peak bytes exceed the configured budget",
     "R102": "exact-integration branch bound exceeds the density engine cap",
+    "R103": "shard timeout: a supervised shard exceeded its wall-clock budget",
+    "R104": "worker death: a supervised shard worker died or errored and was retried",
+    "R105": "backend fallback: the degradation chain routed past a failed link",
     "C001": "np.random.default_rng called outside repro.utils.rng",
     "C002": "global numpy.random state used (unseeded, unreproducible)",
     "C003": "scalar RNG draw inside a kernel loop (breaks whole-block draw tables)",

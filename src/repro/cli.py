@@ -29,6 +29,17 @@ engine — the reported ``<cost>`` is then the true noisy expectation, no
 sampling anywhere.  ``verify --backend density`` compares branch *Choi
 states*: exact map equality with no phase bookkeeping.
 
+``run`` also exposes the :mod:`repro.exec` supervision layer:
+``--job-dir DIR`` turns the shots into a checkpointed job (completed shot
+blocks persist; re-running — or ``--resume JOBDIR`` with no problem
+argument — finishes only the missing blocks, bit-identically, and prints
+a ``records sha256`` receipt); ``--exact --shards N`` integrates under
+the shard supervisor (``--retries``, ``--shard-timeout``); and
+``--fallback CHAIN`` routes sampling through a backend degradation chain
+(``'mps->density->statevector'``), reporting every link skipped as an
+R105 diagnostic.  ``lint --fallback-chain CHAIN`` pre-flights such a
+chain statically.
+
 Problems are specified as ``kind:args``:
 
 - ``ring:N``            MaxCut on the N-cycle
@@ -147,7 +158,82 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_args(args: argparse.Namespace) -> argparse.Namespace:
+    """Rebuild the original ``run`` arguments from a job directory's
+    manifest (``repro run --resume JOBDIR``)."""
+    from repro.exec import load_manifest
+    from repro.mbqc.pattern import PatternError
+
+    manifest = load_manifest(args.resume)
+    if manifest is None:
+        raise ValueError(f"no checkpoint manifest in {args.resume}")
+    meta = manifest.get("cli")
+    if not meta:
+        raise PatternError(
+            f"job directory {args.resume} was not started by the CLI "
+            f"(no cli block in its manifest); resume it with "
+            f"repro.exec.run_checkpointed on the original program"
+        )
+    for key, value in meta.items():
+        setattr(args, key, value)
+    args.job_dir = args.resume
+    return args
+
+
+def _cmd_run_job(args: argparse.Namespace) -> int:
+    """The checkpointed records-only job path of ``repro run``."""
+    from repro.exec import records_digest, run_checkpointed
+
+    name, qubo, _ = parse_problem(args.problem)
+    gammas, betas = _resolve_params(
+        qubo, args.p, args.gamma, args.beta, args.optimize, args.seed
+    )
+    program = compile_qaoa_pattern(qubo, gammas, betas).executable()
+    noise = NoiseModel(p_prep=args.noise, p_ent=args.noise, p_meas=args.noise) \
+        if args.noise else None
+    # Persist the resolved parameters (not the unresolved flags) so a
+    # resume replays the identical program even if the optimizer changes.
+    meta = dict(
+        problem=args.problem, p=args.p, gamma=list(gammas), beta=list(betas),
+        optimize=False, seed=args.seed, noise=args.noise,
+        backend=args.backend, shots=args.shots, block_shots=args.block_shots,
+    )
+    result = run_checkpointed(
+        program,
+        args.shots,
+        job_dir=args.job_dir,
+        seed=args.seed,
+        backend=args.backend,
+        block_shots=args.block_shots,
+        noise=noise,
+        retries=args.retries,
+        cli_meta=meta,
+    )
+    print(f"problem        {name}")
+    print(f"backend        {result.backend} (checkpointed job)")
+    print(f"job dir        {result.job_dir}")
+    print(f"shots          {args.shots} in {result.n_blocks} blocks of "
+          f"{args.block_shots}")
+    print(f"blocks reused  {len(result.blocks_reused)}")
+    print(f"blocks run     {len(result.blocks_run)}")
+    print(f"records sha256 {records_digest(result.run)}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.resume:
+        args = _resume_args(args)
+    if args.job_dir:
+        if args.problem is None:
+            raise ValueError("a checkpointed job needs a problem spec")
+        if args.exact:
+            raise ValueError(
+                "--job-dir checkpoints sampling jobs; --exact does not "
+                "sample (nothing to checkpoint)"
+            )
+        return _cmd_run_job(args)
+    if args.problem is None:
+        raise ValueError("the following arguments are required: problem")
     name, qubo, problem = parse_problem(args.problem)
     gammas, betas = _resolve_params(qubo, args.p, args.gamma, args.beta, args.optimize, args.seed)
     compiled = compile_qaoa_pattern(qubo, gammas, betas)
@@ -166,7 +252,18 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"combined with --backend {args.backend}"
             )
         engine = get_backend("density")
-        run = engine.integrate(program, noise=noise)
+        if args.shards > 1:
+            from repro.exec import supervised_integrate
+
+            run = supervised_integrate(
+                program,
+                noise=noise,
+                shards=args.shards,
+                retries=args.retries,
+                shard_timeout=args.shard_timeout,
+            )
+        else:
+            run = engine.integrate(program, noise=noise)
         probs = run.probabilities()
         exact_cost = float(probs @ cost)
         support = probs > 1e-12
@@ -175,6 +272,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"backend        {engine.name} (exact channel integration)")
         print(f"pattern        {compiled.num_nodes()} nodes, {measured} measured, "
               f"{run.branches} merged outcome branches integrated")
+        supervision = getattr(run, "supervision", None)
+        if supervision is not None:
+            print(f"supervision    {args.shards} shards, "
+                  f"{supervision.retries} retries, "
+                  f"{supervision.timeouts} timeouts, "
+                  f"{supervision.resplits} re-splits, "
+                  f"{supervision.in_process} in-process fallbacks")
+            for diag in supervision.events:
+                print(f"               {diag.format()}")
         if noise is not None:
             print(f"noise          uniform rate {args.noise:g} (prep/ent depolarizing"
                   f" + readout flips)")
@@ -188,6 +294,34 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     if noise is not None:
         program = lower_noise(program, noise)
+    if args.fallback:
+        from repro.exec import FallbackPolicy, sample_with_fallback
+
+        policy = FallbackPolicy.parse(args.fallback)
+        runs = min(args.shots, 32)
+        batch, degradation = sample_with_fallback(
+            program, runs, policy, args.seed, keep_raw=True
+        )
+        samples = batch.sample_bitstrings(args.shots, rng)
+        costs = cost[samples]
+        best_idx = int(samples[np.argmin(costs)])
+        print(f"problem        {name}")
+        print(f"backend        {degradation.selected} "
+              f"(fallback chain {policy.format()})")
+        for event in degradation.events:
+            print(f"               {event.as_diagnostic().format()}")
+        print(f"pattern        {compiled.num_nodes()} nodes, "
+              f"{measured * runs} measurement outcomes consumed")
+        if noise is not None:
+            print(f"noise          uniform rate {args.noise:g}")
+        print(f"shots          {args.shots}")
+        print(f"<cost>         {costs.mean():.4f}")
+        print(f"best cost      {costs.min():.4f}")
+        print(f"best solution  {''.join(map(str, int_to_bitstring(best_idx, n)))}")
+        if isinstance(problem, MaxCut):
+            print(f"best cut       {problem.cut_value(int_to_bitstring(best_idx, n)):.0f} "
+                  f"(optimum {problem.max_cut_value():.0f})")
+        return 0
     engine = select_backend(program, args.backend, dense_outputs=True)
     if noise is not None:
         runs = min(args.shots, 32)
@@ -310,6 +444,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
         except PatternError as exc:
             print(f"backend        {args.backend}: {exc}")
             failed = True
+        if args.fallback_chain:
+            from repro.exec import FallbackPolicy, validate_fallback_chain
+
+            policy = FallbackPolicy.parse(args.fallback_chain)
+            validation = validate_fallback_chain(
+                program, policy, args.budget
+            )
+            print(validation.format(args.budget))
+            if not validation.ok:
+                failed = True
+
+    if args.fallback_chain and not (
+        args.problem is not None or args.pattern_json is not None
+    ):
+        raise ValueError(
+            "--fallback-chain pre-flights a chain against a compiled "
+            "pattern; pass a problem spec or --pattern-json"
+        )
 
     if args.contracts is not None:
         ran = True
@@ -334,8 +486,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("problem", help="problem spec, e.g. ring:6 or regular:3,8")
+    def add_common(
+        p: argparse.ArgumentParser, problem_optional: bool = False
+    ) -> None:
+        if problem_optional:
+            p.add_argument("problem", nargs="?", default=None,
+                           help="problem spec, e.g. ring:6 or regular:3,8 "
+                           "(optional with --resume)")
+        else:
+            p.add_argument("problem",
+                           help="problem spec, e.g. ring:6 or regular:3,8")
         p.add_argument("--p", type=int, default=1, help="QAOA depth")
         p.add_argument("--gamma", type=float, nargs="*", default=None)
         p.add_argument("--beta", type=float, nargs="*", default=None)
@@ -359,7 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     pr = sub.add_parser("run", help="compile, execute, and sample")
-    add_common(pr)
+    add_common(pr, problem_optional=True)
     pr.add_argument("--shots", type=int, default=256)
     pr.add_argument("--backend", **backend_kwargs)
     pr.add_argument("--noise", type=float, default=0.0,
@@ -369,6 +529,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="integrate noise channels exactly on the density "
                     "engine: <cost> is the true noisy expectation, no "
                     "sampling anywhere")
+    pr.add_argument("--shards", type=int, default=1,
+                    help="with --exact: fork the frontier integration "
+                    "across this many supervised worker processes")
+    pr.add_argument("--retries", type=int, default=2,
+                    help="bounded retries for a failed shard or shot block "
+                    "before escalating (re-split / in-process fallback)")
+    pr.add_argument("--shard-timeout", type=float, default=None,
+                    dest="shard_timeout", metavar="SECS",
+                    help="per-shard wall-clock budget in seconds; an "
+                    "overrun is retried (diagnostic R103)")
+    pr.add_argument("--fallback", default=None, metavar="CHAIN",
+                    help="backend degradation chain, e.g. "
+                    "'mps->density->statevector': links that cannot serve "
+                    "the pattern are routed past with an R105 diagnostic")
+    pr.add_argument("--job-dir", default=None, dest="job_dir", metavar="DIR",
+                    help="run the shots as a checkpointed job in DIR: each "
+                    "completed shot block is persisted, and re-running the "
+                    "same command resumes from the surviving blocks "
+                    "bit-identically")
+    pr.add_argument("--block-shots", type=int, default=1024,
+                    dest="block_shots",
+                    help="shots per checkpoint block (part of the job's "
+                    "record-stream identity, like --seed)")
+    pr.add_argument("--resume", default=None, metavar="JOBDIR",
+                    help="finish the checkpointed job in JOBDIR using the "
+                    "parameters persisted in its manifest (the problem "
+                    "spec argument is then not needed)")
     pr.set_defaults(func=cmd_run)
 
     pd = sub.add_parser("verify", help="branch-exhaustive determinism check")
@@ -411,6 +598,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="byte budget for the shot-chunk row of the "
                     "resource report (default 64 MiB)")
     pl.add_argument("--backend", **backend_kwargs)
+    pl.add_argument("--fallback-chain", default=None, dest="fallback_chain",
+                    metavar="CHAIN",
+                    help="pre-flight a backend degradation chain (e.g. "
+                    "'mps->density->statevector') against the compiled "
+                    "pattern: per-link support and byte-cost rows, a "
+                    "cost-ordering check, and which link would serve "
+                    "under --budget")
     pl.add_argument("--contracts", nargs="?", const="src", default=None,
                     metavar="PATH",
                     help="also run the seeded-stream contract linter over "

@@ -1,0 +1,417 @@
+"""Graceful backend degradation: declarative fallback chains.
+
+A :class:`FallbackPolicy` names an ordered chain of engines — e.g.
+``mps -> density -> statevector`` — from most preferred (usually
+cheapest) to last resort.  :func:`select_backend_with_fallback` walks the
+chain *statically*: a link that is not registered, cannot execute the
+pattern, or blows the byte budget (the R101 condition) is skipped with a
+recorded reason.  :func:`sample_with_fallback` adds the *dynamic*
+triggers: an MPS link whose probe run reports ``truncation_error`` above
+the policy tolerance degrades to the next link (bounded entanglement was
+the wrong assumption — silently truncated results are worse than slower
+exact ones), and a link that fails at runtime (``MemoryError``,
+:class:`~repro.mbqc.pattern.PatternError`) is abandoned for the next.
+
+Every skipped link becomes a :class:`DegradationEvent` (stable diagnostic
+code R105) in the returned :class:`DegradationReport`, so a degraded run
+is always *observable* — the caller learns which engine actually served
+and why the preferred ones did not.
+
+Determinism note: each link attempt builds a fresh generator from the
+policy seed, so the records of the serving engine do not depend on how
+many links failed before it.  Pass an ``int`` (or ``SeedSequence``) seed
+for this guarantee — a live ``Generator`` would be advanced by failed
+attempts.
+
+:func:`validate_fallback_chain` is the ``repro lint --fallback-chain``
+pre-flight: per-link rows (registered / supports / bytes-per-shot /
+fits-budget), an ordering check (links should be sorted by increasing
+cost so a fallback never gets *more* expensive to no benefit — chains
+violating it are flagged, not rejected), and which link would serve a
+given budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.resources import estimate_compiled, format_bytes
+from repro.mbqc.backend import SampleRun, _REGISTRY, get_backend
+from repro.mbqc.compile import CompiledPattern
+from repro.mbqc.pattern import PatternError
+from repro.utils.rng import SeedLike, ensure_rng, spawn_seeds
+
+#: Links in a chain may be separated by ``->`` (with optional spaces) or
+#: commas: ``"mps -> density -> statevector"`` == ``"mps,density,statevector"``.
+_SEPARATORS = ("->", ",")
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """A declarative degradation chain.
+
+    ``chain`` is the engine preference order; ``truncation_tol`` arms the
+    MPS truncation trigger (``None`` disarms it); ``max_bytes`` is the
+    per-shot byte budget a link must fit (``None`` = unbudgeted);
+    ``probe_shots`` sizes the cheap truncation probe."""
+
+    chain: Tuple[str, ...]
+    truncation_tol: Optional[float] = None
+    max_bytes: Optional[int] = None
+    probe_shots: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise ValueError("a fallback chain needs at least one engine")
+        if len(set(self.chain)) != len(self.chain):
+            raise ValueError(
+                f"fallback chain repeats an engine: {' -> '.join(self.chain)}"
+            )
+        if self.probe_shots < 1:
+            raise ValueError("probe_shots must be positive")
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        *,
+        truncation_tol: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        probe_shots: int = 8,
+    ) -> "FallbackPolicy":
+        """Parse ``"a -> b -> c"`` (or comma-separated) into a policy."""
+        text = spec
+        for sep in _SEPARATORS[1:]:
+            text = text.replace(sep, _SEPARATORS[0])
+        names = tuple(
+            part.strip() for part in text.split(_SEPARATORS[0]) if part.strip()
+        )
+        if not names:
+            raise ValueError(f"empty fallback chain spec {spec!r}")
+        return cls(
+            chain=names,
+            truncation_tol=truncation_tol,
+            max_bytes=max_bytes,
+            probe_shots=probe_shots,
+        )
+
+    def format(self) -> str:
+        return " -> ".join(self.chain)
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One chain link routed past, and why."""
+
+    backend: str
+    reason: str
+
+    def as_diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            code="R105",
+            severity=Severity.WARNING,
+            message=f"fallback past {self.backend!r}: {self.reason}",
+        )
+
+
+@dataclass
+class DegradationReport:
+    """How a fallback chain resolved: which engine was asked for, which
+    served, and every link skipped on the way (as R105 events)."""
+
+    requested: str
+    selected: Optional[str]
+    events: List[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return self.selected != self.requested
+
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return tuple(e.as_diagnostic() for e in self.events)
+
+    def format(self) -> str:
+        head = (
+            f"degradation: requested {self.requested!r}, "
+            f"served by {self.selected!r}"
+            if self.selected is not None
+            else f"degradation: requested {self.requested!r}, no link served"
+        )
+        if not self.events:
+            return head + " (no fallback taken)"
+        return "\n".join(
+            [head] + [e.as_diagnostic().format() for e in self.events]
+        )
+
+
+def _static_link_failure(
+    compiled: CompiledPattern, name: str, max_bytes: Optional[int]
+) -> Optional[str]:
+    """Why ``name`` cannot serve ``compiled`` statically — or ``None``."""
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        return f"engine is not registered (known: {known})"
+    backend = get_backend(name)
+    if not backend.supports(compiled):
+        return "engine does not support this pattern"
+    if max_bytes:
+        est = estimate_compiled(compiled)
+        try:
+            per = est.bytes_per_shot(name)
+        except ValueError:
+            per = None
+        if per is not None and per > max_bytes:
+            return (
+                f"R101 budget: needs {format_bytes(per)} per shot, over "
+                f"the {format_bytes(max_bytes)} budget"
+            )
+    return None
+
+
+def select_backend_with_fallback(
+    compiled: CompiledPattern, policy: FallbackPolicy
+):
+    """The first chain link that statically can serve ``compiled`` —
+    registered, supports the pattern, fits the policy byte budget — plus
+    the :class:`DegradationReport` of every link routed past.
+
+    Raises :class:`PatternError` when no link survives (the report's
+    events say why, link by link)."""
+    report = DegradationReport(requested=policy.chain[0], selected=None)
+    for name in policy.chain:
+        why = _static_link_failure(compiled, name, policy.max_bytes)
+        if why is None:
+            report.selected = name
+            return get_backend(name), report
+        report.events.append(DegradationEvent(backend=name, reason=why))
+    raise PatternError(
+        f"no link of the fallback chain {policy.format()} can serve this "
+        f"pattern:\n" + "\n".join(
+            f"  {e.backend}: {e.reason}" for e in report.events
+        )
+    )
+
+
+def _probe_truncation(
+    backend,
+    compiled: CompiledPattern,
+    policy: FallbackPolicy,
+    probe_seed,
+    noise,
+    input_state,
+) -> float:
+    """Worst accumulated MPS truncation error over a small probe batch."""
+    probe = backend.sample_batch(
+        compiled,
+        policy.probe_shots,
+        ensure_rng(probe_seed),
+        input_state=input_state,
+        noise=noise,
+        keep_raw=True,
+    )
+    return max(float(out.truncation_error) for out in probe.raw)
+
+
+def sample_with_fallback(
+    compiled: CompiledPattern,
+    n_shots: int,
+    policy: FallbackPolicy,
+    seed: SeedLike = None,
+    *,
+    noise: Optional[object] = None,
+    input_state: Optional[np.ndarray] = None,
+    keep_raw: bool = False,
+) -> Tuple[SampleRun, DegradationReport]:
+    """Run ``sample_batch`` through the degradation chain.
+
+    Walks the chain: static failures (unregistered, unsupported, over
+    budget) skip a link outright; a link with a ``truncation_error``
+    contract (the MPS engine) whose probe exceeds ``truncation_tol``
+    degrades to the next link; a link that fails at runtime with
+    ``MemoryError`` or :class:`PatternError` likewise.  Any other
+    exception propagates — degradation routes around *resource* failures,
+    not around bugs.  Returns the serving link's run plus the report."""
+    report = DegradationReport(requested=policy.chain[0], selected=None)
+    # One probe stream and one sampling stream per link, all derived from
+    # the caller seed so the serving link's records are a function of
+    # (seed, link) alone — independent of which earlier links failed.
+    if isinstance(seed, np.random.Generator):
+        raise ValueError(
+            "sample_with_fallback needs a reproducible seed (int or "
+            "SeedSequence), not a live Generator: failed link attempts "
+            "would advance it and change the serving link's records"
+        )
+    root = seed if seed is not None else int(np.random.SeedSequence().entropy)
+    link_seeds = spawn_seeds(root, 2 * len(policy.chain))
+
+    for li, name in enumerate(policy.chain):
+        why = _static_link_failure(compiled, name, policy.max_bytes)
+        if why is not None:
+            report.events.append(DegradationEvent(backend=name, reason=why))
+            continue
+        backend = get_backend(name)
+        probe_seed, run_seed = link_seeds[2 * li], link_seeds[2 * li + 1]
+        try:
+            if policy.truncation_tol is not None and hasattr(
+                backend, "chi_max"
+            ):
+                err = _probe_truncation(
+                    backend, compiled, policy, probe_seed, noise, input_state
+                )
+                if err > policy.truncation_tol:
+                    report.events.append(
+                        DegradationEvent(
+                            backend=name,
+                            reason=(
+                                f"truncation_error {err:.3g} exceeds the "
+                                f"{policy.truncation_tol:.3g} tolerance "
+                                f"over a {policy.probe_shots}-shot probe"
+                            ),
+                        )
+                    )
+                    continue
+            run = backend.sample_batch(
+                compiled,
+                n_shots,
+                ensure_rng(run_seed),
+                input_state=input_state,
+                noise=noise,
+                keep_raw=keep_raw,
+            )
+        except (MemoryError, PatternError) as exc:
+            report.events.append(
+                DegradationEvent(
+                    backend=name,
+                    reason=f"runtime failure: {type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        report.selected = name
+        return run, report
+
+    raise PatternError(
+        f"no link of the fallback chain {policy.format()} could serve this "
+        f"run:\n" + "\n".join(
+            f"  {e.backend}: {e.reason}" for e in report.events
+        )
+    )
+
+
+@dataclass(frozen=True)
+class ChainLinkCheck:
+    """One row of a :func:`validate_fallback_chain` report."""
+
+    backend: str
+    registered: bool
+    supports: bool
+    bytes_per_shot: Optional[int]
+    fits_budget: Optional[bool]
+    reason: Optional[str]
+
+    @property
+    def serves(self) -> bool:
+        return self.reason is None
+
+
+@dataclass
+class ChainValidation:
+    """The ``repro lint --fallback-chain`` pre-flight result."""
+
+    policy: FallbackPolicy
+    links: Tuple[ChainLinkCheck, ...]
+    serving: Optional[str]
+    ordered_by_cost: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.serving is not None
+
+    def format(self, budget: Optional[int]) -> str:
+        lines = [f"fallback chain: {self.policy.format()}"]
+        for link in self.links:
+            if link.serves:
+                status = "ok"
+            else:
+                status = link.reason
+            per = (
+                format_bytes(link.bytes_per_shot)
+                if link.bytes_per_shot is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  {link.backend:<12} {per:>10}/shot  {status}"
+            )
+        if not self.ordered_by_cost:
+            lines.append(
+                "  warning: chain is not ordered by increasing "
+                "bytes_per_shot — a fallback link costs less than its "
+                "predecessor buys"
+            )
+        if self.serving is None:
+            lines.append(
+                "  no link can serve this pattern"
+                + (f" under {format_bytes(budget)}" if budget else "")
+            )
+        else:
+            lines.append(
+                f"  serving link: {self.serving!r}"
+                + (f" under {format_bytes(budget)}" if budget else "")
+            )
+        return "\n".join(lines)
+
+
+def validate_fallback_chain(
+    compiled: CompiledPattern,
+    policy: FallbackPolicy,
+    budget: Optional[int] = None,
+) -> ChainValidation:
+    """Statically validate a declared chain against one pattern: per-link
+    registration / support / byte-cost rows, a cost-ordering check, and
+    which link would serve under ``budget``."""
+    est = estimate_compiled(compiled)
+    links: List[ChainLinkCheck] = []
+    serving: Optional[str] = None
+    costs: List[int] = []
+    for name in policy.chain:
+        registered = name in _REGISTRY
+        supports = registered and get_backend(name).supports(compiled)
+        per: Optional[int] = None
+        if registered:
+            try:
+                per = est.bytes_per_shot(name)
+            except ValueError:
+                per = None
+        fits: Optional[bool] = None
+        if budget and per is not None:
+            fits = per <= budget
+        if not registered:
+            reason = "not registered"
+        elif not supports:
+            reason = "does not support this pattern"
+        elif fits is False:
+            reason = f"over budget ({format_bytes(per)}/shot)"
+        else:
+            reason = None
+        if per is not None:
+            costs.append(per)
+        links.append(
+            ChainLinkCheck(
+                backend=name,
+                registered=registered,
+                supports=supports,
+                bytes_per_shot=per,
+                fits_budget=fits,
+                reason=reason,
+            )
+        )
+        if reason is None and serving is None:
+            serving = name
+    ordered = all(costs[i] <= costs[i + 1] for i in range(len(costs) - 1))
+    return ChainValidation(
+        policy=policy, links=tuple(links), serving=serving,
+        ordered_by_cost=ordered,
+    )

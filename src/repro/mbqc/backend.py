@@ -397,10 +397,29 @@ class PatternBackend(Protocol):
 
 
 def _check_n_shots(n_shots: int, name: str) -> None:
-    if n_shots < 1:
+    if n_shots < 0:
         raise ValueError(
-            f"the {name} engine needs a positive n_shots, got {n_shots}"
+            f"the {name} engine needs a non-negative n_shots, got {n_shots}"
         )
+
+
+def _empty_sample_run(
+    compiled: CompiledPattern, keep_raw: bool, dense: bool = False
+) -> SampleRun:
+    """The uniform ``n_shots=0`` result: a well-shaped empty record block,
+    no RNG draw, no chunk planning.  Every engine early-returns this
+    after validating its inputs, so a zero-shot request succeeds exactly
+    when a one-shot request would (contract shared by all four engines —
+    the checkpoint executor's empty-job path relies on it)."""
+    return SampleRun(
+        nodes=compiled.measured_nodes,
+        outcomes=np.zeros((0, len(compiled.measured_nodes)), dtype=np.int8),
+        states=(
+            np.zeros((0, 1 << compiled.num_outputs), dtype=complex)
+            if dense else None
+        ),
+        raw=() if keep_raw and not dense else None,
+    )
 
 
 def _input_row(
@@ -523,6 +542,8 @@ class StatevectorBackend:
         if noise is not None:
             compiled = lower_noise(compiled, noise)
         row = _input_row(compiled, input_state, self.name)
+        if n_shots == 0:
+            return _empty_sample_run(compiled, keep_raw, dense=True)
         sv = BatchedStateVector.from_arrays(np.tile(row, (n_shots, 1)))
         rec: Dict[int, np.ndarray] = {}  # node -> (B,) outcome bits
         since_renorm = 0
@@ -875,6 +896,8 @@ class StabilizerBackend:
             compiled = lower_noise(compiled, noise)
         self._require_clifford(compiled)
         row = _input_row(compiled, input_state, self.name)
+        if n_shots == 0:
+            return _empty_sample_run(compiled, keep_raw)
         n_total = self._total_nodes(compiled)
         eligible = n_total > 0 and _batch_applicable(compiled)
         if vectorize is None:

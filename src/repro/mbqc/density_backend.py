@@ -43,7 +43,9 @@ all three backends execute the identical noise program.
 
 from __future__ import annotations
 
+import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -55,6 +57,7 @@ from repro.mbqc.backend import (
     SampleRun,
     _check_branch,
     _check_n_shots,
+    _empty_sample_run,
     _input_row,
     _measure_vecs,
     _parity_vec,
@@ -778,6 +781,8 @@ class DensityMatrixBackend:
         forced = dict(forced_outcomes or {})
         row = _input_row(compiled, input_state, self.name)
         row = row / np.linalg.norm(row)
+        if n_shots == 0:
+            return _empty_sample_run(compiled, keep_raw)
         # Channels are exact, so the draw schedule is shot-independent by
         # construction: both paths share one whole-block vector table.
         draws = _ShotDrawTable(rng, n_shots)
@@ -979,9 +984,6 @@ class DensityMatrixBackend:
         silently folded in.  The static branch bound for the chosen path
         must stay within ``max_branches`` (R102).
         """
-        if noise is not None:
-            compiled = lower_noise(compiled, noise)
-        self._require_reach(compiled)
         shards = int(shards)
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -990,6 +992,31 @@ class DensityMatrixBackend:
                 "shards requires the vectorized frontier integrator; drop "
                 "shards or drop vectorize=False"
             )
+        compiled, plan, row = self._integration_setup(
+            compiled, noise, input_state, max_branches, vectorize
+        )
+        if vectorize:
+            return self._integrate_frontier(
+                compiled, plan, row, prune_tol, max_block_bytes, shards
+            )
+        return self._integrate_scalar(compiled, plan, row, prune_tol)
+
+    def _integration_setup(
+        self,
+        compiled: CompiledPattern,
+        noise: Optional[object],
+        input_state: Optional[np.ndarray],
+        max_branches: int = DENSITY_MAX_BRANCHES,
+        vectorize: bool = True,
+    ) -> Tuple[CompiledPattern, _FrontierPlan, np.ndarray]:
+        """Shared front half of exact integration: lower ``noise``, check
+        reach and the R102 branch bound, and normalize the input row.
+        Factored out of :meth:`integrate` so the execution supervisor
+        (:func:`repro.exec.supervisor.supervised_integrate`) applies the
+        identical guards before taking over shard orchestration."""
+        if noise is not None:
+            compiled = lower_noise(compiled, noise)
+        self._require_reach(compiled)
         plan = _frontier_plan(compiled)
         raw_bound = _raw_branch_bound(compiled.ops, plan.dead)
         bound = plan.merged_bound if vectorize else raw_bound
@@ -1005,11 +1032,7 @@ class DensityMatrixBackend:
             )
         row = _input_row(compiled, input_state)
         row = row / np.linalg.norm(row)
-        if vectorize:
-            return self._integrate_frontier(
-                compiled, plan, row, prune_tol, max_block_bytes, shards
-            )
-        return self._integrate_scalar(compiled, plan, row, prune_tol)
+        return compiled, plan, row
 
     def _integrate_frontier(
         self,
@@ -1049,7 +1072,22 @@ class DensityMatrixBackend:
                     )
                     for c in cuts
                 ]
-                results = [f.result() for f in futures]
+                results = []
+                for k, f in enumerate(futures):
+                    try:
+                        results.append(f.result())
+                    except (BrokenProcessPool, pickle.PicklingError) as exc:
+                        raise PatternError(
+                            f"shard {k}/{len(cuts)} of the frontier "
+                            f"integration died ({type(exc).__name__}: "
+                            f"{exc}); the shard held {cuts[k].size} of "
+                            f"{b} frontier branches. Retry with "
+                            f"supervision — repro.exec.supervised_integrate"
+                            f"(..., shards={shards}, retries=, "
+                            f"shard_timeout=) recovers worker deaths and "
+                            f"can fall back in-process (CLI: repro run "
+                            f"--exact --shards {shards} --retries N)"
+                        ) from exc
             acc = results[0][0]
             for part, _, _ in results[1:]:
                 acc = acc + part

@@ -41,6 +41,7 @@ from repro.mbqc.backend import (
     _check_branch,
     _check_branch_noiseless,
     _check_n_shots,
+    _empty_sample_run,
     _input_row,
     _measure_vecs,
     _parity_vec,
@@ -264,6 +265,8 @@ class MPSBackend:
             if type(op) is ChannelOp:
                 _require_pauli_channel(op)  # fail fast, before any shots run
         row = _input_row(compiled, input_state, self.name)
+        if n_shots == 0:
+            return _empty_sample_run(compiled, keep_raw)
         draws = _ShotDrawTable(rng, n_shots)
         rec: Dict[int, np.ndarray] = {
             node: np.empty(n_shots, dtype=np.int8)

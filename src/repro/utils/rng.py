@@ -12,7 +12,7 @@ from typing import Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator]
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -21,10 +21,28 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     Parameters
     ----------
     seed:
-        ``None`` for OS entropy, an ``int`` for a deterministic stream, or an
+        ``None`` for OS entropy, an ``int`` or
+        :class:`numpy.random.SeedSequence` for a deterministic stream, or an
         existing generator which is returned unchanged (so callers can thread
         one generator through a pipeline).
     """
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: Union[int, np.random.SeedSequence], n: int) -> tuple:
+    """``n`` independent child :class:`numpy.random.SeedSequence` streams of
+    one root seed.
+
+    The derivation is a pure function of ``(seed, n-index)``: child ``i`` is
+    the same stream no matter which process spawns it or in which order —
+    the property the checkpointed shot-block executor
+    (:mod:`repro.exec.checkpoint`) relies on to re-run only the missing
+    blocks of a crashed job and still reproduce the uninterrupted record
+    stream bit for bit."""
+    root = (
+        seed if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return tuple(root.spawn(int(n)))

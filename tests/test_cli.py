@@ -194,3 +194,79 @@ class TestLintCommand:
     def test_lint_nothing_to_do_errors(self, capsys):
         assert main(["lint"]) == 2
         assert "nothing to lint" in capsys.readouterr().err
+
+
+class TestExecCommands:
+    """The robustness layer's CLI surface: checkpointed jobs + resume,
+    supervised exact integration, fallback chains, and the chain
+    pre-flight under lint."""
+
+    JOB = ["run", "ring:4", "--gamma", "0.6", "--beta", "0.4",
+           "--shots", "48", "--block-shots", "16", "--seed", "5"]
+
+    def test_job_then_resume_same_digest(self, tmp_path, capsys):
+        job = str(tmp_path / "job")
+        assert main(self.JOB + ["--job-dir", job]) == 0
+        first = capsys.readouterr().out
+        assert "checkpointed job" in first
+        assert "blocks run     3" in first
+        digest = [ln for ln in first.splitlines()
+                  if ln.startswith("records sha256")][0]
+        # Resume needs only the job directory; the manifest replays the
+        # original arguments and every block is reused.
+        assert main(["run", "--resume", job]) == 0
+        second = capsys.readouterr().out
+        assert "blocks reused  3" in second
+        assert "blocks run     0" in second
+        assert digest in second
+
+    def test_job_dir_requires_problem(self, tmp_path, capsys):
+        assert main(["run", "--job-dir", str(tmp_path / "j")]) == 2
+        assert "needs a problem spec" in capsys.readouterr().err
+
+    def test_job_dir_rejects_exact(self, tmp_path, capsys):
+        rc = main(self.JOB + ["--job-dir", str(tmp_path / "j"), "--exact"])
+        assert rc == 2
+        assert "nothing to checkpoint" in capsys.readouterr().err
+
+    def test_resume_without_manifest_errors(self, tmp_path, capsys):
+        assert main(["run", "--resume", str(tmp_path)]) == 2
+        assert "no checkpoint manifest" in capsys.readouterr().err
+
+    def test_exact_sharded_prints_supervision(self, capsys):
+        rc = main(["run", "ring:4", "--gamma", "0.6", "--beta", "0.4",
+                   "--exact", "--noise", "0.02", "--shards", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "supervision    2 shards" in out
+
+    def test_fallback_chain_degrades_and_reports(self, capsys):
+        # ring:4 at these angles is non-Clifford: the stabilizer link is
+        # routed past with a printed R105 diagnostic.
+        rc = main(["run", "ring:4", "--gamma", "0.6", "--beta", "0.4",
+                   "--shots", "32", "--seed", "5",
+                   "--fallback", "stabilizer->statevector"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend        statevector (fallback chain " in out
+        assert "stabilizer -> statevector" in out
+        assert "R105" in out
+        assert "best cost" in out
+
+    def test_lint_fallback_chain_preflight(self, capsys):
+        rc = main(["lint", "ring:4", "--gamma", "0.6", "--beta", "0.4",
+                   "--fallback-chain", "statevector->mps->density"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fallback chain: statevector -> mps -> density" in out
+        assert "serving link: 'statevector'" in out
+
+    def test_lint_fallback_chain_unserviceable_fails(self, capsys):
+        rc = main(["lint", "ring:4", "--gamma", "0.6", "--beta", "0.4",
+                   "--fallback-chain", "stabilizer"])
+        assert rc == 1
+        assert "no link can serve" in capsys.readouterr().out
+
+    def test_lint_fallback_chain_needs_pattern(self, capsys):
+        assert main(["lint", "--fallback-chain", "mps->density"]) == 2
+        assert "pre-flights" in capsys.readouterr().err

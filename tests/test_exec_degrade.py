@@ -1,0 +1,254 @@
+"""Graceful backend degradation (`repro.exec.degrade`).
+
+Certification claims: a fallback chain skips links that statically cannot
+serve (unregistered, unsupported, over the R101 byte budget) and links
+that dynamically fail (MPS truncation over tolerance, runtime MemoryError
+/ PatternError), each skip recorded as an R105 DegradationEvent; the
+serving link's records are a pure function of (seed, link position) —
+independent of how its predecessors failed; and the
+``repro lint --fallback-chain`` pre-flight reports per-link rows, the
+serving link, and cost-ordering violations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_qaoa_pattern
+from repro.exec import (
+    FallbackPolicy,
+    sample_with_fallback,
+    select_backend_with_fallback,
+    validate_fallback_chain,
+)
+from repro.mbqc import get_backend
+from repro.mbqc.backend import _REGISTRY, register_backend
+from repro.mbqc.mps_backend import MPSBackend
+from repro.mbqc.pattern import PatternError
+from repro.problems import MaxCut
+from repro.utils.rng import ensure_rng, spawn_seeds
+
+
+@pytest.fixture(scope="module")
+def qaoa():
+    return compile_qaoa_pattern(
+        MaxCut.ring(4).to_qubo(), [0.6], [0.4]
+    ).executable()
+
+
+class _FailingBackend:
+    """A registry stand-in that supports everything and fails at runtime."""
+
+    def __init__(self, name, exc):
+        self.name = name
+        self._exc = exc
+
+    def supports(self, compiled):
+        return True
+
+    def sample_batch(self, *a, **kw):
+        raise self._exc
+
+
+@pytest.fixture
+def flaky():
+    backend = _FailingBackend("flaky", MemoryError("worker OOM"))
+    register_backend(backend)
+    yield backend
+    _REGISTRY.pop("flaky", None)
+
+
+@pytest.fixture
+def buggy():
+    backend = _FailingBackend("buggy", RuntimeError("a real bug"))
+    register_backend(backend)
+    yield backend
+    _REGISTRY.pop("buggy", None)
+
+
+@pytest.fixture
+def mps_tight():
+    """An MPS engine whose bond cap is far too small for the QAOA
+    pattern — its truncation probe reports a large error."""
+    register_backend(MPSBackend(chi_max=1), name="mps-tight")
+    yield "mps-tight"
+    _REGISTRY.pop("mps-tight", None)
+
+
+class TestPolicy:
+    def test_parse_arrows(self):
+        p = FallbackPolicy.parse("mps -> density -> statevector")
+        assert p.chain == ("mps", "density", "statevector")
+
+    def test_parse_commas_and_mixed_spacing(self):
+        p = FallbackPolicy.parse("mps,density ,  statevector")
+        assert p.chain == ("mps", "density", "statevector")
+        assert p.format() == "mps -> density -> statevector"
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            FallbackPolicy.parse("  ->  ")
+
+    def test_repeated_link_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            FallbackPolicy(chain=("mps", "mps"))
+
+    def test_probe_shots_positive(self):
+        with pytest.raises(ValueError, match="probe_shots"):
+            FallbackPolicy(chain=("mps",), probe_shots=0)
+
+
+class TestStaticSelection:
+    def test_first_link_serves_clean(self, qaoa):
+        backend, report = select_backend_with_fallback(
+            qaoa, FallbackPolicy(chain=("statevector",))
+        )
+        assert backend.name == "statevector"
+        assert not report.degraded
+        assert report.events == []
+        assert "no fallback taken" in report.format()
+
+    def test_unsupported_link_skipped(self, qaoa):
+        # The QAOA pattern is non-Clifford; the stabilizer link is
+        # skipped statically with an R105 event.
+        backend, report = select_backend_with_fallback(
+            qaoa, FallbackPolicy(chain=("stabilizer", "statevector"))
+        )
+        assert backend.name == "statevector"
+        assert report.degraded
+        [event] = report.events
+        assert event.backend == "stabilizer"
+        assert "does not support" in event.reason
+        assert event.as_diagnostic().code == "R105"
+
+    def test_unregistered_link_skipped(self, qaoa):
+        backend, report = select_backend_with_fallback(
+            qaoa, FallbackPolicy(chain=("no-such-engine", "statevector"))
+        )
+        assert backend.name == "statevector"
+        assert "not registered" in report.events[0].reason
+
+    def test_budget_link_skipped(self, qaoa):
+        # mps needs 2560 B/shot on this pattern, statevector 512 B.
+        policy = FallbackPolicy(
+            chain=("mps", "statevector"), max_bytes=1000
+        )
+        backend, report = select_backend_with_fallback(qaoa, policy)
+        assert backend.name == "statevector"
+        assert "R101 budget" in report.events[0].reason
+
+    def test_no_link_serves_raises_with_reasons(self, qaoa):
+        policy = FallbackPolicy(
+            chain=("stabilizer", "no-such-engine"),
+        )
+        with pytest.raises(PatternError) as err:
+            select_backend_with_fallback(qaoa, policy)
+        msg = str(err.value)
+        assert "stabilizer: " in msg
+        assert "no-such-engine: " in msg
+
+
+class TestDynamicFallback:
+    def test_truncation_probe_degrades(self, qaoa, mps_tight):
+        policy = FallbackPolicy(
+            chain=(mps_tight, "statevector"), truncation_tol=1e-6
+        )
+        run, report = sample_with_fallback(qaoa, 16, policy, seed=3)
+        assert report.selected == "statevector"
+        assert report.degraded
+        [event] = report.events
+        assert "truncation_error" in event.reason
+        assert run.outcomes.shape[0] == 16
+
+    def test_truncation_within_tolerance_serves(self, qaoa):
+        # The default-chi MPS engine represents this pattern exactly.
+        policy = FallbackPolicy(
+            chain=("mps", "statevector"), truncation_tol=1e-6
+        )
+        run, report = sample_with_fallback(qaoa, 16, policy, seed=3)
+        assert report.selected == "mps"
+        assert not report.degraded
+
+    def test_runtime_memory_error_degrades(self, qaoa, flaky):
+        policy = FallbackPolicy(chain=("flaky", "statevector"))
+        run, report = sample_with_fallback(qaoa, 8, policy, seed=3)
+        assert report.selected == "statevector"
+        assert "runtime failure: MemoryError" in report.events[0].reason
+
+    def test_unexpected_exception_propagates(self, qaoa, buggy):
+        # Degradation routes around resource failures, not around bugs.
+        policy = FallbackPolicy(chain=("buggy", "statevector"))
+        with pytest.raises(RuntimeError, match="a real bug"):
+            sample_with_fallback(qaoa, 8, policy, seed=3)
+
+    def test_generator_seed_rejected(self, qaoa):
+        with pytest.raises(ValueError, match="Generator"):
+            sample_with_fallback(
+                qaoa, 8, FallbackPolicy(chain=("statevector",)),
+                seed=ensure_rng(0),
+            )
+
+    def test_serving_records_are_function_of_seed_and_link(
+        self, qaoa, flaky
+    ):
+        """The serving link draws from its own spawned stream, so its
+        records do not depend on the failed links before it."""
+        policy = FallbackPolicy(chain=("flaky", "statevector"))
+        run, report = sample_with_fallback(qaoa, 32, policy, seed=11)
+        # statevector is link 1; its sampling stream is child 2*1 + 1.
+        run_seed = spawn_seeds(11, 2 * len(policy.chain))[3]
+        direct = get_backend("statevector").sample_batch(
+            qaoa, 32, ensure_rng(run_seed)
+        )
+        assert np.array_equal(run.outcomes, direct.outcomes)
+
+    def test_exhausted_chain_raises(self, qaoa, flaky):
+        policy = FallbackPolicy(chain=("flaky",))
+        with pytest.raises(PatternError, match="no link"):
+            sample_with_fallback(qaoa, 8, policy, seed=3)
+
+
+class TestValidation:
+    def test_rows_and_serving_link(self, qaoa):
+        policy = FallbackPolicy.parse("statevector -> mps -> density")
+        v = validate_fallback_chain(qaoa, policy)
+        assert v.ok
+        assert v.serving == "statevector"
+        assert [link.backend for link in v.links] == [
+            "statevector", "mps", "density"
+        ]
+        assert all(link.registered for link in v.links)
+        # 512 < 2560 < 16384: the chain is cost-ordered.
+        assert v.ordered_by_cost
+        text = v.format(None)
+        assert "serving link: 'statevector'" in text
+
+    def test_unregistered_row(self, qaoa):
+        v = validate_fallback_chain(
+            qaoa, FallbackPolicy(chain=("no-such-engine", "statevector"))
+        )
+        assert not v.links[0].registered
+        assert v.links[0].reason == "not registered"
+        assert v.serving == "statevector"
+
+    def test_budget_moves_serving_link(self, qaoa):
+        policy = FallbackPolicy.parse("mps -> statevector")
+        v = validate_fallback_chain(qaoa, policy, budget=1000)
+        assert v.links[0].fits_budget is False
+        assert "over budget" in v.links[0].reason
+        assert v.serving == "statevector"
+
+    def test_ordering_violation_flagged(self, qaoa):
+        # mps (2560 B/shot) before statevector (512 B/shot): the
+        # fallback would be cheaper than the preference — flagged.
+        policy = FallbackPolicy.parse("mps -> statevector")
+        v = validate_fallback_chain(qaoa, policy)
+        assert not v.ordered_by_cost
+        assert "not ordered" in v.format(None)
+
+    def test_nothing_serves(self, qaoa):
+        v = validate_fallback_chain(
+            qaoa, FallbackPolicy(chain=("stabilizer",))
+        )
+        assert not v.ok
+        assert v.serving is None
+        assert "no link can serve" in v.format(None)

@@ -702,7 +702,7 @@ class TestBatchedTableauSampler:
         qubo = MaxCut.ring(3).to_qubo()
         c = compile_pattern(compile_qaoa_pattern(qubo, [0.0], [0.0]).pattern)
         with pytest.raises(ValueError, match="stabilizer"):
-            get_backend("stabilizer").sample_batch(c, 0)
+            get_backend("stabilizer").sample_batch(c, -1)
         with pytest.raises(ValueError, match="statevector"):
             get_backend("statevector").sample_batch(c, -1)
         branch = {node: 0 for node in c.measured_nodes}
