@@ -1,0 +1,204 @@
+"""E27 — serving-layer cache latency and coalescing bit-identity.
+
+The serving layer's two claims, certified together:
+
+* **Repeat-traffic latency.**  A warm cache hit (memory tier) answers a
+  compile request at least 5x faster than a cold compile — the whole
+  point of compile-once / serve-many.  The disk tier's ratio is also
+  reported (it pays pickle + integrity hashing, so it sits between the
+  memory tier and a cold compile), along with the hit ratio a bursty
+  same-pattern job stream achieves through the server.
+* **Coalescing bit-identity.**  Jobs fused into one shared
+  ``sample_batch`` call produce receipts byte-equal to their standalone
+  checkpointed runs — batching changes wall-clock, never records.
+
+Emits ``BENCH_E27.json`` in the working directory.  Set
+``REPRO_BENCH_QUICK=1`` for the trimmed CI smoke variant.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.core import compile_qaoa_pattern
+from repro.exec import records_digest, run_checkpointed
+from repro.mbqc.compile import (
+    _basis_block,
+    _basis_table,
+    _clifford_words,
+    _pauli_table,
+)
+from repro.mbqc.noise import NoiseModel
+from repro.problems import MaxCut
+from repro.serve import JobServer, PatternCache
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+# The latency experiment wants a pattern big enough that compilation is
+# worth caching; the sampling experiments want one cheap enough that the
+# statevector engine isn't the bottleneck being measured.
+RING = 8 if QUICK else 14
+DEPTH = 2 if QUICK else 3
+SAMPLE_RING = 6 if QUICK else 8
+SAMPLE_DEPTH = 1 if QUICK else 2
+REPEATS = 3 if QUICK else 5
+SHOTS = 120 if QUICK else 480
+BLOCK_SHOTS = 60 if QUICK else 120
+WARM_SPEEDUP_BOUND = 5.0
+
+_RESULTS = {}
+
+
+def qaoa_pattern(n=RING, p=DEPTH):
+    angles = [0.37 + 0.11 * i for i in range(p)]
+    return compile_qaoa_pattern(
+        MaxCut.ring(n).to_qubo(), angles, angles[::-1]
+    ).pattern
+
+
+def _clear_compile_memos():
+    """Drop the compiler's in-process memo tables so a 'cold' compile
+    pays the full lowering cost, as a fresh process would."""
+    _clifford_words.cache_clear()
+    _basis_table.cache_clear()
+    _basis_block.cache_clear()
+    _pauli_table.cache_clear()
+
+
+def test_e27_cache_latency_tiers():
+    print("\nE27 — compiled-pattern cache: cold vs disk tier vs memory tier")
+    pattern = qaoa_pattern()
+    noise = NoiseModel(p_prep=0.01, p_ent=0.01, p_meas=0.01)
+    with tempfile.TemporaryDirectory() as tmp:
+        cold, disk, memory = [], [], []
+        for _ in range(REPEATS):
+            # Cold: empty cache directory, empty compiler memos.
+            with tempfile.TemporaryDirectory(dir=tmp) as cold_dir:
+                _clear_compile_memos()
+                cache = PatternCache(cold_dir)
+                t0 = time.perf_counter()
+                cache.get_or_compile(pattern, noise=noise)
+                cold.append(time.perf_counter() - t0)
+            # Warm tiers share one persistent directory.
+            warm = PatternCache(os.path.join(tmp, "warm"))
+            warm.get_or_compile(pattern, noise=noise)  # populate
+            disk_reader = PatternCache(
+                os.path.join(tmp, "warm"), memory_entries=0
+            )
+            t0 = time.perf_counter()
+            disk_reader.get_or_compile(pattern, noise=noise)
+            disk.append(time.perf_counter() - t0)
+            assert disk_reader.stats.disk_hits == 1
+            t0 = time.perf_counter()
+            warm.get_or_compile(pattern, noise=noise)
+            memory.append(time.perf_counter() - t0)
+            assert warm.stats.memory_hits == 1
+    t_cold, t_disk, t_memory = min(cold), min(disk), min(memory)
+    disk_ratio = t_cold / max(t_disk, 1e-9)
+    memory_ratio = t_cold / max(t_memory, 1e-9)
+    _RESULTS["cache_latency"] = {
+        "ring": RING,
+        "depth": DEPTH,
+        "cold_compile_s": t_cold,
+        "disk_hit_s": t_disk,
+        "memory_hit_s": t_memory,
+        "disk_speedup": disk_ratio,
+        "memory_speedup": memory_ratio,
+    }
+    print(f"  cold {1e3 * t_cold:8.2f} ms   disk hit {1e3 * t_disk:8.2f} ms "
+          f"({disk_ratio:5.1f}x)   memory hit {1e6 * t_memory:8.1f} us "
+          f"({memory_ratio:5.1f}x)")
+    assert memory_ratio >= WARM_SPEEDUP_BOUND, memory_ratio
+    assert t_disk < t_cold  # the disk tier must also beat recompiling
+
+
+def test_e27_repeat_traffic_through_server():
+    print("\nE27 — repeat same-pattern traffic through the job server")
+    with tempfile.TemporaryDirectory() as tmp:
+        with JobServer(
+            cache_dir=os.path.join(tmp, "cache"), executor="inline"
+        ) as srv:
+            base = {
+                "kind": "run", "problem": f"ring:{SAMPLE_RING}",
+                "gammas": [0.4] * SAMPLE_DEPTH, "betas": [0.7] * SAMPLE_DEPTH,
+                "shots": SHOTS, "block_shots": BLOCK_SHOTS,
+                "noise": 0.02, "backend": "statevector",
+            }
+            latencies = []
+            for i in range(REPEATS + 1):
+                t0 = time.perf_counter()
+                srv.submit({**base, "id": f"j{i}", "seed": 100 + i})
+                srv.result(f"j{i}", timeout=300)
+                latencies.append(time.perf_counter() - t0)
+            stats = srv.cache.stats.as_dict()
+    _RESULTS["repeat_traffic"] = {
+        "jobs": REPEATS + 1,
+        "first_job_s": latencies[0],
+        "best_repeat_s": min(latencies[1:]),
+        "cache_stats": stats,
+    }
+    print(f"  first job {1e3 * latencies[0]:8.1f} ms   "
+          f"best repeat {1e3 * min(latencies[1:]):8.1f} ms   "
+          f"hits {stats['memory_hits']}/{REPEATS + 1}")
+    assert stats["misses"] == 1
+    assert stats["memory_hits"] == REPEATS
+
+
+def test_e27_coalescing_bit_identity():
+    print("\nE27 — coalesced receipts equal standalone checkpointed runs")
+    seeds = (7, 11, 13)
+    base = {
+        "kind": "run", "problem": f"ring:{SAMPLE_RING}",
+        "gammas": [0.4] * SAMPLE_DEPTH, "betas": [0.7] * SAMPLE_DEPTH,
+        "shots": SHOTS, "block_shots": BLOCK_SHOTS,
+        "noise": 0.02, "backend": "statevector",
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        with JobServer(
+            cache_dir=os.path.join(tmp, "cache"), executor="inline"
+        ) as srv:
+            sub = srv.subscribe()
+            srv.pause()
+            for s in seeds:
+                srv.submit({**base, "id": f"s{s}", "seed": s})
+            srv.resume()
+            receipts = {
+                s: srv.result(f"s{s}", timeout=300).records_sha256
+                for s in seeds
+            }
+            events = []
+            while not sub.empty():
+                events.append(sub.get())
+        blocks = [e for e in events if e.get("event") == "block"]
+        fused = [e for e in blocks if e.get("coalesced")]
+
+        compiled = compile_qaoa_pattern(
+            MaxCut.ring(SAMPLE_RING).to_qubo(),
+            [0.4] * SAMPLE_DEPTH, [0.7] * SAMPLE_DEPTH,
+        ).executable()
+        noise = NoiseModel(p_prep=0.02, p_ent=0.02, p_meas=0.02)
+        identical = True
+        for s in seeds:
+            ref = run_checkpointed(
+                compiled, SHOTS, job_dir=os.path.join(tmp, f"ref{s}"),
+                seed=s, backend="statevector", block_shots=BLOCK_SHOTS,
+                noise=noise,
+            )
+            identical = identical and (records_digest(ref.run) == receipts[s])
+    _RESULTS["coalescing"] = {
+        "jobs": len(seeds),
+        "blocks": len(blocks),
+        "coalesced_blocks": len(fused),
+        "receipts_bit_identical": identical,
+    }
+    print(f"  {len(fused)}/{len(blocks)} blocks coalesced   receipts "
+          f"{'same' if identical else 'DIFFER'}")
+    assert fused, "no blocks coalesced — pause/resume fusion regressed"
+    assert identical
+
+
+def test_e27_emit_json():
+    with open("BENCH_E27.json", "w") as fh:
+        json.dump(_RESULTS, fh, indent=2)
+    print("  wrote BENCH_E27.json")

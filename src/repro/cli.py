@@ -12,6 +12,13 @@ Subcommands
                estimate, and/or run the seeded-stream contract linter over
                a source tree (``--contracts``); exits 1 on error-severity
                diagnostics (see README's diagnostic code table)
+``serve``      async job server: accept run/verify/sample jobs as JSON
+               lines (stdin by default, or a local TCP socket with
+               ``--port``), coalesce same-pattern jobs into fused
+               ``sample_batch`` calls across a worker pool, and stream
+               per-block events plus a final records-sha256 receipt per
+               job; ``--cache-dir`` adds the content-addressed
+               compiled-pattern cache (shared with ``run --cache-dir``)
 
 ``run``, ``verify``, and ``lint`` take ``--backend`` with choices drawn
 from the engine registry at parse time (``auto`` plus every registered
@@ -180,6 +187,25 @@ def _resume_args(args: argparse.Namespace) -> argparse.Namespace:
     return args
 
 
+def _compile_program(compiled_qaoa, cache_dir: Optional[str]):
+    """The executable form of a compiled QAOA protocol, optionally via the
+    content-addressed compiled-pattern cache (``--cache-dir``)."""
+    if cache_dir is None:
+        return compiled_qaoa.executable()
+    from repro.mbqc.compile import compile_pattern
+
+    return compile_pattern(compiled_qaoa.pattern, cache_dir=cache_dir)
+
+
+def _print_cache_stats(cache_dir: Optional[str]) -> None:
+    if cache_dir is None:
+        return
+    from repro.serve.cache import get_cache
+
+    for diag in get_cache(cache_dir).stats.diagnostics():
+        print(diag.format())
+
+
 def _cmd_run_job(args: argparse.Namespace) -> int:
     """The checkpointed records-only job path of ``repro run``."""
     from repro.exec import records_digest, run_checkpointed
@@ -188,7 +214,9 @@ def _cmd_run_job(args: argparse.Namespace) -> int:
     gammas, betas = _resolve_params(
         qubo, args.p, args.gamma, args.beta, args.optimize, args.seed
     )
-    program = compile_qaoa_pattern(qubo, gammas, betas).executable()
+    program = _compile_program(
+        compile_qaoa_pattern(qubo, gammas, betas), getattr(args, "cache_dir", None)
+    )
     noise = NoiseModel(p_prep=args.noise, p_ent=args.noise, p_meas=args.noise) \
         if args.noise else None
     # Persist the resolved parameters (not the unresolved flags) so a
@@ -217,6 +245,7 @@ def _cmd_run_job(args: argparse.Namespace) -> int:
     print(f"blocks reused  {len(result.blocks_reused)}")
     print(f"blocks run     {len(result.blocks_run)}")
     print(f"records sha256 {records_digest(result.run)}")
+    _print_cache_stats(getattr(args, "cache_dir", None))
     return 0
 
 
@@ -237,7 +266,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     name, qubo, problem = parse_problem(args.problem)
     gammas, betas = _resolve_params(qubo, args.p, args.gamma, args.beta, args.optimize, args.seed)
     compiled = compile_qaoa_pattern(qubo, gammas, betas)
-    program = compiled.executable()
+    program = _compile_program(compiled, getattr(args, "cache_dir", None))
     noise = NoiseModel(p_prep=args.noise, p_ent=args.noise, p_meas=args.noise) \
         if args.noise else None
     cost = qubo.cost_vector()
@@ -351,6 +380,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if isinstance(problem, MaxCut):
         print(f"best cut       {problem.cut_value(int_to_bitstring(best_idx, n)):.0f} "
               f"(optimum {problem.max_cut_value():.0f})")
+    _print_cache_stats(getattr(args, "cache_dir", None))
     return 0
 
 
@@ -479,6 +509,40 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import JobServer, serve_socket, serve_stdin
+
+    server = JobServer(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        max_batch_shots=args.max_batch_shots,
+        coalesce=not args.no_coalesce,
+        executor=args.executor,
+    )
+    try:
+        if args.port is not None:
+            import time
+
+            tcp = serve_socket(server, host=args.host, port=args.port)
+            host, port = tcp.server_address[:2]
+            print(f"serving on {host}:{port}", file=sys.stderr)
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                tcp.shutdown()
+            return 0
+        failures = serve_stdin(server, sys.stdin, sys.stdout)
+        server.drain(timeout=600)
+        for diag in server.cache.stats.diagnostics():
+            print(diag.format(), file=sys.stderr)
+        return 1 if failures else 0
+    finally:
+        server.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -556,6 +620,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="finish the checkpointed job in JOBDIR using the "
                     "parameters persisted in its manifest (the problem "
                     "spec argument is then not needed)")
+    pr.add_argument("--cache-dir", default=None, dest="cache_dir", metavar="DIR",
+                    help="compile through the content-addressed pattern "
+                    "cache rooted at DIR: repeat traffic for the same "
+                    "pattern skips compilation (R106 diagnostics report "
+                    "hit/miss counts)")
     pr.set_defaults(func=cmd_run)
 
     pd = sub.add_parser("verify", help="branch-exhaustive determinism check")
@@ -612,6 +681,35 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--strict", action="store_true",
                     help="treat warning-severity diagnostics as failures")
     pl.set_defaults(func=cmd_lint)
+
+    pj = sub.add_parser(
+        "serve",
+        help="async job server: JSON jobs over stdin or a local socket, "
+        "coalesced across a worker pool, streamed receipts",
+    )
+    pj.add_argument("--cache-dir", default=None, dest="cache_dir", metavar="DIR",
+                    help="content-addressed compiled-pattern cache directory "
+                    "(shared with `repro run --cache-dir`)")
+    pj.add_argument("--workers", type=int, default=2,
+                    help="worker pool size for block execution")
+    pj.add_argument("--max-batch-shots", type=int, default=4096,
+                    dest="max_batch_shots",
+                    help="ceiling on one fused sample_batch call; queued "
+                    "same-pattern blocks are coalesced up to this many shots")
+    pj.add_argument("--no-coalesce", action="store_true", dest="no_coalesce",
+                    help="run every block standalone (receipts are "
+                    "bit-identical either way; this trades throughput for "
+                    "per-job latency)")
+    pj.add_argument("--executor", choices=["process", "thread", "inline"],
+                    default="process",
+                    help="worker pool kind (process = real parallelism; "
+                    "inline = single-threaded, for debugging)")
+    pj.add_argument("--port", type=int, default=None,
+                    help="listen on a local TCP socket instead of stdin "
+                    "(0 picks a free port, printed to stderr)")
+    pj.add_argument("--host", default="127.0.0.1",
+                    help="bind address for --port (default localhost only)")
+    pj.set_defaults(func=cmd_serve)
     return parser
 
 

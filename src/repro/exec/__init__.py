@@ -16,6 +16,7 @@ from repro.exec.checkpoint import (
     CheckpointResult,
     CHECKPOINT_FORMAT_VERSION,
     DEFAULT_BLOCK_SHOTS,
+    atomic_write_bytes,
     block_path,
     job_fingerprint,
     job_status,
@@ -54,6 +55,7 @@ __all__ = [
     "CheckpointResult",
     "CHECKPOINT_FORMAT_VERSION",
     "DEFAULT_BLOCK_SHOTS",
+    "atomic_write_bytes",
     "block_path",
     "job_fingerprint",
     "job_status",

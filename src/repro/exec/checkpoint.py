@@ -43,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -153,11 +154,36 @@ def block_path(job_dir: str, index: int) -> str:
     return os.path.join(job_dir, _BLOCKS_DIR, f"block_{index:05d}.bin")
 
 
-def _atomic_write(path: str, blob: bytes) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as fh:
-        fh.write(blob)
-    os.replace(tmp, path)
+def atomic_write_bytes(path: str, blob: bytes) -> None:
+    """Publish ``blob`` at ``path`` so readers see either the old file or
+    the complete new one, even with concurrent writers.
+
+    Each writer stages into its own ``mkstemp`` file (a shared
+    ``path + ".tmp"`` name would let two workers interleave writes and
+    ``os.replace`` each other's torn output) and fsyncs before the atomic
+    rename, so a crash cannot publish a partially flushed file.  Also
+    used by the ``repro.serve`` compiled-pattern cache.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# Backwards-compatible internal alias (pre-serve callers).
+_atomic_write = atomic_write_bytes
 
 
 def write_block(

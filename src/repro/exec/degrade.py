@@ -83,15 +83,26 @@ class FallbackPolicy:
         max_bytes: Optional[int] = None,
         probe_shots: int = 8,
     ) -> "FallbackPolicy":
-        """Parse ``"a -> b -> c"`` (or comma-separated) into a policy."""
+        """Parse ``"a -> b -> c"`` (or comma-separated) into a policy.
+
+        Malformed specs raise :class:`~repro.mbqc.pattern.PatternError`
+        (a ``ValueError``) naming the bad link rather than silently
+        dropping it — ``"a -> -> b"`` or a trailing separator would
+        otherwise parse to a chain the user never wrote.
+        """
         text = spec
         for sep in _SEPARATORS[1:]:
             text = text.replace(sep, _SEPARATORS[0])
-        names = tuple(
-            part.strip() for part in text.split(_SEPARATORS[0]) if part.strip()
-        )
-        if not names:
-            raise ValueError(f"empty fallback chain spec {spec!r}")
+        parts = [part.strip() for part in text.split(_SEPARATORS[0])]
+        if not any(parts):
+            raise PatternError(f"empty fallback chain spec {spec!r}")
+        if "" in parts:
+            raise PatternError(
+                f"fallback chain spec {spec!r} has an empty link at "
+                f"position {parts.index('') + 1} of {len(parts)}; write one "
+                f"engine name per link, e.g. 'mps -> density -> statevector'"
+            )
+        names = tuple(parts)
         return cls(
             chain=names,
             truncation_tol=truncation_tol,

@@ -639,9 +639,15 @@ def _sample_pauli_channel_batch(sv: BatchedStateVector, op: ChannelOp, rng) -> N
         if p <= 0.0:
             return
         fire = rng.random(b) < p
+        # The Pauli pick is drawn unconditionally: skipping it when no
+        # shot fired would make the draw *schedule* depend on the sampled
+        # data, so the stream consumed after this op would differ between
+        # a block where nothing fired and the same shots embedded in a
+        # larger coalesced batch (repro.serve muxes per-job generators
+        # through whole-block draws — the schedule must be data-free).
+        which = rng.integers(3, size=b)
         if not fire.any():
             return
-        which = rng.integers(3, size=b)
         for i, mat in enumerate(_DENSE_PAULIS):
             sv.apply_1q_masked(mat, op.slot, fire & (which == i))
         return

@@ -69,17 +69,31 @@ class Channel:
 
     @classmethod
     def depolarizing(cls, p: float) -> "Channel":
-        """Identity w.p. ``1−p``, else a uniformly random Pauli."""
+        """Identity w.p. ``1−p``, else a uniformly random Pauli.
+
+        ``p = 0`` short-circuits to the single-operator identity channel:
+        the general Kraus set would carry three zero operators that the
+        density engine applies as dead work, and the explicit form makes
+        the trivial classification (``is_identity`` → ``is_trivial`` →
+        the ``average_fidelity`` fast path) exact rather than numerical.
+        """
+        if p == 0.0:
+            return cls(f"depolarizing({p:g})", (IDENTITY,))
         return cls(f"depolarizing({p:g})", tuple(depolarizing_kraus(p)))
 
     @classmethod
     def dephasing(cls, p: float) -> "Channel":
-        """Phase flip (Z) w.p. ``p``."""
+        """Phase flip (Z) w.p. ``p``; ``p = 0`` short-circuits to identity."""
+        if p == 0.0:
+            return cls(f"dephasing({p:g})", (IDENTITY,))
         return cls(f"dephasing({p:g})", tuple(dephasing_kraus(p)))
 
     @classmethod
     def amplitude_damping(cls, gamma: float) -> "Channel":
-        """Amplitude damping with decay probability ``gamma``."""
+        """Amplitude damping with decay probability ``gamma``; ``gamma = 0``
+        short-circuits to identity like the ``p = 0`` constructors."""
+        if gamma == 0.0:
+            return cls(f"amplitude_damping({gamma:g})", (IDENTITY,))
         return cls(f"amplitude_damping({gamma:g})", tuple(amplitude_damping_kraus(gamma)))
 
     # -- classification ------------------------------------------------------

@@ -100,6 +100,14 @@ def pattern_from_dict(data: Dict[str, Any]) -> Pattern:
     return pattern
 
 
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace) — the byte
+    form hashed by the ``repro.serve`` content-addressed cache.  Two
+    equal plain-data trees always encode to the same string, across
+    processes and platforms (CPython float repr is shortest-roundtrip)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
 def pattern_to_json(pattern: Pattern, indent: int = 0) -> str:
     return json.dumps(pattern_to_dict(pattern), indent=indent or None)
 

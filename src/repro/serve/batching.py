@@ -1,0 +1,198 @@
+"""Backpressure-aware batching: coalesce jobs into one ``sample_batch``.
+
+The engines are fastest at large shot blocks (E22/E23), so the server
+wants to fuse many small queued jobs targeting the same compiled-pattern
+digest into one big ``sample_batch`` call.  The catch is determinism:
+every job promises records bit-identical to its standalone seeded run.
+
+:class:`MuxedGenerator` delivers that.  All four engines consume
+randomness exclusively through whole-block vector draws whose *schedule*
+(which draws happen, in which order) is a pure function of the compiled
+program — never of sampled data or of the shot count — and per-shot
+outcomes depend only on that shot's slice of each draw.  So a generator
+that services each size-``N`` draw by concatenating the per-job
+sub-generators' draws (``random(N) = concat(rng_j.random(n_j))``) hands
+every job *exactly* the stream its standalone run would consume, and the
+fused run's record rows demultiplex into bit-identical per-job records.
+
+If an engine ever makes a draw the mux does not recognize (a scalar
+draw, a wrong-sized vector, an unexpected distribution), the shim raises
+:class:`MuxScheduleError` and :func:`run_coalesced` falls back to
+running each task standalone — correctness never rides on the fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mbqc.backend import PatternBackend, SampleRun
+from repro.mbqc.compile import CompiledPattern
+from repro.utils.rng import ensure_rng
+
+
+class MuxScheduleError(RuntimeError):
+    """An engine made a draw the mux cannot split per-job (scalar draw or
+    unexpected size) — the coalesced run must fall back to standalone."""
+
+
+class MuxedGenerator(np.random.Generator):
+    """A ``numpy.random.Generator`` that multiplexes N per-job generators.
+
+    Every whole-block draw of the fused batch size is serviced by
+    concatenating the corresponding draws from each part, so part ``j``
+    consumes exactly the stream of its standalone run.  Only the draw
+    forms the engines use (``random(size)`` and ``integers(low, size)``)
+    are supported; anything else raises :class:`MuxScheduleError` rather
+    than silently consuming the dummy bit generator.
+    """
+
+    def __init__(
+        self, parts: Sequence[np.random.Generator], sizes: Sequence[int]
+    ) -> None:
+        if len(parts) != len(sizes) or not parts:
+            raise ValueError("parts and sizes must be equal-length and non-empty")
+        # The base Generator is never drawn from — every supported method
+        # is overridden — but the C layer needs a bit generator to exist.
+        super().__init__(np.random.PCG64(0))
+        self._parts = list(parts)
+        self._sizes = [int(n) for n in sizes]
+        self._total = sum(self._sizes)
+
+    # -- supported draws -----------------------------------------------------
+    def _check_size(self, size, method: str) -> None:
+        if size != self._total:
+            raise MuxScheduleError(
+                f"muxed {method} draw of size {size!r} (expected the fused "
+                f"batch size {self._total}); the engine's draw schedule is "
+                f"not whole-block — run tasks standalone"
+            )
+
+    def random(self, size=None, dtype=np.float64, out=None):  # type: ignore[override]
+        if out is not None:
+            raise MuxScheduleError("muxed random() does not support out=")
+        self._check_size(size, "random")
+        return np.concatenate(
+            [p.random(n, dtype=dtype) for p, n in zip(self._parts, self._sizes)]
+        )
+
+    def integers(  # type: ignore[override]
+        self, low, high=None, size=None, dtype=np.int64, endpoint=False
+    ):
+        self._check_size(size, "integers")
+        return np.concatenate(
+            [
+                p.integers(low, high, size=n, dtype=dtype, endpoint=endpoint)
+                for p, n in zip(self._parts, self._sizes)
+            ]
+        )
+
+    # -- everything else is a schedule violation -----------------------------
+    def _unsupported(self, method: str):
+        raise MuxScheduleError(
+            f"engine drew via Generator.{method}(), which the mux cannot "
+            f"split per-job — run tasks standalone"
+        )
+
+    def standard_normal(self, *a, **k):  # type: ignore[override]
+        self._unsupported("standard_normal")
+
+    def normal(self, *a, **k):  # type: ignore[override]
+        self._unsupported("normal")
+
+    def uniform(self, *a, **k):  # type: ignore[override]
+        self._unsupported("uniform")
+
+    def choice(self, *a, **k):  # type: ignore[override]
+        self._unsupported("choice")
+
+    def shuffle(self, *a, **k):  # type: ignore[override]
+        self._unsupported("shuffle")
+
+    def permutation(self, *a, **k):  # type: ignore[override]
+        self._unsupported("permutation")
+
+
+@dataclass(frozen=True)
+class BlockTask:
+    """One shot block of one job, ready to fuse with its digest-mates.
+
+    ``seed`` is the block's child :class:`numpy.random.SeedSequence` from
+    the job's ``spawn_seeds`` tree — the same seed the block would get in
+    :func:`repro.exec.checkpoint.run_checkpointed`, so serving and
+    checkpointing produce interchangeable record streams."""
+
+    job_id: str
+    block_index: int
+    lo: int
+    hi: int
+    seed: np.random.SeedSequence
+
+    @property
+    def shots(self) -> int:
+        return self.hi - self.lo
+
+
+def run_coalesced(
+    compiled: CompiledPattern,
+    engine: PatternBackend,
+    tasks: Sequence[BlockTask],
+    *,
+    sample_kwargs: Optional[dict] = None,
+) -> List[np.ndarray]:
+    """Run ``tasks`` (all on ``compiled``) as one fused ``sample_batch``
+    and demultiplex per-task records, falling back to standalone runs on
+    :class:`MuxScheduleError`.  Returns one ``(shots, n_measured)`` int8
+    array per task, bit-identical to each task's standalone run either
+    way."""
+    kwargs = dict(sample_kwargs or {})
+    if not tasks:
+        return []
+    if len(tasks) == 1:
+        run = engine.sample_batch(
+            compiled, tasks[0].shots, ensure_rng(tasks[0].seed), **kwargs
+        )
+        return [np.ascontiguousarray(run.outcomes, dtype=np.int8)]
+    sizes = [t.shots for t in tasks]
+    rng = MuxedGenerator([ensure_rng(t.seed) for t in tasks], sizes)
+    try:
+        fused: SampleRun = engine.sample_batch(compiled, sum(sizes), rng, **kwargs)
+    except MuxScheduleError:
+        return [
+            np.ascontiguousarray(
+                engine.sample_batch(
+                    compiled, t.shots, ensure_rng(t.seed), **kwargs
+                ).outcomes,
+                dtype=np.int8,
+            )
+            for t in tasks
+        ]
+    outcomes = np.ascontiguousarray(fused.outcomes, dtype=np.int8)
+    pieces: List[np.ndarray] = []
+    off = 0
+    for n in sizes:
+        pieces.append(outcomes[off:off + n].copy())
+        off += n
+    return pieces
+
+
+def pack_tasks(
+    tasks: Sequence[BlockTask], max_batch_shots: int
+) -> List[Tuple[BlockTask, ...]]:
+    """Greedily pack same-digest tasks into fused batches of at most
+    ``max_batch_shots`` (a single oversized task still forms its own
+    batch — blocks are never split further)."""
+    batches: List[Tuple[BlockTask, ...]] = []
+    current: List[BlockTask] = []
+    current_shots = 0
+    for task in tasks:
+        if current and current_shots + task.shots > max_batch_shots:
+            batches.append(tuple(current))
+            current, current_shots = [], 0
+        current.append(task)
+        current_shots += task.shots
+    if current:
+        batches.append(tuple(current))
+    return batches

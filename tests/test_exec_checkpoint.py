@@ -248,3 +248,66 @@ class TestManifest:
         assert isinstance(r, CheckpointResult)
         assert r.n_blocks == 0
         assert r.run.outcomes.shape == (0, len(compiled.measured_nodes))
+
+
+def _race_writer(path, tag, n_rounds):
+    from repro.exec import atomic_write_bytes
+
+    payload = (tag * 4096).encode()
+    for _ in range(n_rounds):
+        atomic_write_bytes(path, payload)
+
+
+class TestAtomicWrite:
+    """Regression for the torn-tmp race: the old fixed `<path>.tmp`
+    staging name let two concurrent writers interleave into one tmp file
+    and publish garbage.  `mkstemp` staging gives each writer a private
+    file, so every published state is one writer's complete payload."""
+
+    def test_two_process_stress_never_tears(self, tmp_path):
+        import multiprocessing
+
+        from repro.exec import atomic_write_bytes
+
+        target = str(tmp_path / "contested.bin")
+        atomic_write_bytes(target, ("c" * 4096).encode())
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_race_writer, args=(target, tag, 40))
+            for tag in ("a", "b")
+        ]
+        for p in procs:
+            p.start()
+        valid = {("%s" % t * 4096).encode() for t in "abc"}
+        reads = 0
+        while any(p.is_alive() for p in procs):
+            with open(target, "rb") as fh:
+                blob = fh.read()
+            assert blob in valid, f"torn read of {len(blob)} bytes"
+            reads += 1
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        assert reads > 0
+        with open(target, "rb") as fh:
+            assert fh.read() in valid
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_failed_write_cleans_its_tmp(self, tmp_path):
+        from repro.exec import atomic_write_bytes
+
+        target = str(tmp_path / "x.bin")
+        # Simulate a writer dying mid-stage: patch os.replace to fail.
+        real_replace = os.replace
+        try:
+            def boom(src, dst):
+                raise OSError("disk full")
+
+            os.replace = boom
+            with pytest.raises(OSError, match="disk full"):
+                atomic_write_bytes(target, b"payload")
+        finally:
+            os.replace = real_replace
+        assert not os.path.exists(target)
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []

@@ -88,6 +88,33 @@ class TestPolicy:
         with pytest.raises(ValueError, match="empty"):
             FallbackPolicy.parse("  ->  ")
 
+    def test_parse_empty_link_located(self):
+        """An empty link is named by position, not silently dropped —
+        'a -> -> b' would otherwise parse to ('a', 'b')."""
+        with pytest.raises(PatternError, match="position 2 of 3"):
+            FallbackPolicy.parse("mps -> -> statevector")
+
+    def test_parse_trailing_separator_rejected(self):
+        with pytest.raises(PatternError, match="empty link"):
+            FallbackPolicy.parse("mps ->")
+        with pytest.raises(PatternError, match="empty link"):
+            FallbackPolicy.parse("mps, density,")
+
+    def test_parse_leading_separator_rejected(self):
+        with pytest.raises(PatternError, match="position 1"):
+            FallbackPolicy.parse("-> mps")
+
+    def test_parse_mixed_separators_with_gap_rejected(self):
+        with pytest.raises(PatternError, match="empty link"):
+            FallbackPolicy.parse("mps, -> statevector")
+
+    def test_parse_errors_are_pattern_errors(self):
+        """The CLI maps PatternError (a ValueError) to exit code 2; the
+        parse path must raise that type, not a bare string split crash."""
+        for bad in ("", "   ", "a -> -> b", "a,,b", "->"):
+            with pytest.raises(PatternError):
+                FallbackPolicy.parse(bad)
+
     def test_repeated_link_rejected(self):
         with pytest.raises(ValueError, match="repeats"):
             FallbackPolicy(chain=("mps", "mps"))

@@ -46,6 +46,56 @@ class TestChannel:
         assert not Channel.depolarizing(0.1).is_identity()
         assert not Channel.amplitude_damping(0.1).is_identity()
 
+    def test_zero_probability_short_circuits_to_single_kraus(self):
+        """p=0 constructors return the one-operator identity channel —
+        no zero Kraus operators for the density engine to grind through,
+        and the trivial classification is exact, not numerical."""
+        for ch in (
+            Channel.depolarizing(0.0),
+            Channel.dephasing(0.0),
+            Channel.amplitude_damping(0.0),
+        ):
+            assert len(ch.kraus) == 1
+            assert np.array_equal(ch.kraus[0], np.eye(2))
+            assert ch.is_identity()
+            assert ChannelNoiseModel(prep=ch, ent=ch).is_trivial()
+
+    def test_zero_noise_model_hits_fidelity_fast_path(self):
+        """A p=0 channel model is classified trivial, so average_fidelity
+        short-circuits to exactly 1.0 — no shot loop, no numerics."""
+        from repro.mbqc.noise import average_fidelity
+
+        model = ChannelNoiseModel(
+            prep=Channel.depolarizing(0.0), ent=Channel.dephasing(0.0)
+        )
+        assert average_fidelity(j_pattern(0.4), model, trajectories=1) == 1.0
+
+    def test_extremal_probability_channels_validate(self):
+        """p=1 / gamma=1 are legal channels: the Kraus sets still sum to
+        identity and classification stays consistent."""
+        full_depol = Channel.depolarizing(1.0)
+        assert full_depol.pauli_probs == pytest.approx((0.0, 1 / 3, 1 / 3, 1 / 3))
+        full_dephase = Channel.dephasing(1.0)
+        assert full_dephase.pauli_probs == pytest.approx((0.0, 0.0, 0.0, 1.0))
+        assert not full_dephase.is_identity()
+        full_damp = Channel.amplitude_damping(1.0)
+        acc = sum(k.conj().T @ k for k in full_damp.kraus)
+        assert np.allclose(acc, np.eye(2))
+        assert full_damp.pauli_probs is None
+
+    def test_extremal_channels_run(self):
+        """gamma=1 integrates exactly; p=1 dephasing still samples."""
+        model = ChannelNoiseModel(prep=Channel.amplitude_damping(1.0))
+        prog = lower_noise(compile_pattern(j_pattern(0.4)), model)
+        rho = get_backend("density").integrate(prog)
+        assert rho is not None
+        pauli_model = ChannelNoiseModel(ent=Channel.dephasing(1.0))
+        prog = lower_noise(compile_pattern(j_pattern(0.4)), pauli_model)
+        from repro.utils.rng import ensure_rng
+
+        run = get_backend("statevector").sample_batch(prog, 8, ensure_rng(1))
+        assert run.outcomes.shape[0] == 8
+
     def test_from_kraus_does_not_freeze_caller_arrays(self):
         k0 = np.sqrt(0.9) * np.eye(2, dtype=complex)
         k1 = np.sqrt(0.1) * PAULI_X.astype(complex)
